@@ -1,0 +1,170 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Load balancing** — FIFO (paper) vs longest-first vs shuffled job
+//!   ordering (§V-D cites that balancing can improve all-vs-all PSC);
+//! * **Scheduling** — dynamic FARM vs static PAR+COLLECT waves;
+//! * **Hierarchical masters** — flat farm vs two-level master tree;
+//! * **Faster cores** — the paper's what-if that the single master
+//!   becomes the bottleneck as cores speed up;
+//! * **MC-PSC partitioning** — equal vs cost-proportional slave split.
+//!
+//! Each bench times the simulation and prints the *simulated* makespans
+//! once, which is the scientifically interesting output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rck_noc::NocConfig;
+use rckalign::{
+    run_all_vs_all, run_hierarchical, run_mcpsc, HierarchyOptions, JobOrdering, McPscOptions,
+    PairCache, PartitionStrategy, RckAlignOptions, Scheduling,
+};
+use rck_tmalign::MethodKind;
+use rckalign_bench::tiny_cache;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn prepared_tiny() -> PairCache {
+    let cache = tiny_cache();
+    rckalign::experiments::prepare(&cache);
+    cache
+}
+
+static PRINT_ONCE: Once = Once::new();
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let cache = prepared_tiny();
+    PRINT_ONCE.call_once(|| {
+        for (name, ordering) in [
+            ("fifo (paper)", JobOrdering::Fifo),
+            ("longest-first", JobOrdering::LongestFirst),
+            ("shuffled", JobOrdering::Shuffled(7)),
+        ] {
+            let run = run_all_vs_all(
+                &cache,
+                &RckAlignOptions {
+                    ordering,
+                    ..RckAlignOptions::paper(6)
+                },
+            );
+            eprintln!("ablation_loadbalance[{name}]: simulated {:.2}s", run.makespan_secs);
+        }
+    });
+    let mut group = c.benchmark_group("ablation_loadbalance");
+    for (name, ordering) in [
+        ("fifo", JobOrdering::Fifo),
+        ("lpt", JobOrdering::LongestFirst),
+        ("shuffled", JobOrdering::Shuffled(7)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ordering, |b, &o| {
+            b.iter(|| {
+                black_box(run_all_vs_all(
+                    &cache,
+                    &RckAlignOptions {
+                        ordering: o,
+                        ..RckAlignOptions::paper(6)
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let cache = prepared_tiny();
+    let mut group = c.benchmark_group("ablation_scheduling");
+    for (name, s) in [("farm", Scheduling::Farm), ("waves", Scheduling::Waves)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, &s| {
+            b.iter(|| {
+                black_box(run_all_vs_all(
+                    &cache,
+                    &RckAlignOptions {
+                        scheduling: s,
+                        ..RckAlignOptions::paper(6)
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let cache = prepared_tiny();
+    let mut group = c.benchmark_group("ablation_hierarchy");
+    group.bench_function("flat_6slaves", |b| {
+        b.iter(|| black_box(run_all_vs_all(&cache, &RckAlignOptions::paper(6))))
+    });
+    group.bench_function("two_level_2x3", |b| {
+        b.iter(|| {
+            black_box(run_hierarchical(
+                &cache,
+                &HierarchyOptions {
+                    n_submasters: 2,
+                    slaves_per_submaster: 3,
+                    method: MethodKind::TmAlign,
+                    ordering: JobOrdering::Fifo,
+                    noc: NocConfig::scc(),
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fast_cores(c: &mut Criterion) {
+    let cache = prepared_tiny();
+    let mut group = c.benchmark_group("ablation_fastcores");
+    for mult in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{mult}x")), &mult, |b, &m| {
+            b.iter(|| {
+                black_box(run_all_vs_all(
+                    &cache,
+                    &RckAlignOptions {
+                        noc: NocConfig::scc().with_freq(800e6 * m as f64),
+                        ..RckAlignOptions::paper(7)
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcpsc_partition(c: &mut Criterion) {
+    let cache = prepared_tiny();
+    let mut group = c.benchmark_group("ablation_mcpsc_partition");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("equal", PartitionStrategy::Equal),
+        ("proportional", PartitionStrategy::ProportionalToCost),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            b.iter(|| {
+                black_box(run_mcpsc(
+                    &cache,
+                    &McPscOptions {
+                        methods: vec![
+                            MethodKind::TmAlign,
+                            MethodKind::KabschRmsd,
+                            MethodKind::ContactMap,
+                        ],
+                        n_slaves: 6,
+                        strategy: s,
+                        noc: NocConfig::scc(),
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_load_balancing,
+    bench_scheduling,
+    bench_hierarchy,
+    bench_fast_cores,
+    bench_mcpsc_partition
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Microbenchmarks of the TM-align kernels: superposition, dynamic
+//! programming, secondary-structure assignment, TM-score search, and the
+//! full pairwise alignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rck_pdb::datasets;
+use rck_tmalign::dp::{needleman_wunsch, ScoreMatrix};
+use rck_tmalign::kabsch::superpose;
+use rck_tmalign::secstruct;
+use rck_tmalign::tmscore::{d0, search, SearchDepth};
+use rck_tmalign::{tm_align, WorkMeter};
+use std::hint::black_box;
+
+fn bench_kabsch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kabsch_superpose");
+    for n in [30usize, 150, 400] {
+        let pts: Vec<rck_pdb::Vec3> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                rck_pdb::Vec3::new((t * 0.37).sin() * 5.0, (t * 0.53).cos() * 4.0, t * 0.1)
+            })
+            .collect();
+        let moved: Vec<rck_pdb::Vec3> = pts
+            .iter()
+            .map(|&p| rck_pdb::Mat3::rotation_about(rck_pdb::Vec3::new(1.0, 1.0, 0.0), 0.8) * p)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = WorkMeter::new();
+                black_box(superpose(black_box(&pts), black_box(&moved), &mut m))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("needleman_wunsch");
+    for n in [50usize, 150, 350] {
+        let m = ScoreMatrix::from_fn(n, n, |i, j| {
+            1.0 / (1.0 + ((i as f64 - j as f64) / 3.0).powi(2))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut meter = WorkMeter::new();
+                black_box(needleman_wunsch(black_box(&m), -0.6, &mut meter))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_secstruct(c: &mut Criterion) {
+    let chains = datasets::ck34_profile().generate(2013);
+    let longest = chains.iter().max_by_key(|c| c.len()).expect("non-empty");
+    c.bench_function("secstruct_assign_longest_ck34", |b| {
+        b.iter(|| {
+            let mut m = WorkMeter::new();
+            black_box(secstruct::assign(black_box(&longest.coords), &mut m))
+        })
+    });
+}
+
+fn bench_tmscore_search(c: &mut Criterion) {
+    let chains = datasets::ck34_profile().generate(2013);
+    let a = &chains[0].coords;
+    let mut group = c.benchmark_group("tmscore_search");
+    for depth in [SearchDepth::Fast, SearchDepth::Full] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{depth:?}")),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let mut m = WorkMeter::new();
+                    black_box(search(
+                        black_box(a),
+                        black_box(a),
+                        d0(a.len()),
+                        d0(a.len()),
+                        a.len(),
+                        depth,
+                        &mut m,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_alignment(c: &mut Criterion) {
+    let chains = datasets::ck34_profile().generate(2013);
+    // A small, a medium and a large pair.
+    let mut sorted: Vec<usize> = (0..chains.len()).collect();
+    sorted.sort_by_key(|&i| chains[i].len());
+    let pairs = [
+        ("small", sorted[0], sorted[1]),
+        ("medium", sorted[sorted.len() / 2], sorted[sorted.len() / 2 + 1]),
+        ("large", sorted[sorted.len() - 2], sorted[sorted.len() - 1]),
+    ];
+    let mut group = c.benchmark_group("tm_align_pair");
+    group.sample_size(20);
+    for (label, i, j) in pairs {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(tm_align(black_box(&chains[i]), black_box(&chains[j]))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kabsch,
+    bench_dp,
+    bench_secstruct,
+    bench_tmscore_search,
+    bench_full_alignment
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Benchmarks of the NoC simulator itself: how fast the host can push
+//! simulated messages, farms and barriers through the engine (these bound
+//! how long the table sweeps take to regenerate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, Simulator};
+use rck_rcce::Rcce;
+use rck_skel::{farm, slave_loop, Job, SlaveReply};
+use std::hint::black_box;
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_ping_pong");
+    for msgs in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(msgs), &msgs, |b, &msgs| {
+            b.iter(|| {
+                let report = Simulator::new(NocConfig::scc()).run(vec![
+                    Some(Box::new(move |ctx: &mut CoreCtx| {
+                        for _ in 0..msgs {
+                            ctx.send(CoreId(1), vec![0u8; 256]);
+                            let _ = ctx.recv_from(CoreId(1));
+                        }
+                    }) as CoreProgram),
+                    Some(Box::new(move |ctx: &mut CoreCtx| {
+                        for _ in 0..msgs {
+                            let m = ctx.recv_from(CoreId(0));
+                            ctx.send(CoreId(0), m);
+                        }
+                    })),
+                ]);
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_farm_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_farm");
+    group.sample_size(10);
+    for (slaves, jobs) in [(4usize, 100usize), (16, 100), (47, 200)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{slaves}slaves_{jobs}jobs")),
+            &(slaves, jobs),
+            |b, &(n_slaves, n_jobs)| {
+                b.iter(|| {
+                    let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+                    let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+                    let jobs: Vec<Job> = (0..n_jobs)
+                        .map(|k| Job::new(k as u64, vec![k as u8; 512]))
+                        .collect();
+                    let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+                    {
+                        let ues = ues.clone();
+                        let ranks = slave_ranks.clone();
+                        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                            let mut comm = Rcce::new(ctx, &ues);
+                            let _ = farm(&mut comm, &ranks, &jobs);
+                        })));
+                    }
+                    for _ in 0..n_slaves {
+                        let ues = ues.clone();
+                        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                            let mut comm = Rcce::new(ctx, &ues);
+                            slave_loop(&mut comm, 0, |_id, p| SlaveReply {
+                                payload: p,
+                                ops: 50_000,
+                            });
+                        })));
+                    }
+                    black_box(Simulator::new(NocConfig::scc()).run(programs))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("sim_barrier_48cores_x10", |b| {
+        b.iter(|| {
+            let ues: Vec<CoreId> = (0..48).map(CoreId).collect();
+            let programs: Vec<Option<CoreProgram>> = (0..48)
+                .map(|_| {
+                    let ues = ues.clone();
+                    Some(Box::new(move |ctx: &mut CoreCtx| {
+                        for _ in 0..10 {
+                            ctx.barrier(&ues);
+                        }
+                    }) as CoreProgram)
+                })
+                .collect();
+            black_box(Simulator::new(NocConfig::scc()).run(programs))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ping_pong, bench_farm_throughput, bench_barrier);
+criterion_main!(benches);

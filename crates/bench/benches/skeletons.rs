@@ -1,0 +1,124 @@
+//! Benchmarks of the skeleton constructs themselves: FARM vs waves vs
+//! SEQ on identical workloads, task-tree execution, and the pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, Simulator};
+use rck_rcce::Rcce;
+use rck_skel::{
+    farm, pipeline, run_task_and_terminate, seq, slave_loop, stage_loop, waves, Job, SlaveReply,
+    Task,
+};
+use std::hint::black_box;
+
+fn jobs(n: usize) -> Vec<Job> {
+    (0..n)
+        .map(|k| Job::new(k as u64, vec![(k % 40) as u8 + 1]))
+        .collect()
+}
+
+/// Master + n doubling slaves running `body` on the master.
+fn with_slaves<F>(n_slaves: usize, body: F) -> rck_noc::SimReport
+where
+    F: FnOnce(&mut Rcce, &[usize]) + Send,
+{
+    let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+    let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+    let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+    {
+        let ues = ues.clone();
+        let slave_ranks = slave_ranks.clone();
+        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+            let mut comm = Rcce::new(ctx, &ues);
+            body(&mut comm, &slave_ranks);
+        })));
+    }
+    for _ in 0..n_slaves {
+        let ues = ues.clone();
+        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+            let mut comm = Rcce::new(ctx, &ues);
+            slave_loop(&mut comm, 0, |_id, p| SlaveReply {
+                ops: p[0] as u64 * 10_000,
+                payload: p,
+            });
+        })));
+    }
+    Simulator::new(NocConfig::scc()).run(programs)
+}
+
+fn bench_constructs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_constructs");
+    group.sample_size(20);
+    for name in ["farm", "waves", "seq", "tree"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let report = with_slaves(6, move |comm, slaves| match name {
+                    "farm" => {
+                        let _ = farm(comm, slaves, &jobs(60));
+                    }
+                    "waves" => {
+                        let _ = waves(comm, slaves, &jobs(60));
+                        rck_skel::terminate(comm, slaves);
+                    }
+                    "seq" => {
+                        let _ = seq(comm, slaves, &jobs(60));
+                        rck_skel::terminate(comm, slaves);
+                    }
+                    "tree" => {
+                        let tree = Task::Seq(vec![
+                            Task::Par(jobs(30).into_iter().map(Task::Leaf).collect()),
+                            Task::Par(
+                                jobs(30)
+                                    .into_iter()
+                                    .map(|mut j| {
+                                        j.id += 100;
+                                        Task::Leaf(j)
+                                    })
+                                    .collect(),
+                            ),
+                        ]);
+                        let _ = run_task_and_terminate(comm, slaves, &tree);
+                    }
+                    _ => unreachable!(),
+                });
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_pipeline");
+    group.sample_size(20);
+    for stages in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &n_stages| {
+            b.iter(|| {
+                let ues: Vec<CoreId> = (0..=n_stages).map(CoreId).collect();
+                let stage_ranks: Vec<usize> = (1..=n_stages).collect();
+                let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+                {
+                    let ues = ues.clone();
+                    let stage_ranks = stage_ranks.clone();
+                    programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                        let mut comm = Rcce::new(ctx, &ues);
+                        let _ = pipeline(&mut comm, &stage_ranks, &jobs(40));
+                    })));
+                }
+                for stage in 1..=n_stages {
+                    let ues = ues.clone();
+                    let prev = if stage == 1 { 0 } else { stage - 1 };
+                    let next = if stage == n_stages { 0 } else { stage + 1 };
+                    programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                        let mut comm = Rcce::new(ctx, &ues);
+                        stage_loop(&mut comm, prev, next, |_id, p| (p, 5_000));
+                    })));
+                }
+                black_box(Simulator::new(NocConfig::scc()).run(programs))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructs, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! One criterion bench per table/figure, on a scaled-down workload so
+//! `cargo bench` stays fast. The full paper-scale regeneration lives in
+//! the `table*` binaries (`cargo run -p rckalign-bench --bin table2_fig5`
+//! etc.); these benches time the same code paths end to end and assert
+//! the headline shape on every iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rck_noc::NocConfig;
+use rckalign::experiments::{experiment1, experiment2, table3, table5};
+use rckalign::{DistributedConfig, PairCache};
+use rckalign_bench::tiny_cache;
+use std::hint::black_box;
+
+fn prepared_tiny() -> PairCache {
+    let cache = tiny_cache();
+    rckalign::experiments::prepare(&cache);
+    cache
+}
+
+/// Table II + Figure 5: rckAlign vs distributed, small sweep.
+fn bench_exp1(c: &mut Criterion) {
+    let cache = prepared_tiny();
+    c.bench_function("table2_fig5_exp1_tiny", |b| {
+        b.iter(|| {
+            let rows = experiment1(
+                black_box(&cache),
+                &[1, 4, 7],
+                &NocConfig::scc(),
+                &DistributedConfig::default(),
+            );
+            assert!(rows
+                .iter()
+                .all(|r| r.tmalign_dist_secs > r.rckalign_secs));
+            black_box(rows)
+        })
+    });
+}
+
+/// Table III: serial baselines.
+fn bench_table3(c: &mut Criterion) {
+    let ck = prepared_tiny();
+    let rs = prepared_tiny();
+    c.bench_function("table3_serial_baselines_tiny", |b| {
+        b.iter(|| {
+            let rows = table3(black_box(&ck), black_box(&rs), NocConfig::scc().cycles_per_op);
+            assert!(rows[0].ck34_secs < rows[1].ck34_secs);
+            black_box(rows)
+        })
+    });
+}
+
+/// Table IV + Figure 6: the speedup sweep.
+fn bench_exp2(c: &mut Criterion) {
+    let ck = prepared_tiny();
+    let rs = prepared_tiny();
+    let mut group = c.benchmark_group("table4_fig6_exp2_tiny");
+    for counts in [vec![1usize, 4], vec![1, 2, 4, 7]] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pts", counts.len())),
+            &counts,
+            |b, counts| {
+                b.iter(|| {
+                    let rows = experiment2(
+                        black_box(&ck),
+                        black_box(&rs),
+                        counts,
+                        &NocConfig::scc(),
+                    );
+                    assert!(rows.windows(2).all(|w| w[1].ck34_speedup > w[0].ck34_speedup));
+                    black_box(rows)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table V: summary with the full 47-slave chip.
+fn bench_table5(c: &mut Criterion) {
+    let ck = prepared_tiny();
+    let rs = prepared_tiny();
+    c.bench_function("table5_summary_tiny", |b| {
+        b.iter(|| {
+            let rows = table5(black_box(&ck), black_box(&rs), &NocConfig::scc());
+            assert!(rows.iter().all(|r| r.speedup_vs_p54c() > r.speedup_vs_amd()));
+            black_box(rows)
+        })
+    });
+}
+
+criterion_group!(benches, bench_exp1, bench_table3, bench_exp2, bench_table5);
+criterion_main!(benches);

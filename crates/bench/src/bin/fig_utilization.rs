@@ -1,0 +1,79 @@
+//! Extension figure (not in the paper): per-slave utilization and the
+//! master's communication share as the slave count grows, at SCC speed
+//! and with hypothetically faster cores. Quantifies the paper's §V-D
+//! prediction that the single master becomes the bottleneck once cores
+//! get faster.
+
+use rck_noc::NocConfig;
+use rckalign::report::{ascii_chart, Series, TextTable};
+use rckalign::{utilization_sweep, RckAlignOptions};
+use rckalign_bench::ck34_cache;
+
+fn main() {
+    let cache = ck34_cache();
+    eprintln!("computing CK34 pair cache + sweeps…");
+    rckalign::experiments::prepare(&cache);
+    let counts = [1usize, 5, 9, 15, 21, 27, 33, 39, 47];
+
+    let mut table = TextTable::new(&[
+        "Slaves",
+        "util @800MHz",
+        "master-comm @800MHz",
+        "util @12.8GHz",
+        "master-comm @12.8GHz",
+    ]);
+    let slow = utilization_sweep(&cache, &counts, RckAlignOptions::paper);
+    let fast = utilization_sweep(&cache, &counts, |n| RckAlignOptions {
+        noc: NocConfig::scc().with_freq(12.8e9),
+        ..RckAlignOptions::paper(n)
+    });
+    for (s, f) in slow.iter().zip(&fast) {
+        table.row(&[
+            s.slaves.to_string(),
+            format!("{:.1}%", s.mean_slave_utilization * 100.0),
+            format!("{:.2}%", s.master_comm_fraction * 100.0),
+            format!("{:.1}%", f.mean_slave_utilization * 100.0),
+            format!("{:.2}%", f.master_comm_fraction * 100.0),
+        ]);
+    }
+    println!("Figure (extension) — slave utilization and master communication share\n");
+    print!("{}", table.render());
+
+    println!("\nmean slave utilization vs slave count\n");
+    print!(
+        "{}",
+        ascii_chart(
+            &[
+                Series {
+                    label: "800 MHz SCC".into(),
+                    marker: '*',
+                    points: slow
+                        .iter()
+                        .map(|p| (p.slaves as f64, p.mean_slave_utilization * 100.0))
+                        .collect(),
+                },
+                Series {
+                    label: "16x faster cores".into(),
+                    marker: 'o',
+                    points: fast
+                        .iter()
+                        .map(|p| (p.slaves as f64, p.mean_slave_utilization * 100.0))
+                        .collect(),
+                },
+            ],
+            60,
+            16,
+            false,
+        )
+    );
+    let last_slow = slow.last().expect("non-empty");
+    let last_fast = fast.last().expect("non-empty");
+    println!(
+        "\nAt 47 slaves the master spends {:.2}% of the run communicating at 800 MHz\n\
+         but {:.2}% with 16x faster cores — the paper's predicted master bottleneck\n\
+         (\"a hierarchy of master processes\" is the proposed fix; see the\n\
+         ablation_hierarchy bench).",
+        last_slow.master_comm_fraction * 100.0,
+        last_fast.master_comm_fraction * 100.0
+    );
+}

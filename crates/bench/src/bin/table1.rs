@@ -1,0 +1,48 @@
+//! Table I: salient features of the (simulated) SCC chip.
+
+use rck_noc::NocConfig;
+use rckalign::report::TextTable;
+
+fn main() {
+    let cfg = NocConfig::scc();
+    let topo = cfg.topology;
+    println!("Table I — Salient features of the simulated SCC chip\n");
+    let mut t = TextTable::new(&["Feature", "Value"]);
+    t.row(&[
+        "Core architecture".into(),
+        format!(
+            "{}x{} mesh, {} P54C (x86) cores per tile ({} cores)",
+            topo.mesh_cols,
+            topo.mesh_rows,
+            topo.cores_per_tile,
+            topo.core_count()
+        ),
+    ]);
+    t.row(&[
+        "Core frequency".into(),
+        format!("{} MHz", cfg.freq_hz / 1e6),
+    ]);
+    t.row(&[
+        "Message passing buffer".into(),
+        format!(
+            "{} KB chunk per transfer, {} KB per tile ({} KB total)",
+            cfg.chunk_bytes / 1024,
+            2 * cfg.chunk_bytes / 1024,
+            topo.tile_count() * 2 * cfg.chunk_bytes / 1024
+        ),
+    ]);
+    t.row(&[
+        "Mesh hop latency".into(),
+        format!("{:.1} ns", cfg.hop_latency.as_secs_f64() * 1e9),
+    ]);
+    t.row(&[
+        "MPB copy bandwidth".into(),
+        format!("{:.0} MB/s (mesh-bound)", cfg.mpb_bytes_per_sec / 1e6),
+    ]);
+    t.row(&[
+        "Cost calibration".into(),
+        format!("{} cycles per kernel op", cfg.cycles_per_op),
+    ]);
+    print!("{}", t.render());
+    println!("\nPaper (Table I): 6x4 mesh, 2 P54C cores/tile; 16KB MPB per tile (384KB total); 4 iMCs, 16-64 GB memory.");
+}

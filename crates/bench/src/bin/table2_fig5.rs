@@ -1,0 +1,76 @@
+//! Table II + Figure 5 (Experiment I): parallel rckAlign vs distributed
+//! TM-align, all-vs-all on CK34, as the slave-core count grows.
+
+use rck_noc::NocConfig;
+use rckalign::experiments::{experiment1, PAPER_SLAVE_COUNTS};
+use rckalign::report::{ascii_chart, fmt_secs, Series, TextTable};
+use rckalign::DistributedConfig;
+use rckalign_bench::{ck34_cache, paper};
+
+fn main() {
+    let cache = ck34_cache();
+    let noc = NocConfig::scc();
+    eprintln!("computing CK34 pair cache + {} sweep points…", PAPER_SLAVE_COUNTS.len());
+    let rows = experiment1(&cache, &PAPER_SLAVE_COUNTS, &noc, &DistributedConfig::default());
+
+    println!("Table II — rckAlign vs distributed TM-align, all-vs-all CK34 (seconds)\n");
+    let mut t = TextTable::new(&[
+        "Slave Cores",
+        "rckAlign",
+        "rckAlign(paper)",
+        "TM-align",
+        "TM-align(paper)",
+    ]);
+    for (k, r) in rows.iter().enumerate() {
+        t.row(&[
+            r.slaves.to_string(),
+            fmt_secs(r.rckalign_secs),
+            fmt_secs(paper::TABLE2_RCKALIGN[k]),
+            fmt_secs(r.tmalign_dist_secs),
+            fmt_secs(paper::TABLE2_TMALIGN[k]),
+        ]);
+    }
+    print!("{}", t.render());
+    if let Err(e) = std::fs::create_dir_all("target/experiments").and_then(|_| {
+        std::fs::write(concat!("target/experiments/", env!("CARGO_BIN_NAME"), ".csv"), t.to_csv())
+    }) {
+        eprintln!("note: could not write CSV: {e}");
+    } else {
+        eprintln!("CSV written to target/experiments/{}.csv", env!("CARGO_BIN_NAME"));
+    }
+
+    println!("\nFigure 5 — time (log scale) vs number of cores\n");
+    let chart = ascii_chart(
+        &[
+            Series {
+                label: "rckAlign (measured)".into(),
+                marker: '*',
+                points: rows
+                    .iter()
+                    .map(|r| (r.slaves as f64, r.rckalign_secs))
+                    .collect(),
+            },
+            Series {
+                label: "TM-align distributed (measured)".into(),
+                marker: 'o',
+                points: rows
+                    .iter()
+                    .map(|r| (r.slaves as f64, r.tmalign_dist_secs))
+                    .collect(),
+            },
+        ],
+        64,
+        18,
+        true,
+    );
+    print!("{chart}");
+
+    // Shape summary.
+    let worst = rows
+        .iter()
+        .map(|r| r.tmalign_dist_secs / r.rckalign_secs)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nShape check: distributed/rckAlign ratio ≥ {worst:.2} at every N (paper: 2.1–2.6)."
+    );
+}

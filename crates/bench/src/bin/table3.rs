@@ -1,0 +1,40 @@
+//! Table III: serial TM-align baselines on two processors and two
+//! datasets.
+
+use rck_noc::NocConfig;
+use rckalign::experiments::table3;
+use rckalign::report::{fmt_secs, TextTable};
+use rckalign_bench::{ck34_cache, paper, rs119_cache};
+
+fn main() {
+    let ck = ck34_cache();
+    let rs = rs119_cache();
+    eprintln!("computing pair caches (CK34 + RS119)…");
+    let rows = table3(&ck, &rs, NocConfig::scc().cycles_per_op);
+
+    println!("Table III — serial all-vs-all TM-align baselines (seconds)\n");
+    let mut t = TextTable::new(&[
+        "Processor",
+        "CK34",
+        "CK34(paper)",
+        "RS119",
+        "RS119(paper)",
+    ]);
+    for (row, (pname, pck, prs)) in rows.iter().zip(paper::TABLE3) {
+        assert!(row.processor.contains(pname.split_whitespace().next().unwrap()));
+        t.row(&[
+            row.processor.clone(),
+            fmt_secs(row.ck34_secs),
+            fmt_secs(pck),
+            fmt_secs(row.rs119_secs),
+            fmt_secs(prs),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let ratio_ck = rows[1].ck34_secs / rows[0].ck34_secs;
+    let ratio_rs = rows[1].rs119_secs / rows[0].rs119_secs;
+    println!(
+        "\nShape check: AMD is {ratio_ck:.1}× (CK34) / {ratio_rs:.1}× (RS119) faster than the P54C (paper: 5.0× / 3.9×)."
+    );
+}

@@ -1,0 +1,84 @@
+//! Table IV + Figure 6 (Experiment II): rckAlign speedup as the slave
+//! count grows, on CK34 and RS119, relative to the single-P54C baseline.
+
+use rck_noc::NocConfig;
+use rckalign::experiments::{experiment2, PAPER_SLAVE_COUNTS};
+use rckalign::report::{ascii_chart, fmt_secs, fmt_speedup, Series, TextTable};
+use rckalign_bench::{ck34_cache, paper, rs119_cache};
+
+fn main() {
+    let ck = ck34_cache();
+    let rs = rs119_cache();
+    eprintln!("computing pair caches + 2×{} sweep points…", PAPER_SLAVE_COUNTS.len());
+    let rows = experiment2(&ck, &rs, &PAPER_SLAVE_COUNTS, &NocConfig::scc());
+
+    println!("Table IV — rckAlign all-vs-all performance (speedup vs 1 SCC core)\n");
+    let mut t = TextTable::new(&[
+        "Slave Cores",
+        "CK34 speedup",
+        "(paper)",
+        "CK34 s",
+        "(paper)",
+        "RS119 speedup",
+        "(paper)",
+        "RS119 s",
+        "(paper)",
+    ]);
+    for (k, r) in rows.iter().enumerate() {
+        let (pck_s, pck_t) = paper::TABLE4_CK34[k];
+        let (prs_s, prs_t) = paper::TABLE4_RS119[k];
+        t.row(&[
+            r.slaves.to_string(),
+            fmt_speedup(r.ck34_speedup),
+            fmt_speedup(pck_s),
+            fmt_secs(r.ck34_secs),
+            fmt_secs(pck_t),
+            fmt_speedup(r.rs119_speedup),
+            fmt_speedup(prs_s),
+            fmt_secs(r.rs119_secs),
+            fmt_secs(prs_t),
+        ]);
+    }
+    print!("{}", t.render());
+    if let Err(e) = std::fs::create_dir_all("target/experiments").and_then(|_| {
+        std::fs::write(concat!("target/experiments/", env!("CARGO_BIN_NAME"), ".csv"), t.to_csv())
+    }) {
+        eprintln!("note: could not write CSV: {e}");
+    } else {
+        eprintln!("CSV written to target/experiments/{}.csv", env!("CARGO_BIN_NAME"));
+    }
+
+    println!("\nFigure 6 — speedup vs number of slave cores\n");
+    let chart = ascii_chart(
+        &[
+            Series {
+                label: "RS119 (measured)".into(),
+                marker: '*',
+                points: rows
+                    .iter()
+                    .map(|r| (r.slaves as f64, r.rs119_speedup))
+                    .collect(),
+            },
+            Series {
+                label: "CK34 (measured)".into(),
+                marker: 'o',
+                points: rows
+                    .iter()
+                    .map(|r| (r.slaves as f64, r.ck34_speedup))
+                    .collect(),
+            },
+        ],
+        64,
+        20,
+        false,
+    );
+    print!("{chart}");
+
+    let last = rows.last().expect("non-empty sweep");
+    println!(
+        "\nShape check: near-linear speedup; at 47 slaves CK34 {:.1}× (paper 36.2×), RS119 {:.1}× (paper 44.8×); larger dataset → higher speedup: {}.",
+        last.ck34_speedup,
+        last.rs119_speedup,
+        last.rs119_speedup > last.ck34_speedup
+    );
+}

@@ -1,0 +1,44 @@
+//! Table V: the summary comparison — serial TM-align (AMD, P54C) vs
+//! rckAlign on the full SCC, both datasets.
+
+use rck_noc::NocConfig;
+use rckalign::experiments::table5;
+use rckalign::report::{fmt_secs, TextTable};
+use rckalign_bench::{ck34_cache, paper, rs119_cache};
+
+fn main() {
+    let ck = ck34_cache();
+    let rs = rs119_cache();
+    eprintln!("computing pair caches + full-chip runs…");
+    let rows = table5(&ck, &rs, &NocConfig::scc());
+
+    println!("Table V — all-vs-all PSC times (seconds)\n");
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "TM-align AMD@2.4GHz",
+        "(paper)",
+        "TM-align Intel@800MHz",
+        "(paper)",
+        "rckAlign SCC(all cores)",
+        "(paper)",
+    ]);
+    for (row, (_, pamd, pp54c, pscc)) in rows.iter().zip(paper::TABLE5) {
+        t.row(&[
+            row.dataset.clone(),
+            fmt_secs(row.tmalign_amd_secs),
+            fmt_secs(pamd),
+            fmt_secs(row.tmalign_p54c_secs),
+            fmt_secs(pp54c),
+            fmt_secs(row.rckalign_scc_secs),
+            fmt_secs(pscc),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let rs_row = &rows[1];
+    println!(
+        "\nHeadline (RS119): rckAlign is {:.1}× the AMD 2.4 GHz (paper: 11×) and {:.1}× a single P54C (paper: 44×).",
+        rs_row.speedup_vs_amd(),
+        rs_row.speedup_vs_p54c()
+    );
+}

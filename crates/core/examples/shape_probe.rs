@@ -1,0 +1,32 @@
+//! Dev probe: CK34 shape check against the paper.
+use rckalign::*;
+use rck_pdb::datasets;
+use rck_tmalign::MethodKind;
+use std::time::Instant;
+
+fn main() {
+    let chains = datasets::ck34_profile().generate(2013);
+    let cache = PairCache::new(chains);
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    let t0 = Instant::now();
+    cache.prefill(&jobs, 16);
+    println!("prefill {} pairs in {:?}", jobs.len(), t0.elapsed());
+
+    let cpo = RckAlignOptions::paper(1).noc.cycles_per_op;
+    let p54c = serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), cpo);
+    let amd = serial::serial_time_secs(&cache, &jobs, &CpuModel::amd_athlon_2400(), cpo);
+    println!("serial P54C: {p54c:.0}s (paper 2029); AMD: {amd:.0}s (paper 406)");
+
+    for n in [1usize, 11, 23, 35, 47] {
+        let t = Instant::now();
+        let run = run_all_vs_all(&cache, &RckAlignOptions::paper(n));
+        let dist = run_distributed(&cache, &jobs, n, &RckAlignOptions::paper(1).noc, &Default::default());
+        println!(
+            "N={n:2}: rck {:7.0}s (speedup {:5.2}) dist {:7.0}s   [host {:?}]",
+            run.makespan_secs,
+            p54c / run.makespan_secs,
+            dist.makespan_secs,
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Dev probe: RS119 shape check.
+use rckalign::*;
+use rck_pdb::datasets;
+use rck_tmalign::MethodKind;
+use std::time::Instant;
+
+fn main() {
+    let chains = datasets::rs119_profile().generate(2013);
+    let cache = PairCache::new(chains);
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    let t0 = Instant::now();
+    cache.prefill(&jobs, 16);
+    println!("prefill {} pairs in {:?}", jobs.len(), t0.elapsed());
+    let cpo = RckAlignOptions::paper(1).noc.cycles_per_op;
+    let p54c = serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), cpo);
+    println!("serial P54C: {p54c:.0}s (paper 28597)");
+    for n in [1usize, 11, 23, 47] {
+        let t = Instant::now();
+        let run = run_all_vs_all(&cache, &RckAlignOptions::paper(n));
+        println!("N={n:2}: rck {:7.0}s speedup {:5.2}  [host {:?}]",
+                 run.makespan_secs, p54c / run.makespan_secs, t.elapsed());
+    }
+}

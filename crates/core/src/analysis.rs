@@ -1,0 +1,132 @@
+//! Post-run analysis: per-core utilization and master-bottleneck metrics.
+//!
+//! The paper argues from end-to-end times; with a simulator we can also
+//! look *inside* the run — how busy each slave was, what fraction of the
+//! makespan the master spent actively distributing/collecting, and how
+//! that fraction grows with slave count or core frequency. This quantifies
+//! the paper's §V-D prediction that the single master eventually becomes
+//! the bottleneck.
+
+use crate::app::{run_all_vs_all, RckAlignOptions};
+use crate::cache::PairCache;
+use rck_noc::{SimReport, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A utilization snapshot of one rckAlign run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationPoint {
+    /// Slave count of the run.
+    pub slaves: usize,
+    /// Makespan in seconds.
+    pub makespan_secs: f64,
+    /// Mean slave compute utilization (busy / makespan).
+    pub mean_slave_utilization: f64,
+    /// Minimum slave utilization (the most-starved slave).
+    pub min_slave_utilization: f64,
+    /// Fraction of the makespan the master spent actively communicating
+    /// (sending jobs, polling, receiving results).
+    pub master_comm_fraction: f64,
+    /// Mean per-slave idle time in seconds.
+    pub mean_slave_idle_secs: f64,
+}
+
+/// Compute the utilization snapshot from a report.
+pub fn utilization(report: &SimReport, n_slaves: usize) -> UtilizationPoint {
+    let makespan = report.makespan.since(SimTime::ZERO);
+    let total = makespan.as_secs_f64();
+    let slave_utils: Vec<f64> = (1..=n_slaves)
+        .map(|c| report.per_core[c].utilization(makespan))
+        .collect();
+    let mean = slave_utils.iter().sum::<f64>() / n_slaves as f64;
+    let min = slave_utils.iter().copied().fold(f64::INFINITY, f64::min);
+    let master = &report.per_core[0];
+    let master_comm_fraction = if total == 0.0 {
+        0.0
+    } else {
+        master.comm.as_secs_f64() / total
+    };
+    let mean_idle = (1..=n_slaves)
+        .map(|c| report.per_core[c].idle.as_secs_f64())
+        .sum::<f64>()
+        / n_slaves as f64;
+    UtilizationPoint {
+        slaves: n_slaves,
+        makespan_secs: total,
+        mean_slave_utilization: mean,
+        min_slave_utilization: min,
+        master_comm_fraction,
+        mean_slave_idle_secs: mean_idle,
+    }
+}
+
+/// Sweep slave counts and collect utilization snapshots — the data behind
+/// the master-bottleneck figure.
+pub fn utilization_sweep(
+    cache: &PairCache,
+    slave_counts: &[usize],
+    opts_for: impl Fn(usize) -> RckAlignOptions,
+) -> Vec<UtilizationPoint> {
+    slave_counts
+        .iter()
+        .map(|&n| {
+            let run = run_all_vs_all(cache, &opts_for(n));
+            utilization(&run.report, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::datasets::tiny_profile;
+
+    fn cache() -> PairCache {
+        let c = PairCache::new(tiny_profile().generate(23));
+        crate::experiments::prepare(&c);
+        c
+    }
+
+    #[test]
+    fn utilization_fields_are_sane() {
+        let c = cache();
+        let run = run_all_vs_all(&c, &RckAlignOptions::paper(4));
+        let u = utilization(&run.report, 4);
+        assert_eq!(u.slaves, 4);
+        assert!(u.makespan_secs > 0.0);
+        assert!(u.mean_slave_utilization > 0.0 && u.mean_slave_utilization <= 1.0);
+        assert!(u.min_slave_utilization <= u.mean_slave_utilization);
+        assert!((0.0..=1.0).contains(&u.master_comm_fraction));
+        assert!(u.mean_slave_idle_secs >= 0.0);
+    }
+
+    #[test]
+    fn utilization_drops_as_slaves_grow() {
+        // Fixed work spread over more slaves → more tail idling.
+        let c = cache();
+        let points = utilization_sweep(&c, &[1, 4, 8], RckAlignOptions::paper);
+        assert!(points[0].mean_slave_utilization > points[2].mean_slave_utilization);
+        // Makespans decrease.
+        assert!(points[0].makespan_secs > points[2].makespan_secs);
+    }
+
+    #[test]
+    fn master_comm_fraction_grows_with_core_speed() {
+        // The §V-D what-if: faster cores shrink compute but not the
+        // master's distribution work proportionally.
+        let c = cache();
+        let frac = |freq: f64| {
+            let opts = RckAlignOptions {
+                noc: rck_noc::NocConfig::scc().with_freq(freq),
+                ..RckAlignOptions::paper(6)
+            };
+            let run = run_all_vs_all(&c, &opts);
+            utilization(&run.report, 6).master_comm_fraction
+        };
+        let slow = frac(800e6);
+        let fast = frac(80e9);
+        assert!(
+            fast > slow,
+            "master comm fraction should grow with core speed: {slow} vs {fast}"
+        );
+    }
+}

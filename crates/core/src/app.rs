@@ -1,0 +1,304 @@
+//! rckAlign: the master–slaves all-vs-all PSC application on the
+//! simulated SCC.
+//!
+//! Core 0 runs the master: it loads every structure (charging the parse
+//! cost), builds the all-vs-all job list, and drives the rckskel `FARM`
+//! over slave cores 1..=N; each job's payload carries *both chains' data*
+//! (§IV of the paper — the master is the only process touching storage).
+//! The slaves decode the chains, run the comparison method, and return a
+//! compact result record. Experiment II of the paper is exactly this
+//! program swept over N = 1..47 slaves.
+
+use crate::cache::PairCache;
+use crate::jobs::{
+    all_vs_all, decode_outcome, decode_pair_payload, encode_outcome, encode_pair_payload,
+    PairOutcome,
+};
+use crate::loadbalance::{order_jobs, JobOrdering};
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, SimReport, Simulator};
+use rck_rcce::Rcce;
+use rck_skel::{farm, slave_loop, waves, Job, SlaveReply};
+use rck_tmalign::MethodKind;
+use serde::{Deserialize, Serialize};
+
+/// Cycles a core spends parsing one residue's records when loading a
+/// structure from storage (charged once per chain by whoever loads it —
+/// the master here, every process in the distributed baseline).
+pub const LOAD_CYCLES_PER_RESIDUE: u64 = 20_000;
+
+/// PDB text bytes per residue (ATOM records for a 4-atom backbone) —
+/// what the loader pulls through its quadrant memory controller.
+pub const PDB_BYTES_PER_RESIDUE: usize = 320;
+
+/// Which skeleton drives the distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheduling {
+    /// Dynamic work queue (the paper's FARM).
+    Farm,
+    /// Static slave-count-sized waves (PAR + COLLECT) — ablation baseline.
+    Waves,
+}
+
+/// Options for one rckAlign run.
+#[derive(Debug, Clone)]
+pub struct RckAlignOptions {
+    /// Number of slave cores (the master is one more core on top).
+    pub n_slaves: usize,
+    /// Comparison method the slaves run.
+    pub method: MethodKind,
+    /// Job-queue ordering.
+    pub ordering: JobOrdering,
+    /// Distribution skeleton.
+    pub scheduling: Scheduling,
+    /// Chip configuration.
+    pub noc: NocConfig,
+}
+
+impl RckAlignOptions {
+    /// The paper's configuration: FARM, FIFO ordering, TM-align, SCC chip.
+    pub fn paper(n_slaves: usize) -> RckAlignOptions {
+        RckAlignOptions {
+            n_slaves,
+            method: MethodKind::TmAlign,
+            ordering: JobOrdering::Fifo,
+            scheduling: Scheduling::Farm,
+            noc: NocConfig::scc(),
+        }
+    }
+}
+
+/// Result of one rckAlign run.
+#[derive(Debug, Clone)]
+pub struct RckAlignRun {
+    /// Simulator timing report.
+    pub report: SimReport,
+    /// All pairwise outcomes, in collection order.
+    pub outcomes: Vec<PairOutcome>,
+    /// Makespan in simulated seconds.
+    pub makespan_secs: f64,
+}
+
+/// Charge the master (or any loader) for reading the whole dataset: the
+/// raw PDB bytes come through the core's quadrant memory controller, the
+/// parsing burns core cycles.
+pub fn charge_dataset_load(ctx: &mut CoreCtx, chains: &[rck_pdb::CaChain]) {
+    let residues: u64 = chains.iter().map(|c| c.len() as u64).sum();
+    ctx.read_memory(residues as usize * PDB_BYTES_PER_RESIDUE);
+    let cycles = residues.saturating_mul(LOAD_CYCLES_PER_RESIDUE);
+    let cfg = ctx.config().clone();
+    ctx.compute(cfg.cycles(cycles));
+}
+
+/// Run the all-vs-all comparison of the cache's dataset on the simulated
+/// SCC with the given options.
+///
+/// # Panics
+/// Panics if `n_slaves` is zero or master + slaves exceed the chip.
+pub fn run_all_vs_all(cache: &PairCache, opts: &RckAlignOptions) -> RckAlignRun {
+    let chains = cache.chains();
+    let n_slaves = opts.n_slaves;
+    assert!(n_slaves >= 1, "rckAlign needs at least one slave");
+    assert!(
+        n_slaves < opts.noc.topology.core_count(),
+        "{} slaves + master exceed the {}-core chip",
+        n_slaves,
+        opts.noc.topology.core_count()
+    );
+
+    // The first core supplied runs the master; all subsequent cores run
+    // slaves (§IV).
+    let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+    let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+
+    let mut pair_jobs = all_vs_all(chains.len(), opts.method);
+    order_jobs(&mut pair_jobs, chains, opts.ordering);
+
+    let outcomes = parking_lot::Mutex::new(Vec::with_capacity(pair_jobs.len()));
+
+    let mut programs: Vec<Option<CoreProgram>> = Vec::with_capacity(n_slaves + 1);
+    // Master.
+    {
+        let ues = ues.clone();
+        let slave_ranks = slave_ranks.clone();
+        let pair_jobs = pair_jobs.clone();
+        let outcomes = &outcomes;
+        let scheduling = opts.scheduling;
+        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+            charge_dataset_load(ctx, chains);
+            // Encode each pair job with both chains' data.
+            let jobs: Vec<Job> = pair_jobs
+                .iter()
+                .enumerate()
+                .map(|(k, pj)| {
+                    Job::new(
+                        k as u64,
+                        encode_pair_payload(
+                            pj,
+                            &chains[pj.i as usize],
+                            &chains[pj.j as usize],
+                        ),
+                    )
+                })
+                .collect();
+            let mut comm = Rcce::new(ctx, &ues);
+            let results = match scheduling {
+                Scheduling::Farm => farm(&mut comm, &slave_ranks, &jobs),
+                Scheduling::Waves => {
+                    let rs = waves(&mut comm, &slave_ranks, &jobs);
+                    for &r in &slave_ranks {
+                        comm.send(r, rck_skel::wire::encode_terminate());
+                    }
+                    rs
+                }
+            };
+            let mut out = outcomes.lock();
+            for r in results {
+                out.push(decode_outcome(r.payload).expect("well-formed result"));
+            }
+        })));
+    }
+    // Slaves.
+    for _ in 0..n_slaves {
+        let ues = ues.clone();
+        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+            let mut comm = Rcce::new(ctx, &ues);
+            slave_loop(&mut comm, 0, |_id, payload| {
+                let decoded = decode_pair_payload(payload).expect("well-formed job");
+                // The outcome (and its operation count, which the skeleton
+                // charges as compute time) comes from the real comparison
+                // kernel, memoised across sweep points.
+                let outcome = cache.get_or_compute(&decoded.job);
+                SlaveReply {
+                    payload: encode_outcome(&outcome),
+                    ops: outcome.ops,
+                }
+            });
+        })));
+    }
+
+    let report = Simulator::new(opts.noc.clone()).run(programs);
+    let makespan_secs = report.makespan.as_secs_f64();
+    RckAlignRun {
+        report,
+        outcomes: outcomes.into_inner(),
+        makespan_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{pair_count, SimilarityMatrix};
+    use rck_pdb::datasets::tiny_profile;
+
+    fn small_cache() -> PairCache {
+        PairCache::new(tiny_profile().generate(99))
+    }
+
+    #[test]
+    fn all_pairs_come_back() {
+        let cache = small_cache();
+        let run = run_all_vs_all(&cache, &RckAlignOptions::paper(3));
+        assert_eq!(run.outcomes.len(), pair_count(cache.len()));
+        let m = SimilarityMatrix::from_outcomes(cache.len(), &run.outcomes);
+        assert!((m.coverage() - 1.0).abs() < 1e-12);
+        assert!(run.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn results_independent_of_slave_count() {
+        let cache = small_cache();
+        let sorted = |mut v: Vec<PairOutcome>| {
+            v.sort_by_key(|o| (o.i, o.j));
+            v
+        };
+        let r2 = sorted(run_all_vs_all(&cache, &RckAlignOptions::paper(2)).outcomes);
+        let r7 = sorted(run_all_vs_all(&cache, &RckAlignOptions::paper(7)).outcomes);
+        assert_eq!(r2, r7);
+    }
+
+    #[test]
+    fn more_slaves_is_faster() {
+        let cache = small_cache();
+        let t1 = run_all_vs_all(&cache, &RckAlignOptions::paper(1)).makespan_secs;
+        let t4 = run_all_vs_all(&cache, &RckAlignOptions::paper(4)).makespan_secs;
+        assert!(t4 < t1, "t1={t1} t4={t4}");
+        // Not super-linear.
+        assert!(t4 > t1 / 8.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cache = small_cache();
+        let a = run_all_vs_all(&cache, &RckAlignOptions::paper(5));
+        let b = run_all_vs_all(&cache, &RckAlignOptions::paper(5));
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn farm_not_slower_than_waves() {
+        let cache = small_cache();
+        let farm_run = run_all_vs_all(&cache, &RckAlignOptions::paper(4));
+        let wave_run = run_all_vs_all(
+            &cache,
+            &RckAlignOptions {
+                scheduling: Scheduling::Waves,
+                ..RckAlignOptions::paper(4)
+            },
+        );
+        assert!(farm_run.makespan_secs <= wave_run.makespan_secs * 1.0001);
+        // Same science either way.
+        let key = |mut v: Vec<PairOutcome>| {
+            v.sort_by_key(|o| (o.i, o.j));
+            v
+        };
+        assert_eq!(key(farm_run.outcomes), key(wave_run.outcomes));
+    }
+
+    #[test]
+    fn ordering_changes_schedule_not_results() {
+        let cache = small_cache();
+        let fifo = run_all_vs_all(&cache, &RckAlignOptions::paper(3));
+        let lpt = run_all_vs_all(
+            &cache,
+            &RckAlignOptions {
+                ordering: JobOrdering::LongestFirst,
+                ..RckAlignOptions::paper(3)
+            },
+        );
+        let key = |mut v: Vec<PairOutcome>| {
+            v.sort_by_key(|o| (o.i, o.j));
+            v
+        };
+        assert_eq!(key(fifo.outcomes), key(lpt.outcomes));
+    }
+
+    #[test]
+    fn cheap_method_runs_too() {
+        let cache = small_cache();
+        let run = run_all_vs_all(
+            &cache,
+            &RckAlignOptions {
+                method: MethodKind::KabschRmsd,
+                ..RckAlignOptions::paper(3)
+            },
+        );
+        assert_eq!(run.outcomes.len(), pair_count(cache.len()));
+        assert!(run.outcomes.iter().all(|o| o.method == MethodKind::KabschRmsd));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave")]
+    fn zero_slaves_rejected() {
+        let cache = small_cache();
+        let _ = run_all_vs_all(&cache, &RckAlignOptions::paper(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_slaves_rejected() {
+        let cache = small_cache();
+        let _ = run_all_vs_all(&cache, &RckAlignOptions::paper(48));
+    }
+}

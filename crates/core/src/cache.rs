@@ -1,0 +1,199 @@
+//! Memoised pairwise comparison results.
+//!
+//! A core-count sweep replays the *same* all-vs-all workload dozens of
+//! times; the comparison results (and their operation counts, which drive
+//! the simulated clock) are identical every time. The cache computes each
+//! pair once — in parallel across host threads with crossbeam's scoped
+//! threads — and the simulated slaves then look results up instead of
+//! recomputing, making a 24-point sweep cost one workload evaluation.
+//! Simulated timing is unaffected: slaves charge the cached `ops`.
+
+use crate::jobs::{PairJob, PairOutcome};
+use parking_lot::Mutex;
+use rck_pdb::model::CaChain;
+use std::collections::HashMap;
+
+/// Memoised `(i, j, method) → outcome` store over one dataset.
+pub struct PairCache {
+    chains: Vec<CaChain>,
+    results: Mutex<HashMap<(u32, u32, u8), PairOutcome>>,
+}
+
+impl PairCache {
+    /// Create an empty cache over a dataset (pairs computed on demand).
+    pub fn new(chains: Vec<CaChain>) -> PairCache {
+        PairCache {
+            chains,
+            results: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The dataset this cache serves.
+    pub fn chains(&self) -> &[CaChain] {
+        &self.chains
+    }
+
+    /// Number of chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Number of memoised results so far.
+    pub fn computed(&self) -> usize {
+        self.results.lock().len()
+    }
+
+    /// Look up or compute the outcome of one job.
+    pub fn get_or_compute(&self, job: &PairJob) -> PairOutcome {
+        let key = (job.i, job.j, job.method.code());
+        if let Some(hit) = self.results.lock().get(&key) {
+            return *hit;
+        }
+        let outcome = self.compute(job);
+        self.results.lock().insert(key, outcome);
+        outcome
+    }
+
+    fn compute(&self, job: &PairJob) -> PairOutcome {
+        let a = &self.chains[job.i as usize];
+        let b = &self.chains[job.j as usize];
+        let method = job.method.instantiate();
+        let score = method.compare(a, b);
+        PairOutcome {
+            i: job.i,
+            j: job.j,
+            method: job.method,
+            similarity: score.similarity,
+            rmsd: score.rmsd.unwrap_or(f64::NAN),
+            aligned_len: score.aligned_len as u32,
+            ops: score.ops,
+        }
+    }
+
+    /// Eagerly compute a set of jobs across `threads` host threads
+    /// (crossbeam scoped threads; results land in the cache).
+    pub fn prefill(&self, jobs: &[PairJob], threads: usize) {
+        let threads = threads.max(1);
+        if jobs.is_empty() {
+            return;
+        }
+        // Skip already-cached jobs, then split the rest.
+        let todo: Vec<PairJob> = {
+            let seen = self.results.lock();
+            jobs.iter()
+                .filter(|j| !seen.contains_key(&(j.i, j.j, j.method.code())))
+                .copied()
+                .collect()
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let chunk = todo.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for piece in todo.chunks(chunk) {
+                scope.spawn(move |_| {
+                    let mut local = Vec::with_capacity(piece.len());
+                    for job in piece {
+                        local.push(((job.i, job.j, job.method.code()), self.compute(job)));
+                    }
+                    self.results.lock().extend(local);
+                });
+            }
+        })
+        .expect("prefill threads joined");
+    }
+
+    /// Sum of kernel operations over a job list (all results must be
+    /// cached or they will be computed serially here) — the total
+    /// workload size used by serial baselines and efficiency accounting.
+    pub fn total_ops(&self, jobs: &[PairJob]) -> u64 {
+        jobs.iter().map(|j| self.get_or_compute(j).ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::all_vs_all;
+    use rck_pdb::datasets::tiny_profile;
+    use rck_tmalign::MethodKind;
+
+    fn cache() -> PairCache {
+        PairCache::new(tiny_profile().generate(5))
+    }
+
+    #[test]
+    fn get_or_compute_memoises() {
+        let c = cache();
+        let job = PairJob {
+            i: 0,
+            j: 1,
+            method: MethodKind::TmAlign,
+        };
+        assert_eq!(c.computed(), 0);
+        let first = c.get_or_compute(&job);
+        assert_eq!(c.computed(), 1);
+        let second = c.get_or_compute(&job);
+        assert_eq!(c.computed(), 1);
+        assert_eq!(first, second);
+        assert!(first.ops > 0);
+    }
+
+    #[test]
+    fn prefill_computes_everything_in_parallel() {
+        let c = cache();
+        let jobs = all_vs_all(c.len(), MethodKind::KabschRmsd);
+        c.prefill(&jobs, 4);
+        assert_eq!(c.computed(), jobs.len());
+        // Subsequent lookups hit the cache (count unchanged).
+        for j in &jobs {
+            let _ = c.get_or_compute(j);
+        }
+        assert_eq!(c.computed(), jobs.len());
+    }
+
+    #[test]
+    fn prefill_matches_serial_compute() {
+        let serial = cache();
+        let parallel = cache();
+        let jobs = all_vs_all(serial.len(), MethodKind::TmAlign);
+        let jobs = &jobs[..6];
+        parallel.prefill(jobs, 3);
+        for j in jobs {
+            assert_eq!(serial.get_or_compute(j), parallel.get_or_compute(j));
+        }
+    }
+
+    #[test]
+    fn methods_are_cached_independently(){
+        let c = cache();
+        let tm = PairJob { i: 0, j: 1, method: MethodKind::TmAlign };
+        let cm = PairJob { i: 0, j: 1, method: MethodKind::ContactMap };
+        let a = c.get_or_compute(&tm);
+        let b = c.get_or_compute(&cm);
+        assert_eq!(c.computed(), 2);
+        assert_ne!(a.method, b.method);
+    }
+
+    #[test]
+    fn total_ops_sums() {
+        let c = cache();
+        let jobs = all_vs_all(3, MethodKind::KabschRmsd);
+        let total = c.total_ops(&jobs);
+        let by_hand: u64 = jobs.iter().map(|j| c.get_or_compute(j).ops).sum();
+        assert_eq!(total, by_hand);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn empty_prefill_is_noop() {
+        let c = cache();
+        c.prefill(&[], 4);
+        assert_eq!(c.computed(), 0);
+    }
+}

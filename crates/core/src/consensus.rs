@@ -1,0 +1,239 @@
+//! Multi-criteria consensus — combining several methods' similarity
+//! matrices into one ranking, the step MC-PSC metaservers (ProCKSI et
+//! al., cited by the paper) perform after collecting per-method results.
+//!
+//! Two combiners are provided: the mean of the per-method similarities
+//! (simple, scale-sensitive) and the mean of per-method *ranks* (robust
+//! to methods whose scores live on different scales — contact-map overlap
+//! vs TM-score, for instance).
+
+use crate::jobs::{PairOutcome, SimilarityMatrix};
+use rck_tmalign::MethodKind;
+use serde::{Deserialize, Serialize};
+
+/// How per-method scores are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Combiner {
+    /// Arithmetic mean of similarities.
+    MeanScore,
+    /// Mean of per-method rank positions (lower = more similar), inverted
+    /// back into a similarity in [0, 1].
+    MeanRank,
+}
+
+/// Per-method matrices plus the consensus combination.
+#[derive(Debug, Clone)]
+pub struct Consensus {
+    methods: Vec<MethodKind>,
+    matrices: Vec<SimilarityMatrix>,
+    n: usize,
+}
+
+impl Consensus {
+    /// Build from a mixed outcome list (as produced by
+    /// [`crate::mcpsc::run_mcpsc`]). Methods with no outcomes are dropped.
+    pub fn from_outcomes(n: usize, outcomes: &[PairOutcome], methods: &[MethodKind]) -> Consensus {
+        let mut kept = Vec::new();
+        let mut matrices = Vec::new();
+        for &m in methods {
+            let of_method: Vec<PairOutcome> = outcomes
+                .iter()
+                .filter(|o| o.method == m)
+                .copied()
+                .collect();
+            if !of_method.is_empty() {
+                kept.push(m);
+                matrices.push(SimilarityMatrix::from_outcomes(n, &of_method));
+            }
+        }
+        Consensus {
+            methods: kept,
+            matrices,
+            n,
+        }
+    }
+
+    /// Methods represented in the consensus.
+    pub fn methods(&self) -> &[MethodKind] {
+        &self.methods
+    }
+
+    /// The matrix of one method, if present.
+    pub fn matrix_for(&self, method: MethodKind) -> Option<&SimilarityMatrix> {
+        self.methods
+            .iter()
+            .position(|&m| m == method)
+            .map(|k| &self.matrices[k])
+    }
+
+    /// Consensus neighbours of `query`, best first.
+    ///
+    /// # Panics
+    /// Panics if no method contributed any outcomes.
+    pub fn ranked_neighbours(&self, query: usize, combiner: Combiner) -> Vec<(usize, f64)> {
+        assert!(!self.matrices.is_empty(), "consensus needs at least one method");
+        let candidates: Vec<usize> = (0..self.n).filter(|&k| k != query).collect();
+        let mut scores: Vec<(usize, f64)> = match combiner {
+            Combiner::MeanScore => candidates
+                .iter()
+                .map(|&k| {
+                    let sum: f64 = self
+                        .matrices
+                        .iter()
+                        .map(|m| {
+                            let v = m.get(query, k);
+                            if v.is_nan() {
+                                0.0
+                            } else {
+                                v
+                            }
+                        })
+                        .sum();
+                    (k, sum / self.matrices.len() as f64)
+                })
+                .collect(),
+            Combiner::MeanRank => {
+                // rank_m(k): position of k in method m's ranking of query.
+                // Candidates a method never compared get a rank *worse*
+                // than any real position — missing data must not look
+                // like top similarity.
+                let missing_rank = candidates.len() as f64;
+                let mut rank_sum = vec![missing_rank * self.matrices.len() as f64; self.n];
+                for m in &self.matrices {
+                    for (pos, (k, _)) in m.ranked_neighbours(query).into_iter().enumerate() {
+                        rank_sum[k] += pos as f64 - missing_rank;
+                    }
+                }
+                let max_rank = (candidates.len().saturating_sub(1)) as f64;
+                candidates
+                    .iter()
+                    .map(|&k| {
+                        let mean_rank = rank_sum[k] / self.matrices.len() as f64;
+                        let similarity = if max_rank == 0.0 {
+                            1.0
+                        } else {
+                            (1.0 - mean_rank / max_rank).max(0.0)
+                        };
+                        (k, similarity)
+                    })
+                    .collect()
+            }
+        };
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(i: u32, j: u32, method: MethodKind, similarity: f64) -> PairOutcome {
+        PairOutcome {
+            i,
+            j,
+            method,
+            similarity,
+            rmsd: f64::NAN,
+            aligned_len: 1,
+            ops: 1,
+        }
+    }
+
+    fn sample() -> Vec<PairOutcome> {
+        // 4 chains; methods agree that 1 is closest to 0, disagree on 2 vs 3.
+        vec![
+            outcome(0, 1, MethodKind::TmAlign, 0.9),
+            outcome(0, 2, MethodKind::TmAlign, 0.5),
+            outcome(0, 3, MethodKind::TmAlign, 0.4),
+            outcome(0, 1, MethodKind::ContactMap, 0.8),
+            outcome(0, 2, MethodKind::ContactMap, 0.2),
+            outcome(0, 3, MethodKind::ContactMap, 0.3),
+        ]
+    }
+
+    const METHODS: [MethodKind; 2] = [MethodKind::TmAlign, MethodKind::ContactMap];
+
+    #[test]
+    fn mean_score_combines() {
+        let c = Consensus::from_outcomes(4, &sample(), &METHODS);
+        let ranked = c.ranked_neighbours(0, Combiner::MeanScore);
+        assert_eq!(ranked[0].0, 1);
+        assert!((ranked[0].1 - 0.85).abs() < 1e-12);
+        // (0.5+0.2)/2 = 0.35 for chain 2 vs (0.4+0.3)/2 = 0.35 for chain 3:
+        // tie broken by index.
+        assert_eq!(ranked[1].0, 2);
+        assert_eq!(ranked[2].0, 3);
+    }
+
+    #[test]
+    fn mean_rank_is_scale_free() {
+        // Scale one method's scores by 100× — rank consensus unchanged.
+        let mut scaled = sample();
+        for o in scaled.iter_mut().filter(|o| o.method == MethodKind::ContactMap) {
+            o.similarity /= 100.0;
+        }
+        let a = Consensus::from_outcomes(4, &sample(), &METHODS);
+        let b = Consensus::from_outcomes(4, &scaled, &METHODS);
+        let ra: Vec<usize> = a
+            .ranked_neighbours(0, Combiner::MeanRank)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let rb: Vec<usize> = b
+            .ranked_neighbours(0, Combiner::MeanRank)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(ra, rb);
+        assert_eq!(ra[0], 1);
+    }
+
+    #[test]
+    fn missing_methods_are_dropped() {
+        let c = Consensus::from_outcomes(4, &sample(), &[MethodKind::TmAlign, MethodKind::KabschRmsd]);
+        assert_eq!(c.methods(), &[MethodKind::TmAlign]);
+        assert!(c.matrix_for(MethodKind::KabschRmsd).is_none());
+        assert!(c.matrix_for(MethodKind::TmAlign).is_some());
+    }
+
+    #[test]
+    fn single_method_consensus_matches_its_matrix() {
+        let c = Consensus::from_outcomes(4, &sample(), &[MethodKind::TmAlign]);
+        let direct = c
+            .matrix_for(MethodKind::TmAlign)
+            .unwrap()
+            .ranked_neighbours(0);
+        let cons = c.ranked_neighbours(0, Combiner::MeanScore);
+        let order_a: Vec<usize> = direct.into_iter().map(|(k, _)| k).collect();
+        let order_b: Vec<usize> = cons.into_iter().map(|(k, _)| k).collect();
+        assert_eq!(order_a, order_b);
+    }
+
+    #[test]
+    fn mean_rank_penalises_missing_pairs() {
+        // Method B never compared chain 3: it must NOT outrank chains B
+        // actually measured as similar.
+        let outcomes = vec![
+            outcome(0, 1, MethodKind::TmAlign, 0.9),
+            outcome(0, 2, MethodKind::TmAlign, 0.5),
+            outcome(0, 3, MethodKind::TmAlign, 0.4),
+            outcome(0, 1, MethodKind::ContactMap, 0.8),
+            outcome(0, 2, MethodKind::ContactMap, 0.2),
+            // (0,3) missing for ContactMap.
+        ];
+        let c = Consensus::from_outcomes(4, &outcomes, &METHODS);
+        let ranked = c.ranked_neighbours(0, Combiner::MeanRank);
+        // Chain 1 (best under both) stays first; chain 3 (missing in one
+        // method, worst in the other) must rank last.
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[2].0, 3, "{ranked:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one method")]
+    fn empty_consensus_panics() {
+        let c = Consensus::from_outcomes(4, &[], &METHODS);
+        let _ = c.ranked_neighbours(0, Combiner::MeanScore);
+    }
+}

@@ -1,0 +1,85 @@
+//! Serial-CPU timing models for the paper's baseline machines.
+//!
+//! Table III times TM-align on two serial machines: an AMD Athlon II X2
+//! 250 at 2.4 GHz (one core used — the stock TM-align is serial) and a
+//! single SCC P54C core at 800 MHz. We model a CPU as a frequency plus an
+//! IPC factor relative to the P54C: the Athlon's out-of-order core and
+//! caches retire the TM-align instruction mix faster per cycle than the
+//! in-order P54C, which together with the 3× clock gives the ≈4–5×
+//! end-to-end ratio the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A serial CPU model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Human-readable name used in tables.
+    pub name: String,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Instructions-per-cycle factor relative to the P54C baseline (1.0).
+    pub ipc_factor: f64,
+}
+
+impl CpuModel {
+    /// The SCC's P54C Pentium core at 800 MHz — the reference machine
+    /// (IPC factor 1 by definition).
+    pub fn p54c_800() -> CpuModel {
+        CpuModel {
+            name: "Intel P54C Pentium 800 MHz".into(),
+            freq_hz: 800e6,
+            ipc_factor: 1.0,
+        }
+    }
+
+    /// The AMD Athlon II X2 250 at 2.4 GHz (single core), ≈1.6× the P54C's
+    /// per-cycle throughput on this workload.
+    pub fn amd_athlon_2400() -> CpuModel {
+        CpuModel {
+            name: "AMD Athlon II X2 250 2.4 GHz".into(),
+            freq_hz: 2.4e9,
+            ipc_factor: 1.6,
+        }
+    }
+
+    /// Seconds this CPU needs for `ops` kernel operations, given the
+    /// calibration constant `cycles_per_op` (defined against the P54C).
+    pub fn seconds_for_ops(&self, ops: u64, cycles_per_op: f64) -> f64 {
+        (ops as f64 * cycles_per_op) / (self.freq_hz * self.ipc_factor)
+    }
+
+    /// Speed ratio of this CPU over `other` (>1 means faster).
+    pub fn speed_ratio_over(&self, other: &CpuModel) -> f64 {
+        (self.freq_hz * self.ipc_factor) / (other.freq_hz * other.ipc_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amd_is_about_5x_p54c() {
+        let amd = CpuModel::amd_athlon_2400();
+        let p54c = CpuModel::p54c_800();
+        let ratio = amd.speed_ratio_over(&p54c);
+        assert!((4.0..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn seconds_scale_with_ops() {
+        let cpu = CpuModel::p54c_800();
+        let t1 = cpu.seconds_for_ops(1_000_000, 1700.0);
+        let t2 = cpu.seconds_for_ops(2_000_000, 1700.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+        // 1M ops × 1700 cycles at 800 MHz = 2.125 s.
+        assert!((t1 - 2.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_cpu_takes_less_time() {
+        let amd = CpuModel::amd_athlon_2400();
+        let p54c = CpuModel::p54c_800();
+        assert!(amd.seconds_for_ops(10, 1700.0) < p54c.seconds_for_ops(10, 1700.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! Drivers that regenerate every table and figure of the paper's
+//! evaluation (§V). Each function returns structured rows; the bench
+//! crate renders them with [`crate::report`].
+
+use crate::app::{run_all_vs_all, RckAlignOptions};
+use crate::cache::PairCache;
+use crate::cpu::CpuModel;
+use crate::distributed::{run_distributed, DistributedConfig};
+use crate::jobs::all_vs_all;
+use crate::serial::serial_time_secs;
+use rck_noc::NocConfig;
+use rck_tmalign::MethodKind;
+use serde::{Deserialize, Serialize};
+
+/// The slave-core counts the paper sweeps (Tables II and IV): every odd
+/// count from 1 to 47.
+pub const PAPER_SLAVE_COUNTS: [usize; 24] = [
+    1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31, 33, 35, 37, 39, 41, 43, 45, 47,
+];
+
+/// Host threads used to prefill pair caches.
+pub fn default_prefill_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+}
+
+/// Ensure every TM-align pair of the cache's dataset is computed.
+pub fn prepare(cache: &PairCache) {
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    cache.prefill(&jobs, default_prefill_threads());
+}
+
+/// One row of Table II / one x of Figure 5.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Exp1Row {
+    /// Slave (worker) core count.
+    pub slaves: usize,
+    /// rckAlign makespan, seconds.
+    pub rckalign_secs: f64,
+    /// Distributed TM-align (MCPC master) makespan, seconds.
+    pub tmalign_dist_secs: f64,
+}
+
+/// Experiment I (Table II, Figure 5): rckAlign vs the MCPC-hosted
+/// distributed TM-align on one dataset, swept over slave counts.
+pub fn experiment1(
+    cache: &PairCache,
+    slave_counts: &[usize],
+    noc: &NocConfig,
+    dcfg: &DistributedConfig,
+) -> Vec<Exp1Row> {
+    prepare(cache);
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    slave_counts
+        .iter()
+        .map(|&n| {
+            let rck = run_all_vs_all(
+                cache,
+                &RckAlignOptions {
+                    noc: noc.clone(),
+                    ..RckAlignOptions::paper(n)
+                },
+            );
+            let dist = run_distributed(cache, &jobs, n, noc, dcfg);
+            Exp1Row {
+                slaves: n,
+                rckalign_secs: rck.makespan_secs,
+                tmalign_dist_secs: dist.makespan_secs,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// CPU name.
+    pub processor: String,
+    /// CK34 all-vs-all seconds.
+    pub ck34_secs: f64,
+    /// RS119 all-vs-all seconds.
+    pub rs119_secs: f64,
+}
+
+/// Table III: serial TM-align baselines on the AMD host CPU and a single
+/// SCC P54C core, for both datasets.
+pub fn table3(ck34: &PairCache, rs119: &PairCache, cycles_per_op: f64) -> Vec<Table3Row> {
+    prepare(ck34);
+    prepare(rs119);
+    let ck_jobs = all_vs_all(ck34.len(), MethodKind::TmAlign);
+    let rs_jobs = all_vs_all(rs119.len(), MethodKind::TmAlign);
+    [CpuModel::amd_athlon_2400(), CpuModel::p54c_800()]
+        .into_iter()
+        .map(|cpu| Table3Row {
+            ck34_secs: serial_time_secs(ck34, &ck_jobs, &cpu, cycles_per_op),
+            rs119_secs: serial_time_secs(rs119, &rs_jobs, &cpu, cycles_per_op),
+            processor: cpu.name,
+        })
+        .collect()
+}
+
+/// One row of Table IV / one x of Figure 6.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Exp2Row {
+    /// Slave core count.
+    pub slaves: usize,
+    /// CK34 speedup over the 1-core SCC baseline.
+    pub ck34_speedup: f64,
+    /// CK34 makespan, seconds.
+    pub ck34_secs: f64,
+    /// RS119 speedup.
+    pub rs119_speedup: f64,
+    /// RS119 makespan, seconds.
+    pub rs119_secs: f64,
+}
+
+/// Experiment II (Table IV, Figure 6): rckAlign speedup vs slave count on
+/// both datasets, relative to the serial single-P54C baseline.
+pub fn experiment2(
+    ck34: &PairCache,
+    rs119: &PairCache,
+    slave_counts: &[usize],
+    noc: &NocConfig,
+) -> Vec<Exp2Row> {
+    prepare(ck34);
+    prepare(rs119);
+    let p54c = CpuModel::p54c_800();
+    let ck_jobs = all_vs_all(ck34.len(), MethodKind::TmAlign);
+    let rs_jobs = all_vs_all(rs119.len(), MethodKind::TmAlign);
+    let ck_base = serial_time_secs(ck34, &ck_jobs, &p54c, noc.cycles_per_op);
+    let rs_base = serial_time_secs(rs119, &rs_jobs, &p54c, noc.cycles_per_op);
+
+    slave_counts
+        .iter()
+        .map(|&n| {
+            let opts = |_: &PairCache| RckAlignOptions {
+                noc: noc.clone(),
+                ..RckAlignOptions::paper(n)
+            };
+            let ck = run_all_vs_all(ck34, &opts(ck34)).makespan_secs;
+            let rs = run_all_vs_all(rs119, &opts(rs119)).makespan_secs;
+            Exp2Row {
+                slaves: n,
+                ck34_speedup: ck_base / ck,
+                ck34_secs: ck,
+                rs119_speedup: rs_base / rs,
+                rs119_secs: rs,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table V.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Serial TM-align on the AMD @ 2.4 GHz.
+    pub tmalign_amd_secs: f64,
+    /// Serial TM-align on the P54C @ 800 MHz.
+    pub tmalign_p54c_secs: f64,
+    /// rckAlign on the SCC with all 47 slaves.
+    pub rckalign_scc_secs: f64,
+}
+
+impl Table5Row {
+    /// Headline speedup over the AMD (paper: ≈11× on RS119).
+    pub fn speedup_vs_amd(&self) -> f64 {
+        self.tmalign_amd_secs / self.rckalign_scc_secs
+    }
+
+    /// Headline speedup over a single P54C (paper: ≈44× on RS119).
+    pub fn speedup_vs_p54c(&self) -> f64 {
+        self.tmalign_p54c_secs / self.rckalign_scc_secs
+    }
+}
+
+/// Table V: the summary comparison on both datasets with all 47 slaves.
+pub fn table5(ck34: &PairCache, rs119: &PairCache, noc: &NocConfig) -> Vec<Table5Row> {
+    prepare(ck34);
+    prepare(rs119);
+    let amd = CpuModel::amd_athlon_2400();
+    let p54c = CpuModel::p54c_800();
+    [("CK34", ck34), ("RS119", rs119)]
+        .into_iter()
+        .map(|(name, cache)| {
+            let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+            let scc = run_all_vs_all(
+                cache,
+                &RckAlignOptions {
+                    noc: noc.clone(),
+                    ..RckAlignOptions::paper(47)
+                },
+            )
+            .makespan_secs;
+            Table5Row {
+                dataset: name.into(),
+                tmalign_amd_secs: serial_time_secs(cache, &jobs, &amd, noc.cycles_per_op),
+                tmalign_p54c_secs: serial_time_secs(cache, &jobs, &p54c, noc.cycles_per_op),
+                rckalign_scc_secs: scc,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::datasets::tiny_profile;
+
+    fn tiny_cache(seed: u64) -> PairCache {
+        PairCache::new(tiny_profile().generate(seed))
+    }
+
+    #[test]
+    fn experiment1_rows_have_expected_shape() {
+        let cache = tiny_cache(1);
+        let rows = experiment1(
+            &cache,
+            &[1, 3],
+            &NocConfig::scc(),
+            &DistributedConfig::default(),
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.tmalign_dist_secs > r.rckalign_secs,
+                "distributed must be slower at N={}",
+                r.slaves
+            );
+        }
+        assert!(rows[1].rckalign_secs < rows[0].rckalign_secs);
+    }
+
+    #[test]
+    fn experiment2_speedup_monotone_and_near_linear_start() {
+        let ck = tiny_cache(2);
+        let rs = tiny_cache(3);
+        let rows = experiment2(&ck, &rs, &[1, 2, 4], &NocConfig::scc());
+        assert_eq!(rows.len(), 3);
+        // Speedup at 1 slave ≈ 1 (paper Table IV row 1).
+        assert!((rows[0].ck34_speedup - 1.0).abs() < 0.05, "{}", rows[0].ck34_speedup);
+        assert!(rows[1].ck34_speedup > rows[0].ck34_speedup);
+        assert!(rows[2].ck34_speedup > rows[1].ck34_speedup);
+        // Never super-linear.
+        for r in &rows {
+            assert!(r.ck34_speedup <= r.slaves as f64 * 1.01);
+            assert!(r.rs119_speedup <= r.slaves as f64 * 1.01);
+        }
+    }
+
+    #[test]
+    fn table3_amd_faster_than_p54c() {
+        let ck = tiny_cache(4);
+        let rs = tiny_cache(5);
+        let rows = table3(&ck, &rs, NocConfig::scc().cycles_per_op);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].processor.contains("AMD"));
+        assert!(rows[0].ck34_secs < rows[1].ck34_secs);
+        assert!(rows[0].rs119_secs < rows[1].rs119_secs);
+    }
+
+    #[test]
+    fn table5_headline_ratios() {
+        let ck = tiny_cache(6);
+        let rs = tiny_cache(7);
+        let rows = table5(&ck, &rs, &NocConfig::scc());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // SCC with 47 slaves beats both serial baselines even on the
+            // tiny dataset, and the P54C ratio exceeds the AMD ratio by
+            // exactly the CPUs' speed ratio.
+            assert!(r.speedup_vs_amd() > 1.0);
+            assert!(r.speedup_vs_p54c() > r.speedup_vs_amd());
+        }
+    }
+
+    #[test]
+    fn paper_slave_counts_are_odd_1_to_47() {
+        assert_eq!(PAPER_SLAVE_COUNTS.len(), 24);
+        assert_eq!(PAPER_SLAVE_COUNTS[0], 1);
+        assert_eq!(PAPER_SLAVE_COUNTS[23], 47);
+        assert!(PAPER_SLAVE_COUNTS.iter().all(|n| n % 2 == 1));
+    }
+}

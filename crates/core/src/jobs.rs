@@ -1,0 +1,387 @@
+//! All-vs-all job generation and the rckAlign wire formats.
+//!
+//! The master loads every structure, builds one job per unordered pair
+//! (all-vs-all), and ships each job — **including both chains' data** — to
+//! a slave. Shipping the coordinates with the job is the heart of the
+//! paper's design: the single master is the only process touching storage,
+//! so the NFS bottleneck of the distributed baseline disappears, at the
+//! price of the on-mesh traffic this module's encodings make realistic.
+
+use rck_pdb::geometry::Vec3;
+use rck_pdb::model::{AminoAcid, CaChain};
+use rck_rcce::{DecodeError, Reader, Writer};
+use rck_tmalign::MethodKind;
+use serde::{Deserialize, Serialize};
+
+/// A pairwise-comparison job: compare chains `i` and `j` with `method`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairJob {
+    /// Index of the first chain in the dataset.
+    pub i: u32,
+    /// Index of the second chain.
+    pub j: u32,
+    /// Comparison method to run.
+    pub method: MethodKind,
+}
+
+/// All unordered distinct pairs `(i, j)`, `i < j` — the all-vs-all task.
+pub fn all_vs_all(n: usize, method: MethodKind) -> Vec<PairJob> {
+    let mut jobs = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            jobs.push(PairJob {
+                i: i as u32,
+                j: j as u32,
+                method,
+            });
+        }
+    }
+    jobs
+}
+
+/// Number of all-vs-all jobs for `n` chains.
+pub fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Encode one chain into a job payload: name, sequence (1 byte/residue)
+/// and CA coordinates (3 × f32/residue) — what rckAlign actually moves
+/// over the mesh per comparison.
+fn put_chain(w: &mut Writer, chain: &CaChain) {
+    w.put_str(&chain.name);
+    w.put_u32(chain.len() as u32);
+    for aa in &chain.seq {
+        w.put_u8(aa.index());
+    }
+    for c in &chain.coords {
+        w.put_f32(c.x as f32).put_f32(c.y as f32).put_f32(c.z as f32);
+    }
+}
+
+fn get_chain(r: &mut Reader) -> Result<CaChain, DecodeError> {
+    let name = r.get_str()?;
+    let len = r.get_u32()? as usize;
+    let mut seq = Vec::with_capacity(len);
+    for _ in 0..len {
+        seq.push(AminoAcid::from_index(r.get_u8()?));
+    }
+    let mut coords = Vec::with_capacity(len);
+    for _ in 0..len {
+        let x = r.get_f32()? as f64;
+        let y = r.get_f32()? as f64;
+        let z = r.get_f32()? as f64;
+        coords.push(Vec3::new(x, y, z));
+    }
+    Ok(CaChain { name, seq, coords })
+}
+
+/// Encode a job payload: indices, method, and both chains' data.
+pub fn encode_pair_payload(job: &PairJob, a: &CaChain, b: &CaChain) -> Vec<u8> {
+    let mut w = Writer::with_capacity(32 + a.wire_size() + b.wire_size());
+    w.put_u32(job.i).put_u32(job.j).put_u8(job.method.code());
+    put_chain(&mut w, a);
+    put_chain(&mut w, b);
+    w.finish()
+}
+
+/// A decoded job payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairPayload {
+    /// The job descriptor.
+    pub job: PairJob,
+    /// First chain.
+    pub a: CaChain,
+    /// Second chain.
+    pub b: CaChain,
+}
+
+/// Decode a job payload.
+pub fn decode_pair_payload(data: Vec<u8>) -> Result<PairPayload, DecodeError> {
+    let mut r = Reader::new(data);
+    let i = r.get_u32()?;
+    let j = r.get_u32()?;
+    let method = MethodKind::from_code(r.get_u8()?).ok_or(DecodeError {
+        what: "method code",
+    })?;
+    let a = get_chain(&mut r)?;
+    let b = get_chain(&mut r)?;
+    Ok(PairPayload {
+        job: PairJob { i, j, method },
+        a,
+        b,
+    })
+}
+
+/// The per-pair outcome every method reduces to on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// First chain index.
+    pub i: u32,
+    /// Second chain index.
+    pub j: u32,
+    /// Method that produced the outcome.
+    pub method: MethodKind,
+    /// Similarity in [0, 1] (TM-score normalised by the shorter chain,
+    /// for TM-align).
+    pub similarity: f64,
+    /// RMSD over the compared region (NaN when the method defines none).
+    pub rmsd: f64,
+    /// Residue pairs the score is based on.
+    pub aligned_len: u32,
+    /// Kernel operations the comparison cost.
+    pub ops: u64,
+}
+
+/// Encode a result payload (sent slave → master).
+pub fn encode_outcome(o: &PairOutcome) -> Vec<u8> {
+    let mut w = Writer::with_capacity(40);
+    w.put_u32(o.i)
+        .put_u32(o.j)
+        .put_u8(o.method.code())
+        .put_f64(o.similarity)
+        .put_f64(o.rmsd)
+        .put_u32(o.aligned_len)
+        .put_u64(o.ops);
+    w.finish()
+}
+
+/// Decode a result payload.
+pub fn decode_outcome(data: Vec<u8>) -> Result<PairOutcome, DecodeError> {
+    let mut r = Reader::new(data);
+    Ok(PairOutcome {
+        i: r.get_u32()?,
+        j: r.get_u32()?,
+        method: MethodKind::from_code(r.get_u8()?).ok_or(DecodeError {
+            what: "method code",
+        })?,
+        similarity: r.get_f64()?,
+        rmsd: r.get_f64()?,
+        aligned_len: r.get_u32()?,
+        ops: r.get_u64()?,
+    })
+}
+
+/// A dense similarity matrix assembled from all-vs-all outcomes — what the
+/// biologist actually wants back (the ranked-retrieval substrate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    n: usize,
+    /// Row-major `n × n`; diagonal fixed at 1.
+    values: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Build from outcomes over `n` chains. Missing pairs stay at NaN.
+    pub fn from_outcomes(n: usize, outcomes: &[PairOutcome]) -> SimilarityMatrix {
+        let mut values = vec![f64::NAN; n * n];
+        for k in 0..n {
+            values[k * n + k] = 1.0;
+        }
+        let mut m = SimilarityMatrix { n, values };
+        for o in outcomes {
+            m.set(o.i as usize, o.j as usize, o.similarity);
+        }
+        m
+    }
+
+    /// Number of chains.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.values[i * self.n + j] = v;
+        self.values[j * self.n + i] = v;
+    }
+
+    /// Similarity of chains `i` and `j` (NaN if never compared).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Indices of the chains most similar to `query`, best first —
+    /// the ranked list the paper's introduction motivates.
+    pub fn ranked_neighbours(&self, query: usize) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = (0..self.n)
+            .filter(|&k| k != query)
+            .map(|k| (k, self.get(query, k)))
+            .filter(|(_, v)| !v.is_nan())
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN after filter"));
+        out
+    }
+
+    /// Fraction of off-diagonal entries that have been filled.
+    pub fn coverage(&self) -> f64 {
+        if self.n < 2 {
+            return 1.0;
+        }
+        let filled = self
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(k, v)| !v.is_nan() && k / self.n != k % self.n)
+            .count();
+        filled as f64 / (self.n * self.n - self.n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::datasets::tiny_profile;
+
+    #[test]
+    fn all_vs_all_counts() {
+        assert_eq!(all_vs_all(34, MethodKind::TmAlign).len(), 561);
+        assert_eq!(all_vs_all(119, MethodKind::TmAlign).len(), 7021);
+        assert_eq!(pair_count(34), 561);
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+    }
+
+    #[test]
+    fn all_vs_all_pairs_are_unique_ordered() {
+        let jobs = all_vs_all(10, MethodKind::TmAlign);
+        for j in &jobs {
+            assert!(j.i < j.j);
+        }
+        let mut keys: Vec<(u32, u32)> = jobs.iter().map(|j| (j.i, j.j)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 45);
+    }
+
+    #[test]
+    fn payload_roundtrip_preserves_chains() {
+        let chains = tiny_profile().generate(3);
+        let job = PairJob {
+            i: 0,
+            j: 5,
+            method: MethodKind::TmAlign,
+        };
+        let data = encode_pair_payload(&job, &chains[0], &chains[5]);
+        let decoded = decode_pair_payload(data).unwrap();
+        assert_eq!(decoded.job, job);
+        assert_eq!(decoded.a.name, chains[0].name);
+        assert_eq!(decoded.a.seq, chains[0].seq);
+        assert_eq!(decoded.b.len(), chains[5].len());
+        // Coordinates go through f32: equal to ~1e-4 Å.
+        for (orig, back) in chains[0].coords.iter().zip(&decoded.a.coords) {
+            assert!(orig.dist(*back) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn payload_size_tracks_wire_size_estimate() {
+        let chains = tiny_profile().generate(4);
+        let job = PairJob {
+            i: 0,
+            j: 1,
+            method: MethodKind::TmAlign,
+        };
+        let data = encode_pair_payload(&job, &chains[0], &chains[1]);
+        let estimate = chains[0].wire_size() + chains[1].wire_size();
+        assert!(
+            (data.len() as i64 - estimate as i64).unsigned_abs() < 64,
+            "encoded {} vs estimate {}",
+            data.len(),
+            estimate
+        );
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        let o = PairOutcome {
+            i: 3,
+            j: 9,
+            method: MethodKind::ContactMap,
+            similarity: 0.73,
+            rmsd: f64::NAN,
+            aligned_len: 88,
+            ops: 1234567,
+        };
+        let back = decode_outcome(encode_outcome(&o)).unwrap();
+        assert_eq!(back.i, 3);
+        assert_eq!(back.j, 9);
+        assert_eq!(back.method, MethodKind::ContactMap);
+        assert_eq!(back.similarity, 0.73);
+        assert!(back.rmsd.is_nan());
+        assert_eq!(back.aligned_len, 88);
+        assert_eq!(back.ops, 1234567);
+    }
+
+    #[test]
+    fn corrupt_payload_is_error() {
+        assert!(decode_pair_payload(vec![1, 2, 3]).is_err());
+        assert!(decode_outcome(vec![]).is_err());
+        // Bad method code.
+        let mut w = Writer::new();
+        w.put_u32(0).put_u32(1).put_u8(200);
+        assert!(decode_pair_payload(w.finish()).is_err());
+    }
+
+    #[test]
+    fn similarity_matrix_ranking() {
+        let outcomes = vec![
+            PairOutcome {
+                i: 0,
+                j: 1,
+                method: MethodKind::TmAlign,
+                similarity: 0.9,
+                rmsd: 1.0,
+                aligned_len: 10,
+                ops: 1,
+            },
+            PairOutcome {
+                i: 0,
+                j: 2,
+                method: MethodKind::TmAlign,
+                similarity: 0.3,
+                rmsd: 5.0,
+                aligned_len: 8,
+                ops: 1,
+            },
+            PairOutcome {
+                i: 1,
+                j: 2,
+                method: MethodKind::TmAlign,
+                similarity: 0.5,
+                rmsd: 3.0,
+                aligned_len: 9,
+                ops: 1,
+            },
+        ];
+        let m = SimilarityMatrix::from_outcomes(3, &outcomes);
+        assert_eq!(m.len(), 3);
+        assert!((m.get(0, 1) - 0.9).abs() < 1e-12);
+        assert!((m.get(1, 0) - 0.9).abs() < 1e-12);
+        assert_eq!(m.get(2, 2), 1.0);
+        let ranked = m.ranked_neighbours(0);
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[1].0, 2);
+        assert!((m.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_matrix_coverage() {
+        let outcomes = vec![PairOutcome {
+            i: 0,
+            j: 1,
+            method: MethodKind::TmAlign,
+            similarity: 0.5,
+            rmsd: 2.0,
+            aligned_len: 5,
+            ops: 1,
+        }];
+        let m = SimilarityMatrix::from_outcomes(4, &outcomes);
+        assert!((m.coverage() - 2.0 / 12.0).abs() < 1e-12);
+        assert!(m.get(2, 3).is_nan());
+        assert_eq!(m.ranked_neighbours(3).len(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # rckalign
+//!
+//! The paper's application, rebuilt in Rust: master–slaves all-vs-all
+//! protein structure comparison (TM-align) on a simulated SCC NoC
+//! many-core processor, with every baseline and driver needed to
+//! regenerate the paper's tables and figures, plus the extensions its
+//! discussion proposes (MC-PSC, load balancing, hierarchical masters).
+//!
+//! Quick tour:
+//!
+//! * [`app::run_all_vs_all`] — rckAlign itself (Experiment II);
+//! * [`distributed::run_distributed`] — the MCPC-master baseline
+//!   (Experiment I);
+//! * [`serial`] + [`cpu::CpuModel`] — the serial baselines (Table III);
+//! * [`experiments`] — one driver per table/figure;
+//! * [`mcpsc`], [`hierarchy`], [`loadbalance`] — the extensions;
+//! * [`report`] — text tables and ASCII figures.
+//!
+//! ```
+//! use rckalign::{run_all_vs_all, PairCache, RckAlignOptions};
+//! use rck_pdb::datasets;
+//!
+//! let cache = PairCache::new(datasets::tiny_profile().generate(42));
+//! let run = run_all_vs_all(&cache, &RckAlignOptions::paper(4));
+//! assert_eq!(run.outcomes.len(), 28); // C(8, 2) pairs
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod app;
+pub mod cache;
+pub mod consensus;
+pub mod cpu;
+pub mod distributed;
+pub mod experiments;
+pub mod hierarchy;
+pub mod jobs;
+pub mod loadbalance;
+pub mod mcpsc;
+pub mod onevsall;
+pub mod report;
+pub mod serial;
+
+pub use analysis::{utilization, utilization_sweep, UtilizationPoint};
+pub use app::{run_all_vs_all, RckAlignOptions, RckAlignRun, Scheduling};
+pub use consensus::{Combiner, Consensus};
+pub use cache::PairCache;
+pub use cpu::CpuModel;
+pub use distributed::{run_distributed, DistributedConfig, DistributedRun};
+pub use hierarchy::{run_hierarchical, HierarchyOptions, HierarchyRun};
+pub use jobs::{all_vs_all, pair_count, PairJob, PairOutcome, SimilarityMatrix};
+pub use loadbalance::JobOrdering;
+pub use mcpsc::{run_mcpsc, McPscOptions, McPscRun, PartitionStrategy};
+pub use onevsall::{run_one_vs_all, OneVsAllOptions, OneVsAllRun};

@@ -1,0 +1,373 @@
+//! Multi-criteria PSC (MC-PSC) — the paper's proposed extension (§V/VI).
+//!
+//! "All slave processes are not required to run the same PSC algorithm.
+//! The basic protein structure data used by most PSC algorithms is the
+//! same and therefore, different slave processes can be running different
+//! algorithms on the same data received from the master process." This
+//! module implements exactly that: the slave set is *partitioned* among
+//! comparison methods, the master keeps a per-method job queue, and each
+//! slave is fed jobs of its own method — one master, one data source,
+//! several criteria computed in one pass. The paper notes that choosing
+//! the partition is the open question ("assessment of optimal strategies
+//! for the partitioning of the cores"); two strategies are provided.
+
+use crate::app::charge_dataset_load;
+use crate::cache::PairCache;
+use crate::jobs::{
+    all_vs_all, decode_outcome, decode_pair_payload, encode_outcome, encode_pair_payload,
+    PairOutcome,
+};
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, SimReport, Simulator};
+use rck_rcce::Rcce;
+use rck_skel::{slave_loop, wire, Job, SlaveReply};
+use rck_tmalign::MethodKind;
+use serde::{Deserialize, Serialize};
+
+/// How slaves are divided among methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Same number of slaves per method (round-robin remainder).
+    Equal,
+    /// Slaves proportional to each method's estimated total cost, so all
+    /// partitions finish at about the same time.
+    ProportionalToCost,
+}
+
+/// Options for an MC-PSC run.
+#[derive(Debug, Clone)]
+pub struct McPscOptions {
+    /// Methods to run (each gets a slave partition).
+    pub methods: Vec<MethodKind>,
+    /// Total slave cores available.
+    pub n_slaves: usize,
+    /// Partitioning strategy.
+    pub strategy: PartitionStrategy,
+    /// Chip configuration.
+    pub noc: NocConfig,
+}
+
+/// Result of an MC-PSC run.
+#[derive(Debug, Clone)]
+pub struct McPscRun {
+    /// All outcomes, tagged by method.
+    pub outcomes: Vec<PairOutcome>,
+    /// Slaves assigned to each method.
+    pub partition: Vec<(MethodKind, usize)>,
+    /// Simulator report.
+    pub report: SimReport,
+    /// Makespan in simulated seconds.
+    pub makespan_secs: f64,
+}
+
+impl McPscRun {
+    /// Outcomes of one method.
+    pub fn outcomes_for(&self, method: MethodKind) -> Vec<&PairOutcome> {
+        self.outcomes.iter().filter(|o| o.method == method).collect()
+    }
+}
+
+/// Estimate the per-method cost share by computing a small sample of
+/// pairs (memoised, so nothing is wasted).
+fn estimate_cost_shares(cache: &PairCache, methods: &[MethodKind]) -> Vec<f64> {
+    let n = cache.len();
+    let sample: Vec<(u32, u32)> = {
+        let mut s = Vec::new();
+        let mut i = 0usize;
+        while s.len() < 8.min(n * (n - 1) / 2) {
+            let a = (i * 7) % n;
+            let b = (i * 13 + 1) % n;
+            if a < b {
+                s.push((a as u32, b as u32));
+            } else if b < a {
+                s.push((b as u32, a as u32));
+            }
+            i += 1;
+        }
+        s.dedup();
+        s
+    };
+    methods
+        .iter()
+        .map(|&m| {
+            sample
+                .iter()
+                .map(|&(i, j)| {
+                    cache
+                        .get_or_compute(&crate::jobs::PairJob { i, j, method: m })
+                        .ops as f64
+                })
+                .sum::<f64>()
+                .max(1.0)
+        })
+        .collect()
+}
+
+/// Compute the slave counts per method.
+pub fn partition_slaves(
+    cache: &PairCache,
+    methods: &[MethodKind],
+    n_slaves: usize,
+    strategy: PartitionStrategy,
+) -> Vec<(MethodKind, usize)> {
+    assert!(
+        n_slaves >= methods.len(),
+        "need at least one slave per method ({} slaves, {} methods)",
+        n_slaves,
+        methods.len()
+    );
+    match strategy {
+        PartitionStrategy::Equal => {
+            let base = n_slaves / methods.len();
+            let extra = n_slaves % methods.len();
+            methods
+                .iter()
+                .enumerate()
+                .map(|(k, &m)| (m, base + usize::from(k < extra)))
+                .collect()
+        }
+        PartitionStrategy::ProportionalToCost => {
+            let shares = estimate_cost_shares(cache, methods);
+            let total: f64 = shares.iter().sum();
+            // Everyone gets at least 1; distribute the rest by share.
+            let spare = n_slaves - methods.len();
+            let mut counts: Vec<usize> = shares
+                .iter()
+                .map(|s| 1 + (s / total * spare as f64).floor() as usize)
+                .collect();
+            // Hand out rounding leftovers to the costliest methods first.
+            let mut assigned: usize = counts.iter().sum();
+            let mut order: Vec<usize> = (0..methods.len()).collect();
+            order.sort_by(|&a, &b| shares[b].partial_cmp(&shares[a]).expect("finite"));
+            let mut k = 0;
+            while assigned < n_slaves {
+                counts[order[k % order.len()]] += 1;
+                assigned += 1;
+                k += 1;
+            }
+            methods.iter().copied().zip(counts).collect()
+        }
+    }
+}
+
+/// Run all-vs-all under every method simultaneously, with the slave set
+/// partitioned among methods.
+pub fn run_mcpsc(cache: &PairCache, opts: &McPscOptions) -> McPscRun {
+    let chains = cache.chains();
+    assert!(!opts.methods.is_empty(), "MC-PSC needs at least one method");
+    let partition = partition_slaves(cache, &opts.methods, opts.n_slaves, opts.strategy);
+    assert!(
+        opts.n_slaves < opts.noc.topology.core_count(),
+        "master + {} slaves exceed the chip",
+        opts.n_slaves
+    );
+
+    let ues: Vec<CoreId> = (0..=opts.n_slaves).map(CoreId).collect();
+    // Slave rank → method, in partition order.
+    let mut slave_method: Vec<MethodKind> = Vec::with_capacity(opts.n_slaves);
+    for &(m, count) in &partition {
+        slave_method.extend(std::iter::repeat_n(m, count));
+    }
+
+    // Per-method job queues (encoded lazily by the master program).
+    let queues: Vec<Vec<Job>> = opts
+        .methods
+        .iter()
+        .map(|&m| {
+            all_vs_all(chains.len(), m)
+                .into_iter()
+                .enumerate()
+                .map(|(k, pj)| {
+                    Job::new(
+                        (m.code() as u64) << 32 | k as u64,
+                        encode_pair_payload(&pj, &chains[pj.i as usize], &chains[pj.j as usize]),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let outcomes = parking_lot::Mutex::new(Vec::new());
+    let mut programs: Vec<Option<CoreProgram>> = Vec::with_capacity(opts.n_slaves + 1);
+
+    // Master: a FARM generalised to per-method queues.
+    {
+        let ues = ues.clone();
+        let methods = opts.methods.clone();
+        let slave_method = slave_method.clone();
+        let outcomes = &outcomes;
+        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+            charge_dataset_load(ctx, chains);
+            let mut comm = Rcce::new(ctx, &ues);
+            let mut next: Vec<usize> = vec![0; methods.len()];
+            let method_idx = |m: MethodKind| {
+                methods.iter().position(|&x| x == m).expect("known method")
+            };
+
+            // Prime every slave with the first job of its method.
+            let mut active: Vec<usize> = Vec::new();
+            for (rank0, &m) in slave_method.iter().enumerate() {
+                let rank = rank0 + 1;
+                let q = method_idx(m);
+                if next[q] < queues[q].len() {
+                    comm.send(rank, wire::encode_job(&queues[q][next[q]]));
+                    next[q] += 1;
+                    active.push(rank);
+                }
+            }
+            let mut outstanding = active.len();
+            while outstanding > 0 {
+                let (rank, data) = comm.recv_any(&active);
+                let result = wire::decode_result(rank, data);
+                outcomes
+                    .lock()
+                    .push(decode_outcome(result.payload).expect("well-formed result"));
+                let q = method_idx(slave_method[rank - 1]);
+                if next[q] < queues[q].len() {
+                    comm.send(rank, wire::encode_job(&queues[q][next[q]]));
+                    next[q] += 1;
+                } else {
+                    outstanding -= 1;
+                }
+            }
+            for rank in 1..=slave_method.len() {
+                comm.send(rank, wire::encode_terminate());
+            }
+        })));
+    }
+    // Slaves: identical handler — the job payload carries the method.
+    for _ in 0..opts.n_slaves {
+        let ues = ues.clone();
+        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+            let mut comm = Rcce::new(ctx, &ues);
+            slave_loop(&mut comm, 0, |_id, payload| {
+                let decoded = decode_pair_payload(payload).expect("well-formed job");
+                let outcome = cache.get_or_compute(&decoded.job);
+                SlaveReply {
+                    payload: encode_outcome(&outcome),
+                    ops: outcome.ops,
+                }
+            });
+        })));
+    }
+
+    let report = Simulator::new(opts.noc.clone()).run(programs);
+    McPscRun {
+        outcomes: outcomes.into_inner(),
+        partition,
+        makespan_secs: report.makespan.as_secs_f64(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::pair_count;
+    use rck_pdb::datasets::tiny_profile;
+
+    fn cache() -> PairCache {
+        PairCache::new(tiny_profile().generate(55))
+    }
+
+    const ALL: [MethodKind; 3] = [
+        MethodKind::TmAlign,
+        MethodKind::KabschRmsd,
+        MethodKind::ContactMap,
+    ];
+
+    #[test]
+    fn equal_partition_splits_evenly() {
+        let c = cache();
+        let p = partition_slaves(&c, &ALL, 7, PartitionStrategy::Equal);
+        let counts: Vec<usize> = p.iter().map(|&(_, n)| n).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        assert_eq!(counts, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn proportional_partition_favours_tmalign() {
+        let c = cache();
+        let p = partition_slaves(&c, &ALL, 12, PartitionStrategy::ProportionalToCost);
+        let total: usize = p.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 12);
+        let tm = p.iter().find(|(m, _)| *m == MethodKind::TmAlign).unwrap().1;
+        let kb = p
+            .iter()
+            .find(|(m, _)| *m == MethodKind::KabschRmsd)
+            .unwrap()
+            .1;
+        assert!(tm > kb, "tm-align ({tm}) should out-staff kabsch ({kb})");
+        // Every method keeps at least one slave.
+        assert!(p.iter().all(|&(_, n)| n >= 1));
+    }
+
+    #[test]
+    fn mcpsc_covers_every_pair_for_every_method() {
+        let c = cache();
+        let run = run_mcpsc(
+            &c,
+            &McPscOptions {
+                methods: ALL.to_vec(),
+                n_slaves: 6,
+                strategy: PartitionStrategy::Equal,
+                noc: NocConfig::scc(),
+            },
+        );
+        let pairs = pair_count(c.len());
+        assert_eq!(run.outcomes.len(), 3 * pairs);
+        for m in ALL {
+            assert_eq!(run.outcomes_for(m).len(), pairs, "{}", m.name());
+        }
+        assert!(run.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn proportional_no_slower_than_equal() {
+        let c = cache();
+        let time = |strategy| {
+            run_mcpsc(
+                &c,
+                &McPscOptions {
+                    methods: ALL.to_vec(),
+                    n_slaves: 9,
+                    strategy,
+                    noc: NocConfig::scc(),
+                },
+            )
+            .makespan_secs
+        };
+        let equal = time(PartitionStrategy::Equal);
+        let prop = time(PartitionStrategy::ProportionalToCost);
+        assert!(
+            prop <= equal * 1.05,
+            "proportional {prop} should not lose badly to equal {equal}"
+        );
+    }
+
+    #[test]
+    fn single_method_mcpsc_matches_rckalign_results() {
+        let c = cache();
+        let run = run_mcpsc(
+            &c,
+            &McPscOptions {
+                methods: vec![MethodKind::TmAlign],
+                n_slaves: 4,
+                strategy: PartitionStrategy::Equal,
+                noc: NocConfig::scc(),
+            },
+        );
+        let rck = crate::app::run_all_vs_all(&c, &crate::app::RckAlignOptions::paper(4));
+        let key = |mut v: Vec<PairOutcome>| {
+            v.sort_by_key(|o| (o.i, o.j));
+            v
+        };
+        assert_eq!(key(run.outcomes), key(rck.outcomes));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave per method")]
+    fn too_few_slaves_rejected() {
+        let c = cache();
+        let _ = partition_slaves(&c, &ALL, 2, PartitionStrategy::Equal);
+    }
+}

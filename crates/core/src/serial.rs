@@ -1,0 +1,91 @@
+//! Serial baselines (paper Table III).
+//!
+//! The stock TM-align is a serial program; the paper times it on the AMD
+//! host and on a single SCC P54C core (modified, like rckAlign, to load
+//! all structures up front). The serial time is pure arithmetic over the
+//! workload's operation counts — no simulation needed — but a
+//! simulator-backed variant is provided to validate that a 1-slave
+//! rckAlign run costs what the serial model says (paper: 2027 s vs
+//! 2029 s).
+
+use crate::app::LOAD_CYCLES_PER_RESIDUE;
+use crate::cache::PairCache;
+use crate::cpu::CpuModel;
+use crate::jobs::PairJob;
+
+/// Seconds a serial CPU needs to load the dataset once.
+pub fn load_time_secs(cache: &PairCache, cpu: &CpuModel) -> f64 {
+    let residues: u64 = cache.chains().iter().map(|c| c.len() as u64).sum();
+    (residues as f64 * LOAD_CYCLES_PER_RESIDUE as f64) / (cpu.freq_hz * cpu.ipc_factor)
+}
+
+/// Total serial execution time of a job list on `cpu`: one dataset load
+/// plus every comparison back to back.
+pub fn serial_time_secs(
+    cache: &PairCache,
+    jobs: &[PairJob],
+    cpu: &CpuModel,
+    cycles_per_op: f64,
+) -> f64 {
+    let compute: f64 = jobs
+        .iter()
+        .map(|j| cpu.seconds_for_ops(cache.get_or_compute(j).ops, cycles_per_op))
+        .sum();
+    load_time_secs(cache, cpu) + compute
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::all_vs_all;
+    use rck_pdb::datasets::tiny_profile;
+    use rck_tmalign::MethodKind;
+
+    fn setup() -> (PairCache, Vec<PairJob>) {
+        let cache = PairCache::new(tiny_profile().generate(17));
+        let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+        (cache, jobs)
+    }
+
+    #[test]
+    fn amd_beats_p54c_by_its_speed_ratio() {
+        let (cache, jobs) = setup();
+        let amd = CpuModel::amd_athlon_2400();
+        let p54c = CpuModel::p54c_800();
+        let t_amd = serial_time_secs(&cache, &jobs, &amd, 1700.0);
+        let t_p54c = serial_time_secs(&cache, &jobs, &p54c, 1700.0);
+        let ratio = t_p54c / t_amd;
+        assert!((ratio - amd.speed_ratio_over(&p54c)).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn serial_time_scales_with_cycles_per_op() {
+        let (cache, jobs) = setup();
+        let cpu = CpuModel::p54c_800();
+        let t1 = serial_time_secs(&cache, &jobs, &cpu, 1000.0);
+        let t2 = serial_time_secs(&cache, &jobs, &cpu, 2000.0);
+        // Load cost is fixed; compute doubles.
+        let load = load_time_secs(&cache, &cpu);
+        assert!(((t2 - load) - 2.0 * (t1 - load)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_slave_rckalign_close_to_serial_model() {
+        // Paper: rckAlign with 1 slave (2027 s) ≈ serial on one SCC core
+        // (2029 s). Our simulated 1-slave run should sit within a couple
+        // of percent of the serial arithmetic.
+        use crate::app::{run_all_vs_all, RckAlignOptions};
+        let cache = PairCache::new(tiny_profile().generate(5));
+        let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+        let opts = RckAlignOptions::paper(1);
+        let serial = serial_time_secs(
+            &cache,
+            &jobs,
+            &CpuModel::p54c_800(),
+            opts.noc.cycles_per_op,
+        );
+        let parallel = run_all_vs_all(&cache, &opts).makespan_secs;
+        let rel = (parallel - serial).abs() / serial;
+        assert!(rel < 0.05, "serial {serial} vs 1-slave {parallel} ({rel})");
+    }
+}

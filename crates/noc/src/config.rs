@@ -1,0 +1,222 @@
+//! Simulator configuration and the SCC preset.
+
+use crate::time::SimDuration;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a simulated chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh geometry.
+    pub topology: Topology,
+    /// Core clock frequency in Hz (SCC default configuration: 800 MHz).
+    pub freq_hz: f64,
+    /// Calibration constant converting abstract kernel operations (see
+    /// `rck_tmalign::WorkMeter`) into core cycles. Calibrated so that the
+    /// synthetic CK34 all-vs-all costs ≈ 2030 s on one 800 MHz core,
+    /// matching the paper's Table III baseline (≈ 3.6 s per pair).
+    pub cycles_per_op: f64,
+    /// Per-hop router traversal latency. The SCC mesh runs at 2 GHz with
+    /// 4-cycle routers → 2 ns per hop.
+    pub hop_latency: SimDuration,
+    /// Message-passing-buffer chunk size in bytes. RCCE moves large
+    /// messages through the MPB in chunks of at most half a core's MPB
+    /// slice (8 KB per core on the SCC).
+    pub chunk_bytes: usize,
+    /// Sustained one-sided MPB copy bandwidth in bytes/second. MPB
+    /// accesses are un-cached mesh transactions, so this is a property of
+    /// the mesh and MPB SRAM, *not* of the core clock — speeding up the
+    /// cores does not move data faster (which is exactly why the paper
+    /// predicts the master becomes the bottleneck on faster chips).
+    pub mpb_bytes_per_sec: f64,
+    /// Fixed per-message software overhead cycles on each side (RCCE call
+    /// setup, flag handshake).
+    pub message_overhead_cycles: u64,
+    /// Cycles for one flag probe (`RCCE_test_flag`-style poll of a remote
+    /// MPB location) — charged per slave scanned in round-robin collection.
+    pub probe_cycles: u64,
+    /// Cycles charged to every participant of a barrier.
+    pub barrier_cycles: u64,
+    /// Model per-link mesh contention: each message occupies every router
+    /// link along its XY route for its serialisation time, so transfers
+    /// crossing the same link queue. Off by default — the SCC mesh is far
+    /// from saturated by RCCE-sized messages, and the headline calibration
+    /// assumes contention-free links; switch on for congestion studies.
+    pub link_contention: bool,
+    /// Mesh link bandwidth in bytes/second (SCC: 16-byte flits at 2 GHz).
+    pub mesh_link_bytes_per_sec: f64,
+    /// Fixed latency of one off-chip memory request through an iMC.
+    pub dram_latency: SimDuration,
+    /// Sustained bandwidth of one iMC in bytes/second (requests from the
+    /// cores of its quadrant queue FCFS behind each other).
+    pub dram_bytes_per_sec: f64,
+}
+
+impl NocConfig {
+    /// The Intel SCC preset used throughout the paper reproduction.
+    pub fn scc() -> NocConfig {
+        NocConfig {
+            topology: Topology::SCC,
+            freq_hz: 800e6,
+            cycles_per_op: 2250.0,
+            hop_latency: SimDuration::from_cycles(4.0, 2e9),
+            chunk_bytes: 8 * 1024,
+            mpb_bytes_per_sec: 200e6,
+            message_overhead_cycles: 2_000,
+            probe_cycles: 120,
+            barrier_cycles: 1_000,
+            link_contention: false,
+            mesh_link_bytes_per_sec: 32e9,
+            dram_latency: SimDuration::from_secs_f64(100e-9),
+            dram_bytes_per_sec: 1.5e9,
+        }
+    }
+
+    /// Same chip with a different core frequency — the paper's "faster
+    /// cores" what-if.
+    pub fn with_freq(mut self, freq_hz: f64) -> NocConfig {
+        assert!(freq_hz > 0.0);
+        self.freq_hz = freq_hz;
+        self
+    }
+
+    /// Convert a kernel operation count into a compute duration on one
+    /// core of this chip.
+    pub fn ops_to_duration(&self, ops: u64) -> SimDuration {
+        SimDuration::from_cycles(ops as f64 * self.cycles_per_op, self.freq_hz)
+    }
+
+    /// Duration of `cycles` core cycles.
+    pub fn cycles(&self, cycles: u64) -> SimDuration {
+        SimDuration::from_cycles(cycles as f64, self.freq_hz)
+    }
+
+    /// Time for one side to push/pull one message of `len` bytes through
+    /// the MPB, excluding network latency: mesh-bound memcpy plus the
+    /// fixed per-message software overhead (which does run at core speed).
+    pub fn copy_time(&self, len: usize) -> SimDuration {
+        let software = SimDuration::from_cycles(self.message_overhead_cycles as f64, self.freq_hz);
+        let data = SimDuration::from_secs_f64(len as f64 / self.mpb_bytes_per_sec);
+        software + data
+    }
+
+    /// Time a message of `len` bytes occupies one mesh link when link
+    /// contention is modelled.
+    pub fn link_time(&self, len: usize) -> SimDuration {
+        SimDuration::from_secs_f64(len as f64 / self.mesh_link_bytes_per_sec)
+    }
+
+    /// Service time of one off-chip memory read/write of `len` bytes at
+    /// an iMC (latency + bandwidth term).
+    pub fn dram_time(&self, len: usize) -> SimDuration {
+        self.dram_latency + SimDuration::from_secs_f64(len as f64 / self.dram_bytes_per_sec)
+    }
+
+    /// Network traversal time for a message of `len` bytes over `hops`
+    /// router hops (header + pipelined flits; dominated by per-hop
+    /// latency for the small chunked transfers RCCE performs).
+    pub fn network_time(&self, len: usize, hops: usize) -> SimDuration {
+        let chunks = len.div_ceil(self.chunk_bytes).max(1);
+        self.hop_latency.saturating_mul((hops * chunks) as u64)
+    }
+}
+
+impl NocConfig {
+    /// Check the configuration for nonsense values; returns a list of
+    /// problems (empty = valid). `Simulator::new` accepts any config, so
+    /// call this when configs come from user input.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.topology.core_count() == 0 {
+            problems.push("topology has zero cores".into());
+        }
+        if !(self.freq_hz > 0.0 && self.freq_hz.is_finite()) {
+            problems.push(format!("core frequency must be positive, got {}", self.freq_hz));
+        }
+        if !(self.cycles_per_op > 0.0 && self.cycles_per_op.is_finite()) {
+            problems.push(format!(
+                "cycles_per_op must be positive, got {}",
+                self.cycles_per_op
+            ));
+        }
+        if self.chunk_bytes == 0 {
+            problems.push("chunk_bytes must be non-zero".into());
+        }
+        if !(self.mpb_bytes_per_sec > 0.0 && self.mpb_bytes_per_sec.is_finite()) {
+            problems.push("MPB bandwidth must be positive".into());
+        }
+        if !(self.mesh_link_bytes_per_sec > 0.0 && self.mesh_link_bytes_per_sec.is_finite()) {
+            problems.push("mesh link bandwidth must be positive".into());
+        }
+        if !(self.dram_bytes_per_sec > 0.0 && self.dram_bytes_per_sec.is_finite()) {
+            problems.push("DRAM bandwidth must be positive".into());
+        }
+        problems
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::scc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_preset_shape() {
+        let c = NocConfig::scc();
+        assert_eq!(c.topology.core_count(), 48);
+        assert_eq!(c.freq_hz, 800e6);
+        assert_eq!(c.chunk_bytes, 8192);
+    }
+
+    #[test]
+    fn ops_to_duration_scales() {
+        let c = NocConfig::scc();
+        let d1 = c.ops_to_duration(1000);
+        let d2 = c.ops_to_duration(2000);
+        assert_eq!(d2.0, 2 * d1.0);
+        let c2 = NocConfig::scc();
+        assert!((d1.as_secs_f64() - 1000.0 * c2.cycles_per_op / 800e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_cores_compute_faster() {
+        let slow = NocConfig::scc();
+        let fast = NocConfig::scc().with_freq(1.6e9);
+        assert!(fast.ops_to_duration(1_000_000) < slow.ops_to_duration(1_000_000));
+    }
+
+    #[test]
+    fn copy_time_has_fixed_overhead() {
+        let c = NocConfig::scc();
+        let empty = c.copy_time(0);
+        assert!(empty.0 > 0, "per-message overhead applies to empty payloads");
+        let big = c.copy_time(100_000);
+        assert!(big > empty);
+    }
+
+    #[test]
+    fn validate_accepts_the_preset_and_catches_nonsense() {
+        assert!(NocConfig::scc().validate().is_empty());
+        let mut bad = NocConfig::scc();
+        bad.freq_hz = -1.0;
+        bad.chunk_bytes = 0;
+        bad.dram_bytes_per_sec = f64::NAN;
+        let problems = bad.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("frequency")));
+    }
+
+    #[test]
+    fn network_time_grows_with_hops_and_size() {
+        let c = NocConfig::scc();
+        assert!(c.network_time(100, 2) > c.network_time(100, 1));
+        assert!(c.network_time(100_000, 1) > c.network_time(100, 1));
+        // Zero hops (same tile): free network.
+        assert_eq!(c.network_time(100, 0), SimDuration::ZERO);
+    }
+}

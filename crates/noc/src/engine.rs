@@ -1,0 +1,1154 @@
+//! The discrete-event engine.
+//!
+//! Each simulated core runs its program on its own OS thread, but threads
+//! take strict turns: a single "running" token is granted to the *ready
+//! core with the smallest virtual time* (ties by core id), and every
+//! inter-core action (send, receive, barrier, resource use) first yields
+//! the token so that actions execute in virtual-time order. This makes the
+//! simulation fully deterministic — independent of host thread scheduling —
+//! while letting user programs be written as plain straight-line code
+//! (no hand-rolled state machines), the style *Rust Atomics and Locks*
+//! recommends building from a mutex + condvar when correctness is the
+//! priority.
+//!
+//! Message passing is modelled after RCCE's one-sided MPB protocol:
+//! a send and its matching receive rendezvous; the transfer is charged as
+//! chunked MPB copies on both sides plus mesh-hop latency (see
+//! [`crate::config::NocConfig`]). A core polling many partners
+//! ([`CoreCtx::recv_any`]) pays a per-probe cost for every partner scanned
+//! in round-robin order — the master-side overhead of the paper's FARM —
+//! but the *engine* never busy-loops: wake-up times are computed directly,
+//! so simulated seconds of polling cost nothing to simulate.
+
+use crate::config::NocConfig;
+use crate::stats::{CoreStats, SimReport};
+use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::CoreId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A program to run on one simulated core.
+pub type CoreProgram<'env> = Box<dyn FnOnce(&mut CoreCtx) + Send + 'env>;
+
+/// Identifier of a contended shared resource (NFS disk, memory
+/// controller, …). Resources are FCFS servers created on first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub usize);
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    /// Wants the running token.
+    Ready,
+    /// Holds the running token.
+    Running,
+    /// Posted a send to `to`, waiting for the receiver.
+    BlockedSend { to: usize },
+    /// Waiting for a send from any of `from`.
+    BlockedRecv { from: Vec<usize> },
+    /// Waiting at a barrier.
+    BlockedBarrier,
+    /// Program finished.
+    Done,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    time: SimTime,
+    status: Status,
+    stats: CoreStats,
+    /// Round-robin cursor for `recv_any` polling order.
+    rr_cursor: usize,
+    /// Message delivered while blocked in recv.
+    inbox: Option<(usize, Vec<u8>)>,
+    /// Payload held while blocked in send.
+    outbox: Option<Vec<u8>>,
+    /// Virtual time at which the current blocking op was posted.
+    posted_at: SimTime,
+}
+
+impl CoreState {
+    fn new() -> CoreState {
+        CoreState {
+            time: SimTime::ZERO,
+            status: Status::Ready,
+            stats: CoreStats::default(),
+            rr_cursor: 0,
+            inbox: None,
+            outbox: None,
+            posted_at: SimTime::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<usize>,
+    max_time: SimTime,
+}
+
+struct Sched {
+    cores: Vec<CoreState>,
+    barriers: HashMap<Vec<usize>, BarrierState>,
+    resources: Vec<SimTime>,
+    /// Next-free time of each directed mesh link (only populated when
+    /// link contention is modelled).
+    links: HashMap<(usize, usize), SimTime>,
+    /// Per-iMC next-free times (off-chip memory, FCFS per controller).
+    memory_controllers: Vec<SimTime>,
+    failed: Option<String>,
+    trace: Option<TraceBuffer>,
+}
+
+struct Shared {
+    cfg: NocConfig,
+    sched: Mutex<Sched>,
+    cvar: Condvar,
+}
+
+impl Shared {
+    /// Grant the running token to the ready core with the smallest
+    /// `(time, id)`. Panics the simulation on deadlock.
+    fn grant_next(&self, s: &mut Sched) {
+        if s.cores.iter().any(|c| c.status == Status::Running) {
+            return;
+        }
+        let next = s
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.status == Status::Ready)
+            .min_by_key(|(i, c)| (c.time, *i))
+            .map(|(i, _)| i);
+        match next {
+            Some(i) => {
+                s.cores[i].status = Status::Running;
+                self.cvar.notify_all();
+            }
+            None => {
+                let all_done = s.cores.iter().all(|c| c.status == Status::Done);
+                if !all_done && s.failed.is_none() {
+                    let stuck: Vec<String> = s
+                        .cores
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.status != Status::Done)
+                        .map(|(i, c)| format!("{}: {:?} @ {}", CoreId(i), c.status, c.time))
+                        .collect();
+                    s.failed = Some(format!(
+                        "simulation deadlock: no runnable core; blocked: [{}]",
+                        stuck.join(", ")
+                    ));
+                    self.cvar.notify_all();
+                }
+            }
+        }
+    }
+
+}
+
+/// Handle through which a core program interacts with the simulated chip.
+pub struct CoreCtx {
+    id: usize,
+    shared: Arc<Shared>,
+}
+
+impl CoreCtx {
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        CoreId(self.id)
+    }
+
+    /// Number of cores on the chip.
+    pub fn core_count(&self) -> usize {
+        self.shared.cfg.topology.core_count()
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.shared.cfg
+    }
+
+    /// Current virtual time of this core.
+    pub fn now(&self) -> SimTime {
+        self.shared.sched.lock().cores[self.id].time
+    }
+
+    /// Spend `dur` of virtual time computing.
+    pub fn compute(&mut self, dur: SimDuration) {
+        let mut s = self.shared.sched.lock();
+        let c = &mut s.cores[self.id];
+        c.time += dur;
+        c.stats.busy += dur;
+    }
+
+    /// Spend the virtual time of `ops` kernel operations computing
+    /// (converted through the chip's calibrated cost model).
+    pub fn compute_ops(&mut self, ops: u64) {
+        let dur = self.shared.cfg.ops_to_duration(ops);
+        self.compute(dur);
+    }
+
+    /// Run `f` for real on the host and charge `ops` of virtual compute
+    /// time for it. The simulation's timing depends only on `ops`, never
+    /// on how long `f` takes on the host.
+    pub fn execute<R>(&mut self, ops: u64, f: impl FnOnce() -> R) -> R {
+        let r = f();
+        self.compute_ops(ops);
+        r
+    }
+
+    /// Advance local time without counting it as busy (e.g. modelling a
+    /// fixed environment-setup delay).
+    pub fn advance_idle(&mut self, dur: SimDuration) {
+        let mut s = self.shared.sched.lock();
+        let c = &mut s.cores[self.id];
+        c.time += dur;
+        c.stats.idle += dur;
+    }
+
+    /// Yield the running token and wait until this core is the
+    /// minimum-time ready core again. All interaction ops call this first
+    /// so that they execute in virtual-time order.
+    fn yield_turn(&self) {
+        let mut s = self.shared.sched.lock();
+        s.cores[self.id].status = Status::Ready;
+        self.shared.grant_next(&mut s);
+        self.block_until_running(&mut s);
+    }
+
+    /// Wait (condvar) until we hold the running token.
+    fn block_until_running(&self, s: &mut parking_lot::MutexGuard<'_, Sched>) {
+        loop {
+            if let Some(msg) = s.failed.clone() {
+                self.shared.cvar.notify_all();
+                panic!("{msg}");
+            }
+            if s.cores[self.id].status == Status::Running {
+                return;
+            }
+            self.shared.cvar.wait(s);
+        }
+    }
+
+    /// Synchronous send, RCCE-style: blocks until the matching receive has
+    /// happened and the data has been pushed through the MPB.
+    pub fn send(&mut self, dst: CoreId, payload: Vec<u8>) {
+        assert!(dst.0 < self.core_count(), "send to invalid core {dst}");
+        assert_ne!(dst.0, self.id, "core {dst} cannot send to itself");
+        self.yield_turn();
+        let mut s = self.shared.sched.lock();
+
+        let receiver_matches = match &s.cores[dst.0].status {
+            Status::BlockedRecv { from } => from.contains(&self.id),
+            _ => false,
+        };
+        if receiver_matches {
+            complete_transfer(&self.shared.cfg, &mut s, self.id, dst.0, payload, true);
+            // We keep the token; the receiver was made Ready and will be
+            // granted in time order.
+        } else {
+            // Post the send and wait for a receiver to take it.
+            let me = &mut s.cores[self.id];
+            me.outbox = Some(payload);
+            me.posted_at = me.time;
+            me.status = Status::BlockedSend { to: dst.0 };
+            self.shared.grant_next(&mut s);
+            self.block_until_running(&mut s);
+        }
+    }
+
+    /// Receive the next message from a specific core.
+    pub fn recv_from(&mut self, src: CoreId) -> Vec<u8> {
+        self.recv_filtered(&[src.0]).1
+    }
+
+    /// Receive the next message from any of `srcs`, with round-robin
+    /// polling accounting (the FARM master's collection loop). Returns the
+    /// actual sender and the payload.
+    pub fn recv_any(&mut self, srcs: &[CoreId]) -> (CoreId, Vec<u8>) {
+        assert!(!srcs.is_empty(), "recv_any needs at least one source");
+        let ids: Vec<usize> = srcs.iter().map(|c| c.0).collect();
+        let (src, payload) = self.recv_filtered(&ids);
+        (CoreId(src), payload)
+    }
+
+    fn recv_filtered(&mut self, srcs: &[usize]) -> (usize, Vec<u8>) {
+        for &s in srcs {
+            assert!(s < self.core_count(), "recv from invalid core {s}");
+            assert_ne!(s, self.id, "core cannot receive from itself");
+        }
+        self.yield_turn();
+        let mut s = self.shared.sched.lock();
+
+        // A sender may already be parked waiting for us. Pick the one that
+        // posted earliest; break ties in round-robin order from the
+        // cursor (this is what a polling master would find first).
+        let rr = s.cores[self.id].rr_cursor;
+        let candidate = srcs
+            .iter()
+            .filter(|&&c| matches!(&s.cores[c].status, Status::BlockedSend { to } if *to == self.id))
+            .min_by_key(|&&c| {
+                let posted = s.cores[c].posted_at;
+                let rr_dist = srcs.iter().position(|&x| x == c).unwrap().wrapping_sub(rr)
+                    % srcs.len().max(1);
+                (posted, rr_dist)
+            })
+            .copied();
+
+        match candidate {
+            Some(sender) => {
+                let payload = s.cores[sender].outbox.take().expect("sender holds payload");
+                if srcs.len() > 1 {
+                    charge_probes(&self.shared.cfg, &mut s, self.id, srcs, sender);
+                }
+                complete_transfer(&self.shared.cfg, &mut s, sender, self.id, payload, false);
+                
+                s.cores[self.id].inbox.take().expect("transfer delivered")
+            }
+            None => {
+                let me = &mut s.cores[self.id];
+                me.posted_at = me.time;
+                me.status = Status::BlockedRecv {
+                    from: srcs.to_vec(),
+                };
+                self.shared.grant_next(&mut s);
+                self.block_until_running(&mut s);
+                let sender = s.cores[self.id]
+                    .inbox
+                    .as_ref()
+                    .map(|(src, _)| *src)
+                    .expect("woken with a message");
+                if srcs.len() > 1 {
+                    charge_probes(&self.shared.cfg, &mut s, self.id, srcs, sender);
+                }
+                s.cores[self.id].inbox.take().expect("just checked")
+            }
+        }
+    }
+
+    /// Barrier across `group` (which must include this core). All
+    /// participants leave at the max arrival time plus the configured
+    /// barrier cost.
+    pub fn barrier(&mut self, group: &[CoreId]) {
+        let mut key: Vec<usize> = group.iter().map(|c| c.0).collect();
+        key.sort_unstable();
+        key.dedup();
+        assert!(key.contains(&self.id), "barrier group must include caller");
+        if key.len() == 1 {
+            return;
+        }
+        self.yield_turn();
+        let mut s = self.shared.sched.lock();
+        let my_time = s.cores[self.id].time;
+        let entry = s.barriers.entry(key.clone()).or_default();
+        entry.arrived.push(self.id);
+        entry.max_time = entry.max_time.max(my_time);
+        if entry.arrived.len() == key.len() {
+            // Last arrival releases everyone.
+            let done = s.barriers.remove(&key).expect("just inserted");
+            let release = done.max_time + self.shared.cfg.cycles(self.shared.cfg.barrier_cycles);
+            let group = done.arrived.len() as u32;
+            for &c in &done.arrived {
+                let core = &mut s.cores[c];
+                core.stats.idle += release.since(core.time);
+                core.time = release;
+                if c != self.id {
+                    core.status = Status::Ready;
+                }
+            }
+            if let Some(trace) = &mut s.trace {
+                trace.push(TraceEvent {
+                    at: release,
+                    kind: TraceKind::Barrier { group },
+                });
+            }
+            self.shared.cvar.notify_all();
+        } else {
+            s.cores[self.id].status = Status::BlockedBarrier;
+            self.shared.grant_next(&mut s);
+            self.block_until_running(&mut s);
+        }
+    }
+
+    /// Read or write `len` bytes of off-chip memory through this core's
+    /// quadrant memory controller (one of the SCC's four iMCs). Requests
+    /// from cores of the same quadrant queue FCFS behind each other —
+    /// concurrent loads contend, loads in different quadrants do not.
+    pub fn read_memory(&mut self, len: usize) {
+        let mc = self.shared.cfg.topology.memory_controller_of(self.id());
+        let service = self.shared.cfg.dram_time(len);
+        self.yield_turn();
+        let mut s = self.shared.sched.lock();
+        let now = s.cores[self.id].time;
+        let start = now.max(s.memory_controllers[mc]);
+        let finish = start + service;
+        s.memory_controllers[mc] = finish;
+        let c = &mut s.cores[self.id];
+        c.stats.idle += start.since(now);
+        c.stats.comm += service;
+        c.time = finish;
+    }
+
+    /// Use a shared FCFS resource for `service` time: wait until the
+    /// resource is free, then occupy it. Models the MCPC's NFS disk
+    /// controller and similar contended servers.
+    pub fn use_resource(&mut self, res: ResourceId, service: SimDuration) {
+        self.yield_turn();
+        let mut s = self.shared.sched.lock();
+        if s.resources.len() <= res.0 {
+            s.resources.resize(res.0 + 1, SimTime::ZERO);
+        }
+        let now = s.cores[self.id].time;
+        let start = now.max(s.resources[res.0]);
+        let finish = start + service;
+        s.resources[res.0] = finish;
+        let c = &mut s.cores[self.id];
+        c.stats.idle += start.since(now);
+        c.stats.busy += service;
+        c.time = finish;
+        if let Some(trace) = &mut s.trace {
+            trace.push(TraceEvent {
+                at: finish,
+                kind: TraceKind::Resource {
+                    id: res.0.min(u32::MAX as usize) as u32,
+                    core: CoreId(self.id),
+                },
+            });
+        }
+    }
+}
+
+/// Charge the receiver for scanning `srcs` in round-robin order until it
+/// hits `sender`, and advance its cursor past the match. Only multi-source
+/// receives pay this: a single-source receive is a blocking flag wait, not
+/// a polling loop.
+fn charge_probes(cfg: &NocConfig, s: &mut Sched, me: usize, srcs: &[usize], sender: usize) {
+    let pos = srcs.iter().position(|&x| x == sender).unwrap_or(0);
+    let rr = s.cores[me].rr_cursor;
+    let n = srcs.len();
+    let scanned = (pos + n - rr % n) % n + 1;
+    s.cores[me].rr_cursor = (pos + 1) % n;
+    let c = &mut s.cores[me];
+    c.stats.probes += scanned as u64;
+    let cost = cfg.cycles(cfg.probe_cycles * scanned as u64);
+    c.time += cost;
+    c.stats.comm += cost;
+}
+
+/// Perform a matched transfer from `src` to `dst`, updating both cores'
+/// clocks and stats. `initiated_by_sender` records which side was already
+/// running (the other was parked and becomes Ready).
+fn complete_transfer(
+    cfg: &NocConfig,
+    s: &mut Sched,
+    src: usize,
+    dst: usize,
+    payload: Vec<u8>,
+    initiated_by_sender: bool,
+) {
+    let len = payload.len();
+    let hops = cfg.topology.hops(CoreId(src), CoreId(dst));
+    let copy = cfg.copy_time(len);
+    let net = cfg.network_time(len, hops);
+
+    let t_src = s.cores[src].time;
+    let t_dst = s.cores[dst].time;
+    let mut start = t_src.max(t_dst);
+
+    // Optional congestion model: the message occupies every link on its
+    // XY route for its serialisation time; it cannot start before all of
+    // them are free.
+    if cfg.link_contention && hops > 0 {
+        let route = cfg.topology.xy_route(CoreId(src), CoreId(dst));
+        let occupancy = cfg.link_time(len);
+        for link in &route {
+            if let Some(&free_at) = s.links.get(link) {
+                start = start.max(free_at);
+            }
+        }
+        let busy_until = start + occupancy;
+        for link in route {
+            s.links.insert(link, busy_until);
+        }
+    }
+
+    // Whichever side arrived first sat idle until the rendezvous.
+    let sender_finish = start + copy;
+    let receiver_finish = start + copy + net + copy;
+
+    {
+        let sc = &mut s.cores[src];
+        sc.stats.idle += start.since(t_src);
+        sc.stats.comm += copy;
+        sc.stats.msgs_sent += 1;
+        sc.stats.bytes_sent += len as u64;
+        sc.time = sender_finish;
+        if !initiated_by_sender {
+            sc.status = Status::Ready;
+        }
+    }
+    {
+        let dc = &mut s.cores[dst];
+        dc.stats.idle += start.since(t_dst);
+        dc.stats.comm += receiver_finish.since(start);
+        dc.stats.msgs_recv += 1;
+        dc.stats.bytes_recv += len as u64;
+        dc.time = receiver_finish;
+        dc.inbox = Some((src, payload));
+        if initiated_by_sender {
+            dc.status = Status::Ready;
+        }
+    }
+    if let Some(trace) = &mut s.trace {
+        trace.push(TraceEvent {
+            at: receiver_finish,
+            kind: TraceKind::Message {
+                src: CoreId(src),
+                dst: CoreId(dst),
+                bytes: len.min(u32::MAX as usize) as u32,
+            },
+        });
+    }
+}
+
+/// The simulator entry point.
+pub struct Simulator {
+    cfg: NocConfig,
+}
+
+impl Simulator {
+    /// Create a simulator for the given chip configuration.
+    pub fn new(cfg: NocConfig) -> Simulator {
+        Simulator { cfg }
+    }
+
+    /// Run one program per core (index = core id). Cores with `None` stay
+    /// idle and finish immediately. Returns the timing report.
+    ///
+    /// # Panics
+    /// Panics if more programs than cores are supplied, if the simulated
+    /// programs deadlock, or if any program panics.
+    pub fn run(&self, programs: Vec<Option<CoreProgram<'_>>>) -> SimReport {
+        self.run_inner(programs, None).0
+    }
+
+    /// Like [`Simulator::run`], additionally recording up to
+    /// `trace_capacity` completion events (message transfers, barrier
+    /// releases, resource grants) for post-mortem analysis.
+    pub fn run_traced(
+        &self,
+        programs: Vec<Option<CoreProgram<'_>>>,
+        trace_capacity: usize,
+    ) -> (SimReport, Vec<TraceEvent>) {
+        let (report, trace) = self.run_inner(programs, Some(trace_capacity));
+        (report, trace.expect("trace was requested").into_events())
+    }
+
+    fn run_inner(
+        &self,
+        mut programs: Vec<Option<CoreProgram<'_>>>,
+        trace_capacity: Option<usize>,
+    ) -> (SimReport, Option<TraceBuffer>) {
+        let n = self.cfg.topology.core_count();
+        assert!(
+            programs.len() <= n,
+            "{} programs for {} cores",
+            programs.len(),
+            n
+        );
+        programs.resize_with(n, || None);
+
+        let shared = Arc::new(Shared {
+            cfg: self.cfg.clone(),
+            sched: Mutex::new(Sched {
+                cores: (0..n).map(|_| CoreState::new()).collect(),
+                barriers: HashMap::new(),
+                resources: Vec::new(),
+                links: HashMap::new(),
+                memory_controllers: vec![
+                    SimTime::ZERO;
+                    crate::topology::Topology::MEMORY_CONTROLLERS
+                ],
+                failed: None,
+                trace: trace_capacity.map(TraceBuffer::with_capacity),
+            }),
+            cvar: Condvar::new(),
+        });
+
+        // Idle cores are Done from the start.
+        {
+            let mut s = shared.sched.lock();
+            for (i, p) in programs.iter().enumerate() {
+                if p.is_none() {
+                    s.cores[i].status = Status::Done;
+                }
+            }
+        }
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, program) in programs.into_iter().enumerate() {
+                let Some(program) = program else { continue };
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move |_| {
+                    let mut ctx = CoreCtx {
+                        id: i,
+                        shared: Arc::clone(&shared),
+                    };
+                    // Wait for the first grant.
+                    {
+                        let mut s = shared.sched.lock();
+                        ctx.block_until_running(&mut s);
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
+                    let mut s = shared.sched.lock();
+                    match result {
+                        Ok(()) => {
+                            s.cores[i].status = Status::Done;
+                            shared.grant_next(&mut s);
+                            shared.cvar.notify_all();
+                        }
+                        Err(e) => {
+                            if s.failed.is_none() {
+                                s.failed = Some(format!(
+                                    "core {} panicked: {}",
+                                    CoreId(i),
+                                    panic_message(e.as_ref())
+                                ));
+                            }
+                            shared.cvar.notify_all();
+                            drop(s);
+                            resume_unwind(e);
+                        }
+                    }
+                }));
+            }
+            // Initial grant.
+            {
+                let mut s = shared.sched.lock();
+                shared.grant_next(&mut s);
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    resume_unwind(e);
+                }
+            }
+        })
+        .expect("simulation threads joined");
+
+        let mut s = shared.sched.lock();
+        if let Some(msg) = &s.failed {
+            panic!("{msg}");
+        }
+        let makespan = s.cores.iter().map(|c| c.time).max().unwrap_or(SimTime::ZERO);
+        let report = SimReport {
+            makespan,
+            per_core: s.cores.iter().map(|c| c.stats).collect(),
+        };
+        (report, s.trace.take())
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NocConfig {
+        NocConfig::scc()
+    }
+
+    fn ids(v: &[usize]) -> Vec<CoreId> {
+        v.iter().map(|&i| CoreId(i)).collect()
+    }
+
+    #[test]
+    fn empty_run_finishes_instantly() {
+        let report = Simulator::new(cfg()).run(vec![]);
+        assert_eq!(report.makespan, SimTime::ZERO);
+        assert_eq!(report.total_messages(), 0);
+    }
+
+    #[test]
+    fn single_core_compute_time() {
+        let c = cfg();
+        let expect = c.ops_to_duration(1000);
+        let report = Simulator::new(c).run(vec![Some(Box::new(|ctx: &mut CoreCtx| {
+            ctx.compute_ops(1000);
+        }))]);
+        assert_eq!(report.makespan, SimTime::ZERO + expect);
+        assert_eq!(report.per_core[0].busy, expect);
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let c = cfg();
+        let payload = vec![7u8; 100];
+        let copy = c.copy_time(100);
+        let net = c.network_time(100, c.topology.hops(CoreId(0), CoreId(1)));
+        let expect_recv = SimTime::ZERO + copy + net + copy;
+        let report = Simulator::new(c).run(vec![
+            Some(Box::new({
+                let payload = payload.clone();
+                move |ctx: &mut CoreCtx| {
+                    ctx.send(CoreId(1), payload);
+                }
+            })),
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                let msg = ctx.recv_from(CoreId(0));
+                assert_eq!(msg, vec![7u8; 100]);
+                assert_eq!(ctx.now(), expect_recv);
+            })),
+        ]);
+        assert_eq!(report.per_core[0].msgs_sent, 1);
+        assert_eq!(report.per_core[1].msgs_recv, 1);
+        assert_eq!(report.per_core[1].bytes_recv, 100);
+    }
+
+    #[test]
+    fn rendezvous_works_in_both_arrival_orders() {
+        // Receiver first (sender computes), then sender first.
+        for (sender_delay, receiver_delay) in [(5_000u64, 0u64), (0, 5_000)] {
+            let report = Simulator::new(cfg()).run(vec![
+                Some(Box::new(move |ctx: &mut CoreCtx| {
+                    ctx.compute_ops(sender_delay);
+                    ctx.send(CoreId(1), vec![1, 2, 3]);
+                })),
+                Some(Box::new(move |ctx: &mut CoreCtx| {
+                    ctx.compute_ops(receiver_delay);
+                    let m = ctx.recv_from(CoreId(0));
+                    assert_eq!(m, vec![1, 2, 3]);
+                })),
+            ]);
+            assert_eq!(report.total_messages(), 1);
+        }
+    }
+
+    #[test]
+    fn messages_from_same_sender_arrive_in_order() {
+        let report = Simulator::new(cfg()).run(vec![
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                for k in 0..10u8 {
+                    ctx.send(CoreId(1), vec![k]);
+                }
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                for k in 0..10u8 {
+                    let m = ctx.recv_from(CoreId(0));
+                    assert_eq!(m, vec![k]);
+                }
+            })),
+        ]);
+        assert_eq!(report.total_messages(), 10);
+    }
+
+    #[test]
+    fn recv_any_takes_earliest_poster() {
+        // Core 2 posts its send earlier in virtual time than core 1.
+        let report = Simulator::new(cfg()).run(vec![
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                let (src1, m1) = ctx.recv_any(&ids(&[1, 2]));
+                let (src2, m2) = ctx.recv_any(&ids(&[1, 2]));
+                assert_eq!(src1, CoreId(2));
+                assert_eq!(m1, vec![2]);
+                assert_eq!(src2, CoreId(1));
+                assert_eq!(m2, vec![1]);
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                ctx.compute_ops(100_000); // arrives later
+                ctx.send(CoreId(0), vec![1]);
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                ctx.send(CoreId(0), vec![2]);
+            })),
+        ]);
+        assert!(report.per_core[0].probes >= 2);
+    }
+
+    #[test]
+    fn recv_any_round_robin_breaks_ties() {
+        // Both senders post "at the same time" (no compute). The master
+        // should alternate fairly thanks to the cursor.
+        let seen = std::sync::Mutex::new(Vec::new());
+        Simulator::new(cfg()).run(vec![
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                for _ in 0..4 {
+                    let (src, _) = ctx.recv_any(&ids(&[1, 2]));
+                    seen.lock().unwrap().push(src.0);
+                }
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                for _ in 0..2 {
+                    ctx.send(CoreId(0), vec![1]);
+                }
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                for _ in 0..2 {
+                    ctx.send(CoreId(0), vec![2]);
+                }
+            })),
+        ]);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4);
+        assert!(seen.contains(&1) && seen.contains(&2));
+    }
+
+    #[test]
+    fn barrier_synchronises_times() {
+        let after = std::sync::Mutex::new(Vec::new());
+        Simulator::new(cfg()).run(vec![
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                ctx.compute_ops(10);
+                ctx.barrier(&ids(&[0, 1, 2]));
+                after.lock().unwrap().push(ctx.now());
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                ctx.compute_ops(100_000);
+                ctx.barrier(&ids(&[0, 1, 2]));
+                after.lock().unwrap().push(ctx.now());
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                ctx.barrier(&ids(&[0, 1, 2]));
+                after.lock().unwrap().push(ctx.now());
+            })),
+        ]);
+        let times = after.into_inner().unwrap();
+        assert_eq!(times.len(), 3);
+        assert!(times.windows(2).all(|w| w[0] == w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn singleton_barrier_is_noop() {
+        let report = Simulator::new(cfg()).run(vec![Some(Box::new(|ctx: &mut CoreCtx| {
+            ctx.barrier(&[CoreId(0)]);
+        }))]);
+        assert_eq!(report.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn resource_contention_serialises() {
+        let c = cfg();
+        let service = SimDuration::from_secs_f64(1.0);
+        let report = Simulator::new(c).run(vec![
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.use_resource(ResourceId(0), service);
+            })),
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.use_resource(ResourceId(0), service);
+            })),
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.use_resource(ResourceId(0), service);
+            })),
+        ]);
+        // Three 1-second jobs on one FCFS server take 3 seconds.
+        assert_eq!(report.makespan, SimTime::ZERO + service.saturating_mul(3));
+    }
+
+    #[test]
+    fn independent_resources_run_in_parallel() {
+        let service = SimDuration::from_secs_f64(1.0);
+        let report = Simulator::new(cfg()).run(vec![
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.use_resource(ResourceId(0), service);
+            })),
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.use_resource(ResourceId(1), service);
+            })),
+        ]);
+        assert_eq!(report.makespan, SimTime::ZERO + service);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            Simulator::new(cfg()).run(vec![
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    let mut total = 0u64;
+                    for _ in 0..5 {
+                        let (src, m) = ctx.recv_any(&ids(&[1, 2, 3]));
+                        total += m[0] as u64 + src.0 as u64;
+                        ctx.compute_ops(123);
+                    }
+                    assert!(total > 0);
+                })),
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    ctx.compute_ops(77);
+                    ctx.send(CoreId(0), vec![1]);
+                    ctx.send(CoreId(0), vec![2]);
+                })),
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    ctx.compute_ops(200);
+                    ctx.send(CoreId(0), vec![3]);
+                })),
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    ctx.send(CoreId(0), vec![4]);
+                    ctx.compute_ops(500);
+                    ctx.send(CoreId(0), vec![5]);
+                })),
+            ])
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        for (x, y) in a.per_core.iter().zip(&b.per_core) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let _ = Simulator::new(cfg()).run(vec![
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                let _ = ctx.recv_from(CoreId(1));
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                let _ = ctx.recv_from(CoreId(0));
+            })),
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn program_panic_propagates() {
+        let _ = Simulator::new(cfg()).run(vec![
+            Some(Box::new(|_ctx: &mut CoreCtx| {
+                panic!("user bug");
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                // Would wait forever if the panic were not propagated.
+                let _ = ctx.recv_from(CoreId(0));
+            })),
+        ]);
+    }
+
+    #[test]
+    fn farm_pattern_distributes_all_jobs() {
+        // Minimal master-slaves round: master sends one job to each slave,
+        // collects one result from each.
+        let n_slaves = 5usize;
+        let slaves: Vec<usize> = (1..=n_slaves).collect();
+        let results = std::sync::Mutex::new(Vec::new());
+        let report = {
+            let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+            let slaves2 = slaves.clone();
+            let results = &results;
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                for &sl in &slaves2 {
+                    ctx.send(CoreId(sl), vec![sl as u8]);
+                }
+                for _ in 0..n_slaves {
+                    let (src, m) = ctx.recv_any(&ids(&slaves2));
+                    results.lock().unwrap().push((src.0, m[0]));
+                }
+            })));
+            for _ in 0..n_slaves {
+                programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                    let m = ctx.recv_from(CoreId(0));
+                    ctx.compute_ops(m[0] as u64 * 1000);
+                    ctx.send(CoreId(0), vec![m[0] * 2]);
+                })));
+            }
+            Simulator::new(cfg()).run(programs)
+        };
+        let mut results = results.into_inner().unwrap();
+        results.sort_unstable();
+        assert_eq!(results.len(), n_slaves);
+        for (i, (src, val)) in results.iter().enumerate() {
+            assert_eq!(*src, i + 1);
+            assert_eq!(*val as usize, (i + 1) * 2);
+        }
+        assert_eq!(report.total_messages(), 2 * n_slaves as u64);
+    }
+
+    #[test]
+    fn idle_time_accounted_for_late_sender() {
+        let c = cfg();
+        let wait = c.ops_to_duration(1_000_000);
+        let report = Simulator::new(c).run(vec![
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                ctx.compute_ops(1_000_000);
+                ctx.send(CoreId(1), vec![0]);
+            })),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                let _ = ctx.recv_from(CoreId(0));
+            })),
+        ]);
+        // Receiver idled for (at least) the sender's compute time.
+        assert!(report.per_core[1].idle >= wait);
+    }
+
+    #[test]
+    fn run_traced_records_messages() {
+        let (report, trace) = Simulator::new(cfg()).run_traced(
+            vec![
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    ctx.send(CoreId(1), vec![1, 2, 3]);
+                    ctx.barrier(&[CoreId(0), CoreId(1)]);
+                })),
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    let _ = ctx.recv_from(CoreId(0));
+                    ctx.use_resource(ResourceId(3), SimDuration::from_secs_f64(0.5));
+                    ctx.barrier(&[CoreId(0), CoreId(1)]);
+                })),
+            ],
+            100,
+        );
+        assert_eq!(report.total_messages(), 1);
+        let kinds: Vec<_> = trace.iter().map(|e| e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            crate::trace::TraceKind::Message { src: CoreId(0), dst: CoreId(1), bytes: 3 }
+        )));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            crate::trace::TraceKind::Resource { id: 3, core: CoreId(1) }
+        )));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            crate::trace::TraceKind::Barrier { group: 2 }
+        )));
+        // Trace is ordered by completion time.
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn trace_capacity_is_respected() {
+        let (_, trace) = Simulator::new(cfg()).run_traced(
+            vec![
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    for _ in 0..10 {
+                        ctx.send(CoreId(1), vec![0]);
+                    }
+                })),
+                Some(Box::new(|ctx: &mut CoreCtx| {
+                    for _ in 0..10 {
+                        let _ = ctx.recv_from(CoreId(0));
+                    }
+                })),
+            ],
+            4,
+        );
+        assert_eq!(trace.len(), 4);
+    }
+
+    #[test]
+    fn link_contention_serialises_shared_links() {
+        // Two large same-direction transfers share the (0,0)→(1,0) link:
+        // with contention on, the second must wait out the first's
+        // serialisation time.
+        let mut c = cfg();
+        c.link_contention = true;
+        let len = 1_000_000usize;
+        let run = |c: NocConfig| {
+            Simulator::new(c).run(vec![
+                Some(Box::new(move |ctx: &mut CoreCtx| {
+                    ctx.send(CoreId(4), vec![0u8; len]); // tile 0 → tile 2
+                }) as CoreProgram),
+                Some(Box::new(move |ctx: &mut CoreCtx| {
+                    ctx.send(CoreId(5), vec![0u8; len]); // tile 0 → tile 2
+                })),
+                None,
+                None,
+                Some(Box::new(move |ctx: &mut CoreCtx| {
+                    let _ = ctx.recv_from(CoreId(0));
+                })),
+                Some(Box::new(move |ctx: &mut CoreCtx| {
+                    let _ = ctx.recv_from(CoreId(1));
+                })),
+            ])
+        };
+        let contended = run(c).makespan;
+        let free = run(cfg()).makespan;
+        assert!(
+            contended > free,
+            "contended {contended} should exceed contention-free {free}"
+        );
+        // The gap is at least one link-serialisation time.
+        let one_link = cfg().link_time(len);
+        assert!(contended.since(free) >= SimDuration(one_link.0 / 2));
+    }
+
+    #[test]
+    fn link_contention_leaves_disjoint_routes_alone() {
+        // Transfers on opposite mesh rows share no links: contention
+        // modelling must not slow them down.
+        let mut c = cfg();
+        c.link_contention = true;
+        let len = 500_000usize;
+        let run = |c: NocConfig| {
+            let mut programs: Vec<Option<CoreProgram>> = (0..48).map(|_| None).collect();
+            programs[0] = Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.send(CoreId(4), vec![0u8; len]); // row 0 eastwards
+            }));
+            programs[4] = Some(Box::new(move |ctx: &mut CoreCtx| {
+                let _ = ctx.recv_from(CoreId(0));
+            }));
+            programs[36] = Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.send(CoreId(40), vec![0u8; len]); // row 3 eastwards
+            }));
+            programs[40] = Some(Box::new(move |ctx: &mut CoreCtx| {
+                let _ = ctx.recv_from(CoreId(36));
+            }));
+            Simulator::new(c).run(programs)
+        };
+        assert_eq!(run(c).makespan, run(cfg()).makespan);
+    }
+
+    #[test]
+    fn memory_controllers_serialise_within_a_quadrant() {
+        // Cores 0 and 2 share quadrant 0 of the SCC: their loads queue.
+        let c = cfg();
+        let service = c.dram_time(1_000_000);
+        let report = Simulator::new(c).run(vec![
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.read_memory(1_000_000);
+            })),
+            None,
+            Some(Box::new(move |ctx: &mut CoreCtx| {
+                ctx.read_memory(1_000_000);
+            })),
+        ]);
+        assert_eq!(
+            report.makespan,
+            SimTime::ZERO + service + service,
+            "same-quadrant loads must queue"
+        );
+    }
+
+    #[test]
+    fn memory_controllers_parallel_across_quadrants() {
+        // Core 0 (quadrant 0) and core 47 (quadrant 3) load concurrently.
+        let c = cfg();
+        let service = c.dram_time(1_000_000);
+        let mut programs: Vec<Option<CoreProgram>> = (0..48).map(|_| None).collect();
+        programs[0] = Some(Box::new(move |ctx: &mut CoreCtx| {
+            ctx.read_memory(1_000_000);
+        }));
+        programs[47] = Some(Box::new(move |ctx: &mut CoreCtx| {
+            ctx.read_memory(1_000_000);
+        }));
+        let report = Simulator::new(c).run(programs);
+        assert_eq!(report.makespan, SimTime::ZERO + service);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to itself")]
+    fn self_send_rejected() {
+        let _ = Simulator::new(cfg()).run(vec![Some(Box::new(|ctx: &mut CoreCtx| {
+            ctx.send(CoreId(0), vec![]);
+        }))]);
+    }
+}

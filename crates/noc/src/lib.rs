@@ -1,0 +1,44 @@
+//! # rck-noc
+//!
+//! A deterministic discrete-event simulator of an SCC-like network-on-chip
+//! many-core processor: a 6×4 tile mesh with two cores per tile,
+//! per-tile message-passing buffers, XY routing, per-core virtual clocks,
+//! and contended FCFS resources. This is the hardware substrate the
+//! rckAlign reproduction runs on — the physical Intel SCC no longer
+//! exists, so its timing behaviour is modelled here (see DESIGN.md for the
+//! substitution argument and calibration).
+//!
+//! Programs are plain Rust closures, one per core, executed on real
+//! threads under a virtual-time turn scheduler; see [`engine`].
+//!
+//! ```
+//! use rck_noc::{CoreCtx, CoreId, NocConfig, Simulator};
+//!
+//! let sim = Simulator::new(NocConfig::scc());
+//! let report = sim.run(vec![
+//!     Some(Box::new(|ctx: &mut CoreCtx| {
+//!         ctx.send(CoreId(1), b"job".to_vec());
+//!     })),
+//!     Some(Box::new(|ctx: &mut CoreCtx| {
+//!         let job = ctx.recv_from(CoreId(0));
+//!         ctx.compute_ops(job.len() as u64 * 1000);
+//!     })),
+//! ]);
+//! assert!(report.makespan > rck_noc::SimTime::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use config::NocConfig;
+pub use engine::{CoreCtx, CoreProgram, ResourceId, Simulator};
+pub use stats::{CoreStats, SimReport};
+pub use time::{SimDuration, SimTime};
+pub use topology::{CoreId, Topology};
+pub use trace::{render_timeline, TraceEvent, TraceKind};

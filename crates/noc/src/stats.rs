@@ -1,0 +1,112 @@
+//! Per-core statistics and the end-of-run report.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one simulated core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Time spent computing.
+    pub busy: SimDuration,
+    /// Time spent actively moving message data (MPB copies).
+    pub comm: SimDuration,
+    /// Time spent blocked waiting (for partners, barriers, resources).
+    pub idle: SimDuration,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Flag probes performed while polling.
+    pub probes: u64,
+}
+
+impl CoreStats {
+    /// Fraction of `total` this core spent computing.
+    pub fn utilization(&self, total: SimDuration) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.busy.0 as f64 / total.0 as f64
+        }
+    }
+}
+
+/// Summary of a finished simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Largest core finish time — the wall-clock of the simulated run.
+    pub makespan: SimTime,
+    /// Per-core counters, indexed by core id.
+    pub per_core: Vec<CoreStats>,
+}
+
+impl SimReport {
+    /// Total messages exchanged.
+    pub fn total_messages(&self) -> u64 {
+        self.per_core.iter().map(|c| c.msgs_sent).sum()
+    }
+
+    /// Total payload bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_core.iter().map(|c| c.bytes_sent).sum()
+    }
+
+    /// Mean compute utilization over a set of cores (e.g. the slaves).
+    pub fn mean_utilization(&self, cores: impl IntoIterator<Item = usize>) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in cores {
+            sum += self.per_core[c].utilization(self.makespan.since(SimTime::ZERO));
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = CoreStats {
+            busy: SimDuration(30),
+            ..Default::default()
+        };
+        assert!((s.utilization(SimDuration(60)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(SimDuration(0)), 0.0);
+    }
+
+    #[test]
+    fn report_totals() {
+        let r = SimReport {
+            makespan: SimTime(100),
+            per_core: vec![
+                CoreStats {
+                    busy: SimDuration(50),
+                    msgs_sent: 2,
+                    bytes_sent: 10,
+                    ..Default::default()
+                },
+                CoreStats {
+                    busy: SimDuration(100),
+                    msgs_sent: 3,
+                    bytes_sent: 20,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(r.total_messages(), 5);
+        assert_eq!(r.total_bytes(), 30);
+        assert!((r.mean_utilization(0..2) - 0.75).abs() < 1e-12);
+        assert_eq!(r.mean_utilization(std::iter::empty()), 0.0);
+    }
+}

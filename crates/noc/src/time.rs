@@ -1,0 +1,160 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! Time is an integer count of **picoseconds**: fine enough to resolve
+//! single cycles of a multi-GHz mesh, wide enough (u64) for ~200 days of
+//! simulated time, and exact — no floating-point drift between runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+/// Picoseconds per second.
+const PS_PER_SEC: f64 = 1e12;
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Seconds since time zero, as f64 (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC
+    }
+
+    /// Saturating difference.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From seconds (rounds to the nearest picosecond).
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid duration {secs}");
+        SimDuration((secs * PS_PER_SEC).round() as u64)
+    }
+
+    /// From a cycle count at a given core frequency.
+    pub fn from_cycles(cycles: f64, freq_hz: f64) -> SimDuration {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        assert!(cycles >= 0.0, "cycle count must be non-negative");
+        SimDuration::from_secs_f64(cycles / freq_hz)
+    }
+
+    /// Seconds, as f64 (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC
+    }
+
+    /// Scale by an integer factor.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, o: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(o.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, o: SimDuration) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, o: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(o.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_roundtrip() {
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.0, 1_500_000_000_000);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_at_frequency() {
+        // 800 cycles at 800 MHz = 1 µs.
+        let d = SimDuration::from_cycles(800.0, 800e6);
+        assert_eq!(d.0, 1_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(2.0);
+        let u = t + SimDuration::from_secs_f64(0.5);
+        assert_eq!(u.since(t), SimDuration::from_secs_f64(0.5));
+        assert_eq!(t.since(u), SimDuration::ZERO); // saturating
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(5) < SimTime(6));
+        assert!(SimDuration(1) + SimDuration(2) == SimDuration(3));
+        assert_eq!(SimDuration(5) - SimDuration(7), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_mul() {
+        assert_eq!(SimDuration(3).saturating_mul(4), SimDuration(12));
+        assert_eq!(SimDuration(u64::MAX).saturating_mul(2), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime(1_500_000_000_000)), "1.500000s");
+        assert_eq!(format!("{}", SimDuration(250_000_000)), "0.000250s");
+    }
+}

@@ -1,0 +1,231 @@
+//! Mesh topology of the simulated chip.
+//!
+//! The SCC arranges 24 tiles in a 6×4 mesh, two P54C cores per tile, with
+//! one router per tile and dimension-ordered (X-then-Y) routing. Message
+//! latency between cores is proportional to the Manhattan distance between
+//! their tiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a core on the chip (0-based, `rck00`, `rck01`, … in SCC
+/// nomenclature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rck{:02}", self.0)
+    }
+}
+
+/// Geometry of the tile mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Mesh width in tiles (SCC: 6).
+    pub mesh_cols: usize,
+    /// Mesh height in tiles (SCC: 4).
+    pub mesh_rows: usize,
+    /// Cores per tile (SCC: 2).
+    pub cores_per_tile: usize,
+}
+
+impl Topology {
+    /// The SCC layout: 6×4 tiles × 2 cores = 48 cores.
+    pub const SCC: Topology = Topology {
+        mesh_cols: 6,
+        mesh_rows: 4,
+        cores_per_tile: 2,
+    };
+
+    /// Total number of cores.
+    pub fn core_count(&self) -> usize {
+        self.mesh_cols * self.mesh_rows * self.cores_per_tile
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.mesh_cols * self.mesh_rows
+    }
+
+    /// The tile a core sits on.
+    pub fn tile_of(&self, core: CoreId) -> usize {
+        assert!(core.0 < self.core_count(), "core {core} out of range");
+        core.0 / self.cores_per_tile
+    }
+
+    /// `(col, row)` coordinates of a tile in the mesh.
+    pub fn tile_coords(&self, tile: usize) -> (usize, usize) {
+        assert!(tile < self.tile_count(), "tile {tile} out of range");
+        (tile % self.mesh_cols, tile / self.mesh_cols)
+    }
+
+    /// Router hops between two cores under X-then-Y dimension-ordered
+    /// routing — the Manhattan distance of their tiles. Zero for cores on
+    /// the same tile (they share the message-passing buffer).
+    pub fn hops(&self, a: CoreId, b: CoreId) -> usize {
+        let (ax, ay) = self.tile_coords(self.tile_of(a));
+        let (bx, by) = self.tile_coords(self.tile_of(b));
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The directed tile-to-tile links a message crosses under X-then-Y
+    /// dimension-ordered routing, in traversal order. Empty for cores on
+    /// the same tile.
+    pub fn xy_route(&self, a: CoreId, b: CoreId) -> Vec<(usize, usize)> {
+        let (mut x, mut y) = self.tile_coords(self.tile_of(a));
+        let (bx, by) = self.tile_coords(self.tile_of(b));
+        let mut links = Vec::with_capacity(self.hops(a, b));
+        while x != bx {
+            let nx = if bx > x { x + 1 } else { x - 1 };
+            links.push((y * self.mesh_cols + x, y * self.mesh_cols + nx));
+            x = nx;
+        }
+        while y != by {
+            let ny = if by > y { y + 1 } else { y - 1 };
+            links.push((y * self.mesh_cols + x, ny * self.mesh_cols + x));
+            y = ny;
+        }
+        links
+    }
+
+    /// Number of off-chip memory controllers (the SCC has 4 iMCs at the
+    /// mesh edges).
+    pub const MEMORY_CONTROLLERS: usize = 4;
+
+    /// Which memory controller serves a core: the chip is split into
+    /// quadrants, as in the SCC's default memory mapping.
+    pub fn memory_controller_of(&self, core: CoreId) -> usize {
+        let (x, y) = self.tile_coords(self.tile_of(core));
+        let right = usize::from(x >= self.mesh_cols.div_ceil(2));
+        let top = usize::from(y >= self.mesh_rows.div_ceil(2));
+        top * 2 + right
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_has_48_cores_24_tiles() {
+        assert_eq!(Topology::SCC.core_count(), 48);
+        assert_eq!(Topology::SCC.tile_count(), 24);
+    }
+
+    #[test]
+    fn core_display_matches_scc_naming() {
+        assert_eq!(CoreId(0).to_string(), "rck00");
+        assert_eq!(CoreId(47).to_string(), "rck47");
+    }
+
+    #[test]
+    fn same_tile_zero_hops() {
+        let t = Topology::SCC;
+        assert_eq!(t.hops(CoreId(0), CoreId(1)), 0);
+        assert_eq!(t.hops(CoreId(46), CoreId(47)), 0);
+    }
+
+    #[test]
+    fn adjacent_tiles_one_hop() {
+        let t = Topology::SCC;
+        // Cores 0/1 are tile 0 (0,0); cores 2/3 are tile 1 (1,0).
+        assert_eq!(t.hops(CoreId(0), CoreId(2)), 1);
+    }
+
+    #[test]
+    fn opposite_corners_max_hops() {
+        let t = Topology::SCC;
+        // Tile 0 is (0,0); tile 23 is (5,3): 5 + 3 = 8 hops.
+        assert_eq!(t.hops(CoreId(0), CoreId(47)), 8);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let t = Topology::SCC;
+        for a in 0..48 {
+            for b in 0..48 {
+                assert_eq!(t.hops(CoreId(a), CoreId(b)), t.hops(CoreId(b), CoreId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_triangle_inequality() {
+        let t = Topology::SCC;
+        for a in (0..48).step_by(5) {
+            for b in (0..48).step_by(7) {
+                for c in (0..48).step_by(11) {
+                    let (a, b, c) = (CoreId(a), CoreId(b), CoreId(c));
+                    assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_coords_layout() {
+        let t = Topology::SCC;
+        assert_eq!(t.tile_coords(0), (0, 0));
+        assert_eq!(t.tile_coords(5), (5, 0));
+        assert_eq!(t.tile_coords(6), (0, 1));
+        assert_eq!(t.tile_coords(23), (5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        let _ = Topology::SCC.tile_of(CoreId(48));
+    }
+
+    #[test]
+    fn xy_route_matches_hop_count_and_is_connected() {
+        let t = Topology::SCC;
+        for a in (0..48).step_by(3) {
+            for b in (0..48).step_by(5) {
+                let (a, b) = (CoreId(a), CoreId(b));
+                let route = t.xy_route(a, b);
+                assert_eq!(route.len(), t.hops(a, b));
+                // Route is connected and ends at b's tile.
+                let mut at = t.tile_of(a);
+                for &(from, to) in &route {
+                    assert_eq!(from, at);
+                    at = to;
+                }
+                assert_eq!(at, t.tile_of(b));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        let t = Topology::SCC;
+        // Core 0 (tile 0 at (0,0)) to core 47 (tile 23 at (5,3)).
+        let route = t.xy_route(CoreId(0), CoreId(47));
+        // First five links move along the row (tiles 0→1→2→3→4→5).
+        assert_eq!(&route[..5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        // Then down the column (5 → 11 → 17 → 23).
+        assert_eq!(&route[5..], &[(5, 11), (11, 17), (17, 23)]);
+    }
+
+    #[test]
+    fn memory_controllers_partition_the_chip_in_quadrants() {
+        let t = Topology::SCC;
+        // Corner tiles land on four distinct controllers.
+        let corners = [CoreId(0), CoreId(10), CoreId(36), CoreId(46)];
+        let mut mcs: Vec<usize> = corners
+            .iter()
+            .map(|&c| t.memory_controller_of(c))
+            .collect();
+        mcs.sort_unstable();
+        mcs.dedup();
+        assert_eq!(mcs.len(), 4);
+        // Every core maps to a valid controller, and each controller
+        // serves 12 cores (48 / 4).
+        let mut counts = [0usize; 4];
+        for c in 0..48 {
+            counts[t.memory_controller_of(CoreId(c))] += 1;
+        }
+        assert_eq!(counts, [12, 12, 12, 12]);
+    }
+}

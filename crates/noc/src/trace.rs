@@ -1,0 +1,208 @@
+//! Optional event tracing.
+//!
+//! When enabled, the engine records one [`TraceEvent`] per completed
+//! message transfer, barrier release and resource grant — enough to
+//! reconstruct a Gantt view of the run (who waited on whom, when the
+//! master serialised) without logging per-cycle detail.
+
+use crate::time::SimTime;
+use crate::topology::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message transfer completed (`src → dst`, payload bytes).
+    Message {
+        /// Sender.
+        src: CoreId,
+        /// Receiver.
+        dst: CoreId,
+        /// Payload size.
+        bytes: u32,
+    },
+    /// A barrier released this many participants.
+    Barrier {
+        /// Number of cores released.
+        group: u32,
+    },
+    /// A core finished using a shared resource.
+    Resource {
+        /// Which resource.
+        id: u32,
+        /// The core that used it.
+        core: CoreId,
+    },
+}
+
+/// One trace record, stamped with the virtual time the event completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Completion time of the event.
+    pub at: SimTime,
+    /// Event payload.
+    pub kind: TraceKind,
+}
+
+/// A bounded in-memory trace buffer. Events beyond the capacity are
+/// counted but dropped, so a huge run cannot exhaust host memory.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event (drops beyond capacity).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events retained, in completion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consume the buffer.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+/// Render a text activity timeline from a trace: one row per core,
+/// `width` time buckets; `s`/`r` mark buckets where the core completed a
+/// send/receive (`*` if both), `m` marks memory/resource activity.
+/// Cores with no events are omitted.
+pub fn render_timeline(events: &[TraceEvent], n_cores: usize, width: usize) -> String {
+    use std::fmt::Write as _;
+    assert!(width >= 2, "timeline needs at least 2 columns");
+    let mut out = String::new();
+    if events.is_empty() {
+        return String::from("(no events)\n");
+    }
+    let t_max = events.iter().map(|e| e.at.0).max().expect("non-empty").max(1);
+    let bucket = |t: SimTime| ((t.0 as u128 * (width as u128 - 1)) / t_max as u128) as usize;
+
+    let mut rows: Vec<Vec<char>> = vec![vec!['.'; width]; n_cores];
+    let mark = |rows: &mut Vec<Vec<char>>, core: usize, b: usize, c: char| {
+        if core >= rows.len() {
+            return;
+        }
+        let cell = &mut rows[core][b];
+        *cell = match (*cell, c) {
+            ('.', c) => c,
+            ('s', 'r') | ('r', 's') => '*',
+            (old, _) => old,
+        };
+    };
+    for e in events {
+        let b = bucket(e.at);
+        match e.kind {
+            TraceKind::Message { src, dst, .. } => {
+                mark(&mut rows, src.0, b, 's');
+                mark(&mut rows, dst.0, b, 'r');
+            }
+            TraceKind::Resource { core, .. } => mark(&mut rows, core.0, b, 'm'),
+            TraceKind::Barrier { .. } => {}
+        }
+    }
+    for (core, row) in rows.iter().enumerate() {
+        if row.iter().all(|c| *c == '.') {
+            continue;
+        }
+        let _ = writeln!(out, "rck{core:02} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "       0{:>width$}",
+        format!("{:.3}s", SimTime(t_max).as_secs_f64()),
+        width = width
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(t),
+            kind: TraceKind::Barrier { group: 2 },
+        }
+    }
+
+    #[test]
+    fn bounded_capacity() {
+        let mut b = TraceBuffer::with_capacity(2);
+        b.push(ev(1));
+        b.push(ev(2));
+        b.push(ev(3));
+        assert_eq!(b.events().len(), 2);
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.into_events().len(), 2);
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut b = TraceBuffer::with_capacity(10);
+        for t in [5, 7, 9] {
+            b.push(ev(t));
+        }
+        let times: Vec<u64> = b.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![5, 7, 9]);
+    }
+
+    #[test]
+    fn timeline_marks_senders_and_receivers() {
+        use crate::topology::CoreId;
+        let events = vec![
+            TraceEvent {
+                at: SimTime(10),
+                kind: TraceKind::Message {
+                    src: CoreId(0),
+                    dst: CoreId(1),
+                    bytes: 4,
+                },
+            },
+            TraceEvent {
+                at: SimTime(100),
+                kind: TraceKind::Resource {
+                    id: 0,
+                    core: CoreId(2),
+                },
+            },
+        ];
+        let text = render_timeline(&events, 4, 20);
+        assert!(text.contains("rck00"), "{text}");
+        assert!(text.contains('s'));
+        assert!(text.contains('r'));
+        assert!(text.contains('m'));
+        // Idle core 3 is omitted.
+        assert!(!text.contains("rck03"));
+    }
+
+    #[test]
+    fn timeline_empty_trace() {
+        assert_eq!(render_timeline(&[], 4, 10), "(no events)\n");
+    }
+}

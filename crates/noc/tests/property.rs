@@ -1,0 +1,143 @@
+//! Property-based tests of the simulator's core guarantees.
+
+use proptest::prelude::*;
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, SimTime, Simulator, Topology};
+use std::sync::Mutex;
+
+proptest! {
+    /// Messages between any fixed pair of cores arrive in FIFO order, for
+    /// arbitrary payload sequences and compute delays.
+    #[test]
+    fn point_to_point_fifo(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..12),
+        delays in prop::collection::vec(0u64..100_000, 12),
+    ) {
+        let received = Mutex::new(Vec::new());
+        let n = payloads.len();
+        Simulator::new(NocConfig::scc()).run(vec![
+            Some(Box::new({
+                let payloads = payloads.clone();
+                let delays = delays.clone();
+                move |ctx: &mut CoreCtx| {
+                    for (k, p) in payloads.into_iter().enumerate() {
+                        ctx.compute_ops(delays[k % delays.len()]);
+                        ctx.send(CoreId(1), p);
+                    }
+                }
+            }) as CoreProgram),
+            Some(Box::new({
+                let received = &received;
+                move |ctx: &mut CoreCtx| {
+                    for _ in 0..n {
+                        received.lock().unwrap().push(ctx.recv_from(CoreId(0)));
+                    }
+                }
+            })),
+        ]);
+        prop_assert_eq!(received.into_inner().unwrap(), payloads);
+    }
+
+    /// Per-core virtual time is monotone: every observation a program
+    /// makes of its own clock is non-decreasing.
+    #[test]
+    fn core_clocks_are_monotone(
+        ops in prop::collection::vec(0u64..50_000, 1..10),
+    ) {
+        let times = Mutex::new(Vec::new());
+        Simulator::new(NocConfig::scc()).run(vec![
+            Some(Box::new({
+                let ops = ops.clone();
+                let times = &times;
+                move |ctx: &mut CoreCtx| {
+                    for o in ops {
+                        ctx.compute_ops(o);
+                        times.lock().unwrap().push(ctx.now());
+                        ctx.send(CoreId(1), vec![1]);
+                        times.lock().unwrap().push(ctx.now());
+                    }
+                    ctx.send(CoreId(1), vec![0]);
+                }
+            }) as CoreProgram),
+            Some(Box::new(|ctx: &mut CoreCtx| {
+                loop {
+                    let m = ctx.recv_from(CoreId(0));
+                    if m == vec![0] {
+                        return;
+                    }
+                }
+            })),
+        ]);
+        let times = times.into_inner().unwrap();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    /// The makespan is at least every core's busy time and the report's
+    /// totals are conserved (bytes sent == bytes received).
+    #[test]
+    fn report_conservation(
+        jobs in prop::collection::vec((0u64..200_000, 1usize..512), 1..10),
+        n_workers in 1usize..6,
+    ) {
+        let report = {
+            let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+            {
+                let jobs = jobs.clone();
+                programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                    for (k, (_, size)) in jobs.iter().enumerate() {
+                        let dst = CoreId(1 + k % n_workers);
+                        ctx.send(dst, vec![0u8; *size]);
+                    }
+                }) as CoreProgram));
+            }
+            for w in 0..n_workers {
+                // Worker w receives every job with index ≡ w (mod workers).
+                let my_jobs: Vec<u64> = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| k % n_workers == w)
+                    .map(|(_, (ops, _))| *ops)
+                    .collect();
+                programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                    for ops in my_jobs {
+                        let _ = ctx.recv_from(CoreId(0));
+                        ctx.compute_ops(ops);
+                    }
+                })));
+            }
+            Simulator::new(NocConfig::scc()).run(programs)
+        };
+        let sent: u64 = report.per_core.iter().map(|c| c.bytes_sent).sum();
+        let recv: u64 = report.per_core.iter().map(|c| c.bytes_recv).sum();
+        prop_assert_eq!(sent, recv);
+        let expected_bytes: u64 = jobs.iter().map(|(_, s)| *s as u64).sum();
+        prop_assert_eq!(sent, expected_bytes);
+        prop_assert_eq!(report.total_messages(), jobs.len() as u64);
+        for c in &report.per_core {
+            prop_assert!(SimTime::ZERO + c.busy <= report.makespan);
+        }
+    }
+
+    /// Mesh hop counts are a metric: symmetric, zero iff same tile,
+    /// triangle inequality.
+    #[test]
+    fn hops_form_a_metric(a in 0usize..48, b in 0usize..48, c in 0usize..48) {
+        let t = Topology::SCC;
+        let (a, b, c) = (CoreId(a), CoreId(b), CoreId(c));
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert_eq!(t.hops(a, a), 0);
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        if t.tile_of(a) == t.tile_of(b) {
+            prop_assert_eq!(t.hops(a, b), 0);
+        }
+    }
+
+    /// Transfer timing is monotone in payload size and hop distance.
+    #[test]
+    fn transfer_cost_monotone(len1 in 0usize..100_000, len2 in 0usize..100_000) {
+        let cfg = NocConfig::scc();
+        let (small, big) = if len1 < len2 { (len1, len2) } else { (len2, len1) };
+        prop_assert!(cfg.copy_time(small) <= cfg.copy_time(big));
+        prop_assert!(cfg.network_time(small, 3) <= cfg.network_time(big, 3));
+        prop_assert!(cfg.network_time(big, 1) <= cfg.network_time(big, 5));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for PDB parsing.
+
+use std::fmt;
+
+/// Errors produced by the PDB parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdbError {
+    /// A record had an unparseable mandatory field.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Which field failed.
+        what: &'static str,
+    },
+    /// The file contained no atoms at all.
+    Empty,
+}
+
+impl PdbError {
+    pub(crate) fn malformed(line: usize, what: &'static str) -> PdbError {
+        PdbError::Malformed { line, what }
+    }
+}
+
+impl fmt::Display for PdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdbError::Malformed { line, what } => {
+                write!(f, "malformed PDB record at line {line}: bad {what}")
+            }
+            PdbError::Empty => write!(f, "PDB file contains no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PdbError::malformed(12, "x");
+        assert!(e.to_string().contains("line 12"));
+        assert!(PdbError::Empty.to_string().contains("no atoms"));
+    }
+}

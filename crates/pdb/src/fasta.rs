@@ -1,0 +1,166 @@
+//! FASTA sequence I/O.
+//!
+//! PSC pipelines routinely pair structure files with their sequences;
+//! this module reads and writes the standard FASTA format for the chains
+//! in this workspace (sequence information travels with every
+//! [`crate::model::CaChain`]).
+
+use crate::error::PdbError;
+use crate::model::{AminoAcid, CaChain};
+use std::fmt::Write as _;
+
+/// Residues per FASTA line.
+const LINE_WIDTH: usize = 60;
+
+/// One FASTA record: a header (without the `>`) and a residue sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text after `>` (identifier + free-form description).
+    pub header: String,
+    /// The sequence.
+    pub seq: Vec<AminoAcid>,
+}
+
+impl FastaRecord {
+    /// The identifier: the header up to the first whitespace.
+    pub fn id(&self) -> &str {
+        self.header.split_whitespace().next().unwrap_or("")
+    }
+}
+
+/// Render records as FASTA text.
+pub fn write_fasta(records: &[FastaRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(out, ">{}", r.header);
+        let letters: String = r.seq.iter().map(|aa| aa.one_letter()).collect();
+        for chunk in letters.as_bytes().chunks(LINE_WIDTH) {
+            let _ = writeln!(out, "{}", std::str::from_utf8(chunk).expect("ASCII"));
+        }
+    }
+    out
+}
+
+/// Render the sequences of a chain set as FASTA.
+pub fn chains_to_fasta(chains: &[CaChain]) -> String {
+    let records: Vec<FastaRecord> = chains
+        .iter()
+        .map(|c| FastaRecord {
+            header: format!("{} {} residues", c.name, c.len()),
+            seq: c.seq.clone(),
+        })
+        .collect();
+    write_fasta(&records)
+}
+
+/// Parse FASTA text. Unknown residue letters become
+/// [`AminoAcid::Unknown`]; blank lines are ignored.
+pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, PdbError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            records.push(FastaRecord {
+                header: header.trim().to_string(),
+                seq: Vec::new(),
+            });
+        } else {
+            let current = records
+                .last_mut()
+                .ok_or(PdbError::Malformed {
+                    line: lineno + 1,
+                    what: "sequence before FASTA header",
+                })?;
+            for ch in line.chars() {
+                if ch.is_ascii_alphabetic() || ch == '*' || ch == '-' {
+                    if ch != '*' && ch != '-' {
+                        current.seq.push(AminoAcid::from_one_letter(ch));
+                    }
+                } else {
+                    return Err(PdbError::Malformed {
+                        line: lineno + 1,
+                        what: "sequence character",
+                    });
+                }
+            }
+        }
+    }
+    if records.is_empty() {
+        return Err(PdbError::Empty);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::tiny_profile;
+
+    #[test]
+    fn roundtrip_records() {
+        let records = vec![
+            FastaRecord {
+                header: "chain_a first test".into(),
+                seq: "ACDEFGHIKLMNPQRSTVWY".chars().map(AminoAcid::from_one_letter).collect(),
+            },
+            FastaRecord {
+                header: "chain_b".into(),
+                seq: vec![AminoAcid::Gly; 130],
+            },
+        ];
+        let text = write_fasta(&records);
+        let back = parse_fasta(&text).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(back[0].id(), "chain_a");
+    }
+
+    #[test]
+    fn long_sequences_wrap_at_60() {
+        let records = vec![FastaRecord {
+            header: "long".into(),
+            seq: vec![AminoAcid::Ala; 150],
+        }];
+        let text = write_fasta(&records);
+        let seq_lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(seq_lines.len(), 3);
+        assert_eq!(seq_lines[0].len(), 60);
+        assert_eq!(seq_lines[2].len(), 30);
+    }
+
+    #[test]
+    fn dataset_chains_roundtrip() {
+        let chains = tiny_profile().generate(4);
+        let text = chains_to_fasta(&chains);
+        let records = parse_fasta(&text).unwrap();
+        assert_eq!(records.len(), chains.len());
+        for (r, c) in records.iter().zip(&chains) {
+            assert_eq!(r.id(), c.name);
+            assert_eq!(r.seq, c.seq);
+        }
+    }
+
+    #[test]
+    fn gaps_and_stops_are_skipped() {
+        let text = ">x\nAC-DE*FG\n";
+        let records = parse_fasta(text).unwrap();
+        assert_eq!(records[0].seq.len(), 6); // A C D E F G
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(matches!(parse_fasta(""), Err(PdbError::Empty)));
+        assert!(parse_fasta("ACDEF\n").is_err()); // sequence before header
+        assert!(parse_fasta(">x\nAC!DE\n").is_err()); // bad character
+    }
+
+    #[test]
+    fn unknown_letters_become_unknown() {
+        let records = parse_fasta(">x\nABZ\n").unwrap();
+        assert_eq!(records[0].seq[0], AminoAcid::Ala);
+        assert_eq!(records[0].seq[1], AminoAcid::Unknown); // B is ambiguous
+        assert_eq!(records[0].seq[2], AminoAcid::Unknown);
+    }
+}

@@ -1,0 +1,492 @@
+//! 3-D geometry primitives used throughout the workspace.
+//!
+//! Everything here is `f64`-based: protein coordinates live in the tens of
+//! angstroms, and the superposition code in `rck-tmalign` is sensitive to
+//! rounding when structures are nearly identical.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point or direction in 3-D space, in angstroms.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component (Å).
+    pub x: f64,
+    /// Y component (Å).
+    pub y: f64,
+    /// Z component (Å).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    #[inline]
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    #[inline]
+    /// Cross product (right-handed).
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    #[inline]
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the same direction. Returns `None` for (near-)zero
+    /// vectors, where the direction is undefined.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    #[inline]
+    /// Euclidean distance to another point.
+    pub fn dist(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    #[inline]
+    /// Squared distance to another point.
+    pub fn dist_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A row-major 3×3 matrix. Used for rotations: `m * v` rotates `v`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub r: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        r: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    #[inline]
+    /// Construct from three rows.
+    pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
+        Mat3 { r: [r0, r1, r2] }
+    }
+
+    #[inline]
+    /// Matrix transpose.
+    pub fn transpose(self) -> Mat3 {
+        let r = self.r;
+        Mat3::from_rows(
+            [r[0][0], r[1][0], r[2][0]],
+            [r[0][1], r[1][1], r[2][1]],
+            [r[0][2], r[1][2], r[2][2]],
+        )
+    }
+
+    #[inline]
+    /// Determinant.
+    pub fn det(self) -> f64 {
+        let r = self.r;
+        r[0][0] * (r[1][1] * r[2][2] - r[1][2] * r[2][1])
+            - r[0][1] * (r[1][0] * r[2][2] - r[1][2] * r[2][0])
+            + r[0][2] * (r[1][0] * r[2][1] - r[1][1] * r[2][0])
+    }
+
+    /// Rotation of `angle` radians about an arbitrary (non-zero) `axis`,
+    /// via the Rodrigues formula.
+    pub fn rotation_about(axis: Vec3, angle: f64) -> Mat3 {
+        let u = axis.normalized().expect("rotation axis must be non-zero");
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        Mat3::from_rows(
+            [
+                t * u.x * u.x + c,
+                t * u.x * u.y - s * u.z,
+                t * u.x * u.z + s * u.y,
+            ],
+            [
+                t * u.x * u.y + s * u.z,
+                t * u.y * u.y + c,
+                t * u.y * u.z - s * u.x,
+            ],
+            [
+                t * u.x * u.z - s * u.y,
+                t * u.y * u.z + s * u.x,
+                t * u.z * u.z + c,
+            ],
+        )
+    }
+
+    /// Whether this matrix is a proper rotation (orthonormal, det ≈ +1).
+    pub fn is_rotation(&self, tol: f64) -> bool {
+        let rt = self.transpose();
+        let p = *self * rt;
+        let mut ok = (self.det() - 1.0).abs() < tol;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                ok &= (p.r[i][j] - expect).abs() < tol;
+            }
+        }
+        ok
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        let r = self.r;
+        Vec3::new(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z,
+        )
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.r[i][k] * o.r[k][j]).sum();
+            }
+        }
+        Mat3 { r: out }
+    }
+}
+
+/// A rigid-body transform: rotation followed by translation
+/// (`y = rot * x + trans`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transform {
+    /// Rotation part.
+    pub rot: Mat3,
+    /// Translation part.
+    pub trans: Vec3,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        rot: Mat3::IDENTITY,
+        trans: Vec3::ZERO,
+    };
+
+    #[inline]
+    /// Apply to a single point.
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        self.rot * v + self.trans
+    }
+
+    /// Apply to every point in a slice.
+    pub fn apply_all(&self, pts: &[Vec3]) -> Vec<Vec3> {
+        pts.iter().map(|&p| self.apply(p)).collect()
+    }
+
+    /// Composition: `(a.then(b)).apply(x) == b.apply(a.apply(x))`.
+    pub fn then(&self, next: &Transform) -> Transform {
+        Transform {
+            rot: next.rot * self.rot,
+            trans: next.rot * self.trans + next.trans,
+        }
+    }
+
+    /// Inverse transform (requires `rot` to be a rotation).
+    pub fn inverse(&self) -> Transform {
+        let rt = self.rot.transpose();
+        Transform {
+            rot: rt,
+            trans: -(rt * self.trans),
+        }
+    }
+}
+
+/// Bond angle (radians) at `b` formed by points `a-b-c`.
+pub fn bond_angle(a: Vec3, b: Vec3, c: Vec3) -> f64 {
+    let u = (a - b).normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+    let v = (c - b).normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+    u.dot(v).clamp(-1.0, 1.0).acos()
+}
+
+/// Signed dihedral angle (radians, in `(-π, π]`) defined by points
+/// `a-b-c-d`, positive for a clockwise rotation looking down `b → c`.
+pub fn dihedral(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> f64 {
+    let b1 = b - a;
+    let b2 = c - b;
+    let b3 = d - c;
+    let n1 = b1.cross(b2);
+    let n2 = b2.cross(b3);
+    let m1 = n1.cross(b2.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0)));
+    let x = n1.dot(n2);
+    let y = m1.dot(n2);
+    y.atan2(x)
+}
+
+/// Natural extension reference frame (NeRF): place a new atom `d` given the
+/// three previous atoms `a-b-c`, the `c–d` bond length, the `b-c-d` bond
+/// angle, and the `a-b-c-d` torsion. This is the standard internal- to
+/// Cartesian-coordinate step used to grow polymer chains.
+pub fn nerf_place(a: Vec3, b: Vec3, c: Vec3, bond: f64, angle: f64, torsion: f64) -> Vec3 {
+    let bc = (c - b).normalized().expect("degenerate b-c bond in NeRF");
+    let ab = b - a;
+    let n = ab.cross(bc).normalized().unwrap_or_else(|| {
+        // a, b, c are collinear: pick any perpendicular to bc.
+        let probe = if bc.x.abs() < 0.9 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            Vec3::new(0.0, 1.0, 0.0)
+        };
+        bc.cross(probe).normalized().expect("perpendicular exists")
+    });
+    let m = n.cross(bc);
+    // Local displacement in the (bc, m, n) frame.
+    let (st, ct) = torsion.sin_cos();
+    let (sa, ca) = angle.sin_cos();
+    let d_local = Vec3::new(-bond * ca, bond * sa * ct, -bond * sa * st);
+    c + bc * d_local.x + m * d_local.y + n * d_local.z
+}
+
+/// Arithmetic mean of a set of points. Returns `Vec3::ZERO` for empty input.
+pub fn centroid(pts: &[Vec3]) -> Vec3 {
+    if pts.is_empty() {
+        return Vec3::ZERO;
+    }
+    let sum = pts.iter().fold(Vec3::ZERO, |acc, &p| acc + p);
+    sum / pts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    fn assert_vec_close(a: Vec3, b: Vec3, tol: f64) {
+        assert!(a.dist(b) < tol, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn vec3_basic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_vec_close(a + b, Vec3::new(0.0, 2.5, 5.0), 1e-12);
+        assert_vec_close(a - b, Vec3::new(2.0, 1.5, 1.0), 1e-12);
+        assert_close(a.dot(b), -1.0 + 1.0 + 6.0, 1e-12);
+        assert_vec_close(a * 2.0, Vec3::new(2.0, 4.0, 6.0), 1e-12);
+        assert_vec_close(a / 2.0, Vec3::new(0.5, 1.0, 1.5), 1e-12);
+        assert_vec_close(-a, Vec3::new(-1.0, -2.0, -3.0), 1e-12);
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -1.0, 0.5);
+        let c = a.cross(b);
+        assert_close(c.dot(a), 0.0, 1e-12);
+        assert_close(c.dot(b), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let u = Vec3::new(0.0, 3.0, 4.0).normalized().unwrap();
+        assert_close(u.norm(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn mat3_identity_and_det() {
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert_vec_close(Mat3::IDENTITY * v, v, 1e-15);
+        assert_close(Mat3::IDENTITY.det(), 1.0, 1e-15);
+    }
+
+    #[test]
+    fn rotation_about_z_quarter_turn() {
+        let r = Mat3::rotation_about(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
+        let v = r * Vec3::new(1.0, 0.0, 0.0);
+        assert_vec_close(v, Vec3::new(0.0, 1.0, 0.0), 1e-12);
+        assert!(r.is_rotation(1e-10));
+    }
+
+    #[test]
+    fn rotation_composition_matches_matrix_product() {
+        let r1 = Mat3::rotation_about(Vec3::new(1.0, 1.0, 0.0), 0.7);
+        let r2 = Mat3::rotation_about(Vec3::new(0.0, 1.0, 2.0), -1.1);
+        let v = Vec3::new(0.3, -0.4, 2.0);
+        assert_vec_close((r2 * r1) * v, r2 * (r1 * v), 1e-12);
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip() {
+        let t = Transform {
+            rot: Mat3::rotation_about(Vec3::new(1.0, 2.0, 3.0), 1.3),
+            trans: Vec3::new(5.0, -2.0, 0.7),
+        };
+        let v = Vec3::new(1.0, 1.0, 1.0);
+        assert_vec_close(t.inverse().apply(t.apply(v)), v, 1e-12);
+    }
+
+    #[test]
+    fn transform_then_composes_in_order() {
+        let t1 = Transform {
+            rot: Mat3::rotation_about(Vec3::new(0.0, 0.0, 1.0), 0.5),
+            trans: Vec3::new(1.0, 0.0, 0.0),
+        };
+        let t2 = Transform {
+            rot: Mat3::rotation_about(Vec3::new(0.0, 1.0, 0.0), -0.9),
+            trans: Vec3::new(0.0, 2.0, 0.0),
+        };
+        let v = Vec3::new(0.1, 0.2, 0.3);
+        assert_vec_close(t1.then(&t2).apply(v), t2.apply(t1.apply(v)), 1e-12);
+    }
+
+    #[test]
+    fn bond_angle_right_angle() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::ZERO;
+        let c = Vec3::new(0.0, 1.0, 0.0);
+        assert_close(bond_angle(a, b, c), FRAC_PI_2, 1e-12);
+    }
+
+    #[test]
+    fn dihedral_planar_trans_is_pi() {
+        // Zig-zag in a plane: trans configuration, torsion = ±π.
+        let a = Vec3::new(0.0, 1.0, 0.0);
+        let b = Vec3::new(0.0, 0.0, 0.0);
+        let c = Vec3::new(1.0, 0.0, 0.0);
+        let d = Vec3::new(1.0, -1.0, 0.0);
+        assert_close(dihedral(a, b, c, d).abs(), PI, 1e-12);
+    }
+
+    #[test]
+    fn dihedral_cis_is_zero() {
+        let a = Vec3::new(0.0, 1.0, 0.0);
+        let b = Vec3::new(0.0, 0.0, 0.0);
+        let c = Vec3::new(1.0, 0.0, 0.0);
+        let d = Vec3::new(1.0, 1.0, 0.0);
+        assert_close(dihedral(a, b, c, d), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn nerf_roundtrips_internal_coordinates() {
+        let a = Vec3::new(0.0, 1.3, 0.2);
+        let b = Vec3::new(0.5, 0.0, 0.0);
+        let c = Vec3::new(1.9, 0.1, -0.3);
+        let bond = 1.52;
+        let angle = 1.94;
+        let torsion = -2.2;
+        let d = nerf_place(a, b, c, bond, angle, torsion);
+        assert_close(c.dist(d), bond, 1e-10);
+        assert_close(bond_angle(b, c, d), angle, 1e-10);
+        assert_close(dihedral(a, b, c, d), torsion, 1e-10);
+    }
+
+    #[test]
+    fn nerf_handles_collinear_prefix() {
+        let a = Vec3::new(-1.0, 0.0, 0.0);
+        let b = Vec3::ZERO;
+        let c = Vec3::new(1.0, 0.0, 0.0);
+        let d = nerf_place(a, b, c, 1.5, 2.0, 0.3);
+        assert_close(c.dist(d), 1.5, 1e-10);
+        assert_close(bond_angle(b, c, d), 2.0, 1e-10);
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        let pts = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 4.0, 0.0),
+        ];
+        assert_vec_close(centroid(&pts), Vec3::new(2.0 / 3.0, 4.0 / 3.0, 0.0), 1e-12);
+        assert_vec_close(centroid(&[]), Vec3::ZERO, 1e-12);
+    }
+}

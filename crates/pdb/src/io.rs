@@ -1,0 +1,214 @@
+//! Filesystem dataset I/O.
+//!
+//! The paper's datasets are directories of PDB files ("the first chain of
+//! the first model" of each). This module loads such a directory into the
+//! comparison pipeline's [`CaChain`] form — so the reproduction runs on
+//! *real* data when you have it — and writes synthetic datasets out in
+//! the same layout (one `.pdb` per chain plus a `.fasta` of the
+//! sequences), which is also how to inspect our structures in standard
+//! viewers.
+
+use crate::error::PdbError;
+use crate::fasta;
+use crate::model::CaChain;
+use crate::parser::parse_pdb;
+use crate::synth::FoldTemplate;
+use crate::writer::write_pdb;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors from dataset directory I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem failure.
+    Fs(io::Error),
+    /// A file failed to parse.
+    Parse {
+        /// Which file.
+        file: PathBuf,
+        /// Why.
+        source: PdbError,
+    },
+    /// The directory contained no loadable structures.
+    EmptyDirectory(PathBuf),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "filesystem error: {e}"),
+            IoError::Parse { file, source } => {
+                write!(f, "failed to parse {}: {source}", file.display())
+            }
+            IoError::EmptyDirectory(p) => {
+                write!(f, "no .pdb/.ent structures found in {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+/// Load every `.pdb`/`.ent` file in a directory as one chain each (first
+/// chain of the first model, the paper's convention), sorted by file name
+/// for determinism. The chain name is the file stem.
+pub fn load_pdb_dir(dir: impl AsRef<Path>) -> Result<Vec<CaChain>, IoError> {
+    let dir = dir.as_ref();
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("pdb") | Some("ent")
+            )
+        })
+        .collect();
+    files.sort();
+    let mut chains = Vec::with_capacity(files.len());
+    for file in files {
+        let text = fs::read_to_string(&file)?;
+        let name = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("chain")
+            .to_string();
+        let structure = parse_pdb(&name, &text).map_err(|source| IoError::Parse {
+            file: file.clone(),
+            source,
+        })?;
+        let chain = structure
+            .first_chain()
+            .expect("parse_pdb rejects structures with no atoms");
+        chains.push(CaChain::from_chain(&name, chain));
+    }
+    if chains.is_empty() {
+        return Err(IoError::EmptyDirectory(dir.to_path_buf()));
+    }
+    Ok(chains)
+}
+
+/// Write a synthetic dataset profile out as a directory of PDB files plus
+/// a `sequences.fasta`. Returns the number of files written.
+pub fn write_dataset_dir(
+    dir: impl AsRef<Path>,
+    profile: &crate::datasets::DatasetProfile,
+    seed: u64,
+) -> Result<usize, IoError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut ca_chains = Vec::new();
+    let mut written = 0usize;
+    for fam in &profile.families {
+        let template = FoldTemplate::generate(&fam.name, fam.segments.clone(), seed);
+        for m in 0..fam.members {
+            let structure = template.member(m, &profile.variation, seed);
+            fs::write(
+                dir.join(format!("{}.pdb", structure.name)),
+                write_pdb(&structure),
+            )?;
+            written += 1;
+            let chain = structure.first_chain().expect("one chain");
+            ca_chains.push(CaChain::from_chain(&structure.name, chain));
+        }
+    }
+    fs::write(
+        dir.join("sequences.fasta"),
+        fasta::chains_to_fasta(&ca_chains),
+    )?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::tiny_profile;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rck-pdb-io-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_then_load_roundtrips_ca_traces() {
+        let dir = temp_dir("roundtrip");
+        let profile = tiny_profile();
+        let n = write_dataset_dir(&dir, &profile, 77).unwrap();
+        assert_eq!(n, 8);
+        assert!(dir.join("sequences.fasta").exists());
+
+        let loaded = load_pdb_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 8);
+        let direct = profile.generate(77);
+        // Directory listing is name-sorted; match by name.
+        for chain in &loaded {
+            let orig = direct
+                .iter()
+                .find(|c| c.name == chain.name)
+                .expect("name matches");
+            assert_eq!(chain.len(), orig.len());
+            assert_eq!(chain.seq, orig.seq);
+            for (a, b) in chain.coords.iter().zip(&orig.coords) {
+                assert!(a.dist(*b) < 0.002, "PDB coordinate precision");
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let dir = temp_dir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        match load_pdb_dir(&dir) {
+            Err(IoError::EmptyDirectory(_)) => {}
+            other => panic!("expected EmptyDirectory, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_reports_its_path() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.pdb"), "ATOM      1  CA  GLY A   1   xxx\n").unwrap();
+        match load_pdb_dir(&dir) {
+            Err(IoError::Parse { file, .. }) => {
+                assert!(file.ends_with("bad.pdb"));
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_structure_files_are_ignored() {
+        let dir = temp_dir("mixed");
+        write_dataset_dir(&dir, &tiny_profile(), 5).unwrap();
+        fs::write(dir.join("README.txt"), "not a structure").unwrap();
+        let loaded = load_pdb_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 8); // fasta + txt skipped
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_is_name_sorted() {
+        let dir = temp_dir("sorted");
+        write_dataset_dir(&dir, &tiny_profile(), 6).unwrap();
+        let loaded = load_pdb_dir(&dir).unwrap();
+        let names: Vec<&str> = loaded.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! # rck-pdb
+//!
+//! Protein structure substrate for the rckAlign reproduction: a lean
+//! structure model, a PDB reader/writer, 3-D geometry primitives, and a
+//! synthetic-backbone generator that produces the benchmark datasets
+//! (CK34- and RS119-shaped) used throughout the workspace.
+//!
+//! ```
+//! use rck_pdb::datasets;
+//!
+//! let chains = datasets::tiny_profile().generate(42);
+//! assert_eq!(chains.len(), 8);
+//! assert!(chains.iter().all(|c| c.len() > 10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod error;
+pub mod fasta;
+pub mod geometry;
+pub mod io;
+pub mod model;
+pub mod parser;
+pub mod synth;
+mod writer;
+
+pub use error::PdbError;
+pub use geometry::{Mat3, Transform, Vec3};
+pub use model::{AminoAcid, Atom, CaChain, Chain, Residue, Structure};
+pub use io::{load_pdb_dir, write_dataset_dir, IoError};
+pub use parser::{parse_pdb, parse_pdb_with, ParseOptions};
+pub use writer::write_pdb;

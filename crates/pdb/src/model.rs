@@ -1,0 +1,470 @@
+//! Protein structure data model: amino acids, atoms, residues, chains and
+//! whole structures.
+//!
+//! The model is deliberately lean — rckAlign (like TM-align itself) only
+//! needs backbone geometry and residue identity — but it is complete enough
+//! to round-trip the PDB records we parse.
+
+use crate::geometry::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The twenty standard amino acids plus a catch-all for non-standard
+/// residues (which TM-align treats as unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AminoAcid {
+    Ala, Arg, Asn, Asp, Cys, Gln, Glu, Gly, His, Ile,
+    Leu, Lys, Met, Phe, Pro, Ser, Thr, Trp, Tyr, Val,
+    /// Any residue we do not recognise (e.g. `MSE` before normalisation).
+    Unknown,
+}
+
+impl AminoAcid {
+    /// All twenty standard residues, in alphabetical three-letter order.
+    pub const STANDARD: [AminoAcid; 20] = [
+        AminoAcid::Ala, AminoAcid::Arg, AminoAcid::Asn, AminoAcid::Asp,
+        AminoAcid::Cys, AminoAcid::Gln, AminoAcid::Glu, AminoAcid::Gly,
+        AminoAcid::His, AminoAcid::Ile, AminoAcid::Leu, AminoAcid::Lys,
+        AminoAcid::Met, AminoAcid::Phe, AminoAcid::Pro, AminoAcid::Ser,
+        AminoAcid::Thr, AminoAcid::Trp, AminoAcid::Tyr, AminoAcid::Val,
+    ];
+
+    /// Parse a PDB three-letter residue name (case-insensitive). Selected
+    /// common non-standard names are mapped to their parent residue, as
+    /// TM-align's PDB reader does (e.g. selenomethionine → Met).
+    pub fn from_three_letter(code: &str) -> AminoAcid {
+        match code.trim().to_ascii_uppercase().as_str() {
+            "ALA" => AminoAcid::Ala,
+            "ARG" => AminoAcid::Arg,
+            "ASN" => AminoAcid::Asn,
+            "ASP" => AminoAcid::Asp,
+            "CYS" => AminoAcid::Cys,
+            "GLN" => AminoAcid::Gln,
+            "GLU" => AminoAcid::Glu,
+            "GLY" => AminoAcid::Gly,
+            "HIS" => AminoAcid::His,
+            "ILE" => AminoAcid::Ile,
+            "LEU" => AminoAcid::Leu,
+            "LYS" => AminoAcid::Lys,
+            "MET" | "MSE" => AminoAcid::Met,
+            "PHE" => AminoAcid::Phe,
+            "PRO" => AminoAcid::Pro,
+            "SER" => AminoAcid::Ser,
+            "THR" => AminoAcid::Thr,
+            "TRP" => AminoAcid::Trp,
+            "TYR" => AminoAcid::Tyr,
+            "VAL" => AminoAcid::Val,
+            _ => AminoAcid::Unknown,
+        }
+    }
+
+    /// The PDB three-letter code.
+    pub fn three_letter(self) -> &'static str {
+        match self {
+            AminoAcid::Ala => "ALA",
+            AminoAcid::Arg => "ARG",
+            AminoAcid::Asn => "ASN",
+            AminoAcid::Asp => "ASP",
+            AminoAcid::Cys => "CYS",
+            AminoAcid::Gln => "GLN",
+            AminoAcid::Glu => "GLU",
+            AminoAcid::Gly => "GLY",
+            AminoAcid::His => "HIS",
+            AminoAcid::Ile => "ILE",
+            AminoAcid::Leu => "LEU",
+            AminoAcid::Lys => "LYS",
+            AminoAcid::Met => "MET",
+            AminoAcid::Phe => "PHE",
+            AminoAcid::Pro => "PRO",
+            AminoAcid::Ser => "SER",
+            AminoAcid::Thr => "THR",
+            AminoAcid::Trp => "TRP",
+            AminoAcid::Tyr => "TYR",
+            AminoAcid::Val => "VAL",
+            AminoAcid::Unknown => "UNK",
+        }
+    }
+
+    /// The one-letter code (`X` for unknown).
+    pub fn one_letter(self) -> char {
+        match self {
+            AminoAcid::Ala => 'A',
+            AminoAcid::Arg => 'R',
+            AminoAcid::Asn => 'N',
+            AminoAcid::Asp => 'D',
+            AminoAcid::Cys => 'C',
+            AminoAcid::Gln => 'Q',
+            AminoAcid::Glu => 'E',
+            AminoAcid::Gly => 'G',
+            AminoAcid::His => 'H',
+            AminoAcid::Ile => 'I',
+            AminoAcid::Leu => 'L',
+            AminoAcid::Lys => 'K',
+            AminoAcid::Met => 'M',
+            AminoAcid::Phe => 'F',
+            AminoAcid::Pro => 'P',
+            AminoAcid::Ser => 'S',
+            AminoAcid::Thr => 'T',
+            AminoAcid::Trp => 'W',
+            AminoAcid::Tyr => 'Y',
+            AminoAcid::Val => 'V',
+            AminoAcid::Unknown => 'X',
+        }
+    }
+
+    /// Parse a one-letter code; anything unrecognised becomes `Unknown`.
+    pub fn from_one_letter(c: char) -> AminoAcid {
+        match c.to_ascii_uppercase() {
+            'A' => AminoAcid::Ala,
+            'R' => AminoAcid::Arg,
+            'N' => AminoAcid::Asn,
+            'D' => AminoAcid::Asp,
+            'C' => AminoAcid::Cys,
+            'Q' => AminoAcid::Gln,
+            'E' => AminoAcid::Glu,
+            'G' => AminoAcid::Gly,
+            'H' => AminoAcid::His,
+            'I' => AminoAcid::Ile,
+            'L' => AminoAcid::Leu,
+            'K' => AminoAcid::Lys,
+            'M' => AminoAcid::Met,
+            'F' => AminoAcid::Phe,
+            'P' => AminoAcid::Pro,
+            'S' => AminoAcid::Ser,
+            'T' => AminoAcid::Thr,
+            'W' => AminoAcid::Trp,
+            'Y' => AminoAcid::Tyr,
+            'V' => AminoAcid::Val,
+            _ => AminoAcid::Unknown,
+        }
+    }
+
+    /// A compact numeric index (0..=20) used by the job codec.
+    pub fn index(self) -> u8 {
+        match self {
+            AminoAcid::Ala => 0,
+            AminoAcid::Arg => 1,
+            AminoAcid::Asn => 2,
+            AminoAcid::Asp => 3,
+            AminoAcid::Cys => 4,
+            AminoAcid::Gln => 5,
+            AminoAcid::Glu => 6,
+            AminoAcid::Gly => 7,
+            AminoAcid::His => 8,
+            AminoAcid::Ile => 9,
+            AminoAcid::Leu => 10,
+            AminoAcid::Lys => 11,
+            AminoAcid::Met => 12,
+            AminoAcid::Phe => 13,
+            AminoAcid::Pro => 14,
+            AminoAcid::Ser => 15,
+            AminoAcid::Thr => 16,
+            AminoAcid::Trp => 17,
+            AminoAcid::Tyr => 18,
+            AminoAcid::Val => 19,
+            AminoAcid::Unknown => 20,
+        }
+    }
+
+    /// Inverse of [`AminoAcid::index`]; values above 20 map to `Unknown`.
+    pub fn from_index(idx: u8) -> AminoAcid {
+        *Self::STANDARD.get(idx as usize).unwrap_or(&AminoAcid::Unknown)
+    }
+}
+
+impl fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.three_letter())
+    }
+}
+
+/// A single atom record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// PDB atom serial number.
+    pub serial: u32,
+    /// Atom name as in the PDB (`"CA"`, `"N"`, `"C"`, `"O"` …).
+    pub name: String,
+    /// Position in angstroms.
+    pub pos: Vec3,
+    /// Occupancy column (defaults to 1.0).
+    pub occupancy: f64,
+    /// Temperature factor column (defaults to 0.0).
+    pub b_factor: f64,
+}
+
+impl Atom {
+    /// Convenience constructor with default occupancy/B-factor.
+    pub fn new(serial: u32, name: &str, pos: Vec3) -> Atom {
+        Atom {
+            serial,
+            name: name.to_owned(),
+            pos,
+            occupancy: 1.0,
+            b_factor: 0.0,
+        }
+    }
+
+    /// Whether this is an alpha-carbon.
+    pub fn is_ca(&self) -> bool {
+        self.name == "CA"
+    }
+}
+
+/// One residue: an amino-acid identity plus its atoms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Residue {
+    /// PDB residue sequence number.
+    pub seq_num: i32,
+    /// Insertion code, if any.
+    pub insertion: Option<char>,
+    /// Residue identity.
+    pub aa: AminoAcid,
+    /// Atoms belonging to this residue, in file order.
+    pub atoms: Vec<Atom>,
+}
+
+impl Residue {
+    /// The alpha-carbon position, if present.
+    pub fn ca(&self) -> Option<Vec3> {
+        self.atoms.iter().find(|a| a.is_ca()).map(|a| a.pos)
+    }
+
+    /// Find a named atom's position.
+    pub fn atom(&self, name: &str) -> Option<Vec3> {
+        self.atoms.iter().find(|a| a.name == name).map(|a| a.pos)
+    }
+}
+
+/// One polypeptide chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chain {
+    /// PDB chain identifier (`'A'`, `'B'`, … or `' '`).
+    pub id: char,
+    /// Residues in sequence order.
+    pub residues: Vec<Residue>,
+}
+
+impl Chain {
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Whether the chain has no residues.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// The one-letter sequence of the chain.
+    pub fn sequence(&self) -> String {
+        self.residues.iter().map(|r| r.aa.one_letter()).collect()
+    }
+
+    /// Alpha-carbon trace of the chain, skipping residues without a CA.
+    pub fn ca_trace(&self) -> Vec<Vec3> {
+        self.residues.iter().filter_map(|r| r.ca()).collect()
+    }
+}
+
+/// A whole structure (one PDB model's worth of chains).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Structure {
+    /// Identifier (PDB id or synthetic name).
+    pub name: String,
+    /// Chains in file order.
+    pub chains: Vec<Chain>,
+}
+
+impl Structure {
+    /// New empty structure.
+    pub fn new(name: &str) -> Structure {
+        Structure {
+            name: name.to_owned(),
+            chains: Vec::new(),
+        }
+    }
+
+    /// The first chain, which is what the paper's datasets use
+    /// ("first chain of the first model").
+    pub fn first_chain(&self) -> Option<&Chain> {
+        self.chains.first()
+    }
+
+    /// Total number of residues across chains.
+    pub fn residue_count(&self) -> usize {
+        self.chains.iter().map(Chain::len).sum()
+    }
+}
+
+/// The compact per-chain view consumed by the comparison kernels: name,
+/// sequence and CA trace. This is also exactly what rckAlign's master ships
+/// to slave cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaChain {
+    /// Identifier, e.g. `"1ash_A"`.
+    pub name: String,
+    /// Residue identities, same length as `coords`.
+    pub seq: Vec<AminoAcid>,
+    /// CA coordinates.
+    pub coords: Vec<Vec3>,
+}
+
+impl CaChain {
+    /// Build from a full chain, keeping only residues that have a CA atom.
+    pub fn from_chain(name: &str, chain: &Chain) -> CaChain {
+        let mut seq = Vec::with_capacity(chain.len());
+        let mut coords = Vec::with_capacity(chain.len());
+        for r in &chain.residues {
+            if let Some(ca) = r.ca() {
+                seq.push(r.aa);
+                coords.push(ca);
+            }
+        }
+        CaChain {
+            name: name.to_owned(),
+            seq,
+            coords,
+        }
+    }
+
+    /// Construct directly from a coordinate trace with unknown sequence.
+    pub fn from_coords(name: &str, coords: Vec<Vec3>) -> CaChain {
+        CaChain {
+            name: name.to_owned(),
+            seq: vec![AminoAcid::Unknown; coords.len()],
+            coords,
+        }
+    }
+
+    /// Residue count.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Approximate wire size in bytes when encoded by the rckAlign job
+    /// codec: 12 bytes per coordinate (3 × f32) plus one byte of sequence,
+    /// plus a small header. Used by the communication cost model.
+    pub fn wire_size(&self) -> usize {
+        16 + self.name.len() + self.len() * 13
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_letter_roundtrip() {
+        for aa in AminoAcid::STANDARD {
+            assert_eq!(AminoAcid::from_three_letter(aa.three_letter()), aa);
+        }
+        assert_eq!(AminoAcid::from_three_letter("XYZ"), AminoAcid::Unknown);
+        assert_eq!(AminoAcid::from_three_letter("mse"), AminoAcid::Met);
+    }
+
+    #[test]
+    fn one_letter_roundtrip() {
+        for aa in AminoAcid::STANDARD {
+            assert_eq!(AminoAcid::from_one_letter(aa.one_letter()), aa);
+        }
+        assert_eq!(AminoAcid::from_one_letter('X'), AminoAcid::Unknown);
+        assert_eq!(AminoAcid::from_one_letter('b'), AminoAcid::Unknown);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for aa in AminoAcid::STANDARD {
+            assert_eq!(AminoAcid::from_index(aa.index()), aa);
+        }
+        assert_eq!(AminoAcid::from_index(20), AminoAcid::Unknown);
+        assert_eq!(AminoAcid::from_index(255), AminoAcid::Unknown);
+    }
+
+    #[test]
+    fn standard_has_unique_codes() {
+        let mut letters: Vec<char> =
+            AminoAcid::STANDARD.iter().map(|a| a.one_letter()).collect();
+        letters.sort_unstable();
+        letters.dedup();
+        assert_eq!(letters.len(), 20);
+    }
+
+    fn residue_with_ca(seq_num: i32, aa: AminoAcid, ca: Vec3) -> Residue {
+        Residue {
+            seq_num,
+            insertion: None,
+            aa,
+            atoms: vec![
+                Atom::new(1, "N", ca + Vec3::new(-1.0, 0.0, 0.0)),
+                Atom::new(2, "CA", ca),
+                Atom::new(3, "C", ca + Vec3::new(1.0, 0.0, 0.0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn chain_accessors() {
+        let chain = Chain {
+            id: 'A',
+            residues: vec![
+                residue_with_ca(1, AminoAcid::Gly, Vec3::new(0.0, 0.0, 0.0)),
+                residue_with_ca(2, AminoAcid::Ala, Vec3::new(3.8, 0.0, 0.0)),
+            ],
+        };
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.sequence(), "GA");
+        assert_eq!(chain.ca_trace().len(), 2);
+        assert!(chain.residues[0].atom("N").is_some());
+        assert!(chain.residues[0].atom("CB").is_none());
+    }
+
+    #[test]
+    fn ca_chain_skips_missing_ca() {
+        let mut chain = Chain {
+            id: 'A',
+            residues: vec![
+                residue_with_ca(1, AminoAcid::Gly, Vec3::ZERO),
+                Residue {
+                    seq_num: 2,
+                    insertion: None,
+                    aa: AminoAcid::Ala,
+                    atoms: vec![Atom::new(4, "N", Vec3::new(5.0, 0.0, 0.0))],
+                },
+                residue_with_ca(3, AminoAcid::Val, Vec3::new(7.6, 0.0, 0.0)),
+            ],
+        };
+        let ca = CaChain::from_chain("test", &chain);
+        assert_eq!(ca.len(), 2);
+        assert_eq!(ca.seq, vec![AminoAcid::Gly, AminoAcid::Val]);
+
+        chain.residues.clear();
+        let empty = CaChain::from_chain("empty", &chain);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn wire_size_scales_with_length() {
+        let a = CaChain::from_coords("x", vec![Vec3::ZERO; 10]);
+        let b = CaChain::from_coords("x", vec![Vec3::ZERO; 20]);
+        assert_eq!(b.wire_size() - a.wire_size(), 10 * 13);
+    }
+
+    #[test]
+    fn structure_counts() {
+        let mut s = Structure::new("synth");
+        assert!(s.first_chain().is_none());
+        s.chains.push(Chain {
+            id: 'A',
+            residues: vec![residue_with_ca(1, AminoAcid::Gly, Vec3::ZERO)],
+        });
+        assert_eq!(s.residue_count(), 1);
+        assert_eq!(s.first_chain().unwrap().id, 'A');
+    }
+}

@@ -1,0 +1,569 @@
+//! Synthetic protein backbone generation.
+//!
+//! The paper's experiments use two PDB datasets (CK34, RS119) that we do not
+//! redistribute. What the experiments actually depend on is (a) a set of
+//! chains whose TM-align cost is heterogeneous (cost ≈ O(L1·L2)) and whose
+//! length distribution matches the originals, and (b) structures with
+//! realistic backbone geometry so the TM-align code path (secondary
+//! structure assignment, superposition, refinement) is exercised fully.
+//!
+//! We therefore grow full backbones (N, CA, C, O) residue-by-residue with
+//! the NeRF algorithm from φ/ψ dihedral tracks. Chains are built from
+//! *fold templates* — sequences of helix/strand/coil segments with
+//! per-family baseline dihedral tracks — and family members are produced by
+//! jittering the baseline angles and applying small indels in coil regions.
+//! Members of the same family are thus structurally similar (high TM-score)
+//! while members of different families are not, which reproduces the
+//! ranked-retrieval behaviour the paper's introduction motivates.
+
+use crate::geometry::{nerf_place, Vec3};
+use crate::model::{AminoAcid, Atom, Chain, Residue, Structure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Ideal backbone bond lengths (angstroms) and angles (radians), standard
+/// Engh–Huber-like values.
+mod ideal {
+    use std::f64::consts::PI;
+    pub const N_CA: f64 = 1.458;
+    pub const CA_C: f64 = 1.525;
+    pub const C_N: f64 = 1.329;
+    pub const C_O: f64 = 1.231;
+    pub const ANG_N_CA_C: f64 = 111.2 * PI / 180.0;
+    pub const ANG_CA_C_N: f64 = 116.2 * PI / 180.0;
+    pub const ANG_C_N_CA: f64 = 121.7 * PI / 180.0;
+    /// Peptide bond torsion ω (trans).
+    pub const OMEGA: f64 = PI;
+}
+
+/// Secondary structure class of a segment in a fold template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SsType {
+    /// α-helix (φ ≈ −57°, ψ ≈ −47°).
+    Helix,
+    /// β-strand (φ ≈ −120°, ψ ≈ +130°).
+    Strand,
+    /// Loop / irregular.
+    Coil,
+}
+
+impl SsType {
+    /// Canonical (φ, ψ) in radians for this class.
+    pub fn canonical_phi_psi(self) -> (f64, f64) {
+        match self {
+            SsType::Helix => (-57.0 * PI / 180.0, -47.0 * PI / 180.0),
+            SsType::Strand => (-120.0 * PI / 180.0, 130.0 * PI / 180.0),
+            SsType::Coil => (-80.0 * PI / 180.0, 60.0 * PI / 180.0),
+        }
+    }
+}
+
+/// One segment of a fold template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSpec {
+    /// Secondary-structure class.
+    pub ss: SsType,
+    /// Number of residues in the segment.
+    pub len: usize,
+}
+
+impl SegmentSpec {
+    /// Convenience constructor.
+    pub const fn new(ss: SsType, len: usize) -> SegmentSpec {
+        SegmentSpec { ss, len }
+    }
+}
+
+/// A family baseline: segment layout plus a fixed per-residue dihedral
+/// track. All members of a family are perturbations of this baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FoldTemplate {
+    /// Family name, used in chain identifiers.
+    pub name: String,
+    /// Segment layout.
+    pub segments: Vec<SegmentSpec>,
+    /// Baseline (φ, ψ) per residue; length = total residues.
+    baseline: Vec<(f64, f64)>,
+    /// Baseline residue identities.
+    sequence: Vec<AminoAcid>,
+}
+
+/// Controls how far family members stray from the baseline.
+///
+/// Variation is applied in *Cartesian* space around the baseline fold:
+/// perturbing dihedral angles instead would compound down the chain
+/// (lever-arm effect) and destroy the shared global fold that makes a
+/// family a family.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MemberVariation {
+    /// Std-dev (Å) of Gaussian positional noise in regular (helix/strand)
+    /// segments.
+    pub ss_noise: f64,
+    /// Std-dev (Å) of positional noise in coil segments — loops vary more
+    /// between family members than the conserved core.
+    pub coil_noise: f64,
+    /// Maximum residues inserted or deleted per coil segment.
+    pub max_indel: usize,
+    /// Probability that a given coil segment receives an indel.
+    pub indel_prob: f64,
+    /// Per-residue probability of a point mutation in the sequence.
+    pub mutation_prob: f64,
+}
+
+impl Default for MemberVariation {
+    fn default() -> Self {
+        MemberVariation {
+            ss_noise: 0.45,
+            coil_noise: 1.2,
+            max_indel: 3,
+            indel_prob: 0.5,
+            mutation_prob: 0.12,
+        }
+    }
+}
+
+impl FoldTemplate {
+    /// Create a template with a freshly sampled baseline dihedral track and
+    /// sequence. The same `(name, segments, seed)` always produces the same
+    /// template.
+    pub fn generate(name: &str, segments: Vec<SegmentSpec>, seed: u64) -> FoldTemplate {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(name));
+        let total: usize = segments.iter().map(|s| s.len).sum();
+        let mut baseline = Vec::with_capacity(total);
+        let mut sequence = Vec::with_capacity(total);
+        for seg in &segments {
+            let (phi0, psi0) = seg.ss.canonical_phi_psi();
+            for _ in 0..seg.len {
+                let (dphi, dpsi) = match seg.ss {
+                    // Regular elements stay close to canonical values.
+                    SsType::Helix | SsType::Strand => (
+                        rng.gen_range(-4.0..4.0) * PI / 180.0,
+                        rng.gen_range(-4.0..4.0) * PI / 180.0,
+                    ),
+                    // Coils wander: this fixes the family's loop geometry.
+                    SsType::Coil => (
+                        rng.gen_range(-70.0..70.0) * PI / 180.0,
+                        rng.gen_range(-70.0..70.0) * PI / 180.0,
+                    ),
+                };
+                baseline.push((phi0 + dphi, psi0 + dpsi));
+                sequence.push(random_aa(&mut rng));
+            }
+        }
+        FoldTemplate {
+            name: name.to_owned(),
+            segments,
+            baseline,
+            sequence,
+        }
+    }
+
+    /// Total residue count of the baseline.
+    pub fn len(&self) -> usize {
+        self.baseline.len()
+    }
+
+    /// Whether the template has no residues.
+    pub fn is_empty(&self) -> bool {
+        self.baseline.is_empty()
+    }
+
+    /// Per-residue secondary-structure classes of the baseline.
+    pub fn ss_track(&self) -> Vec<SsType> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            out.extend(std::iter::repeat_n(seg.ss, seg.len));
+        }
+        out
+    }
+
+    /// The unperturbed baseline structure of the family (ideal backbone
+    /// geometry throughout).
+    pub fn baseline_structure(&self) -> Structure {
+        let track: Vec<(f64, f64, AminoAcid)> = self
+            .baseline
+            .iter()
+            .zip(&self.sequence)
+            .map(|(&(phi, psi), &aa)| (phi, psi, aa))
+            .collect();
+        build_backbone(&self.name, &track)
+    }
+
+    /// Generate one family member. `member` indexes the member within the
+    /// family, and together with the template's identity determines the
+    /// member deterministically.
+    ///
+    /// Members are the baseline fold with (a) Gaussian Cartesian noise
+    /// (loops noisier than the regular core), (b) residue insertions or
+    /// deletions confined to coil segments, and (c) sequence point
+    /// mutations — so family members share a global fold while differing
+    /// locally, as real homologues do.
+    pub fn member(&self, member: usize, var: &MemberVariation, seed: u64) -> Structure {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ hash_name(&self.name) ^ (member as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        let base = self.baseline_structure();
+        let base_chain = &base.chains[0];
+        let ss = self.ss_track();
+
+        let mut residues: Vec<Residue> = Vec::with_capacity(self.len() + 8);
+        let mut offset = 0usize;
+        for seg in &self.segments {
+            let mut seg_res: Vec<Residue> = base_chain.residues[offset..offset + seg.len].to_vec();
+            // Indels: loops gain or lose a few residues between members.
+            if seg.ss == SsType::Coil && seg.len > 2 && rng.gen_bool(var.indel_prob) {
+                let amount = rng.gen_range(1..=var.max_indel.max(1));
+                if rng.gen_bool(0.5) {
+                    for _ in 0..amount {
+                        let at = rng.gen_range(1..seg_res.len());
+                        seg_res.insert(at, interpolate_residue(&seg_res[at - 1], &seg_res[at], &mut rng));
+                    }
+                } else {
+                    for _ in 0..amount.min(seg_res.len().saturating_sub(2)) {
+                        let at = rng.gen_range(0..seg_res.len());
+                        seg_res.remove(at);
+                    }
+                }
+            }
+            // Positional noise and mutations.
+            let sigma = match seg.ss {
+                SsType::Coil => var.coil_noise,
+                _ => var.ss_noise,
+            };
+            for r in &mut seg_res {
+                let shift = Vec3::new(
+                    gauss(&mut rng) * sigma,
+                    gauss(&mut rng) * sigma,
+                    gauss(&mut rng) * sigma,
+                );
+                for atom in &mut r.atoms {
+                    atom.pos += shift;
+                }
+                if rng.gen_bool(var.mutation_prob) {
+                    r.aa = random_aa(&mut rng);
+                }
+            }
+            residues.extend(seg_res);
+            offset += seg.len;
+        }
+        debug_assert_eq!(offset, self.len());
+        let _ = ss;
+
+        // Renumber.
+        let mut serial = 1u32;
+        for (idx, r) in residues.iter_mut().enumerate() {
+            r.seq_num = idx as i32 + 1;
+            for atom in &mut r.atoms {
+                atom.serial = serial;
+                serial += 1;
+            }
+        }
+
+        Structure {
+            name: format!("{}_{:02}", self.name, member),
+            chains: vec![Chain { id: 'A', residues }],
+        }
+    }
+}
+
+/// Build a full-backbone structure from a (φ, ψ, residue) track.
+///
+/// The chain is grown with NeRF: for each residue the N, CA, C atoms are
+/// placed using ideal bond geometry; ψ of residue *i* controls the
+/// CA(i)–C(i) → N(i+1) torsion, ω is fixed trans, and φ of residue *i+1*
+/// controls N→CA placement. A carbonyl O is added in the peptide plane.
+pub fn build_backbone(name: &str, track: &[(f64, f64, AminoAcid)]) -> Structure {
+    let n = track.len();
+    let mut chain = Chain {
+        id: 'A',
+        residues: Vec::with_capacity(n),
+    };
+    if n == 0 {
+        return Structure {
+            name: name.to_owned(),
+            chains: vec![chain],
+        };
+    }
+
+    // Seed atoms for the first residue.
+    let mut n_pos = Vec3::new(0.0, 0.0, 0.0);
+    let mut ca_pos = Vec3::new(ideal::N_CA, 0.0, 0.0);
+    let mut c_pos = {
+        // Place C in the xy-plane with the ideal N-CA-C angle.
+        let ang = ideal::ANG_N_CA_C;
+        ca_pos + Vec3::new(-ideal::CA_C * ang.cos(), ideal::CA_C * ang.sin(), 0.0)
+    };
+
+    let mut serial = 1u32;
+    for (idx, &(phi, psi, aa)) in track.iter().enumerate() {
+        // Carbonyl O: in the plane of CA-C-N(next), opposite ψ+π direction.
+        // Place it after we know ψ (we always know ψ from the track).
+        let o_pos = nerf_place(n_pos, ca_pos, c_pos, ideal::C_O, 121.0 * PI / 180.0, psi + PI);
+        let atoms = vec![
+            Atom::new(serial, "N", n_pos),
+            Atom::new(serial + 1, "CA", ca_pos),
+            Atom::new(serial + 2, "C", c_pos),
+            Atom::new(serial + 3, "O", o_pos),
+        ];
+        serial += 4;
+        chain.residues.push(Residue {
+            seq_num: idx as i32 + 1,
+            insertion: None,
+            aa,
+            atoms,
+        });
+
+        if idx + 1 == n {
+            break;
+        }
+        let (phi_next, _, _) = track[idx + 1];
+        // Next residue's N: torsion ψ(i) about CA(i)-C(i).
+        let n_next = nerf_place(n_pos, ca_pos, c_pos, ideal::C_N, ideal::ANG_CA_C_N, psi);
+        // Next CA: torsion ω (trans) about C(i)-N(i+1).
+        let ca_next = nerf_place(ca_pos, c_pos, n_next, ideal::N_CA, ideal::ANG_C_N_CA, ideal::OMEGA);
+        // Next C: torsion φ(i+1) about N(i+1)-CA(i+1).
+        let c_next = nerf_place(c_pos, n_next, ca_next, ideal::CA_C, ideal::ANG_N_CA_C, phi_next);
+        let _ = phi; // φ of residue 0 is unused by construction
+        n_pos = n_next;
+        ca_pos = ca_next;
+        c_pos = c_next;
+    }
+
+    Structure {
+        name: name.to_owned(),
+        chains: vec![chain],
+    }
+}
+
+/// A loop residue inserted between two existing ones: atoms interpolated
+/// at the midpoint with a small random perpendicular offset. Bond geometry
+/// at the insertion point is only approximate — acceptable inside a loop,
+/// where real structures are irregular too.
+fn interpolate_residue<R: Rng>(a: &Residue, b: &Residue, rng: &mut R) -> Residue {
+    let mid = |pa: Vec3, pb: Vec3| (pa + pb) / 2.0;
+    let offset = Vec3::new(
+        gauss(rng) * 0.8,
+        gauss(rng) * 0.8,
+        gauss(rng) * 0.8,
+    );
+    let atoms = a
+        .atoms
+        .iter()
+        .map(|atom| {
+            let partner = b
+                .atom(&atom.name)
+                .unwrap_or_else(|| atom.pos + Vec3::new(3.8, 0.0, 0.0));
+            Atom::new(0, &atom.name, mid(atom.pos, partner) + offset)
+        })
+        .collect();
+    Residue {
+        seq_num: 0,
+        insertion: None,
+        aa: random_aa(rng),
+        atoms,
+    }
+}
+
+/// Approximate standard normal via the sum of uniforms (Irwin–Hall with
+/// k = 12), good enough for geometric jitter and dependency-free.
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+fn random_aa<R: Rng>(rng: &mut R) -> AminoAcid {
+    AminoAcid::STANDARD[rng.gen_range(0..20)]
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so template identity participates in seeding.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{bond_angle, dihedral};
+    use crate::model::CaChain;
+
+    fn helix_template() -> FoldTemplate {
+        FoldTemplate::generate(
+            "helx",
+            vec![
+                SegmentSpec::new(SsType::Helix, 12),
+                SegmentSpec::new(SsType::Coil, 4),
+                SegmentSpec::new(SsType::Strand, 8),
+            ],
+            42,
+        )
+    }
+
+    #[test]
+    fn template_is_deterministic() {
+        let a = FoldTemplate::generate("f", vec![SegmentSpec::new(SsType::Helix, 10)], 7);
+        let b = FoldTemplate::generate("f", vec![SegmentSpec::new(SsType::Helix, 10)], 7);
+        assert_eq!(a.baseline, b.baseline);
+        assert_eq!(a.sequence, b.sequence);
+        let c = FoldTemplate::generate("f", vec![SegmentSpec::new(SsType::Helix, 10)], 8);
+        assert_ne!(a.baseline, c.baseline);
+    }
+
+    #[test]
+    fn member_is_deterministic() {
+        let t = helix_template();
+        let v = MemberVariation::default();
+        let m1 = t.member(3, &v, 99);
+        let m2 = t.member(3, &v, 99);
+        assert_eq!(m1, m2);
+        let m3 = t.member(4, &v, 99);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn backbone_geometry_is_ideal() {
+        // The *baseline* has ideal geometry; members add Cartesian noise.
+        let t = helix_template();
+        let s = t.baseline_structure();
+        let chain = &s.chains[0];
+        for w in chain.residues.windows(2) {
+            let c = w[0].atom("C").unwrap();
+            let n_next = w[1].atom("N").unwrap();
+            let ca_next = w[1].ca().unwrap();
+            assert!((c.dist(n_next) - ideal::C_N).abs() < 1e-9, "peptide bond length");
+            // ω torsion is trans.
+            let ca = w[0].ca().unwrap();
+            let om = dihedral(ca, c, n_next, ca_next);
+            assert!((om.abs() - PI).abs() < 1e-9, "omega = {om}");
+        }
+        for r in &chain.residues {
+            let n = r.atom("N").unwrap();
+            let ca = r.ca().unwrap();
+            let c = r.atom("C").unwrap();
+            assert!((n.dist(ca) - ideal::N_CA).abs() < 1e-9);
+            assert!((ca.dist(c) - ideal::CA_C).abs() < 1e-9);
+            assert!((bond_angle(n, ca, c) - ideal::ANG_N_CA_C).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn consecutive_ca_distance_is_realistic() {
+        // Trans peptide CA-CA virtual bond is ~3.8 Å: exact on the
+        // baseline, approximate (noise + loop indels) on members.
+        let t = helix_template();
+        for w in t.baseline_structure().chains[0].ca_trace().windows(2) {
+            let d = w[0].dist(w[1]);
+            assert!((d - 3.8).abs() < 0.01, "baseline CA-CA distance {d}");
+        }
+        let s = t.member(1, &MemberVariation::default(), 1);
+        let trace = s.chains[0].ca_trace();
+        let mean: f64 = trace.windows(2).map(|w| w[0].dist(w[1])).sum::<f64>()
+            / (trace.len() - 1) as f64;
+        assert!((mean - 3.8).abs() < 1.0, "member mean CA-CA distance {mean}");
+    }
+
+    #[test]
+    fn phi_psi_recovered_from_coordinates() {
+        let track = vec![
+            (0.0, -0.8, AminoAcid::Ala),
+            (-1.0, -0.8, AminoAcid::Gly),
+            (-1.2, 2.3, AminoAcid::Val),
+            (-2.0, 2.9, AminoAcid::Leu),
+        ];
+        let s = build_backbone("t", &track);
+        let res = &s.chains[0].residues;
+        // φ(i) = C(i-1)-N(i)-CA(i)-C(i);  ψ(i) = N(i)-CA(i)-C(i)-N(i+1).
+        for i in 1..res.len() {
+            let phi = dihedral(
+                res[i - 1].atom("C").unwrap(),
+                res[i].atom("N").unwrap(),
+                res[i].ca().unwrap(),
+                res[i].atom("C").unwrap(),
+            );
+            assert!((phi - track[i].0).abs() < 1e-8, "phi {i}");
+        }
+        for i in 0..res.len() - 1 {
+            let psi = dihedral(
+                res[i].atom("N").unwrap(),
+                res[i].ca().unwrap(),
+                res[i].atom("C").unwrap(),
+                res[i + 1].atom("N").unwrap(),
+            );
+            assert!((psi - track[i].1).abs() < 1e-8, "psi {i}");
+        }
+    }
+
+    #[test]
+    fn indels_change_length() {
+        let t = FoldTemplate::generate(
+            "loopy",
+            vec![
+                SegmentSpec::new(SsType::Helix, 10),
+                SegmentSpec::new(SsType::Coil, 8),
+                SegmentSpec::new(SsType::Helix, 10),
+            ],
+            5,
+        );
+        let var = MemberVariation {
+            indel_prob: 1.0,
+            max_indel: 3,
+            ..Default::default()
+        };
+        let lengths: Vec<usize> = (0..16)
+            .map(|m| t.member(m, &var, 77).chains[0].len())
+            .collect();
+        // With certain indels, not all members share the template length.
+        assert!(lengths.iter().any(|&l| l != t.len()));
+        // Lengths stay within the indel budget.
+        for &l in &lengths {
+            assert!(l >= t.len() - 3 && l <= t.len() + 3, "length {l}");
+        }
+    }
+
+    #[test]
+    fn empty_track_builds_empty_structure() {
+        let s = build_backbone("empty", &[]);
+        assert_eq!(s.residue_count(), 0);
+    }
+
+    #[test]
+    fn members_share_fold() {
+        // Same-family members superpose well even without alignment search:
+        // compare CA traces of equal-length members directly.
+        let t = FoldTemplate::generate(
+            "fam",
+            vec![
+                SegmentSpec::new(SsType::Helix, 20),
+                SegmentSpec::new(SsType::Coil, 5),
+                SegmentSpec::new(SsType::Strand, 10),
+            ],
+            9,
+        );
+        let var = MemberVariation {
+            indel_prob: 0.0,
+            ..Default::default()
+        };
+        let a = CaChain::from_chain("a", &t.member(0, &var, 3).chains[0]);
+        let b = CaChain::from_chain("b", &t.member(1, &var, 3).chains[0]);
+        assert_eq!(a.len(), b.len());
+        // Members are Cartesian perturbations of one baseline, so their
+        // internal distance matrices must agree closely.
+        let mut diff = 0.0;
+        let mut count = 0;
+        for i in 0..a.len() {
+            for j in (i + 5)..a.len() {
+                let da = a.coords[i].dist(a.coords[j]);
+                let db = b.coords[i].dist(b.coords[j]);
+                diff += (da - db).abs();
+                count += 1;
+            }
+        }
+        let mean_diff = diff / count as f64;
+        assert!(mean_diff < 1.5, "mean internal-distance diff {mean_diff}");
+    }
+}

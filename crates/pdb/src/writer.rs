@@ -1,0 +1,127 @@
+//! Minimal PDB writer: emits `ATOM`, `TER` and `END` records that the
+//! parser in this crate (and standard tools) can read back.
+
+use crate::model::{Chain, Structure};
+use std::fmt::Write as _;
+
+/// Render a [`Structure`] as PDB text.
+pub fn write_pdb(structure: &Structure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "HEADER    SYNTHETIC STRUCTURE                     01-JAN-13   {:<4}",
+        structure.name.chars().take(4).collect::<String>().to_ascii_uppercase()
+    );
+    let mut serial = 1u32;
+    for chain in &structure.chains {
+        serial = write_chain(&mut out, chain, serial);
+    }
+    out.push_str("END\n");
+    out
+}
+
+fn write_chain(out: &mut String, chain: &Chain, mut serial: u32) -> u32 {
+    for res in &chain.residues {
+        for atom in &res.atoms {
+            // PDB atom-name column convention: names up to 3 chars start in
+            // column 14 (index 13); 4-char names start in column 13.
+            let name = if atom.name.len() >= 4 {
+                atom.name.clone()
+            } else {
+                format!(" {:<3}", atom.name)
+            };
+            let _ = writeln!(
+                out,
+                "ATOM  {:>5} {:<4} {:<3} {}{:>4}{}   {:>8.3}{:>8.3}{:>8.3}{:>6.2}{:>6.2}",
+                serial,
+                name,
+                res.aa.three_letter(),
+                chain.id,
+                res.seq_num,
+                res.insertion.unwrap_or(' '),
+                atom.pos.x,
+                atom.pos.y,
+                atom.pos.z,
+                atom.occupancy,
+                atom.b_factor,
+            );
+            serial = serial.wrapping_add(1);
+        }
+    }
+    if let Some(last) = chain.residues.last() {
+        let _ = writeln!(
+            out,
+            "TER   {:>5}      {:<3} {}{:>4}",
+            serial,
+            last.aa.three_letter(),
+            chain.id,
+            last.seq_num
+        );
+        serial = serial.wrapping_add(1);
+    }
+    serial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec3;
+    use crate::model::{AminoAcid, Atom, Residue};
+    use crate::parser::parse_pdb;
+
+    fn sample_structure() -> Structure {
+        Structure {
+            name: "test".into(),
+            chains: vec![Chain {
+                id: 'A',
+                residues: vec![
+                    Residue {
+                        seq_num: 1,
+                        insertion: None,
+                        aa: AminoAcid::Gly,
+                        atoms: vec![
+                            Atom::new(1, "N", Vec3::new(-0.329, 1.39, 0.0)),
+                            Atom::new(2, "CA", Vec3::new(0.506, 0.197, 0.0)),
+                        ],
+                    },
+                    Residue {
+                        seq_num: 2,
+                        insertion: Some('B'),
+                        aa: AminoAcid::Trp,
+                        atoms: vec![Atom::new(3, "CA", Vec3::new(4.296, -0.35, 12.345))],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn writer_parser_roundtrip() {
+        let s = sample_structure();
+        let text = write_pdb(&s);
+        let back = parse_pdb("test", &text).unwrap();
+        assert_eq!(back.chains.len(), 1);
+        assert_eq!(back.chains[0].sequence(), "GW");
+        assert_eq!(back.chains[0].residues[1].insertion, Some('B'));
+        let ca = back.chains[0].residues[1].ca().unwrap();
+        assert!((ca.z - 12.345).abs() < 1e-6);
+    }
+
+    #[test]
+    fn columns_are_fixed_width() {
+        let text = write_pdb(&sample_structure());
+        for line in text.lines().filter(|l| l.starts_with("ATOM")) {
+            assert!(line.len() >= 66, "short ATOM line: {line:?}");
+            // Coordinates occupy columns 31-54 (0-based 30..54).
+            let x: f64 = line[30..38].trim().parse().unwrap();
+            assert!(x.abs() < 1e4);
+        }
+    }
+
+    #[test]
+    fn ter_and_end_present() {
+        let text = write_pdb(&sample_structure());
+        assert!(text.contains("\nTER"));
+        assert!(text.trim_end().ends_with("END"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the structure substrate.
+
+use proptest::prelude::*;
+use rck_pdb::geometry::{bond_angle, dihedral, nerf_place, Mat3, Transform, Vec3};
+use rck_pdb::model::{AminoAcid, Atom, Chain, Residue, Structure};
+use rck_pdb::synth::{build_backbone, FoldTemplate, MemberVariation, SegmentSpec, SsType};
+use rck_pdb::{parse_pdb, write_pdb};
+
+fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_aa() -> impl Strategy<Value = AminoAcid> {
+    (0u8..20).prop_map(AminoAcid::from_index)
+}
+
+proptest! {
+    /// Rotations built by Rodrigues' formula are always proper rotations,
+    /// and applying then inverting a rigid transform is the identity.
+    #[test]
+    fn transforms_invert(
+        axis in arb_vec3(2.0).prop_filter("non-zero", |v| v.norm() > 0.1),
+        angle in -6.0f64..6.0,
+        trans in arb_vec3(100.0),
+        p in arb_vec3(50.0),
+    ) {
+        let rot = Mat3::rotation_about(axis, angle);
+        prop_assert!(rot.is_rotation(1e-9));
+        let t = Transform { rot, trans };
+        prop_assert!(t.inverse().apply(t.apply(p)).dist(p) < 1e-8);
+    }
+
+    /// NeRF places atoms at exactly the requested internal coordinates.
+    #[test]
+    fn nerf_respects_internal_coordinates(
+        a in arb_vec3(10.0),
+        b in arb_vec3(10.0),
+        c in arb_vec3(10.0),
+        bond in 0.8f64..2.5,
+        angle in 0.3f64..2.8,
+        torsion in -3.1f64..3.1,
+    ) {
+        prop_assume!(a.dist(b) > 0.5 && b.dist(c) > 0.5);
+        // Avoid nearly collinear prefixes where the torsion reference is
+        // ill-conditioned.
+        let u = (b - a).normalized().unwrap();
+        let v = (c - b).normalized().unwrap();
+        prop_assume!(u.cross(v).norm() > 0.1);
+        let d = nerf_place(a, b, c, bond, angle, torsion);
+        prop_assert!((c.dist(d) - bond).abs() < 1e-8);
+        prop_assert!((bond_angle(b, c, d) - angle).abs() < 1e-8);
+        prop_assert!((dihedral(a, b, c, d) - torsion).abs() < 1e-8);
+    }
+
+    /// Backbones built from any dihedral track have ideal bond geometry
+    /// and ~3.8 Å CA-CA spacing.
+    #[test]
+    fn backbones_have_ideal_geometry(
+        track in prop::collection::vec(
+            ((-3.1f64..3.1), (-3.1f64..3.1), arb_aa()), 2..40),
+    ) {
+        let s = build_backbone("p", &track);
+        let chain = &s.chains[0];
+        prop_assert_eq!(chain.len(), track.len());
+        let trace: Vec<Vec3> = chain.ca_trace();
+        for w in trace.windows(2) {
+            let d = w[0].dist(w[1]);
+            prop_assert!((d - 3.8).abs() < 0.15, "CA-CA {d}");
+        }
+    }
+
+    /// PDB writer output always parses back to the same chains,
+    /// sequences, and coordinates (to format precision).
+    #[test]
+    fn pdb_roundtrip(
+        residues in prop::collection::vec((arb_aa(), arb_vec3(400.0)), 1..30),
+    ) {
+        let chain = Chain {
+            id: 'A',
+            residues: residues
+                .iter()
+                .enumerate()
+                .map(|(k, (aa, pos))| Residue {
+                    seq_num: k as i32 + 1,
+                    insertion: None,
+                    aa: *aa,
+                    atoms: vec![Atom::new(k as u32 + 1, "CA", *pos)],
+                })
+                .collect(),
+        };
+        let s = Structure { name: "prop".into(), chains: vec![chain] };
+        let text = write_pdb(&s);
+        let back = parse_pdb("prop", &text).unwrap();
+        prop_assert_eq!(back.chains.len(), 1);
+        prop_assert_eq!(back.chains[0].len(), residues.len());
+        for (orig, parsed) in residues.iter().zip(&back.chains[0].residues) {
+            prop_assert_eq!(orig.0, parsed.aa);
+            // %8.3f columns: 0.001 Å X precision.
+            prop_assert!(orig.1.dist(parsed.ca().unwrap()) < 0.002);
+        }
+    }
+
+    /// Family members always stay within the indel budget of the
+    /// template length, and generation is deterministic.
+    #[test]
+    fn members_respect_indel_budget(
+        seed in 0u64..500,
+        member in 0usize..6,
+        helix in 4usize..20,
+        coil in 3usize..10,
+    ) {
+        let t = FoldTemplate::generate(
+            "prop",
+            vec![
+                SegmentSpec::new(SsType::Helix, helix),
+                SegmentSpec::new(SsType::Coil, coil),
+                SegmentSpec::new(SsType::Strand, 6),
+            ],
+            seed,
+        );
+        let var = MemberVariation::default();
+        let a = t.member(member, &var, seed);
+        let b = t.member(member, &var, seed);
+        prop_assert_eq!(&a, &b);
+        let len = a.chains[0].len();
+        prop_assert!(len + var.max_indel >= t.len());
+        prop_assert!(len <= t.len() + var.max_indel);
+    }
+}

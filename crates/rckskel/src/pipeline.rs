@@ -1,0 +1,175 @@
+//! The pipeline skeleton.
+//!
+//! §IV: rckskel retains "the flexibility offered by RCCE, in combining
+//! processes running on different cores to form a **pipeline** or to
+//! perform parallel execution". A pipeline chains stage cores: the driver
+//! feeds items to the first stage, every stage transforms its input and
+//! forwards it to the next, and the last stage returns results to the
+//! driver. With S stages, S items are in flight at once.
+
+use crate::task::{wire, Job, JobResult};
+use rck_rcce::Rcce;
+
+/// Drive `items` through a pipeline of `stage_ranks` (in order). Returns
+/// one result per item, in item order. Stages must run [`stage_loop`].
+///
+/// The driver overlaps feeding and draining so the pipeline stays full:
+/// after priming min(S+1, items) items, each subsequent send is paired
+/// with one receive from the tail stage.
+pub fn pipeline(comm: &mut Rcce, stage_ranks: &[usize], items: &[Job]) -> Vec<JobResult> {
+    assert!(!stage_ranks.is_empty(), "pipeline needs at least one stage");
+    let first = stage_ranks[0];
+    let last = *stage_ranks.last().expect("non-empty");
+    let mut results = Vec::with_capacity(items.len());
+
+    // Keep at most one item in flight per stage. Sends are synchronous
+    // rendezvous: if the driver ever blocked sending while every stage
+    // (including the tail, blocked sending back to the driver) held an
+    // item, nobody could make progress — capping in-flight items at the
+    // stage count guarantees an empty slot exists whenever we send.
+    let depth = stage_ranks.len();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while received < items.len() {
+        while sent < items.len() && sent - received < depth {
+            comm.send(first, wire::encode_job(&items[sent]));
+            sent += 1;
+        }
+        let data = comm.recv(last);
+        let job = wire::decode_job(data).expect("tail stage forwards items, not terminate");
+        results.push(JobResult {
+            job_id: job.id,
+            slave_rank: last,
+            payload: job.payload,
+        });
+        received += 1;
+    }
+
+    // Shut the stages down front to back; each forwards the terminate,
+    // and the tail's copy comes back to the driver as a shutdown ack.
+    comm.send(first, wire::encode_terminate());
+    let ack = comm.recv(last);
+    assert!(
+        wire::decode_job(ack).is_none(),
+        "expected the terminate echo from the tail stage"
+    );
+    results
+}
+
+/// One pipeline stage: receive an item from `prev_rank` (the driver for
+/// the first stage), apply `transform`, forward to `next_rank` (the
+/// driver for the last stage). The terminate signal is forwarded before
+/// the loop exits, shutting the pipeline down in order.
+pub fn stage_loop(
+    comm: &mut Rcce,
+    prev_rank: usize,
+    next_rank: usize,
+    mut transform: impl FnMut(u64, Vec<u8>) -> (Vec<u8>, u64),
+) {
+    loop {
+        let msg = comm.recv(prev_rank);
+        match wire::decode_job(msg) {
+            None => {
+                comm.send(next_rank, wire::encode_terminate());
+                return;
+            }
+            Some(job) => {
+                let (payload, ops) = transform(job.id, job.payload);
+                comm.compute_ops(ops);
+                comm.send(next_rank, wire::encode_job(&Job::new(job.id, payload)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, SimReport, Simulator};
+    use std::sync::Mutex;
+
+    /// Driver on core 0, stages on cores 1..=s. Each stage appends its
+    /// rank byte to the payload.
+    fn run_pipeline(n_stages: usize, items: &[Job]) -> (SimReport, Vec<JobResult>) {
+        let ues: Vec<CoreId> = (0..=n_stages).map(CoreId).collect();
+        let stage_ranks: Vec<usize> = (1..=n_stages).collect();
+        let collected = Mutex::new(Vec::new());
+        let report = {
+            let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+            {
+                let ues = ues.clone();
+                let stage_ranks = stage_ranks.clone();
+                let items = items.to_vec();
+                let collected = &collected;
+                programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                    let mut comm = Rcce::new(ctx, &ues);
+                    let rs = pipeline(&mut comm, &stage_ranks, &items);
+                    collected.lock().unwrap().extend(rs);
+                })));
+            }
+            for stage in 1..=n_stages {
+                let ues = ues.clone();
+                let next = if stage == n_stages { 0 } else { stage + 1 };
+                programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                    let mut comm = Rcce::new(ctx, &ues);
+                    stage_loop(&mut comm, if stage == 1 { 0 } else { stage - 1 }, next, |_id, mut p| {
+                        p.push(stage as u8);
+                        (p, 10_000)
+                    });
+                })));
+            }
+            Simulator::new(NocConfig::scc()).run(programs)
+        };
+        (report, collected.into_inner().unwrap())
+    }
+
+    fn items(n: usize) -> Vec<Job> {
+        (0..n).map(|k| Job::new(k as u64, vec![k as u8])).collect()
+    }
+
+    #[test]
+    fn every_item_passes_every_stage_in_order() {
+        let (_, results) = run_pipeline(3, &items(8));
+        assert_eq!(results.len(), 8);
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(r.job_id, k as u64, "items come back in order");
+            // Original byte + one byte per stage, in stage order.
+            assert_eq!(r.payload, vec![k as u8, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn single_stage_pipeline_works() {
+        let (_, results) = run_pipeline(1, &items(4));
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.payload.len() == 2));
+    }
+
+    #[test]
+    fn empty_item_list_terminates_cleanly() {
+        let (_, results) = run_pipeline(2, &[]);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        // With 3 stages of equal cost, pipelining N items costs roughly
+        // (N + S - 1) stage-times, far below the serial N·S.
+        let n = 12;
+        let (report, _) = run_pipeline(3, &items(n));
+        let stage_time = NocConfig::scc().ops_to_duration(10_000);
+        let serial = stage_time.saturating_mul((n * 3) as u64);
+        let ideal = stage_time.saturating_mul((n + 3 - 1) as u64);
+        let makespan = report.makespan.since(rck_noc::SimTime::ZERO);
+        assert!(makespan < serial, "no overlap: {makespan} vs serial {serial}");
+        assert!(makespan >= ideal, "{makespan} below the pipeline bound {ideal}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_pipeline(2, &items(6));
+        let b = run_pipeline(2, &items(6));
+        assert_eq!(a.0.makespan, b.0.makespan);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Executing whole task *trees* — the full semantics of the paper's FARM.
+//!
+//! "A task tree is generated from the parameters of the function depending
+//! on the sub-tasks. … The tasks in the tree are processed as specified,
+//! in parallel or in sequence, using the PAR, SEQ and COLLECT constructs"
+//! (§IV). A [`Task`] tree mixes [`Task::Seq`] nodes (children must finish
+//! one after another) and [`Task::Par`] nodes (children may interleave
+//! freely); leaves are jobs. [`run_task`] walks the tree on the master:
+//!
+//! * a `Par` node pools the jobs of all its children into one dynamic
+//!   farm round (maximum overlap);
+//! * a `Seq` node runs its children strictly one after another, each
+//!   child being itself a tree;
+//! * slaves just run the ordinary [`crate::farm::slave_loop`].
+
+use crate::farm::farm_round;
+use crate::task::{Job, JobResult, Task};
+use rck_rcce::Rcce;
+
+/// Execute a task tree over the slave set and return all results (in
+/// completion order within each sequential phase). Slaves must run
+/// [`crate::farm::slave_loop`]; this function does **not** send terminate
+/// signals — call [`crate::farm::terminate`] when done with the slaves.
+pub fn run_task(comm: &mut Rcce, slave_ranks: &[usize], task: &Task) -> Vec<JobResult> {
+    assert!(!slave_ranks.is_empty(), "task tree needs at least one slave");
+    let mut results = Vec::with_capacity(task.job_count());
+    walk(comm, slave_ranks, task, &mut results);
+    results
+}
+
+fn walk(comm: &mut Rcce, slaves: &[usize], task: &Task, out: &mut Vec<JobResult>) {
+    match task {
+        Task::Leaf(job) => {
+            // A single job is a degenerate farm round.
+            let jobs = [job.clone()];
+            out.extend(farm_round(comm, slaves, &jobs));
+        }
+        Task::Seq(children) => {
+            for child in children {
+                walk(comm, slaves, child, out);
+            }
+        }
+        Task::Par(children) => {
+            // Pool every job beneath this node into one dynamic round.
+            let jobs: Vec<Job> = collect_jobs(children);
+            out.extend(farm_round(comm, slaves, &jobs));
+        }
+    }
+}
+
+fn collect_jobs(children: &[Task]) -> Vec<Job> {
+    let mut out = Vec::new();
+    for c in children {
+        for j in c.jobs() {
+            out.push(j.clone());
+        }
+    }
+    out
+}
+
+/// Convenience: run the tree and then release the slaves.
+pub fn run_task_and_terminate(
+    comm: &mut Rcce,
+    slave_ranks: &[usize],
+    task: &Task,
+) -> Vec<JobResult> {
+    let results = run_task(comm, slave_ranks, task);
+    crate::farm::terminate(comm, slave_ranks);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::{slave_loop, SlaveReply};
+    use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, SimReport, Simulator};
+    use std::sync::Mutex;
+
+    fn with_tree<F>(n_slaves: usize, body: F) -> SimReport
+    where
+        F: FnOnce(&mut Rcce, &[usize]) + Send,
+    {
+        let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+        let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+        let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+        {
+            let ues = ues.clone();
+            let slave_ranks = slave_ranks.clone();
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                body(&mut comm, &slave_ranks);
+            })));
+        }
+        for _ in 0..n_slaves {
+            let ues = ues.clone();
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                slave_loop(&mut comm, 0, |id, payload| SlaveReply {
+                    payload: vec![id as u8, payload[0]],
+                    ops: payload[0] as u64 * 5_000,
+                });
+            })));
+        }
+        Simulator::new(NocConfig::scc()).run(programs)
+    }
+
+    fn leaf(id: u64, w: u8) -> Task {
+        Task::Leaf(Job::new(id, vec![w]))
+    }
+
+    #[test]
+    fn par_tree_runs_all_jobs() {
+        let collected = Mutex::new(Vec::new());
+        with_tree(3, |comm, slaves| {
+            let tree = Task::Par(vec![leaf(0, 1), leaf(1, 2), leaf(2, 3), leaf(3, 4)]);
+            let rs = run_task_and_terminate(comm, slaves, &tree);
+            collected.lock().unwrap().extend(rs.into_iter().map(|r| r.job_id));
+        });
+        let mut ids = collected.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn seq_tree_preserves_phase_order() {
+        // Seq of two Par phases: all phase-1 ids must precede phase-2 ids.
+        let collected = Mutex::new(Vec::new());
+        with_tree(4, |comm, slaves| {
+            let tree = Task::Seq(vec![
+                Task::Par(vec![leaf(0, 9), leaf(1, 1), leaf(2, 3)]),
+                Task::Par(vec![leaf(10, 2), leaf(11, 2)]),
+            ]);
+            let rs = run_task_and_terminate(comm, slaves, &tree);
+            collected.lock().unwrap().extend(rs.into_iter().map(|r| r.job_id));
+        });
+        let ids = collected.into_inner().unwrap();
+        assert_eq!(ids.len(), 5);
+        let phase2_start = ids.iter().position(|&id| id >= 10).unwrap();
+        assert!(ids[..phase2_start].iter().all(|&id| id < 10));
+        assert!(ids[phase2_start..].iter().all(|&id| id >= 10));
+    }
+
+    #[test]
+    fn nested_tree_flattens_parallel_regions() {
+        let collected = Mutex::new(Vec::new());
+        with_tree(2, |comm, slaves| {
+            let tree = Task::Seq(vec![
+                leaf(0, 1),
+                Task::Par(vec![
+                    Task::Par(vec![leaf(1, 1), leaf(2, 1)]),
+                    Task::Seq(vec![leaf(3, 1)]),
+                ]),
+                leaf(4, 1),
+            ]);
+            let rs = run_task_and_terminate(comm, slaves, &tree);
+            collected.lock().unwrap().extend(rs.into_iter().map(|r| r.job_id));
+        });
+        let ids = collected.into_inner().unwrap();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[0], 0); // first Seq child completes first
+        assert_eq!(*ids.last().unwrap(), 4); // last Seq child completes last
+    }
+
+    #[test]
+    fn seq_phases_serialise_in_time() {
+        // A Seq of singleton jobs can use only one slave at a time: the
+        // makespan equals the sum of job costs, regardless of slave count.
+        let report = with_tree(4, |comm, slaves| {
+            let tree = Task::Seq(vec![leaf(0, 10), leaf(1, 10), leaf(2, 10)]);
+            let _ = run_task_and_terminate(comm, slaves, &tree);
+        });
+        let total = NocConfig::scc().ops_to_duration(3 * 10 * 5_000);
+        assert!(report.makespan >= rck_noc::SimTime::ZERO + total);
+    }
+
+    #[test]
+    fn par_uses_slaves_concurrently() {
+        // Four equal jobs on four slaves under Par: makespan well below
+        // the serial sum.
+        let serial = with_tree(1, |comm, slaves| {
+            let tree = Task::Par(vec![leaf(0, 50), leaf(1, 50), leaf(2, 50), leaf(3, 50)]);
+            let _ = run_task_and_terminate(comm, slaves, &tree);
+        })
+        .makespan;
+        let parallel = with_tree(4, |comm, slaves| {
+            let tree = Task::Par(vec![leaf(0, 50), leaf(1, 50), leaf(2, 50), leaf(3, 50)]);
+            let _ = run_task_and_terminate(comm, slaves, &tree);
+        })
+        .makespan;
+        assert!(parallel < serial, "parallel {parallel} vs serial {serial}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Sanity probe: within- vs cross-family TM-score separation on CK34.
+use rck_pdb::datasets;
+use rck_tmalign::tm_align;
+use std::time::Instant;
+
+fn main() {
+    let chains = datasets::ck34_profile().generate(2013);
+    let fam = |name: &str| name[..4].to_string();
+    let t0 = Instant::now();
+    let mut within = vec![];
+    let mut across = vec![];
+    let mut ops = 0u64;
+    let mut n = 0u32;
+    for i in (0..chains.len()).step_by(2) {
+        for j in (i + 1..chains.len()).step_by(3) {
+            let r = tm_align(&chains[i], &chains[j]);
+            ops += r.ops;
+            n += 1;
+            if fam(&chains[i].name) == fam(&chains[j].name) {
+                within.push(r.tm_max_norm());
+            } else {
+                across.push(r.tm_max_norm());
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "within: n={} mean={:.3} min={:.3}; across: n={} mean={:.3} max={:.3}",
+        within.len(), mean(&within), within.iter().cloned().fold(1.0, f64::min),
+        across.len(), mean(&across), across.iter().cloned().fold(0.0, f64::max),
+    );
+    println!("{n} pairs in {:?}, mean ops {}", t0.elapsed(), ops / n as u64);
+}

@@ -1,0 +1,606 @@
+//! The complete TM-align algorithm: initial alignments, iterative
+//! DP refinement, and final scoring.
+//!
+//! Mirrors the structure of Zhang & Skolnick's original program: three
+//! initial alignments are generated (gapless threading, secondary-structure
+//! DP, hybrid DP — see [`crate::initial`]); each is refined by alternating
+//! a TM-score rotation search with a DP re-alignment over the induced
+//! distance-score matrix, under two gap penalties; the best alignment by
+//! TM-score wins and is re-scored with the full search depth.
+
+use crate::dp::{needleman_wunsch, Alignment, ScoreMatrix};
+use crate::initial::{gapless_threading, hybrid_alignment, ss_alignment};
+use crate::kabsch::superpose;
+use crate::meter::WorkMeter;
+use crate::secstruct::{assign, SecStruct};
+use crate::tmscore::{d0, search, SearchDepth, SearchResult};
+use rck_pdb::geometry::{Transform, Vec3};
+use rck_pdb::model::CaChain;
+use serde::{Deserialize, Serialize};
+
+/// Which length the *optimised* TM-score is normalised by, mirroring the
+/// original program's `-a`/`-L`/`-d` options. The reported result always
+/// carries both per-chain normalisations; this choice only steers the
+/// optimisation target.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Normalization {
+    /// By the shorter chain (the TM-align default).
+    #[default]
+    Shorter,
+    /// By the longer chain (more conservative).
+    Longer,
+    /// By the average of the two lengths (`-a`).
+    Average,
+    /// By a fixed length (`-L`).
+    Length(u32),
+    /// With a fixed d0 scale in Å (`-d`), normalised by the shorter chain.
+    FixedD0(f64),
+}
+
+impl Normalization {
+    /// Resolve to `(norm_len, d0)` for chains of the given lengths.
+    pub fn resolve(self, len_a: usize, len_b: usize) -> (usize, f64) {
+        match self {
+            Normalization::Shorter => {
+                let l = len_a.min(len_b);
+                (l, d0(l))
+            }
+            Normalization::Longer => {
+                let l = len_a.max(len_b);
+                (l, d0(l))
+            }
+            Normalization::Average => {
+                let l = (len_a + len_b).div_ceil(2);
+                (l, d0(l))
+            }
+            Normalization::Length(l) => {
+                let l = (l as usize).max(1);
+                (l, d0(l))
+            }
+            Normalization::FixedD0(d) => {
+                assert!(d > 0.0, "fixed d0 must be positive");
+                (len_a.min(len_b), d)
+            }
+        }
+    }
+}
+
+/// Tunable parameters of the algorithm. The defaults follow the original
+/// TM-align; they are exposed for the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TmAlignParams {
+    /// Gap penalties tried during DP refinement (TM-align: −0.6 then 0).
+    pub gap_penalties: [f64; 2],
+    /// Maximum DP-refinement iterations per gap penalty.
+    pub max_iterations: usize,
+    /// Use the cheap search depth inside refinement loops.
+    pub fast_refinement: bool,
+    /// Normalisation of the optimised score.
+    pub normalization: Normalization,
+}
+
+impl Default for TmAlignParams {
+    fn default() -> Self {
+        TmAlignParams {
+            gap_penalties: [-0.6, 0.0],
+            max_iterations: 10,
+            fast_refinement: true,
+            normalization: Normalization::Shorter,
+        }
+    }
+}
+
+/// The result of aligning chain `a` (mobile) onto chain `b` (reference).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TmAlignResult {
+    /// Name of chain a.
+    pub name_a: String,
+    /// Name of chain b.
+    pub name_b: String,
+    /// Length of chain a.
+    pub len_a: usize,
+    /// Length of chain b.
+    pub len_b: usize,
+    /// TM-score normalised by the length of chain a.
+    pub tm_norm_a: f64,
+    /// TM-score normalised by the length of chain b.
+    pub tm_norm_b: f64,
+    /// Number of aligned residue pairs.
+    pub aligned_len: usize,
+    /// RMSD (Å) over the aligned pairs after optimal superposition.
+    pub rmsd: f64,
+    /// Fraction of aligned pairs with identical residues.
+    pub seq_identity: f64,
+    /// The final alignment (indices into a and b).
+    pub alignment: Alignment,
+    /// The transform mapping a onto b.
+    pub transform: Transform,
+    /// Abstract operations spent computing this result (see
+    /// [`crate::meter::WorkMeter`]); drives the simulator's cost model.
+    pub ops: u64,
+}
+
+impl TmAlignResult {
+    /// The TM-score normalised by the *shorter* chain — the value commonly
+    /// used to rank database hits.
+    pub fn tm_max_norm(&self) -> f64 {
+        if self.len_a <= self.len_b {
+            self.tm_norm_a
+        } else {
+            self.tm_norm_b
+        }
+    }
+
+    /// The TM-score normalised by the *longer* chain (more conservative).
+    pub fn tm_min_norm(&self) -> f64 {
+        if self.len_a <= self.len_b {
+            self.tm_norm_b
+        } else {
+            self.tm_norm_a
+        }
+    }
+}
+
+/// Align chain `a` onto chain `b` with default parameters.
+pub fn tm_align(a: &CaChain, b: &CaChain) -> TmAlignResult {
+    tm_align_with(a, b, &TmAlignParams::default())
+}
+
+/// Align with explicit parameters.
+///
+/// # Panics
+/// Panics if either chain has fewer than 5 residues (no meaningful
+/// structure alignment exists; the datasets in this workspace are all
+/// longer).
+pub fn tm_align_with(a: &CaChain, b: &CaChain, params: &TmAlignParams) -> TmAlignResult {
+    assert!(
+        a.len() >= 5 && b.len() >= 5,
+        "tm_align requires chains of at least 5 residues ({} and {} given)",
+        a.len(),
+        b.len()
+    );
+    let mut meter = WorkMeter::new();
+    let x = &a.coords;
+    let y = &b.coords;
+
+    // TM-align optimises the score under the configured normalisation
+    // (by default the shorter chain).
+    let (norm_len, d0_opt) = params.normalization.resolve(a.len(), b.len());
+
+    let ss_a = assign(x, &mut meter);
+    let ss_b = assign(y, &mut meter);
+
+    // --- Initial alignments -------------------------------------------
+    let init_gapless = gapless_threading(x, y, d0_opt, norm_len, &mut meter);
+    let init_ss = ss_alignment(&ss_a, &ss_b, &mut meter);
+    let hybrid_seed = init_gapless.transform.unwrap_or(Transform::IDENTITY);
+    let init_hybrid = hybrid_alignment(x, y, &ss_a, &ss_b, &hybrid_seed, d0_opt, &mut meter);
+
+    // --- Refinement ----------------------------------------------------
+    let depth = if params.fast_refinement {
+        SearchDepth::Fast
+    } else {
+        SearchDepth::Full
+    };
+    let mut best_tm = -1.0;
+    let mut best_alignment: Alignment = Vec::new();
+    for init in [&init_gapless, &init_ss, &init_hybrid] {
+        if init.alignment.len() < 3 {
+            continue;
+        }
+        let (tm, alignment, _transform) = refine(
+            x,
+            y,
+            &init.alignment,
+            d0_opt,
+            norm_len,
+            params,
+            depth,
+            &mut meter,
+        );
+        if tm > best_tm {
+            best_tm = tm;
+            best_alignment = alignment;
+        }
+    }
+
+    // Degenerate fall-back: no initial produced ≥3 pairs (can only happen
+    // for pathological inputs) — align the leading residues gaplessly.
+    if best_alignment.len() < 3 {
+        best_alignment = (0..norm_len.min(3)).map(|i| (i, i)).collect();
+    }
+
+    // --- Final scoring ---------------------------------------------------
+    let (xa, ya) = gather(x, y, &best_alignment);
+    let fin_a = search(
+        &xa,
+        &ya,
+        d0(a.len()),
+        d0(a.len()),
+        a.len(),
+        SearchDepth::Full,
+        &mut meter,
+    );
+    let fin_b = search(
+        &xa,
+        &ya,
+        d0(b.len()),
+        d0(b.len()),
+        b.len(),
+        SearchDepth::Full,
+        &mut meter,
+    );
+    // Report the transform of whichever normalisation is the headline
+    // (shorter-chain) score.
+    let headline: &SearchResult = if a.len() <= b.len() { &fin_a } else { &fin_b };
+    let rmsd = superpose(&xa, &ya, &mut meter).rmsd;
+    let matches = best_alignment
+        .iter()
+        .filter(|&&(i, j)| a.seq[i] != rck_pdb::AminoAcid::Unknown && a.seq[i] == b.seq[j])
+        .count();
+
+    TmAlignResult {
+        name_a: a.name.clone(),
+        name_b: b.name.clone(),
+        len_a: a.len(),
+        len_b: b.len(),
+        tm_norm_a: fin_a.tm,
+        tm_norm_b: fin_b.tm,
+        aligned_len: best_alignment.len(),
+        rmsd,
+        seq_identity: if best_alignment.is_empty() {
+            0.0
+        } else {
+            matches as f64 / best_alignment.len() as f64
+        },
+        alignment: best_alignment,
+        transform: headline.transform,
+        ops: meter.ops(),
+    }
+}
+
+/// One DP-refinement run from an initial alignment. Returns the best
+/// `(tm, alignment, transform)` encountered.
+#[allow(clippy::too_many_arguments)]
+fn refine(
+    x: &[Vec3],
+    y: &[Vec3],
+    initial: &Alignment,
+    d0_opt: f64,
+    norm_len: usize,
+    params: &TmAlignParams,
+    depth: SearchDepth,
+    meter: &mut WorkMeter,
+) -> (f64, Alignment, Transform) {
+    let mut best_tm = -1.0;
+    let mut best_alignment = initial.clone();
+    let mut best_transform = Transform::IDENTITY;
+
+    let d0sq = d0_opt * d0_opt;
+    for &gap in &params.gap_penalties {
+        let mut current = initial.clone();
+        for _iter in 0..params.max_iterations {
+            if current.len() < 3 {
+                break;
+            }
+            let (xa, ya) = gather(x, y, &current);
+            let sr = search(&xa, &ya, d0_opt, d0_opt, norm_len, depth, meter);
+            if sr.tm > best_tm {
+                best_tm = sr.tm;
+                best_alignment = current.clone();
+                best_transform = sr.transform;
+            }
+            // Re-align under the found transform.
+            let moved: Vec<Vec3> = x.iter().map(|&p| sr.transform.apply(p)).collect();
+            let score = ScoreMatrix::from_fn(x.len(), y.len(), |i, j| {
+                1.0 / (1.0 + moved[i].dist_sq(y[j]) / d0sq)
+            });
+            meter.charge((x.len() * y.len()) as u64);
+            let (next, _) = needleman_wunsch(&score, gap, meter);
+            if next == current {
+                break;
+            }
+            current = next;
+        }
+    }
+    (best_tm, best_alignment, best_transform)
+}
+
+/// Split an alignment into parallel coordinate vectors.
+fn gather(x: &[Vec3], y: &[Vec3], alignment: &Alignment) -> (Vec<Vec3>, Vec<Vec3>) {
+    let mut xa = Vec::with_capacity(alignment.len());
+    let mut ya = Vec::with_capacity(alignment.len());
+    for &(i, j) in alignment {
+        xa.push(x[i]);
+        ya.push(y[j]);
+    }
+    (xa, ya)
+}
+
+/// Secondary-structure strings of a chain, exposed for examples/benches.
+pub fn secondary_structure(chain: &CaChain) -> Vec<SecStruct> {
+    let mut meter = WorkMeter::new();
+    assign(&chain.coords, &mut meter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::datasets::tiny_profile;
+    use rck_pdb::geometry::Mat3;
+    use rck_pdb::model::AminoAcid;
+    use rck_pdb::synth::{FoldTemplate, MemberVariation, SegmentSpec, SsType};
+
+    fn member(seed: u64, m: usize) -> CaChain {
+        let t = FoldTemplate::generate(
+            "test",
+            vec![
+                SegmentSpec::new(SsType::Helix, 18),
+                SegmentSpec::new(SsType::Coil, 5),
+                SegmentSpec::new(SsType::Strand, 9),
+                SegmentSpec::new(SsType::Coil, 4),
+                SegmentSpec::new(SsType::Helix, 14),
+            ],
+            seed,
+        );
+        let s = t.member(m, &MemberVariation::default(), seed);
+        CaChain::from_chain(&s.name, &s.chains[0])
+    }
+
+    #[test]
+    fn self_alignment_is_perfect() {
+        let c = member(1, 0);
+        let r = tm_align(&c, &c);
+        assert!(r.tm_norm_a > 0.999, "tm = {}", r.tm_norm_a);
+        assert!(r.tm_norm_b > 0.999);
+        assert_eq!(r.aligned_len, c.len());
+        assert!(r.rmsd < 1e-6);
+        assert!((r.seq_identity - 1.0).abs() < 1e-12);
+        assert!(r.ops > 0);
+    }
+
+    #[test]
+    fn rigid_copy_is_perfect() {
+        let c = member(2, 0);
+        let rot = Mat3::rotation_about(Vec3::new(0.3, 1.0, -0.2), 2.0);
+        let moved = CaChain {
+            name: "moved".into(),
+            seq: c.seq.clone(),
+            coords: c.coords.iter().map(|&p| rot * p + Vec3::new(8.0, -3.0, 1.0)).collect(),
+        };
+        let r = tm_align(&c, &moved);
+        assert!(r.tm_norm_a > 0.999, "tm = {}", r.tm_norm_a);
+        assert!(r.rmsd < 1e-6, "rmsd = {}", r.rmsd);
+    }
+
+    #[test]
+    fn same_family_scores_higher_than_cross_family() {
+        let chains = tiny_profile().generate(11);
+        // chains 0-3: helix family; 4-7: strand family.
+        let within = tm_align(&chains[0], &chains[1]).tm_max_norm();
+        let across = tm_align(&chains[0], &chains[5]).tm_max_norm();
+        assert!(
+            within > across,
+            "within-family {within} should exceed cross-family {across}"
+        );
+        // Short chains (≈30 residues) have a small d0, so even good family
+        // matches sit well below 1.
+        assert!(within > 0.4, "within-family tm = {within}");
+    }
+
+    #[test]
+    fn result_is_symmetric_enough() {
+        // TM-align is not exactly symmetric, but the normalised scores must
+        // swap roles when the arguments swap.
+        let a = member(3, 0);
+        let b = member(3, 1);
+        let r_ab = tm_align(&a, &b);
+        let r_ba = tm_align(&b, &a);
+        assert!((r_ab.tm_norm_a - r_ba.tm_norm_b).abs() < 0.1);
+        assert!((r_ab.tm_norm_b - r_ba.tm_norm_a).abs() < 0.1);
+    }
+
+    #[test]
+    fn different_lengths_normalise_differently() {
+        let a = member(4, 0);
+        // Truncated copy of a.
+        let b = CaChain {
+            name: "trunc".into(),
+            seq: a.seq[..30].to_vec(),
+            coords: a.coords[..30].to_vec(),
+        };
+        let r = tm_align(&b, &a);
+        // Normalised by the fragment (len 30) the match is near-perfect;
+        // normalised by the full chain it is partial.
+        assert!(r.tm_norm_a > 0.9, "tm_a = {}", r.tm_norm_a);
+        assert!(r.tm_norm_b < r.tm_norm_a);
+        assert!((r.tm_norm_b - r.tm_norm_a * 30.0 / a.len() as f64).abs() < 0.1);
+    }
+
+    #[test]
+    fn alignment_is_valid() {
+        let a = member(5, 0);
+        let b = member(6, 0); // different family seed
+        let r = tm_align(&a, &b);
+        assert!(crate::dp::is_valid_alignment(&r.alignment, a.len(), b.len()));
+        assert_eq!(r.aligned_len, r.alignment.len());
+    }
+
+    #[test]
+    fn unrelated_structures_score_low() {
+        // An extended strand vs a compact helix bundle.
+        let strand_track: Vec<(f64, f64, AminoAcid)> = (0..60)
+            .map(|_| {
+                let (phi, psi) = SsType::Strand.canonical_phi_psi();
+                (phi, psi, AminoAcid::Ala)
+            })
+            .collect();
+        let s = rck_pdb::synth::build_backbone("ext", &strand_track);
+        let ext = CaChain::from_chain("ext", &s.chains[0]);
+        let helix = member(7, 0);
+        let r = tm_align(&ext, &helix);
+        assert!(r.tm_max_norm() < 0.55, "tm = {}", r.tm_max_norm());
+    }
+
+    #[test]
+    fn ops_scale_with_problem_size() {
+        let small = member(8, 0);
+        let track: Vec<(f64, f64, AminoAcid)> = (0..200)
+            .map(|i| {
+                let (phi, psi) = if i % 20 < 12 {
+                    SsType::Helix.canonical_phi_psi()
+                } else {
+                    SsType::Coil.canonical_phi_psi()
+                };
+                (phi, psi, AminoAcid::Leu)
+            })
+            .collect();
+        let big_s = rck_pdb::synth::build_backbone("big", &track);
+        let big = CaChain::from_chain("big", &big_s.chains[0]);
+        let ops_small = tm_align(&small, &small).ops;
+        let ops_big = tm_align(&big, &big).ops;
+        assert!(
+            ops_big > 2 * ops_small,
+            "big {ops_big} vs small {ops_small}"
+        );
+    }
+
+    #[test]
+    fn params_affect_work() {
+        let a = member(9, 0);
+        let b = member(9, 1);
+        let deep = TmAlignParams {
+            fast_refinement: false,
+            ..Default::default()
+        };
+        let r_fast = tm_align(&a, &b);
+        let r_deep = tm_align_with(&a, &b, &deep);
+        assert!(r_deep.ops > r_fast.ops);
+        // Deeper search can only improve the optimised score materially.
+        assert!(r_deep.tm_max_norm() > r_fast.tm_max_norm() - 0.05);
+    }
+
+    #[test]
+    fn normalization_options_resolve_sensibly() {
+        assert_eq!(Normalization::Shorter.resolve(50, 100).0, 50);
+        assert_eq!(Normalization::Longer.resolve(50, 100).0, 100);
+        assert_eq!(Normalization::Average.resolve(50, 101).0, 76);
+        assert_eq!(Normalization::Length(80).resolve(50, 100).0, 80);
+        let (l, d) = Normalization::FixedD0(3.5).resolve(50, 100);
+        assert_eq!(l, 50);
+        assert_eq!(d, 3.5);
+        // d0 consistent with the formula everywhere else.
+        assert_eq!(Normalization::Shorter.resolve(120, 300).1, d0(120));
+    }
+
+    #[test]
+    fn longer_normalization_never_beats_shorter() {
+        let a = member(13, 0);
+        let b = CaChain {
+            name: "trunc".into(),
+            seq: a.seq[..30].to_vec(),
+            coords: a.coords[..30].to_vec(),
+        };
+        let by_short = tm_align_with(
+            &b,
+            &a,
+            &TmAlignParams {
+                normalization: Normalization::Shorter,
+                ..Default::default()
+            },
+        );
+        let by_long = tm_align_with(
+            &b,
+            &a,
+            &TmAlignParams {
+                normalization: Normalization::Longer,
+                ..Default::default()
+            },
+        );
+        // Reported per-chain scores don't depend much on the optimisation
+        // target here; both runs must agree the fragment matches well.
+        assert!(by_short.tm_norm_a > 0.85);
+        assert!(by_long.tm_norm_a > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed d0 must be positive")]
+    fn bad_fixed_d0_rejected() {
+        let _ = Normalization::FixedD0(-1.0).resolve(10, 10);
+    }
+
+    #[test]
+    fn alignment_recovers_known_correspondence_after_deletion() {
+        // Delete an interior loop block from a chain: TM-align must map
+        // the flanking regions back onto themselves.
+        let a = member(11, 0);
+        let cut = a.len() / 2;
+        let removed = 4usize;
+        let b = CaChain {
+            name: "del".into(),
+            seq: [&a.seq[..cut], &a.seq[cut + removed..]].concat(),
+            coords: [&a.coords[..cut], &a.coords[cut + removed..]].concat(),
+        };
+        let r = tm_align(&b, &a);
+        assert!(r.tm_norm_a > 0.9, "tm = {}", r.tm_norm_a);
+        // Correspondence: before the cut b[i] ↔ a[i]; after it
+        // b[i] ↔ a[i + removed]. Allow a little slop near the cut.
+        let mut correct = 0usize;
+        for &(i, j) in &r.alignment {
+            let expect = if i < cut { i } else { i + removed };
+            if j == expect {
+                correct += 1;
+            }
+        }
+        let frac = correct as f64 / r.alignment.len() as f64;
+        assert!(frac > 0.9, "only {frac:.2} of pairs on the true register");
+    }
+
+    #[test]
+    fn alignment_recovers_register_after_insertion_and_motion() {
+        // Insert a few residues AND rigidly move the chain: both the
+        // register and the superposition must be recovered.
+        let a = member(12, 0);
+        let at = a.len() / 3;
+        let inserted = 3usize;
+        let rot = Mat3::rotation_about(Vec3::new(0.2, 1.0, 0.5), 1.7);
+        let mut coords: Vec<Vec3> = Vec::new();
+        let mut seq = Vec::new();
+        for k in 0..at {
+            coords.push(a.coords[k]);
+            seq.push(a.seq[k]);
+        }
+        for k in 0..inserted {
+            // A short excursion loop.
+            coords.push(a.coords[at] + Vec3::new(2.0 + k as f64, 3.0, -1.0));
+            seq.push(AminoAcid::Gly);
+        }
+        for k in at..a.len() {
+            coords.push(a.coords[k]);
+            seq.push(a.seq[k]);
+        }
+        let b = CaChain {
+            name: "ins".into(),
+            seq,
+            coords: coords.iter().map(|&p| rot * p + Vec3::new(5.0, -8.0, 2.0)).collect(),
+        };
+        let r = tm_align(&a, &b);
+        assert!(r.tm_norm_a > 0.9, "tm = {}", r.tm_norm_a);
+        let mut correct = 0usize;
+        for &(i, j) in &r.alignment {
+            let expect = if i < at { i } else { i + inserted };
+            if j == expect {
+                correct += 1;
+            }
+        }
+        let frac = correct as f64 / r.alignment.len() as f64;
+        assert!(frac > 0.85, "only {frac:.2} of pairs on the true register");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 residues")]
+    fn tiny_chain_panics() {
+        let c = CaChain::from_coords("tiny", vec![Vec3::ZERO; 3]);
+        let _ = tm_align(&c, &c);
+    }
+}

@@ -1,0 +1,179 @@
+//! Human-readable rendering of alignment results, in the style of the
+//! original TM-align program's output: a header with the scores, then the
+//! aligned sequences with a marker line (`:` for close pairs, `.` for
+//! distant ones).
+
+use crate::align::TmAlignResult;
+use rck_pdb::model::CaChain;
+use std::fmt::Write as _;
+
+/// Distance below which an aligned pair is marked `:` (TM-align uses 5 Å).
+pub const CLOSE_PAIR_CUTOFF: f64 = 5.0;
+
+/// Render the classic TM-align report for a result, given the two chains
+/// it was computed from.
+///
+/// # Panics
+/// Panics if `result` does not belong to these chains (index out of
+/// range).
+pub fn render(result: &TmAlignResult, a: &CaChain, b: &CaChain) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Name of Chain_1: {}", result.name_a);
+    let _ = writeln!(out, "Name of Chain_2: {}", result.name_b);
+    let _ = writeln!(out, "Length of Chain_1: {} residues", result.len_a);
+    let _ = writeln!(out, "Length of Chain_2: {} residues", result.len_b);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Aligned length= {}, RMSD= {:5.2}, Seq_ID=n_identical/n_aligned= {:.3}",
+        result.aligned_len, result.rmsd, result.seq_identity
+    );
+    let _ = writeln!(
+        out,
+        "TM-score= {:.5} (if normalized by length of Chain_1, i.e., L={})",
+        result.tm_norm_a, result.len_a
+    );
+    let _ = writeln!(
+        out,
+        "TM-score= {:.5} (if normalized by length of Chain_2, i.e., L={})",
+        result.tm_norm_b, result.len_b
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "(\":\" denotes residue pairs of d < {CLOSE_PAIR_CUTOFF:.1} Angstrom, \".\" denotes other aligned residues)"
+    );
+
+    let (line_a, markers, line_b) = alignment_strings(result, a, b);
+    // Wrap at 60 columns like the original.
+    let width = 60;
+    let chars_a: Vec<char> = line_a.chars().collect();
+    let chars_m: Vec<char> = markers.chars().collect();
+    let chars_b: Vec<char> = line_b.chars().collect();
+    let mut pos = 0;
+    while pos < chars_a.len() {
+        let end = (pos + width).min(chars_a.len());
+        let _ = writeln!(out, "{}", chars_a[pos..end].iter().collect::<String>());
+        let _ = writeln!(out, "{}", chars_m[pos..end].iter().collect::<String>());
+        let _ = writeln!(out, "{}", chars_b[pos..end].iter().collect::<String>());
+        let _ = writeln!(out);
+        pos = end;
+    }
+    out
+}
+
+/// Build the three display strings: sequence of chain a with gaps,
+/// per-column markers, sequence of chain b with gaps. Columns cover every
+/// residue of both chains between the first and last aligned pair, plus
+/// end overhangs.
+pub fn alignment_strings(
+    result: &TmAlignResult,
+    a: &CaChain,
+    b: &CaChain,
+) -> (String, String, String) {
+    let mut line_a = String::new();
+    let mut markers = String::new();
+    let mut line_b = String::new();
+
+    let mut ai = 0usize; // next unprinted residue of a
+    let mut bj = 0usize;
+    let push_gap_a = |line_a: &mut String, markers: &mut String, line_b: &mut String, j: usize| {
+        line_a.push('-');
+        markers.push(' ');
+        line_b.push(b.seq[j].one_letter());
+    };
+    let push_gap_b = |line_a: &mut String, markers: &mut String, line_b: &mut String, i: usize| {
+        line_a.push(a.seq[i].one_letter());
+        markers.push(' ');
+        line_b.push('-');
+    };
+
+    for &(i, j) in &result.alignment {
+        while ai < i {
+            push_gap_b(&mut line_a, &mut markers, &mut line_b, ai);
+            ai += 1;
+        }
+        while bj < j {
+            push_gap_a(&mut line_a, &mut markers, &mut line_b, bj);
+            bj += 1;
+        }
+        line_a.push(a.seq[i].one_letter());
+        line_b.push(b.seq[j].one_letter());
+        let d = result.transform.apply(a.coords[i]).dist(b.coords[j]);
+        markers.push(if d < CLOSE_PAIR_CUTOFF { ':' } else { '.' });
+        ai = i + 1;
+        bj = j + 1;
+    }
+    while ai < a.len() {
+        push_gap_b(&mut line_a, &mut markers, &mut line_b, ai);
+        ai += 1;
+    }
+    while bj < b.len() {
+        push_gap_a(&mut line_a, &mut markers, &mut line_b, bj);
+        bj += 1;
+    }
+    (line_a, markers, line_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::tm_align;
+    use rck_pdb::datasets::tiny_profile;
+
+    fn aligned_pair() -> (TmAlignResult, CaChain, CaChain) {
+        let chains = tiny_profile().generate(13);
+        let a = chains[0].clone();
+        let b = chains[1].clone();
+        let r = tm_align(&a, &b);
+        (r, a, b)
+    }
+
+    #[test]
+    fn strings_have_equal_length_and_cover_both_chains() {
+        let (r, a, b) = aligned_pair();
+        let (la, m, lb) = alignment_strings(&r, &a, &b);
+        assert_eq!(la.chars().count(), m.chars().count());
+        assert_eq!(la.chars().count(), lb.chars().count());
+        // Non-gap characters on each line equal that chain's length.
+        assert_eq!(la.chars().filter(|c| *c != '-').count(), a.len());
+        assert_eq!(lb.chars().filter(|c| *c != '-').count(), b.len());
+        // No column is gap-gap.
+        for (ca, cb) in la.chars().zip(lb.chars()) {
+            assert!(!(ca == '-' && cb == '-'));
+        }
+    }
+
+    #[test]
+    fn marker_count_matches_aligned_length() {
+        let (r, a, b) = aligned_pair();
+        let (_, m, _) = alignment_strings(&r, &a, &b);
+        let marked = m.chars().filter(|c| *c == ':' || *c == '.').count();
+        assert_eq!(marked, r.aligned_len);
+    }
+
+    #[test]
+    fn self_alignment_is_all_close_pairs() {
+        let chains = tiny_profile().generate(14);
+        let a = &chains[0];
+        let r = tm_align(a, a);
+        let (la, m, lb) = alignment_strings(&r, a, a);
+        assert_eq!(la, lb);
+        assert!(m.chars().all(|c| c == ':'), "markers: {m}");
+    }
+
+    #[test]
+    fn render_contains_scores_and_wraps() {
+        let (r, a, b) = aligned_pair();
+        let text = render(&r, &a, &b);
+        assert!(text.contains("TM-score="));
+        assert!(text.contains("Aligned length="));
+        assert!(text.contains(&format!("Name of Chain_1: {}", a.name)));
+        // Wrapped lines never exceed 60 chars.
+        for line in text.lines() {
+            if line.chars().all(|c| "ACDEFGHIKLMNPQRSTVWYX-:. ".contains(c)) && !line.is_empty() {
+                assert!(line.chars().count() <= 60, "line too long: {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Global dynamic-programming alignment (Needleman–Wunsch).
+//!
+//! TM-align drives all of its alignment steps through one NW kernel over a
+//! dense residue-pair score matrix with a (linear) gap penalty — the same
+//! shape is used for the secondary-structure alignment, the hybrid initial
+//! alignment, and every refinement iteration. End gaps are free, matching
+//! TM-align's `NWDP_TM`.
+
+use crate::meter::WorkMeter;
+
+/// A pairwise alignment: list of aligned index pairs `(i, j)` into the two
+/// sequences, strictly increasing in both components.
+pub type Alignment = Vec<(usize, usize)>;
+
+/// A dense `rows × cols` score matrix stored row-major.
+#[derive(Debug, Clone)]
+pub struct ScoreMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl ScoreMatrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> ScoreMatrix {
+        ScoreMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of `(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> ScoreMatrix {
+        let mut m = ScoreMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows (length of the first sequence).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (length of the second sequence).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Write entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// In-place elementwise combination: `self = a·self + b·other`.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn blend(&mut self, a: f64, b: f64, other: &ScoreMatrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x = a * *x + b * *y;
+        }
+    }
+
+    /// Largest absolute value in the matrix (0 for empty matrices).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+}
+
+/// Direction taken by the DP traceback.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Align `i` with `j`.
+    Diag,
+    /// Gap in the second sequence (consume `i`).
+    Up,
+    /// Gap in the first sequence (consume `j`).
+    Left,
+}
+
+/// Global NW alignment of two sequences of lengths `score.rows()` and
+/// `score.cols()`, maximizing `Σ score(i,j) + gap_penalty·(#internal gaps)`.
+///
+/// `gap_penalty` should be ≤ 0 (TM-align uses −0.6). End gaps are free.
+/// Returns the aligned pairs and the optimal score.
+#[allow(clippy::needless_range_loop)] // flat-indexed DP table
+pub fn needleman_wunsch(
+    score: &ScoreMatrix,
+    gap_penalty: f64,
+    meter: &mut WorkMeter,
+) -> (Alignment, f64) {
+    let n = score.rows();
+    let m = score.cols();
+    if n == 0 || m == 0 {
+        return (Vec::new(), 0.0);
+    }
+    meter.charge((n as u64) * (m as u64));
+
+    // val[(i,j)] = best score of aligning prefixes x[..i], y[..j];
+    // indices are 1-based into the DP table.
+    let cols = m + 1;
+    let mut val = vec![0.0f64; (n + 1) * cols];
+    let mut dir = vec![Step::Diag; (n + 1) * cols];
+
+    // Free end gaps: first row/column stay zero, direction markers record
+    // the gap so traceback can walk home.
+    for j in 1..=m {
+        dir[j] = Step::Left;
+    }
+    for i in 1..=n {
+        dir[i * cols] = Step::Up;
+    }
+
+    for i in 1..=n {
+        // Gap penalties are free along the last row/column (end gaps).
+        for j in 1..=m {
+            let sdiag = val[(i - 1) * cols + (j - 1)] + score.get(i - 1, j - 1);
+            let up_pen = if j == m { 0.0 } else { gap_penalty };
+            let left_pen = if i == n { 0.0 } else { gap_penalty };
+            let sup = val[(i - 1) * cols + j] + up_pen;
+            let sleft = val[i * cols + (j - 1)] + left_pen;
+            // Tie-breaking prefers Diag, then Up, then Left — this keeps
+            // the traceback deterministic.
+            let (best, step) = if sdiag >= sup && sdiag >= sleft {
+                (sdiag, Step::Diag)
+            } else if sup >= sleft {
+                (sup, Step::Up)
+            } else {
+                (sleft, Step::Left)
+            };
+            val[i * cols + j] = best;
+            dir[i * cols + j] = step;
+        }
+    }
+
+    let total = val[n * cols + m];
+    let mut pairs = Vec::with_capacity(n.min(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        match dir[i * cols + j] {
+            Step::Diag if i > 0 && j > 0 => {
+                pairs.push((i - 1, j - 1));
+                i -= 1;
+                j -= 1;
+            }
+            Step::Up if i > 0 => i -= 1,
+            Step::Left if j > 0 => j -= 1,
+            // Defensive: a marker pointing off the table (cannot happen
+            // with the initialisation above) — consume whichever index
+            // remains.
+            _ => {
+                if i > 0 {
+                    i -= 1;
+                } else {
+                    j -= 1;
+                }
+            }
+        }
+    }
+    pairs.reverse();
+    (pairs, total)
+}
+
+/// Check the structural invariant of an [`Alignment`]: pairs strictly
+/// increasing in both components and in range.
+pub fn is_valid_alignment(align: &Alignment, n: usize, m: usize) -> bool {
+    let mut last: Option<(usize, usize)> = None;
+    for &(i, j) in align {
+        if i >= n || j >= m {
+            return false;
+        }
+        if let Some((pi, pj)) = last {
+            if i <= pi || j <= pj {
+                return false;
+            }
+        }
+        last = Some((i, j));
+    }
+    true
+}
+
+/// Exhaustive optimal global alignment score for *small* inputs — a test
+/// oracle for [`needleman_wunsch`] (used by this crate's unit tests and
+/// the workspace's property tests). Complexity is exponential; keep
+/// inputs below ~8×8.
+pub fn brute_force_best_score(score: &ScoreMatrix, gap_penalty: f64) -> f64 {
+    // End gaps free: only *internal* gaps are charged. Recursively choose,
+    // for each cell, whether to match or skip, tracking whether we are at
+    // the sequence edges.
+    fn go(s: &ScoreMatrix, gap: f64, i: usize, j: usize) -> f64 {
+        let n = s.rows();
+        let m = s.cols();
+        if i == n || j == m {
+            return 0.0; // trailing end gaps free
+        }
+        let matched = s.get(i, j) + go(s, gap, i + 1, j + 1);
+        let skip_i = go(s, gap, i + 1, j) + if j == 0 || j == m { 0.0 } else { gap };
+        let skip_j = go(s, gap, i, j + 1) + if i == 0 || i == n { 0.0 } else { gap };
+        matched.max(skip_i).max(skip_j)
+    }
+    go(score, gap_penalty, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> WorkMeter {
+        WorkMeter::new()
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = ScoreMatrix::zeros(0, 5);
+        let (a, s) = needleman_wunsch(&m, -0.6, &mut meter());
+        assert!(a.is_empty());
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        // Strong diagonal → full-length ungapped alignment.
+        let m = ScoreMatrix::from_fn(5, 5, |i, j| if i == j { 1.0 } else { 0.0 });
+        let (a, s) = needleman_wunsch(&m, -0.6, &mut meter());
+        assert_eq!(a, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+        assert!((s - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_diagonal_uses_end_gaps() {
+        // Best pairs are (i, i+2): needs two leading end-gaps in x.
+        let m = ScoreMatrix::from_fn(6, 6, |i, j| if j == i + 2 { 1.0 } else { 0.0 });
+        let (a, s) = needleman_wunsch(&m, -0.6, &mut meter());
+        assert_eq!(a, vec![(0, 2), (1, 3), (2, 4), (3, 5)]);
+        assert!((s - 4.0).abs() < 1e-12, "score {s}");
+    }
+
+    #[test]
+    fn internal_gap_is_charged() {
+        // Matches at (0,0) and (1,2): one internal gap in y.
+        let mut m = ScoreMatrix::zeros(2, 3);
+        m.set(0, 0, 1.0);
+        m.set(1, 2, 1.0);
+        let (a, s) = needleman_wunsch(&m, -0.6, &mut meter());
+        assert_eq!(a, vec![(0, 0), (1, 2)]);
+        assert!((s - (2.0 - 0.6)).abs() < 1e-12, "score {s}");
+    }
+
+    #[test]
+    fn prohibitive_gap_prefers_fewer_matches() {
+        let mut m = ScoreMatrix::zeros(2, 3);
+        m.set(0, 0, 1.0);
+        m.set(1, 2, 0.1);
+        // Internal gap costs more than the second match is worth.
+        let (a, s) = needleman_wunsch(&m, -0.5, &mut meter());
+        // Either skip the weak match or pay the gap; skipping wins.
+        assert!(s >= 1.0);
+        assert!(is_valid_alignment(&a, 2, 3));
+    }
+
+    #[test]
+    fn alignment_always_valid() {
+        let m = ScoreMatrix::from_fn(7, 4, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+        let (a, _) = needleman_wunsch(&m, -0.6, &mut meter());
+        assert!(is_valid_alignment(&a, 7, 4));
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_matrices() {
+        // A handful of deterministic pseudo-random matrices.
+        for seed in 0..12u64 {
+            let rows = 2 + (seed % 4) as usize;
+            let cols = 2 + ((seed / 4) % 4) as usize;
+            let m = ScoreMatrix::from_fn(rows, cols, |i, j| {
+                let h = (seed + 1)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i * 97 + j * 131) as u64);
+                ((h >> 33) % 1000) as f64 / 500.0 - 1.0
+            });
+            let (_, nw) = needleman_wunsch(&m, -0.6, &mut meter());
+            let brute = brute_force_best_score(&m, -0.6);
+            assert!(
+                (nw - brute).abs() < 1e-9,
+                "seed {seed}: nw {nw} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_valid_alignment_rejects_bad() {
+        assert!(is_valid_alignment(&vec![(0, 0), (1, 1)], 2, 2));
+        assert!(!is_valid_alignment(&vec![(0, 0), (0, 1)], 2, 2)); // i repeats
+        assert!(!is_valid_alignment(&vec![(1, 1), (0, 0)], 2, 2)); // decreasing
+        assert!(!is_valid_alignment(&vec![(0, 5)], 2, 2)); // out of range
+    }
+
+    #[test]
+    fn blend_combines_matrices() {
+        let mut a = ScoreMatrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = ScoreMatrix::from_fn(2, 2, |_, _| 10.0);
+        a.blend(0.5, 0.5, &b);
+        assert!((a.get(0, 0) - 5.0).abs() < 1e-12);
+        assert!((a.get(1, 1) - 6.0).abs() < 1e-12);
+        assert!((a.max_abs() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_charged_proportionally() {
+        let mut m1 = meter();
+        let mut m2 = meter();
+        let a = ScoreMatrix::zeros(10, 10);
+        let b = ScoreMatrix::zeros(20, 20);
+        needleman_wunsch(&a, -0.6, &mut m1);
+        needleman_wunsch(&b, -0.6, &mut m2);
+        assert_eq!(m1.ops(), 100);
+        assert_eq!(m2.ops(), 400);
+    }
+}

@@ -1,0 +1,277 @@
+//! The three initial alignments used by TM-align (and cited by the paper):
+//!
+//! 1. **Gapless threading**: slide one chain along the other and keep the
+//!    ungapped offset with the best quick TM-score.
+//! 2. **Secondary-structure alignment**: dynamic programming over a
+//!    match/mismatch matrix of the per-residue secondary-structure classes.
+//! 3. **Hybrid alignment**: dynamic programming over a 50/50 blend of the
+//!    secondary-structure match matrix and the distance-score matrix
+//!    induced by the best superposition found so far.
+
+use crate::dp::{needleman_wunsch, Alignment, ScoreMatrix};
+use crate::kabsch::superpose;
+use crate::meter::WorkMeter;
+use crate::secstruct::SecStruct;
+use crate::tmscore::tm_score_of_pairs;
+use rck_pdb::geometry::{Transform, Vec3};
+
+/// Gap penalty used for the secondary-structure DP (TM-align uses −1.0).
+pub const SS_GAP: f64 = -1.0;
+
+/// An initial alignment candidate plus the transform that produced it
+/// (identity when no superposition was involved).
+#[derive(Debug, Clone)]
+pub struct InitialAlignment {
+    /// Human-readable origin, for tracing/ablation.
+    pub source: &'static str,
+    /// The aligned pairs.
+    pub alignment: Alignment,
+    /// A transform of chain x associated with the candidate, if any.
+    pub transform: Option<Transform>,
+}
+
+/// Initial alignment 1: gapless threading.
+///
+/// For every diagonal offset `k`, the overlap pairs `(i, i+k)` are
+/// superposed and scored with a single-pass TM-score (no iterative search —
+/// this is the cheap screen TM-align's `get_initial` performs). Offsets
+/// keeping fewer than `min_overlap` pairs are skipped.
+pub fn gapless_threading(
+    x: &[Vec3],
+    y: &[Vec3],
+    d0: f64,
+    norm_len: usize,
+    meter: &mut WorkMeter,
+) -> InitialAlignment {
+    let n = x.len() as isize;
+    let m = y.len() as isize;
+    let min_overlap = ((n.min(m) / 2).max(5) as usize).min(n.min(m) as usize);
+
+    let mut best_k = 0isize;
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best_t = Transform::IDENTITY;
+
+    // k is the offset such that x[i] pairs with y[i + k].
+    for k in (1 - n)..m {
+        let i_lo = 0.max(-k);
+        let i_hi = n.min(m - k);
+        let overlap = (i_hi - i_lo) as usize;
+        if overlap < min_overlap {
+            continue;
+        }
+        let xs = &x[i_lo as usize..i_hi as usize];
+        let ys = &y[(i_lo + k) as usize..(i_hi + k) as usize];
+        let sp = superpose(xs, ys, meter);
+        meter.charge(overlap as u64);
+        let moved: Vec<Vec3> = xs.iter().map(|&p| sp.transform.apply(p)).collect();
+        let score = tm_score_of_pairs(&moved, ys, d0, norm_len);
+        if score > best_score {
+            best_score = score;
+            best_k = k;
+            best_t = sp.transform;
+        }
+    }
+
+    let mut alignment = Vec::new();
+    if best_score > f64::NEG_INFINITY {
+        let i_lo = 0.max(-best_k);
+        let i_hi = n.min(m - best_k);
+        for i in i_lo..i_hi {
+            alignment.push((i as usize, (i + best_k) as usize));
+        }
+    }
+    InitialAlignment {
+        source: "gapless",
+        alignment,
+        transform: Some(best_t),
+    }
+}
+
+/// Initial alignment 2: secondary-structure DP.
+///
+/// Match score 1 for identical SS classes, 0 otherwise; gap −1.
+pub fn ss_alignment(
+    ss_x: &[SecStruct],
+    ss_y: &[SecStruct],
+    meter: &mut WorkMeter,
+) -> InitialAlignment {
+    let m = ScoreMatrix::from_fn(ss_x.len(), ss_y.len(), |i, j| {
+        if ss_x[i] == ss_y[j] {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    meter.charge((ss_x.len() * ss_y.len()) as u64);
+    let (alignment, _) = needleman_wunsch(&m, SS_GAP, meter);
+    InitialAlignment {
+        source: "ss-dp",
+        alignment,
+        transform: None,
+    }
+}
+
+/// Initial alignment 3: hybrid DP over `0.5·SS-match + 0.5·distance-score`
+/// where the distance score comes from transforming `x` with `t`
+/// (typically the best transform found by the previous two candidates).
+pub fn hybrid_alignment(
+    x: &[Vec3],
+    y: &[Vec3],
+    ss_x: &[SecStruct],
+    ss_y: &[SecStruct],
+    t: &Transform,
+    d0: f64,
+    meter: &mut WorkMeter,
+) -> InitialAlignment {
+    let moved: Vec<Vec3> = x.iter().map(|&p| t.apply(p)).collect();
+    let d0sq = d0 * d0;
+    let mut m = ScoreMatrix::from_fn(x.len(), y.len(), |i, j| {
+        1.0 / (1.0 + moved[i].dist_sq(y[j]) / d0sq)
+    });
+    let ss = ScoreMatrix::from_fn(x.len(), y.len(), |i, j| {
+        if ss_x[i] == ss_y[j] {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    m.blend(0.5, 0.5, &ss);
+    meter.charge(2 * (x.len() * y.len()) as u64);
+    let (alignment, _) = needleman_wunsch(&m, SS_GAP, meter);
+    InitialAlignment {
+        source: "hybrid",
+        alignment,
+        transform: Some(*t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::is_valid_alignment;
+    use crate::secstruct::assign;
+    use crate::tmscore::d0;
+    use rck_pdb::geometry::Mat3;
+
+    fn meter() -> WorkMeter {
+        WorkMeter::new()
+    }
+
+    fn helixish(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 100.0f64.to_radians();
+                Vec3::new(2.3 * t.cos(), 2.3 * t.sin(), 1.5 * i as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gapless_finds_identity_offset() {
+        let x = helixish(40);
+        let init = gapless_threading(&x, &x, d0(40), 40, &mut meter());
+        assert_eq!(init.alignment.len(), 40);
+        assert!(init.alignment.iter().all(|&(i, j)| i == j));
+    }
+
+    /// An aperiodic chain (no screw symmetry, unlike an ideal helix) so
+    /// diagonal offsets are distinguishable.
+    fn aperiodic(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Vec3::new(
+                    (t * 0.7).sin() * 4.0 + t * 0.9,
+                    (t * 0.31).cos() * 5.0 + (t * 0.11).sin() * 2.0,
+                    (t * 0.53).sin() * 3.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gapless_finds_shifted_offset() {
+        // y is x with 7 extra leading residues: best offset pairs
+        // x[i] with y[i+7].
+        let y = aperiodic(47);
+        let x: Vec<Vec3> = y[7..].to_vec();
+        let init = gapless_threading(&x, &y, d0(40), 40, &mut meter());
+        assert!(!init.alignment.is_empty());
+        let (i0, j0) = init.alignment[0];
+        assert_eq!(j0 - i0, 7, "offset found: {}", j0 - i0);
+    }
+
+    #[test]
+    fn gapless_respects_rigid_motion() {
+        let x = helixish(30);
+        let rot = Mat3::rotation_about(Vec3::new(1.0, 0.0, 1.0), 1.0);
+        let y: Vec<Vec3> = x.iter().map(|&p| rot * p + Vec3::new(4.0, 5.0, 6.0)).collect();
+        let init = gapless_threading(&x, &y, d0(30), 30, &mut meter());
+        assert_eq!(init.alignment.len(), 30);
+        let t = init.transform.unwrap();
+        // The recovered transform should map x close to y.
+        let max_err = x
+            .iter()
+            .zip(&y)
+            .map(|(&p, &q)| t.apply(p).dist(q))
+            .fold(0.0, f64::max);
+        assert!(max_err < 1e-6, "max error {max_err}");
+    }
+
+    #[test]
+    fn ss_alignment_matches_identical_tracks() {
+        let x = helixish(30);
+        let ss = assign(&x, &mut meter());
+        let init = ss_alignment(&ss, &ss, &mut meter());
+        assert_eq!(init.alignment.len(), 30);
+        assert!(init.alignment.iter().all(|&(i, j)| i == j));
+    }
+
+    #[test]
+    fn ss_alignment_valid_on_different_lengths() {
+        let x = helixish(25);
+        let y = helixish(40);
+        let ssx = assign(&x, &mut meter());
+        let ssy = assign(&y, &mut meter());
+        let init = ss_alignment(&ssx, &ssy, &mut meter());
+        assert!(is_valid_alignment(&init.alignment, 25, 40));
+        assert!(!init.alignment.is_empty());
+    }
+
+    #[test]
+    fn hybrid_alignment_recovers_identity() {
+        let x = helixish(35);
+        let ss = assign(&x, &mut meter());
+        let init = hybrid_alignment(
+            &x,
+            &x,
+            &ss,
+            &ss,
+            &Transform::IDENTITY,
+            d0(35),
+            &mut meter(),
+        );
+        assert_eq!(init.alignment.len(), 35);
+        assert!(init.alignment.iter().all(|&(i, j)| i == j));
+    }
+
+    #[test]
+    fn sources_are_labelled() {
+        let x = helixish(20);
+        let ss = assign(&x, &mut meter());
+        assert_eq!(gapless_threading(&x, &x, 1.0, 20, &mut meter()).source, "gapless");
+        assert_eq!(ss_alignment(&ss, &ss, &mut meter()).source, "ss-dp");
+        assert_eq!(
+            hybrid_alignment(&x, &x, &ss, &ss, &Transform::IDENTITY, 1.0, &mut meter()).source,
+            "hybrid"
+        );
+    }
+
+    #[test]
+    fn tiny_chains_do_not_panic() {
+        let x = helixish(6);
+        let y = helixish(8);
+        let init = gapless_threading(&x, &y, 0.5, 6, &mut meter());
+        assert!(is_valid_alignment(&init.alignment, 6, 8));
+    }
+}

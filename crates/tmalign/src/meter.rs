@@ -1,0 +1,72 @@
+//! Work metering.
+//!
+//! Every kernel in this crate charges the number of inner-loop operations
+//! it executes to a [`WorkMeter`]. The simulated SCC (crate `rck-noc`)
+//! converts these abstract operations into core cycles through a calibrated
+//! cycles-per-op constant, so a slave core's *virtual* compute time tracks
+//! the pair's *real* computational weight (≈ O(L1·L2) per DP pass plus
+//! O(L) TM-score iterations) without depending on host wall-clock time —
+//! the simulation stays deterministic.
+
+/// Accumulates abstract operation counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkMeter {
+    ops: u64,
+}
+
+impl WorkMeter {
+    /// A fresh meter at zero.
+    pub fn new() -> WorkMeter {
+        WorkMeter::default()
+    }
+
+    /// Charge `n` operations.
+    #[inline]
+    pub fn charge(&mut self, n: u64) {
+        self.ops = self.ops.saturating_add(n);
+    }
+
+    /// Total operations charged so far.
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Merge another meter's count into this one.
+    pub fn absorb(&mut self, other: &WorkMeter) {
+        self.charge(other.ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = WorkMeter::new();
+        assert_eq!(m.ops(), 0);
+        m.charge(10);
+        m.charge(5);
+        assert_eq!(m.ops(), 15);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = WorkMeter::new();
+        a.charge(3);
+        let mut b = WorkMeter::new();
+        b.charge(4);
+        a.absorb(&b);
+        assert_eq!(a.ops(), 7);
+        assert_eq!(b.ops(), 4);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut m = WorkMeter::new();
+        m.charge(u64::MAX);
+        m.charge(1);
+        assert_eq!(m.ops(), u64::MAX);
+    }
+}

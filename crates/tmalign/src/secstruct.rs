@@ -1,0 +1,198 @@
+//! Secondary-structure assignment from the CA trace.
+//!
+//! TM-align (`make_sec` in the original source) classifies each residue as
+//! helix, strand, turn or coil purely from five consecutive CA positions,
+//! comparing the six pairwise distances in the window `i−2 … i+2` against
+//! ideal helix/strand templates. We reproduce that scheme, including the
+//! original template distances and tolerances.
+
+use crate::meter::WorkMeter;
+use rck_pdb::geometry::Vec3;
+
+/// Secondary structure class, with the original TM-align integer codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecStruct {
+    /// Irregular (code 1).
+    Coil,
+    /// α-helix (code 2).
+    Helix,
+    /// Turn (code 3).
+    Turn,
+    /// β-strand (code 4).
+    Strand,
+}
+
+impl SecStruct {
+    /// The TM-align integer code for this class.
+    pub fn code(self) -> u8 {
+        match self {
+            SecStruct::Coil => 1,
+            SecStruct::Helix => 2,
+            SecStruct::Turn => 3,
+            SecStruct::Strand => 4,
+        }
+    }
+
+    /// One-letter display code (`C`, `H`, `T`, `E`).
+    pub fn letter(self) -> char {
+        match self {
+            SecStruct::Coil => 'C',
+            SecStruct::Helix => 'H',
+            SecStruct::Turn => 'T',
+            SecStruct::Strand => 'E',
+        }
+    }
+}
+
+/// Classify a five-residue window from its six characteristic CA-CA
+/// distances, following TM-align's `sec_str`.
+fn classify_window(d13: f64, d14: f64, d15: f64, d24: f64, d25: f64, d35: f64) -> SecStruct {
+    // Helix template.
+    let delta = 2.1;
+    if (d15 - 6.37).abs() < delta
+        && (d14 - 5.18).abs() < delta
+        && (d25 - 5.18).abs() < delta
+        && (d13 - 5.45).abs() < delta
+        && (d24 - 5.45).abs() < delta
+        && (d35 - 5.45).abs() < delta
+    {
+        return SecStruct::Helix;
+    }
+    // Strand template.
+    let delta = 1.42;
+    if (d15 - 13.0).abs() < delta
+        && (d14 - 10.4).abs() < delta
+        && (d25 - 10.4).abs() < delta
+        && (d13 - 6.1).abs() < delta
+        && (d24 - 6.1).abs() < delta
+        && (d35 - 6.1).abs() < delta
+    {
+        return SecStruct::Strand;
+    }
+    if d15 < 8.0 {
+        return SecStruct::Turn;
+    }
+    SecStruct::Coil
+}
+
+/// Assign a secondary-structure class to every residue of a CA trace.
+/// Residues closer than two positions to either end are coil (no window).
+#[allow(clippy::needless_range_loop)] // the window is centred on `i`
+pub fn assign(ca: &[Vec3], meter: &mut WorkMeter) -> Vec<SecStruct> {
+    let n = ca.len();
+    meter.charge(n as u64 * 8);
+    let mut out = vec![SecStruct::Coil; n];
+    if n < 5 {
+        return out;
+    }
+    for i in 2..n - 2 {
+        let (j1, j2, j3, j4, j5) = (i - 2, i - 1, i, i + 1, i + 2);
+        let d13 = ca[j1].dist(ca[j3]);
+        let d14 = ca[j1].dist(ca[j4]);
+        let d15 = ca[j1].dist(ca[j5]);
+        let d24 = ca[j2].dist(ca[j4]);
+        let d25 = ca[j2].dist(ca[j5]);
+        let d35 = ca[j3].dist(ca[j5]);
+        out[i] = classify_window(d13, d14, d15, d24, d25, d35);
+    }
+    out
+}
+
+/// Render an SS assignment as a string of one-letter codes.
+pub fn to_string(ss: &[SecStruct]) -> String {
+    ss.iter().map(|s| s.letter()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::model::{AminoAcid, CaChain};
+    use rck_pdb::synth::{build_backbone, SsType};
+
+    fn meter() -> WorkMeter {
+        WorkMeter::new()
+    }
+
+    fn chain_of(ss: SsType, n: usize) -> CaChain {
+        let (phi, psi) = ss.canonical_phi_psi();
+        let track: Vec<(f64, f64, AminoAcid)> =
+            (0..n).map(|_| (phi, psi, AminoAcid::Ala)).collect();
+        let s = build_backbone("t", &track);
+        CaChain::from_chain("t", &s.chains[0])
+    }
+
+    #[test]
+    fn ideal_helix_is_helix() {
+        let c = chain_of(SsType::Helix, 20);
+        let ss = assign(&c.coords, &mut meter());
+        let helix_count = ss[2..18].iter().filter(|s| **s == SecStruct::Helix).count();
+        assert!(helix_count >= 14, "helix interior: {}", to_string(&ss));
+    }
+
+    #[test]
+    fn ideal_strand_is_strand() {
+        let c = chain_of(SsType::Strand, 20);
+        let ss = assign(&c.coords, &mut meter());
+        let strand_count = ss[2..18]
+            .iter()
+            .filter(|s| **s == SecStruct::Strand)
+            .count();
+        assert!(strand_count >= 14, "strand interior: {}", to_string(&ss));
+    }
+
+    #[test]
+    fn termini_are_coil() {
+        let c = chain_of(SsType::Helix, 10);
+        let ss = assign(&c.coords, &mut meter());
+        assert_eq!(ss[0], SecStruct::Coil);
+        assert_eq!(ss[1], SecStruct::Coil);
+        assert_eq!(ss[8], SecStruct::Coil);
+        assert_eq!(ss[9], SecStruct::Coil);
+    }
+
+    #[test]
+    fn short_chains_all_coil() {
+        let c = chain_of(SsType::Helix, 4);
+        let ss = assign(&c.coords, &mut meter());
+        assert!(ss.iter().all(|s| *s == SecStruct::Coil));
+    }
+
+    #[test]
+    fn helix_strand_junction_detected() {
+        use rck_pdb::synth::SsType::*;
+        let mut track = Vec::new();
+        for _ in 0..15 {
+            let (phi, psi) = Helix.canonical_phi_psi();
+            track.push((phi, psi, AminoAcid::Ala));
+        }
+        for _ in 0..15 {
+            let (phi, psi) = Strand.canonical_phi_psi();
+            track.push((phi, psi, AminoAcid::Val));
+        }
+        let s = build_backbone("hs", &track);
+        let ca = CaChain::from_chain("hs", &s.chains[0]);
+        let ss = assign(&ca.coords, &mut meter());
+        assert!(ss[2..10].contains(&SecStruct::Helix));
+        assert!(ss[20..28].contains(&SecStruct::Strand));
+    }
+
+    #[test]
+    fn codes_and_letters() {
+        assert_eq!(SecStruct::Coil.code(), 1);
+        assert_eq!(SecStruct::Helix.code(), 2);
+        assert_eq!(SecStruct::Turn.code(), 3);
+        assert_eq!(SecStruct::Strand.code(), 4);
+        assert_eq!(
+            to_string(&[SecStruct::Coil, SecStruct::Helix, SecStruct::Turn, SecStruct::Strand]),
+            "CHTE"
+        );
+    }
+
+    #[test]
+    fn meter_charged() {
+        let c = chain_of(SsType::Helix, 30);
+        let mut m = meter();
+        let _ = assign(&c.coords, &mut m);
+        assert!(m.ops() >= 30);
+    }
+}

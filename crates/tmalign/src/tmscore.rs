@@ -1,0 +1,369 @@
+//! TM-score computation and the TM-score rotation search.
+//!
+//! The TM-score of an alignment between structures x and y is
+//!
+//! ```text
+//! TM = (1 / L_target) · Σ_aligned 1 / (1 + (d_i / d0)²)
+//! ```
+//!
+//! maximised over rigid transforms of x, where `d0` is the
+//! length-dependent normalisation scale of Zhang & Skolnick. The maximising
+//! rotation is found as in the original TM-score/TM-align code: superpose
+//! on seed fragments of decreasing length, then iteratively re-superpose on
+//! the subset of residue pairs falling inside a distance cutoff until the
+//! subset stabilises, keeping the best score seen anywhere.
+
+use crate::kabsch::superpose;
+use crate::meter::WorkMeter;
+use rck_pdb::geometry::{Transform, Vec3};
+
+/// The TM-score normalisation scale `d0(L) = 1.24·∛(L−15) − 1.8`,
+/// clamped below at 0.5 Å (as TM-align does for short chains).
+pub fn d0(len: usize) -> f64 {
+    if len <= 21 {
+        // For L ≤ 21 the formula goes ≤ 0.5; TM-align clamps.
+        return 0.5;
+    }
+    let v = 1.24 * ((len as f64) - 15.0).cbrt() - 1.8;
+    v.max(0.5)
+}
+
+/// Plain TM-score of already-transformed paired coordinates, normalised by
+/// `norm_len`.
+pub fn tm_score_of_pairs(x: &[Vec3], y: &[Vec3], d0: f64, norm_len: usize) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    if norm_len == 0 {
+        return 0.0;
+    }
+    let d0sq = d0 * d0;
+    let sum: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| 1.0 / (1.0 + a.dist_sq(*b) / d0sq))
+        .sum();
+    sum / norm_len as f64
+}
+
+/// How exhaustively [`search`] seeds the rotation search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchDepth {
+    /// Few seed fragments — used inside alignment-refinement loops where
+    /// the search runs many times (TM-align's `detailed_search` spirit).
+    Fast,
+    /// Full seed schedule (L, L/2, L/4, L/8) — used for initial scoring
+    /// and the final reported score.
+    Full,
+}
+
+/// Result of a TM-score rotation search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchResult {
+    /// Best TM-score found (normalised by the `norm_len` argument).
+    pub tm: f64,
+    /// Transform of the mobile set achieving it.
+    pub transform: Transform,
+}
+
+/// Maximise the TM-score of the aligned pairs `(x_i, y_i)` over rigid
+/// transforms of `x`.
+///
+/// * `d0_search` controls the inclusion cutoff of the iterative extension;
+/// * `d0_score` is the scale used in the reported score;
+/// * `norm_len` is the normalisation length (the target chain's length).
+///
+/// Returns a zero score and identity transform for fewer than 3 pairs
+/// (a rigid transform is under-determined below that).
+pub fn search(
+    x: &[Vec3],
+    y: &[Vec3],
+    d0_search: f64,
+    d0_score: f64,
+    norm_len: usize,
+    depth: SearchDepth,
+    meter: &mut WorkMeter,
+) -> SearchResult {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 3 {
+        return SearchResult {
+            tm: 0.0,
+            transform: Transform::IDENTITY,
+        };
+    }
+
+    // Seed fragment lengths, longest first.
+    let mut seed_lens: Vec<usize> = match depth {
+        SearchDepth::Fast => vec![n, n / 2],
+        SearchDepth::Full => vec![n, n / 2, n / 4, n / 8],
+    };
+    seed_lens.retain(|l| *l >= 4);
+    if seed_lens.is_empty() {
+        seed_lens.push(n.clamp(3, 4));
+    }
+    seed_lens.dedup();
+
+    let mut best = SearchResult {
+        tm: -1.0,
+        transform: Transform::IDENTITY,
+    };
+
+    let mut selected: Vec<usize> = Vec::with_capacity(n);
+    let mut prev_selected: Vec<usize> = Vec::with_capacity(n);
+    let mut xs: Vec<Vec3> = Vec::with_capacity(n);
+    let mut ys: Vec<Vec3> = Vec::with_capacity(n);
+
+    for &l_ini in &seed_lens {
+        let step = (l_ini / 2).max(4);
+        let mut start = 0;
+        loop {
+            let end = start + l_ini;
+            if end > n {
+                break;
+            }
+            // Superpose on the seed fragment.
+            let sp = superpose(&x[start..end], &y[start..end], meter);
+            let mut t = sp.transform;
+
+            // Iterative extension: re-superpose on close pairs until the
+            // selected set stabilises.
+            prev_selected.clear();
+            for _iter in 0..20 {
+                meter.charge(n as u64);
+                // Score the whole alignment under `t` and select pairs
+                // inside the cutoff.
+                let mut tm = 0.0;
+                selected.clear();
+                let d0sq_score = d0_score * d0_score;
+                let mut d_cut = d0_search + 1.0;
+                loop {
+                    let cutsq = d_cut * d_cut;
+                    selected.clear();
+                    for i in 0..n {
+                        if t.apply(x[i]).dist_sq(y[i]) < cutsq {
+                            selected.push(i);
+                        }
+                    }
+                    if selected.len() >= 3 || selected.len() == n {
+                        break;
+                    }
+                    d_cut += 0.5;
+                }
+                for i in 0..n {
+                    tm += 1.0 / (1.0 + t.apply(x[i]).dist_sq(y[i]) / d0sq_score);
+                }
+                let tm = tm / norm_len as f64;
+                if tm > best.tm {
+                    best = SearchResult { tm, transform: t };
+                }
+                if selected == prev_selected {
+                    break;
+                }
+                std::mem::swap(&mut prev_selected, &mut selected);
+                // Re-superpose on the selected subset.
+                xs.clear();
+                ys.clear();
+                for &i in &prev_selected {
+                    xs.push(x[i]);
+                    ys.push(y[i]);
+                }
+                if xs.len() < 3 {
+                    break;
+                }
+                t = superpose(&xs, &ys, meter).transform;
+            }
+
+            if start + l_ini == n {
+                break;
+            }
+            start += step;
+            if start + l_ini > n {
+                // Final window flush against the right edge.
+                start = n - l_ini;
+            }
+        }
+    }
+
+    best
+}
+
+/// The TM-score *program* semantics (as opposed to TM-align): score two
+/// conformations of the same protein under the fixed 1:1 residue
+/// correspondence, maximised over rigid transforms — the tool used to
+/// rank structure predictions against a native structure.
+///
+/// # Panics
+/// Panics if the chains have different lengths (the correspondence is by
+/// residue index).
+pub fn tm_score_fixed(
+    a: &rck_pdb::model::CaChain,
+    b: &rck_pdb::model::CaChain,
+    meter: &mut WorkMeter,
+) -> SearchResult {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "tm_score_fixed requires equal-length chains ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    let scale = d0(a.len());
+    search(
+        &a.coords,
+        &b.coords,
+        scale,
+        scale,
+        a.len(),
+        SearchDepth::Full,
+        meter,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::geometry::Mat3;
+
+    fn meter() -> WorkMeter {
+        WorkMeter::new()
+    }
+
+    fn helixish(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 100.0f64.to_radians();
+                Vec3::new(2.3 * t.cos(), 2.3 * t.sin(), 1.5 * i as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn d0_formula() {
+        assert_eq!(d0(10), 0.5);
+        assert_eq!(d0(21), 0.5);
+        let d = d0(120);
+        assert!((d - (1.24 * 105.0f64.cbrt() - 1.8)).abs() < 1e-12);
+        assert!(d0(300) > d0(100));
+    }
+
+    #[test]
+    fn identical_structures_score_one() {
+        let x = helixish(50);
+        let r = search(&x, &x, d0(50), d0(50), 50, SearchDepth::Full, &mut meter());
+        assert!(r.tm > 0.999, "tm = {}", r.tm);
+    }
+
+    #[test]
+    fn recovers_rigid_transform() {
+        let x = helixish(60);
+        let rot = Mat3::rotation_about(Vec3::new(1.0, -1.0, 2.0), 2.1);
+        let trans = Vec3::new(10.0, -3.0, 4.0);
+        let y: Vec<Vec3> = x.iter().map(|&p| rot * p + trans).collect();
+        let r = search(&x, &y, d0(60), d0(60), 60, SearchDepth::Full, &mut meter());
+        assert!(r.tm > 0.999, "tm = {}", r.tm);
+        for &p in &x {
+            assert!(r.transform.apply(p).dist(rot * p + trans) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partial_match_scores_between_zero_and_one() {
+        // First half matches rigidly, second half is garbage.
+        let x = helixish(40);
+        let mut y = x.clone();
+        for (i, p) in y.iter_mut().enumerate().skip(20) {
+            *p = Vec3::new(100.0 + i as f64 * 7.0, -50.0 * (i as f64).sin(), 3.0 * i as f64);
+        }
+        let r = search(&x, &y, d0(40), d0(40), 40, SearchDepth::Full, &mut meter());
+        assert!(r.tm > 0.4 && r.tm < 0.75, "tm = {}", r.tm);
+    }
+
+    #[test]
+    fn score_normalisation_length_matters() {
+        let x = helixish(30);
+        let fast = SearchDepth::Fast;
+        let r30 = search(&x, &x, d0(30), d0(30), 30, fast, &mut meter());
+        let r60 = search(&x, &x, d0(30), d0(30), 60, fast, &mut meter());
+        assert!((r30.tm - 2.0 * r60.tm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_pairs_returns_zero() {
+        let x = helixish(2);
+        let r = search(&x, &x, 0.5, 0.5, 2, SearchDepth::Full, &mut meter());
+        assert_eq!(r.tm, 0.0);
+    }
+
+    #[test]
+    fn small_but_valid_input() {
+        let x = helixish(5);
+        let r = search(&x, &x, d0(5), d0(5), 5, SearchDepth::Full, &mut meter());
+        assert!(r.tm > 0.99);
+    }
+
+    #[test]
+    fn tm_score_of_pairs_basics() {
+        let x = helixish(10);
+        assert!((tm_score_of_pairs(&x, &x, 1.0, 10) - 1.0).abs() < 1e-12);
+        assert_eq!(tm_score_of_pairs(&x, &x, 1.0, 0), 0.0);
+        // Displaced by exactly d0 → each term 1/2.
+        let y: Vec<Vec3> = x.iter().map(|&p| p + Vec3::new(1.0, 0.0, 0.0)).collect();
+        assert!((tm_score_of_pairs(&x, &y, 1.0, 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_depth_close_to_full_on_easy_cases() {
+        let x = helixish(80);
+        let rot = Mat3::rotation_about(Vec3::new(0.0, 1.0, 0.3), -1.0);
+        let y: Vec<Vec3> = x.iter().map(|&p| rot * p).collect();
+        let f = search(&x, &y, d0(80), d0(80), 80, SearchDepth::Fast, &mut meter());
+        let full = search(&x, &y, d0(80), d0(80), 80, SearchDepth::Full, &mut meter());
+        assert!(full.tm >= f.tm - 1e-9);
+        assert!(f.tm > 0.99);
+    }
+
+    #[test]
+    fn tm_score_fixed_on_decoys() {
+        use rck_pdb::model::CaChain;
+        let native = CaChain::from_coords("native", helixish(60));
+        // A good decoy: small perturbation.
+        let good = CaChain::from_coords(
+            "good",
+            native
+                .coords
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| p + Vec3::new(0.3 * (k as f64).sin(), 0.2, -0.1))
+                .collect(),
+        );
+        // A bad decoy: unfolded (stretched out).
+        let bad = CaChain::from_coords(
+            "bad",
+            (0..60).map(|k| Vec3::new(k as f64 * 3.8, 0.0, 0.0)).collect(),
+        );
+        let mut m = meter();
+        let tg = tm_score_fixed(&native, &good, &mut m).tm;
+        let tb = tm_score_fixed(&native, &bad, &mut m).tm;
+        assert!(tg > 0.9, "good decoy tm {tg}");
+        assert!(tb < 0.5, "bad decoy tm {tb}");
+        assert!(tg > tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn tm_score_fixed_rejects_length_mismatch() {
+        use rck_pdb::model::CaChain;
+        let a = CaChain::from_coords("a", helixish(20));
+        let b = CaChain::from_coords("b", helixish(21));
+        let _ = tm_score_fixed(&a, &b, &mut meter());
+    }
+
+    #[test]
+    fn meter_charged_more_for_full() {
+        let x = helixish(100);
+        let mut mf = meter();
+        let mut mfull = meter();
+        search(&x, &x, d0(100), d0(100), 100, SearchDepth::Fast, &mut mf);
+        search(&x, &x, d0(100), d0(100), 100, SearchDepth::Full, &mut mfull);
+        assert!(mfull.ops() > mf.ops());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the TM-align kernels.
+
+use proptest::prelude::*;
+use rck_pdb::geometry::{Mat3, Vec3};
+use rck_tmalign::dp::{
+    brute_force_best_score, is_valid_alignment, needleman_wunsch, ScoreMatrix,
+};
+use rck_tmalign::kabsch::{raw_rmsd, superpose};
+use rck_tmalign::secstruct;
+use rck_tmalign::tmscore::{d0, search, tm_score_of_pairs, SearchDepth};
+use rck_tmalign::WorkMeter;
+
+fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(
+        (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        min..max,
+    )
+}
+
+proptest! {
+    /// NW with free end gaps matches the exhaustive optimum on small
+    /// random matrices, and its alignment is always structurally valid.
+    #[test]
+    fn nw_matches_brute_force(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        cells in prop::collection::vec(-2.0f64..2.0, 36),
+        gap in -1.5f64..0.0,
+    ) {
+        let m = ScoreMatrix::from_fn(rows, cols, |i, j| cells[i * 6 + j]);
+        let (alignment, score) = needleman_wunsch(&m, gap, &mut WorkMeter::new());
+        prop_assert!(is_valid_alignment(&alignment, rows, cols));
+        let brute = brute_force_best_score(&m, gap);
+        prop_assert!((score - brute).abs() < 1e-9, "nw {score} vs brute {brute}");
+    }
+
+    /// The DP score equals the sum of matched cells plus gap charges of
+    /// the reported alignment (self-consistency).
+    #[test]
+    fn nw_score_is_consistent_with_alignment(
+        rows in 2usize..8,
+        cols in 2usize..8,
+        cells in prop::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let gap = -0.6;
+        let m = ScoreMatrix::from_fn(rows, cols, |i, j| cells[i * 8 + j]);
+        let (alignment, score) = needleman_wunsch(&m, gap, &mut WorkMeter::new());
+        let matched: f64 = alignment.iter().map(|&(i, j)| m.get(i, j)).sum();
+        // Gap charges of the optimal path through these pairs: between
+        // matched pairs every skipped residue costs `gap`; before the
+        // first pair and after the last one, one side rides the free edge
+        // so only min(di, dj) residues are charged.
+        let mut gaps = 0usize;
+        if let (Some(&(i0, j0)), Some(&(il, jl))) = (alignment.first(), alignment.last()) {
+            gaps += i0.min(j0);
+            gaps += (rows - 1 - il).min(cols - 1 - jl);
+        }
+        for w in alignment.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            gaps += (i1 - i0 - 1) + (j1 - j0 - 1);
+        }
+        let expect = matched + gaps as f64 * gap;
+        prop_assert!((score - expect).abs() < 1e-9, "{score} vs {expect}");
+    }
+
+    /// Kabsch RMSD is never worse than the raw (unsuperposed) RMSD, is
+    /// symmetric, and the transform is a proper rotation.
+    #[test]
+    fn kabsch_is_optimal_and_symmetric(a in arb_points(3, 40), shift in -20.0f64..20.0) {
+        let b: Vec<Vec3> = a
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| {
+                Mat3::rotation_about(Vec3::new(1.0, 0.3, -0.2), 0.9) * p
+                    + Vec3::new(shift, -shift, 2.0)
+                    + Vec3::new((k as f64 * 0.7).sin(), 0.0, 0.0)
+            })
+            .collect();
+        let mut meter = WorkMeter::new();
+        let sab = superpose(&a, &b, &mut meter);
+        let sba = superpose(&b, &a, &mut meter);
+        prop_assert!(sab.transform.rot.is_rotation(1e-7));
+        prop_assert!(sab.rmsd <= raw_rmsd(&a, &b) + 1e-9);
+        prop_assert!((sab.rmsd - sba.rmsd).abs() < 1e-7);
+    }
+
+    /// TM-scores are always in [0, 1] for matching normalisation length,
+    /// and improve monotonically with a larger d0.
+    #[test]
+    fn tm_scores_bounded_and_monotone_in_d0(a in arb_points(4, 40)) {
+        let n = a.len();
+        let b: Vec<Vec3> = a.iter().map(|&p| p + Vec3::new(1.5, -0.5, 0.2)).collect();
+        let t1 = tm_score_of_pairs(&a, &b, 1.0, n);
+        let t2 = tm_score_of_pairs(&a, &b, 4.0, n);
+        prop_assert!((0.0..=1.0).contains(&t1));
+        prop_assert!((0.0..=1.0).contains(&t2));
+        prop_assert!(t2 >= t1);
+    }
+
+    /// The rotation search never returns a score worse than the
+    /// whole-set Kabsch superposition's score (that superposition is one
+    /// of its seeds).
+    #[test]
+    fn search_at_least_as_good_as_global_kabsch(a in arb_points(4, 40)) {
+        let n = a.len();
+        let b: Vec<Vec3> = a
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| p + Vec3::new((k as f64).sin() * 2.0, 0.5, -0.3))
+            .collect();
+        let d = d0(n.max(22));
+        let mut meter = WorkMeter::new();
+        let sp = superpose(&a, &b, &mut meter);
+        let moved: Vec<Vec3> = a.iter().map(|&p| sp.transform.apply(p)).collect();
+        let kabsch_tm = tm_score_of_pairs(&moved, &b, d, n);
+        let found = search(&a, &b, d, d, n, SearchDepth::Full, &mut meter);
+        prop_assert!(found.tm >= kabsch_tm - 1e-9, "{} < {}", found.tm, kabsch_tm);
+    }
+
+    /// Secondary-structure assignment is length-preserving, deterministic
+    /// and local: changing a residue far from a window cannot affect it.
+    #[test]
+    fn secstruct_is_local(a in arb_points(12, 50), bump in 0.5f64..5.0) {
+        let mut meter = WorkMeter::new();
+        let ss1 = secstruct::assign(&a, &mut meter);
+        prop_assert_eq!(ss1.len(), a.len());
+        // Perturb the last residue: only the last 3+2 window positions may
+        // change.
+        let mut b = a.clone();
+        let last = b.len() - 1;
+        b[last] += Vec3::new(bump, bump, 0.0);
+        let ss2 = secstruct::assign(&b, &mut meter);
+        for k in 0..a.len().saturating_sub(3) {
+            prop_assert_eq!(ss1[k], ss2[k], "window {} changed", k);
+        }
+    }
+
+    /// d0 is monotone in chain length and ≥ 0.5.
+    #[test]
+    fn d0_monotone(l1 in 1usize..500, l2 in 1usize..500) {
+        let (lo, hi) = if l1 < l2 { (l1, l2) } else { (l2, l1) };
+        prop_assert!(d0(lo) <= d0(hi) + 1e-12);
+        prop_assert!(d0(lo) >= 0.5);
+    }
+}

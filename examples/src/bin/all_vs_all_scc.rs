@@ -1,0 +1,39 @@
+//! All-vs-all protein structure comparison on the simulated SCC — the
+//! paper's Experiment II in miniature, including the ranked-retrieval
+//! output the task exists for.
+//!
+//! Run with: `cargo run --release -p rckalign-examples --bin all_vs_all_scc`
+
+use rck_pdb::datasets;
+use rckalign::{
+    run_all_vs_all, PairCache, RckAlignOptions, SimilarityMatrix,
+};
+
+fn main() {
+    // The CK34-shaped dataset (34 chains, five fold families).
+    let chains = datasets::ck34_profile().generate(2013);
+    let query_name = chains[0].name.clone();
+    let names: Vec<String> = chains.iter().map(|c| c.name.clone()).collect();
+    let cache = PairCache::new(chains);
+
+    println!("all-vs-all TM-align of CK34 ({} pairs) on the simulated SCC", rckalign::pair_count(cache.len()));
+    for n_slaves in [1usize, 8, 24, 47] {
+        let run = run_all_vs_all(&cache, &RckAlignOptions::paper(n_slaves));
+        let slave_util = run.report.mean_utilization(1..=n_slaves);
+        println!(
+            "  {n_slaves:2} slaves: {:8.1} simulated s, {} messages, mean slave utilization {:.0}%",
+            run.makespan_secs,
+            run.report.total_messages(),
+            slave_util * 100.0
+        );
+    }
+
+    // The science: a ranked list of structural neighbours per query.
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(47));
+    let matrix = SimilarityMatrix::from_outcomes(cache.len(), &run.outcomes);
+    println!("\nstructures most similar to {query_name} (TM-score, shorter-chain norm):");
+    for (idx, tm) in matrix.ranked_neighbours(0).into_iter().take(8) {
+        println!("  {:10} {:.3}", names[idx], tm);
+    }
+    println!("(members of the same fold family rank on top, as they should)");
+}

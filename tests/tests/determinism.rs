@@ -1,0 +1,121 @@
+//! Determinism guarantees across the whole stack: same inputs → bitwise
+//! identical science and timing, regardless of host thread scheduling.
+
+use rck_pdb::datasets;
+use rck_tmalign::MethodKind;
+use rckalign::{
+    all_vs_all, run_all_vs_all, run_distributed, run_hierarchical, run_mcpsc, DistributedConfig,
+    HierarchyOptions, JobOrdering, McPscOptions, PairCache, PartitionStrategy, RckAlignOptions,
+};
+
+fn cache(seed: u64) -> PairCache {
+    PairCache::new(datasets::tiny_profile().generate(seed))
+}
+
+/// NaN-tolerant equality key (ContactMap reports RMSD as NaN, and
+/// `NaN != NaN` would make a bitwise-identical run look different).
+fn key(outcomes: &[rckalign::PairOutcome]) -> Vec<(u32, u32, u8, u64, u64, u32, u64)> {
+    outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.i,
+                o.j,
+                o.method.code(),
+                o.similarity.to_bits(),
+                o.rmsd.to_bits(),
+                o.aligned_len,
+                o.ops,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn dataset_generation_is_seed_deterministic() {
+    let a = datasets::ck34_profile().generate(5);
+    let b = datasets::ck34_profile().generate(5);
+    assert_eq!(a, b);
+    let c = datasets::ck34_profile().generate(6);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn rckalign_run_is_reproducible() {
+    let c = cache(1);
+    let a = run_all_vs_all(&c, &RckAlignOptions::paper(5));
+    let b = run_all_vs_all(&c, &RckAlignOptions::paper(5));
+    assert_eq!(a.report.makespan, b.report.makespan);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.report.per_core, b.report.per_core);
+}
+
+#[test]
+fn reproducible_across_cache_prefill_strategies() {
+    // Whether the cache was filled in parallel beforehand or lazily by the
+    // simulated slaves must not change anything.
+    let chains = datasets::tiny_profile().generate(2);
+    let lazy = PairCache::new(chains.clone());
+    let eager = PairCache::new(chains);
+    eager.prefill(&all_vs_all(eager.len(), MethodKind::TmAlign), 8);
+    let a = run_all_vs_all(&lazy, &RckAlignOptions::paper(3));
+    let b = run_all_vs_all(&eager, &RckAlignOptions::paper(3));
+    assert_eq!(a.report.makespan, b.report.makespan);
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+#[test]
+fn distributed_run_is_reproducible() {
+    let c = cache(3);
+    let jobs = all_vs_all(c.len(), MethodKind::TmAlign);
+    let a = run_distributed(&c, &jobs, 4, &rck_noc::NocConfig::scc(), &DistributedConfig::default());
+    let b = run_distributed(&c, &jobs, 4, &rck_noc::NocConfig::scc(), &DistributedConfig::default());
+    assert_eq!(a.report.makespan, b.report.makespan);
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+#[test]
+fn mcpsc_run_is_reproducible() {
+    let c = cache(4);
+    let opts = McPscOptions {
+        methods: vec![MethodKind::TmAlign, MethodKind::ContactMap],
+        n_slaves: 5,
+        strategy: PartitionStrategy::ProportionalToCost,
+        noc: rck_noc::NocConfig::scc(),
+    };
+    let a = run_mcpsc(&c, &opts);
+    let b = run_mcpsc(&c, &opts);
+    assert_eq!(a.report.makespan, b.report.makespan);
+    assert_eq!(key(&a.outcomes), key(&b.outcomes));
+    assert_eq!(a.partition, b.partition);
+}
+
+#[test]
+fn hierarchy_run_is_reproducible() {
+    let c = cache(5);
+    let opts = HierarchyOptions {
+        n_submasters: 2,
+        slaves_per_submaster: 2,
+        method: MethodKind::TmAlign,
+        ordering: JobOrdering::Shuffled(9),
+        noc: rck_noc::NocConfig::scc(),
+    };
+    let a = run_hierarchical(&c, &opts);
+    let b = run_hierarchical(&c, &opts);
+    assert_eq!(a.report.makespan, b.report.makespan);
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+#[test]
+fn repeated_runs_share_one_cache() {
+    // Running many configurations against one cache must not change any
+    // result (memoisation is transparent).
+    let c = cache(6);
+    let first = run_all_vs_all(&c, &RckAlignOptions::paper(2));
+    for n in [3usize, 4, 5] {
+        let _ = run_all_vs_all(&c, &RckAlignOptions::paper(n));
+    }
+    let again = run_all_vs_all(&c, &RckAlignOptions::paper(2));
+    assert_eq!(first.report.makespan, again.report.makespan);
+    assert_eq!(first.outcomes, again.outcomes);
+}

@@ -1,0 +1,127 @@
+//! End-to-end pipeline tests: dataset generation → simulated all-vs-all
+//! on the SCC → similarity matrix → ranked retrieval.
+
+use rck_pdb::datasets;
+use rck_tmalign::{tm_align, MethodKind};
+use rckalign::{
+    all_vs_all, pair_count, run_all_vs_all, PairCache, PairOutcome, RckAlignOptions,
+    SimilarityMatrix,
+};
+
+fn family_of(name: &str) -> &str {
+    &name[..4]
+}
+
+#[test]
+fn simulated_results_match_direct_tmalign() {
+    // What the slaves return over the simulated mesh must equal what the
+    // kernel produces when called directly (modulo f32 coordinate
+    // shipping, which the cache sidesteps by construction: both paths
+    // compare the same in-memory chains).
+    let chains = datasets::tiny_profile().generate(3);
+    let cache = PairCache::new(chains.clone());
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(4));
+    for o in &run.outcomes {
+        let direct = tm_align(&chains[o.i as usize], &chains[o.j as usize]);
+        assert!(
+            (o.similarity - direct.tm_max_norm()).abs() < 1e-12,
+            "pair ({}, {})",
+            o.i,
+            o.j
+        );
+        assert!((o.rmsd - direct.rmsd).abs() < 1e-12);
+        assert_eq!(o.ops, direct.ops);
+    }
+}
+
+#[test]
+fn ranked_retrieval_finds_family_members() {
+    // The biological point of the whole system: querying with one chain
+    // must rank its fold-family siblings above other folds.
+    let chains = datasets::ck34_profile().generate(2013);
+    let names: Vec<String> = chains.iter().map(|c| c.name.clone()).collect();
+    let cache = PairCache::new(chains);
+    rckalign::experiments::prepare(&cache);
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(47));
+    let matrix = SimilarityMatrix::from_outcomes(cache.len(), &run.outcomes);
+
+    // For each query, precision@k where k = family size - 1.
+    let mut total_prec = 0.0;
+    for q in 0..cache.len() {
+        let fam = family_of(&names[q]);
+        let siblings = names.iter().filter(|n| family_of(n) == fam).count() - 1;
+        if siblings == 0 {
+            continue;
+        }
+        let top = matrix.ranked_neighbours(q);
+        let hits = top
+            .iter()
+            .take(siblings)
+            .filter(|(idx, _)| family_of(&names[*idx]) == fam)
+            .count();
+        total_prec += hits as f64 / siblings as f64;
+    }
+    let mean_prec = total_prec / cache.len() as f64;
+    assert!(
+        mean_prec > 0.9,
+        "mean family precision {mean_prec} too low for ranked retrieval"
+    );
+}
+
+#[test]
+fn outcome_coverage_is_complete_for_every_method() {
+    let cache = PairCache::new(datasets::tiny_profile().generate(9));
+    for method in [MethodKind::TmAlign, MethodKind::KabschRmsd, MethodKind::ContactMap] {
+        let run = run_all_vs_all(
+            &cache,
+            &RckAlignOptions {
+                method,
+                ..RckAlignOptions::paper(3)
+            },
+        );
+        assert_eq!(run.outcomes.len(), pair_count(cache.len()));
+        let matrix = SimilarityMatrix::from_outcomes(cache.len(), &run.outcomes);
+        assert!((matrix.coverage() - 1.0).abs() < 1e-12, "{}", method.name());
+    }
+}
+
+#[test]
+fn similarity_is_symmetric_in_job_order() {
+    // The job list stores (i < j); the matrix must expose both directions.
+    let cache = PairCache::new(datasets::tiny_profile().generate(11));
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(2));
+    let m = SimilarityMatrix::from_outcomes(cache.len(), &run.outcomes);
+    for i in 0..cache.len() {
+        for j in 0..cache.len() {
+            assert_eq!(m.get(i, j).to_bits(), m.get(j, i).to_bits());
+        }
+    }
+}
+
+#[test]
+fn all_vs_all_jobs_cover_exactly_the_upper_triangle() {
+    let jobs = all_vs_all(6, MethodKind::TmAlign);
+    let mut seen = std::collections::HashSet::new();
+    for j in &jobs {
+        assert!(j.i < j.j);
+        assert!(seen.insert((j.i, j.j)));
+    }
+    assert_eq!(seen.len(), 15);
+}
+
+#[test]
+fn outcomes_are_plain_data() {
+    // PairOutcome must stay Copy + serialisable — the wire format and the
+    // caches depend on it.
+    fn assert_copy<T: Copy + serde::Serialize>(_: &T) {}
+    let o = PairOutcome {
+        i: 0,
+        j: 1,
+        method: MethodKind::TmAlign,
+        similarity: 0.5,
+        rmsd: 1.0,
+        aligned_len: 10,
+        ops: 100,
+    };
+    assert_copy(&o);
+}

@@ -1,0 +1,113 @@
+//! Failure-injection tests: the stack must fail loudly and informatively,
+//! never hang or corrupt results.
+
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, Simulator};
+use rck_pdb::datasets;
+use rck_rcce::Rcce;
+use rck_skel::{slave_loop, SlaveReply};
+use rckalign::{run_all_vs_all, PairCache, RckAlignOptions};
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn mutual_recv_reports_deadlock_with_core_states() {
+    let _ = Simulator::new(NocConfig::scc()).run(vec![
+        Some(Box::new(|ctx: &mut CoreCtx| {
+            let _ = ctx.recv_from(CoreId(1));
+        })),
+        Some(Box::new(|ctx: &mut CoreCtx| {
+            let _ = ctx.recv_from(CoreId(0));
+        })),
+    ]);
+}
+
+#[test]
+#[should_panic(expected = "slave bug")]
+fn slave_panic_mid_farm_propagates() {
+    // A slave that dies on its third job must bring the whole simulation
+    // down with its own message, not hang the master.
+    let ues: Vec<CoreId> = vec![CoreId(0), CoreId(1)];
+    let _ = Simulator::new(NocConfig::scc()).run(vec![
+        Some(Box::new({
+            let ues = ues.clone();
+            move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                let jobs: Vec<rck_skel::Job> =
+                    (0..10).map(|k| rck_skel::Job::new(k, vec![k as u8])).collect();
+                let _ = rck_skel::farm(&mut comm, &[1], &jobs);
+            }
+        }) as CoreProgram),
+        Some(Box::new({
+            let ues = ues.clone();
+            move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                let mut count = 0;
+                slave_loop(&mut comm, 0, |_id, p| {
+                    count += 1;
+                    if count == 3 {
+                        panic!("slave bug");
+                    }
+                    SlaveReply { payload: p, ops: 100 }
+                });
+            }
+        })),
+    ]);
+}
+
+#[test]
+#[should_panic(expected = "job id")]
+fn corrupt_job_payload_fails_decoding_loudly() {
+    let bad = vec![0u8, 1, 2]; // tag=job but no id/payload
+    let _ = rck_skel::wire::decode_job(bad);
+}
+
+#[test]
+fn degenerate_datasets_are_handled() {
+    // One chain → zero jobs: the run completes with no outcomes.
+    let mut chains = datasets::tiny_profile().generate(1);
+    chains.truncate(1);
+    let cache = PairCache::new(chains);
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(3));
+    assert!(run.outcomes.is_empty());
+    // Two chains → exactly one job.
+    let mut chains = datasets::tiny_profile().generate(1);
+    chains.truncate(2);
+    let cache = PairCache::new(chains);
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(5));
+    assert_eq!(run.outcomes.len(), 1);
+}
+
+#[test]
+fn more_slaves_than_jobs_is_fine() {
+    let mut chains = datasets::tiny_profile().generate(2);
+    chains.truncate(3); // 3 jobs
+    let cache = PairCache::new(chains);
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(40));
+    assert_eq!(run.outcomes.len(), 3);
+}
+
+#[test]
+#[should_panic(expected = "exceed")]
+fn chip_oversubscription_is_rejected_upfront() {
+    let cache = PairCache::new(datasets::tiny_profile().generate(3));
+    let _ = run_all_vs_all(&cache, &RckAlignOptions::paper(48));
+}
+
+#[test]
+#[should_panic(expected = "needs at least one source")]
+fn empty_recv_any_rejected() {
+    let _ = Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(
+        |ctx: &mut CoreCtx| {
+            let _ = ctx.recv_any(&[]);
+        },
+    ) as CoreProgram)]);
+}
+
+#[test]
+#[should_panic(expected = "barrier group must include caller")]
+fn barrier_without_caller_rejected() {
+    let _ = Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(
+        |ctx: &mut CoreCtx| {
+            ctx.barrier(&[CoreId(1), CoreId(2)]);
+        },
+    ) as CoreProgram)]);
+}

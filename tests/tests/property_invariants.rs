@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) over the cross-crate invariants.
+
+use proptest::prelude::*;
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, Simulator};
+use rck_pdb::geometry::{Mat3, Vec3};
+use rck_pdb::model::{AminoAcid, CaChain};
+use rck_pdb::synth::{build_backbone, SsType};
+use rck_rcce::Rcce;
+use rck_skel::{farm, slave_loop, Job, SlaveReply};
+use rck_tmalign::dp::is_valid_alignment;
+use rck_tmalign::kabsch::superpose;
+use rck_tmalign::{tm_align, WorkMeter};
+
+/// Strategy: a plausible protein-ish CA chain of 8..=60 residues, built
+/// through the real backbone generator from random φ/ψ tracks.
+fn arb_chain() -> impl Strategy<Value = CaChain> {
+    (8usize..=60, 0u64..1000).prop_map(|(n, seed)| {
+        let track: Vec<(f64, f64, AminoAcid)> = (0..n)
+            .map(|i| {
+                let h = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(1442695040888963407));
+                let pick = (h >> 32) % 3;
+                let ss = match pick {
+                    0 => SsType::Helix,
+                    1 => SsType::Strand,
+                    _ => SsType::Coil,
+                };
+                let (phi, psi) = ss.canonical_phi_psi();
+                let jitter = ((h % 100) as f64 / 100.0 - 0.5) * 0.2;
+                (
+                    phi + jitter,
+                    psi - jitter,
+                    AminoAcid::from_index((h % 20) as u8),
+                )
+            })
+            .collect();
+        let s = build_backbone("prop", &track);
+        CaChain::from_chain("prop", &s.chains[0])
+    })
+}
+
+fn arb_rotation() -> impl Strategy<Value = Mat3> {
+    (
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+        0.1f64..1.0,
+        -3.0f64..3.0,
+    )
+        .prop_map(|(x, y, z, angle)| Mat3::rotation_about(Vec3::new(x, y, z), angle))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kabsch recovers any rigid transform to numerical precision.
+    #[test]
+    fn kabsch_recovers_rigid_transforms(
+        chain in arb_chain(),
+        rot in arb_rotation(),
+        tx in -50.0f64..50.0,
+        ty in -50.0f64..50.0,
+        tz in -50.0f64..50.0,
+    ) {
+        let t = Vec3::new(tx, ty, tz);
+        let moved: Vec<Vec3> = chain.coords.iter().map(|&p| rot * p + t).collect();
+        let sp = superpose(&chain.coords, &moved, &mut WorkMeter::new());
+        prop_assert!(sp.rmsd < 1e-6, "rmsd {}", sp.rmsd);
+        prop_assert!(sp.transform.rot.is_rotation(1e-6));
+    }
+
+    /// TM-align outputs are well-formed for arbitrary chain pairs.
+    #[test]
+    fn tmalign_outputs_are_well_formed(a in arb_chain(), b in arb_chain()) {
+        let r = tm_align(&a, &b);
+        prop_assert!(r.tm_norm_a > 0.0 && r.tm_norm_a <= 1.0 + 1e-9);
+        prop_assert!(r.tm_norm_b > 0.0 && r.tm_norm_b <= 1.0 + 1e-9);
+        prop_assert!(r.rmsd >= 0.0);
+        prop_assert!(r.aligned_len >= 3);
+        prop_assert!(r.aligned_len <= a.len().min(b.len()));
+        prop_assert!((0.0..=1.0).contains(&r.seq_identity));
+        prop_assert!(is_valid_alignment(&r.alignment, a.len(), b.len()));
+        prop_assert!(r.ops > 0);
+    }
+
+    /// Self-alignment is always (near-)perfect.
+    #[test]
+    fn tmalign_self_alignment_is_perfect(a in arb_chain()) {
+        let r = tm_align(&a, &a);
+        prop_assert!(r.tm_norm_a > 0.999, "self TM {}", r.tm_norm_a);
+        prop_assert!(r.rmsd < 1e-6);
+    }
+
+    /// TM-score is invariant under rigid motion of one chain.
+    #[test]
+    fn tmalign_invariant_under_rigid_motion(
+        a in arb_chain(),
+        rot in arb_rotation(),
+    ) {
+        let moved = CaChain {
+            name: "m".into(),
+            seq: a.seq.clone(),
+            coords: a.coords.iter().map(|&p| rot * p + Vec3::new(7.0, -2.0, 3.0)).collect(),
+        };
+        let r = tm_align(&a, &moved);
+        prop_assert!(r.tm_norm_a > 0.999, "rigid-moved TM {}", r.tm_norm_a);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// FARM executes every job exactly once for arbitrary job sets and
+    /// slave counts, and the simulation is deterministic.
+    #[test]
+    fn farm_processes_every_job_once(
+        n_slaves in 1usize..8,
+        weights in prop::collection::vec(1u8..50, 0..40),
+    ) {
+        let run = |weights: &[u8]| {
+            let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+            let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+            let jobs: Vec<Job> = weights
+                .iter()
+                .enumerate()
+                .map(|(k, &w)| Job::new(k as u64, vec![w]))
+                .collect();
+            let ids = std::sync::Mutex::new(Vec::new());
+            let report = {
+                let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+                {
+                    let ues = ues.clone();
+                    let ids = &ids;
+                    programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                        let mut comm = Rcce::new(ctx, &ues);
+                        for r in farm(&mut comm, &slave_ranks, &jobs) {
+                            ids.lock().unwrap().push(r.job_id);
+                        }
+                    })));
+                }
+                for _ in 0..n_slaves {
+                    let ues = ues.clone();
+                    programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                        let mut comm = Rcce::new(ctx, &ues);
+                        slave_loop(&mut comm, 0, |_id, p| SlaveReply {
+                            ops: p[0] as u64 * 1000,
+                            payload: p,
+                        });
+                    })));
+                }
+                Simulator::new(NocConfig::scc()).run(programs)
+            };
+            (report.makespan, ids.into_inner().unwrap())
+        };
+        let (t1, mut ids1) = run(&weights);
+        let (t2, ids2) = run(&weights);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(&ids1, &ids2);
+        ids1.sort_unstable();
+        let expect: Vec<u64> = (0..weights.len() as u64).collect();
+        prop_assert_eq!(ids1, expect);
+    }
+
+    /// Makespan is bounded below by total-work/N and above by total work
+    /// plus overheads.
+    #[test]
+    fn farm_makespan_bounds(
+        n_slaves in 1usize..6,
+        weights in prop::collection::vec(1u8..100, 1..30),
+    ) {
+        let cfg = NocConfig::scc();
+        let total_ops: u64 = weights.iter().map(|&w| w as u64 * 100_000).sum();
+        let total = cfg.ops_to_duration(total_ops);
+        let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+        let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+        let jobs: Vec<Job> = weights
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| Job::new(k as u64, vec![w]))
+            .collect();
+        let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+        {
+            let ues = ues.clone();
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                let _ = farm(&mut comm, &slave_ranks, &jobs);
+            })));
+        }
+        for _ in 0..n_slaves {
+            let ues = ues.clone();
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                slave_loop(&mut comm, 0, |_id, p| SlaveReply {
+                    ops: p[0] as u64 * 100_000,
+                    payload: p,
+                });
+            })));
+        }
+        let report = Simulator::new(cfg).run(programs);
+        let makespan = report.makespan.as_secs_f64();
+        let lower = total.as_secs_f64() / n_slaves as f64;
+        prop_assert!(makespan >= lower * 0.999, "{makespan} < {lower}");
+        // Upper bound: serial time plus a generous comm allowance.
+        prop_assert!(makespan <= total.as_secs_f64() + 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Scaled-down versions of the paper's quantitative claims, runnable in a
+//! normal `cargo test` pass. The full-scale regeneration lives in the
+//! bench binaries; these tests pin the *shape* so regressions fail CI.
+
+use rck_noc::NocConfig;
+use rck_pdb::datasets;
+use rck_tmalign::MethodKind;
+use rckalign::experiments::{experiment1, experiment2};
+use rckalign::{
+    all_vs_all, run_all_vs_all, run_distributed, serial, CpuModel, DistributedConfig, PairCache,
+    RckAlignOptions,
+};
+
+fn small_ck() -> PairCache {
+    // A 12-chain slice of CK34-like families keeps tests fast while
+    // preserving job-cost heterogeneity.
+    let mut chains = datasets::ck34_profile().generate(2013);
+    chains.truncate(12);
+    let cache = PairCache::new(chains);
+    rckalign::experiments::prepare(&cache);
+    cache
+}
+
+#[test]
+fn speedup_is_near_linear_then_saturates_gracefully() {
+    let cache = small_ck();
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    let noc = NocConfig::scc();
+    let base = serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), noc.cycles_per_op);
+
+    let mut last_speedup = 0.0;
+    for n in [1usize, 2, 4, 8] {
+        let t = run_all_vs_all(&cache, &RckAlignOptions::paper(n)).makespan_secs;
+        let speedup = base / t;
+        // Monotone, sub-linear, and at small N close to ideal (paper
+        // Table IV: 2.94 at 3 slaves, 8.52 at 9).
+        assert!(speedup > last_speedup, "speedup fell at {n}");
+        assert!(speedup <= n as f64 * 1.01, "super-linear at {n}");
+        if n <= 4 {
+            assert!(speedup > 0.85 * n as f64, "efficiency too low at {n}: {speedup}");
+        }
+        last_speedup = speedup;
+    }
+}
+
+#[test]
+fn one_slave_equals_serial_baseline() {
+    // Paper: rckAlign with 1 slave (2027 s) vs serial on one SCC core
+    // (2029 s) — a wash.
+    let cache = small_ck();
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    let noc = NocConfig::scc();
+    let serial_t = serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), noc.cycles_per_op);
+    let parallel_t = run_all_vs_all(&cache, &RckAlignOptions::paper(1)).makespan_secs;
+    let rel = (parallel_t - serial_t).abs() / serial_t;
+    assert!(rel < 0.02, "1-slave {parallel_t} vs serial {serial_t}");
+}
+
+#[test]
+fn distributed_baseline_always_loses() {
+    // Paper Experiment I: rckAlign beats the MCPC-hosted distribution at
+    // every core count, by roughly 2-3x.
+    let cache = small_ck();
+    let rows = experiment1(
+        &cache,
+        &[1, 3, 6],
+        &NocConfig::scc(),
+        &DistributedConfig::default(),
+    );
+    for r in &rows {
+        let ratio = r.tmalign_dist_secs / r.rckalign_secs;
+        assert!(
+            ratio > 1.5 && ratio < 10.0,
+            "N={}: ratio {ratio} out of the paper's ballpark",
+            r.slaves
+        );
+    }
+}
+
+#[test]
+fn bigger_dataset_scales_better() {
+    // Paper §V-D: "the larger the dataset the higher the speedup".
+    let small = {
+        let mut chains = datasets::ck34_profile().generate(2013);
+        chains.truncate(8);
+        let c = PairCache::new(chains);
+        rckalign::experiments::prepare(&c);
+        c
+    };
+    let large = small_ck(); // 12 chains: 66 jobs vs 28
+    let rows = experiment2(&small, &large, &[8], &NocConfig::scc());
+    let r = rows[0];
+    // "ck34" slot holds the smaller set here, "rs119" the larger.
+    assert!(
+        r.rs119_speedup >= r.ck34_speedup,
+        "larger dataset speedup {} < smaller {}",
+        r.rs119_speedup,
+        r.ck34_speedup
+    );
+}
+
+#[test]
+fn amd_baseline_is_4_to_6x_p54c() {
+    let cache = small_ck();
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    let cpo = NocConfig::scc().cycles_per_op;
+    let amd = serial::serial_time_secs(&cache, &jobs, &CpuModel::amd_athlon_2400(), cpo);
+    let p54c = serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), cpo);
+    let ratio = p54c / amd;
+    assert!((4.0..6.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn nfs_disk_floor_binds_at_high_core_counts() {
+    // The distributed model's makespan can never go below the serialised
+    // disk time — the mechanism behind the paper's Figure 5 gap.
+    let cache = small_ck();
+    let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
+    let dcfg = DistributedConfig {
+        spawn_overhead_secs: 0.0,
+        nfs_read_secs_per_file: 2.0,
+        files_per_job: 2,
+    };
+    let run = run_distributed(&cache, &jobs, 16, &NocConfig::scc(), &dcfg);
+    let disk_floor = jobs.len() as f64 * 4.0;
+    assert!(
+        run.makespan_secs >= disk_floor * 0.999,
+        "makespan {} below disk floor {disk_floor}",
+        run.makespan_secs
+    );
+}
+
+#[test]
+fn faster_cores_shift_the_bottleneck_to_the_master() {
+    // Paper §V-D: with faster cores the single-master strategy loses
+    // efficiency. Speed the chip up 100× and efficiency at 8 slaves must
+    // drop relative to the 800 MHz chip.
+    let cache = small_ck();
+    let eff = |noc: NocConfig| {
+        let t1 = run_all_vs_all(
+            &cache,
+            &RckAlignOptions {
+                noc: noc.clone(),
+                ..RckAlignOptions::paper(1)
+            },
+        )
+        .makespan_secs;
+        let t8 = run_all_vs_all(
+            &cache,
+            &RckAlignOptions {
+                noc,
+                ..RckAlignOptions::paper(8)
+            },
+        )
+        .makespan_secs;
+        t1 / t8 / 8.0
+    };
+    let slow = eff(NocConfig::scc());
+    let fast = eff(NocConfig::scc().with_freq(80e9));
+    assert!(
+        fast < slow,
+        "efficiency should drop with faster cores: slow {slow} fast {fast}"
+    );
+}

@@ -1,0 +1,62 @@
+//! Scale stress: the full 48-core chip under thousands of messages stays
+//! deterministic and consistent.
+
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, Simulator};
+use rck_rcce::Rcce;
+use rck_skel::{farm, slave_loop, Job, SlaveReply};
+
+fn big_farm(jobs: usize) -> (rck_noc::SimTime, u64, Vec<u64>) {
+    let n_slaves = 47usize;
+    let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+    let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+    let job_list: Vec<Job> = (0..jobs)
+        .map(|k| Job::new(k as u64, vec![(k % 251) as u8, (k / 251) as u8]))
+        .collect();
+    let ids = std::sync::Mutex::new(Vec::with_capacity(jobs));
+    let report = {
+        let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+        {
+            let ues = ues.clone();
+            let slave_ranks = slave_ranks.clone();
+            let ids = &ids;
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                for r in farm(&mut comm, &slave_ranks, &job_list) {
+                    ids.lock().unwrap().push(r.job_id);
+                }
+            })));
+        }
+        for _ in 0..n_slaves {
+            let ues = ues.clone();
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                slave_loop(&mut comm, 0, |_id, p| SlaveReply {
+                    ops: (p[0] as u64 + 1) * 3_000,
+                    payload: p,
+                });
+            })));
+        }
+        Simulator::new(NocConfig::scc()).run(programs)
+    };
+    (report.makespan, report.total_messages(), ids.into_inner().unwrap())
+}
+
+#[test]
+fn two_thousand_jobs_on_48_cores() {
+    let (makespan, messages, ids) = big_farm(2000);
+    // jobs out + results back + 47 terminates.
+    assert_eq!(messages, 2 * 2000 + 47);
+    assert!(makespan > rck_noc::SimTime::ZERO);
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 2000, "every job exactly once");
+}
+
+#[test]
+fn big_farm_is_deterministic() {
+    let a = big_farm(600);
+    let b = big_farm(600);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.2, b.2);
+}
