@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with crossbeam's calling
+//! convention (spawn closures receive a scope handle argument; `scope`
+//! returns a `Result`) implemented on top of `std::thread::scope`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type matching `crossbeam::thread::scope`.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to spawned closures (crossbeam passes a nested
+    /// scope handle; the workspace's closures ignore it).
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope;
+
+    /// A scope within which spawned threads are joined before return.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives a
+        /// (vestigial) nested-scope handle, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// this returns. Unlike crossbeam, an unjoined panicking child
+    /// propagates its panic here rather than surfacing in the `Err`
+    /// variant — workspace callers `expect()` the result either way.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_spawn_join() {
+        let n = AtomicU32::new(0);
+        let total = super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(scope.spawn(|_| n.fetch_add(1, Ordering::SeqCst)));
+            }
+            let count = handles.len();
+            for h in handles {
+                h.join().unwrap();
+            }
+            count
+        })
+        .unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+}

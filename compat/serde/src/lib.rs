@@ -1,0 +1,46 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for API-parity with
+//! the real crate but never invokes a serializer (there is no
+//! `serde_json`/`bincode` in the offline environment; wire encodings go
+//! through the explicit `rck-rcce` codec instead). So the traits here
+//! are markers, blanket-implemented for every type, and the re-exported
+//! derives expand to nothing.
+
+/// Marker for types that could be serialized (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that could be deserialized (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types (blanket-implemented).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[derive(crate::Serialize, crate::Deserialize, Debug, PartialEq)]
+    struct Demo {
+        a: u32,
+        b: String,
+    }
+
+    fn takes_serialize<T: crate::Serialize>(_: &T) {}
+
+    #[test]
+    fn derive_resolves_and_bounds_hold() {
+        let d = Demo {
+            a: 1,
+            b: "x".into(),
+        };
+        takes_serialize(&d);
+        assert_eq!(d, d);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The facade `serde` crate blanket-implements its marker traits for all
+//! types, so these derives only need to exist for `#[derive(Serialize,
+//! Deserialize)]` attributes to resolve; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

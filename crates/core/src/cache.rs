@@ -12,19 +12,39 @@ use crate::jobs::{PairJob, PairOutcome};
 use parking_lot::Mutex;
 use rck_pdb::model::CaChain;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The memo table: `(i, j, method code) → outcome`.
+type MemoTable = HashMap<(u32, u32, u8), PairOutcome>;
 
 /// Memoised `(i, j, method) → outcome` store over one dataset.
+///
+/// Cloning is cheap (both the dataset and the memo table sit behind
+/// `Arc`s) and clones **share** the memo table: a result computed through
+/// any clone is visible to all of them. This lets worker threads — host
+/// threads in [`PairCache::prefill`], service workers in `rck-serve`, or
+/// the in-process baselines — each own a handle without copying the
+/// dataset or splitting the cache.
 pub struct PairCache {
-    chains: Vec<CaChain>,
-    results: Mutex<HashMap<(u32, u32, u8), PairOutcome>>,
+    chains: Arc<Vec<CaChain>>,
+    results: Arc<Mutex<MemoTable>>,
+}
+
+impl Clone for PairCache {
+    fn clone(&self) -> PairCache {
+        PairCache {
+            chains: Arc::clone(&self.chains),
+            results: Arc::clone(&self.results),
+        }
+    }
 }
 
 impl PairCache {
     /// Create an empty cache over a dataset (pairs computed on demand).
     pub fn new(chains: Vec<CaChain>) -> PairCache {
         PairCache {
-            chains,
-            results: Mutex::new(HashMap::new()),
+            chains: Arc::new(chains),
+            results: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -195,5 +215,40 @@ mod tests {
         let c = cache();
         c.prefill(&[], 4);
         assert_eq!(c.computed(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_memo_table() {
+        let a = cache();
+        let b = a.clone();
+        let job = PairJob {
+            i: 0,
+            j: 1,
+            method: MethodKind::TmAlign,
+        };
+        let via_a = a.get_or_compute(&job);
+        // The clone sees the memoised result without recomputing.
+        assert_eq!(b.computed(), 1);
+        assert_eq!(b.get_or_compute(&job), via_a);
+        assert_eq!(a.computed(), 1);
+        // And both views address the same dataset.
+        assert_eq!(a.chains()[0], b.chains()[0]);
+    }
+
+    #[test]
+    fn clones_are_usable_across_threads() {
+        let c = cache();
+        let jobs = all_vs_all(c.len(), MethodKind::KabschRmsd);
+        std::thread::scope(|scope| {
+            for chunk in jobs.chunks(jobs.len().div_ceil(3)) {
+                let handle = c.clone();
+                scope.spawn(move || {
+                    for j in chunk {
+                        handle.get_or_compute(j);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.computed(), jobs.len());
     }
 }

@@ -44,6 +44,27 @@ pub fn pair_count(n: usize) -> usize {
     n * n.saturating_sub(1) / 2
 }
 
+/// Split an (already ordered) job list into dispatch batches of at most
+/// `batch_size` jobs, preserving order. The unit a distribution layer —
+/// the NoC farm's per-core hand-outs or `rck-serve`'s network frames —
+/// actually ships.
+///
+/// # Panics
+/// Panics if `batch_size` is zero.
+pub fn batch_jobs(jobs: &[PairJob], batch_size: usize) -> Vec<Vec<PairJob>> {
+    assert!(batch_size >= 1, "batch_size must be at least 1");
+    jobs.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// The distinct chain indices a set of jobs touches, ascending — the
+/// chain table a batched job message must carry.
+pub fn chain_indices(jobs: &[PairJob]) -> Vec<u32> {
+    let mut ix: Vec<u32> = jobs.iter().flat_map(|j| [j.i, j.j]).collect();
+    ix.sort_unstable();
+    ix.dedup();
+    ix
+}
+
 /// Encode one chain into a job payload: name, sequence (1 byte/residue)
 /// and CA coordinates (3 × f32/residue) — what rckAlign actually moves
 /// over the mesh per comparison.
@@ -243,6 +264,37 @@ mod tests {
         assert_eq!(pair_count(34), 561);
         assert_eq!(pair_count(0), 0);
         assert_eq!(pair_count(1), 0);
+    }
+
+    #[test]
+    fn batching_covers_everything_in_order() {
+        let jobs = all_vs_all(9, MethodKind::TmAlign); // 36 jobs
+        let batches = batch_jobs(&jobs, 10);
+        assert_eq!(batches.len(), 4);
+        assert!(batches[..3].iter().all(|b| b.len() == 10));
+        assert_eq!(batches[3].len(), 6);
+        let flat: Vec<PairJob> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, jobs);
+        // Oversized batch size → one batch; empty input → none.
+        assert_eq!(batch_jobs(&jobs, 1000).len(), 1);
+        assert!(batch_jobs(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_rejected() {
+        let _ = batch_jobs(&[], 0);
+    }
+
+    #[test]
+    fn chain_indices_are_sorted_unique() {
+        let jobs = vec![
+            PairJob { i: 3, j: 7, method: MethodKind::TmAlign },
+            PairJob { i: 0, j: 3, method: MethodKind::TmAlign },
+            PairJob { i: 7, j: 9, method: MethodKind::TmAlign },
+        ];
+        assert_eq!(chain_indices(&jobs), vec![0, 3, 7, 9]);
+        assert!(chain_indices(&[]).is_empty());
     }
 
     #[test]

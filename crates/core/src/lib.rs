@@ -49,7 +49,9 @@ pub use cache::PairCache;
 pub use cpu::CpuModel;
 pub use distributed::{run_distributed, DistributedConfig, DistributedRun};
 pub use hierarchy::{run_hierarchical, HierarchyOptions, HierarchyRun};
-pub use jobs::{all_vs_all, pair_count, PairJob, PairOutcome, SimilarityMatrix};
+pub use jobs::{
+    all_vs_all, batch_jobs, chain_indices, pair_count, PairJob, PairOutcome, SimilarityMatrix,
+};
 pub use loadbalance::JobOrdering;
 pub use mcpsc::{run_mcpsc, McPscOptions, McPscRun, PartitionStrategy};
 pub use onevsall::{run_one_vs_all, OneVsAllOptions, OneVsAllRun};

@@ -373,7 +373,7 @@ fn gauss<R: Rng>(rng: &mut R) -> f64 {
 }
 
 fn random_aa<R: Rng>(rng: &mut R) -> AminoAcid {
-    AminoAcid::STANDARD[rng.gen_range(0..20)]
+    AminoAcid::STANDARD[rng.gen_range(0..20usize)]
 }
 
 fn hash_name(name: &str) -> u64 {

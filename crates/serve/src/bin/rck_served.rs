@@ -1,0 +1,189 @@
+//! `rck_served` — the rck-serve master daemon.
+//!
+//! ```text
+//! rck_served [--addr HOST:PORT] [--dataset CK34|RS119|TINY8] [--seed S]
+//!            [--batch N] [--ordering fifo|lpt|shuffle] [--timeout-ms MS]
+//!            [--min-workers N]
+//! ```
+//!
+//! Loads the dataset, prints the bound address, serves the all-vs-all
+//! workload to connecting `rck_worker`s, and prints the final stats and
+//! a matrix digest when every pair is done.
+
+use rck_pdb::datasets;
+use rck_serve::{Master, MasterConfig};
+use rckalign::JobOrdering;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rck_served — TCP master serving the all-vs-all TM-align workload
+
+USAGE:
+  rck_served [--addr HOST:PORT] [--dataset CK34|RS119|TINY8] [--seed S]
+             [--batch N] [--ordering fifo|lpt|shuffle] [--timeout-ms MS]
+             [--min-workers N]
+
+Defaults: --addr 127.0.0.1:0 (prints the picked port), --dataset TINY8,
+--seed 2013, --batch 16, --ordering lpt, --timeout-ms 1000,
+--min-workers 1.
+";
+
+#[derive(Debug, PartialEq)]
+struct ParseError(String);
+
+#[derive(Debug, PartialEq)]
+struct Options {
+    dataset: String,
+    seed: u64,
+    cfg: MasterConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    let mut cfg = MasterConfig::default();
+    let mut dataset = "TINY8".to_string();
+    let mut seed = 2013u64;
+    let mut ordering = "lpt".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let name = a
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("unexpected argument {a}")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
+        match name {
+            "addr" => {
+                cfg.addr = value
+                    .parse::<SocketAddr>()
+                    .map_err(|_| ParseError(format!("bad address {value}")))?;
+            }
+            "dataset" => dataset = value.clone(),
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed {value}")))?;
+            }
+            "batch" => {
+                cfg.batch_size = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad batch size {value}")))?;
+            }
+            "ordering" => ordering = value.clone(),
+            "timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad timeout {value}")))?;
+                cfg.heartbeat_timeout = std::time::Duration::from_millis(ms);
+            }
+            "min-workers" => {
+                cfg.min_workers = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad worker count {value}")))?;
+            }
+            other => return Err(ParseError(format!("unknown flag --{other}"))),
+        }
+    }
+    // Resolved after the loop so `--ordering shuffle --seed N` works in
+    // either flag order.
+    cfg.ordering = match ordering.as_str() {
+        "fifo" => JobOrdering::Fifo,
+        "lpt" => JobOrdering::LongestFirst,
+        "shuffle" => JobOrdering::Shuffled(seed),
+        other => return Err(ParseError(format!("unknown ordering {other}"))),
+    };
+    Ok(Options { dataset, seed, cfg })
+}
+
+fn serve(opts: Options) -> Result<(), String> {
+    let profile = datasets::by_name(&opts.dataset)
+        .ok_or_else(|| format!("unknown dataset {} (try CK34, RS119, TINY8)", opts.dataset))?;
+    let chains = profile.generate(opts.seed);
+    let n = chains.len();
+    let master = Master::bind(chains, opts.cfg).map_err(|e| e.to_string())?;
+    println!(
+        "rck_served: {} chains ({} pairs) on {}",
+        n,
+        rckalign::pair_count(n),
+        master.local_addr()
+    );
+    let run = master.run().map_err(|e| e.to_string())?;
+    println!();
+    print!("{}", run.stats.render());
+    println!();
+    println!(
+        "matrix: {}x{} assembled, coverage {:.0}%",
+        run.matrix.len(),
+        run.matrix.len(),
+        run.matrix.coverage() * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => match serve(opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(ParseError(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_tmalign::MethodKind;
+
+    fn parse(s: &str) -> Result<Options, ParseError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse("").unwrap();
+        assert_eq!(opts.dataset, "TINY8");
+        assert_eq!(opts.seed, 2013);
+        assert_eq!(opts.cfg.batch_size, 16);
+        assert_eq!(opts.cfg.method, MethodKind::TmAlign);
+        assert_eq!(opts.cfg.min_workers, 1);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let opts = parse(
+            "--addr 0.0.0.0:7000 --dataset CK34 --seed 9 --batch 32 \
+             --ordering shuffle --timeout-ms 250 --min-workers 4",
+        )
+        .unwrap();
+        assert_eq!(opts.dataset, "CK34");
+        assert_eq!(opts.cfg.addr.port(), 7000);
+        assert_eq!(opts.cfg.batch_size, 32);
+        assert_eq!(opts.cfg.ordering, JobOrdering::Shuffled(9));
+        assert_eq!(opts.cfg.heartbeat_timeout.as_millis(), 250);
+        assert_eq!(opts.cfg.min_workers, 4);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("positional").is_err());
+        assert!(parse("--addr nonsense").is_err());
+        assert!(parse("--batch 0").is_err());
+        assert!(parse("--ordering sideways").is_err());
+        assert!(parse("--timeout-ms 0").is_err());
+        assert!(parse("--seed").is_err());
+        assert!(parse("--frobnicate 1").is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! `rck_worker` — an rck-serve compute worker.
+//!
+//! ```text
+//! rck_worker --addr HOST:PORT [--name NAME] [--heartbeat-ms MS]
+//! ```
+//!
+//! Connects to a running `rck_served`, computes job batches with the
+//! real TM-align kernel until the master sends Shutdown, then prints a
+//! session summary.
+
+use rck_serve::{run_worker, WorkerConfig};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+rck_worker — compute worker for rck_served
+
+USAGE:
+  rck_worker --addr HOST:PORT [--name NAME] [--heartbeat-ms MS]
+
+Defaults: --name worker, --heartbeat-ms 100.
+";
+
+#[derive(Debug, PartialEq)]
+struct ParseError(String);
+
+fn parse_args(args: &[String]) -> Result<WorkerConfig, ParseError> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut name = "worker".to_string();
+    let mut heartbeat = Duration::from_millis(100);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag = a
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("unexpected argument {a}")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("--{flag} needs a value")))?;
+        match flag {
+            "addr" => {
+                addr = Some(
+                    value
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad address {value}")))?,
+                );
+            }
+            "name" => name = value.clone(),
+            "heartbeat-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad heartbeat interval {value}")))?;
+                heartbeat = Duration::from_millis(ms);
+            }
+            other => return Err(ParseError(format!("unknown flag --{other}"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| ParseError("--addr is required".into()))?;
+    let mut cfg = WorkerConfig::connect_to(addr);
+    cfg.name = name;
+    cfg.heartbeat_interval = heartbeat;
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(ParseError(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_worker(&cfg) {
+        Ok(report) => {
+            println!(
+                "{}: worker {} done — {} jobs in {} batches ({} B out, {} B in)",
+                cfg.name,
+                report.worker_id,
+                report.jobs_done,
+                report.batches_done,
+                report.bytes_tx,
+                report.bytes_rx
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<WorkerConfig, ParseError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn addr_is_required() {
+        assert!(parse("").is_err());
+        assert!(parse("--name farmhand").is_err());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let cfg = parse("--addr 127.0.0.1:7000 --name farmhand --heartbeat-ms 50").unwrap();
+        assert_eq!(cfg.addr.port(), 7000);
+        assert_eq!(cfg.name, "farmhand");
+        assert_eq!(cfg.heartbeat_interval.as_millis(), 50);
+        assert!(cfg.fail_after_batches.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("--addr nonsense").is_err());
+        assert!(parse("--addr 127.0.0.1:1 --heartbeat-ms 0").is_err());
+        assert!(parse("--addr 127.0.0.1:1 --frobnicate x").is_err());
+        assert!(parse("--addr").is_err());
+        assert!(parse("positional").is_err());
+    }
+}

@@ -1,0 +1,508 @@
+//! The rck-serve master: job generation, batch dispatch, fault recovery
+//! and result assembly over real TCP connections.
+//!
+//! One thread per connected worker (plus a deadline monitor) shares a
+//! single work-queue state under a mutex/condvar pair. Fault tolerance is
+//! two mechanisms stacked:
+//!
+//! * **connection loss** — a failed read or write on a worker's socket
+//!   immediately requeues every batch that worker held;
+//! * **heartbeat deadline** — the monitor requeues batches whose worker
+//!   has gone silent past [`MasterConfig::heartbeat_timeout`] and shuts
+//!   the socket down, which also unblocks the handler's pending read.
+//!
+//! Requeued work can race its original worker, so acceptance is guarded
+//! twice: a result frame must answer a batch id still in flight, and each
+//! `(i, j)` pair is accepted only once (late duplicates are counted and
+//! dropped). The final [`SimilarityMatrix`] is therefore complete and
+//! exact no matter how many workers die mid-run.
+
+use crate::proto::{self, Frame, FrameError, Hello, ResultBatch, Welcome, PROTOCOL_VERSION};
+use crate::stats::{ServeStats, StatsSnapshot};
+use rck_pdb::model::CaChain;
+use rck_tmalign::MethodKind;
+use rckalign::loadbalance::{order_jobs, JobOrdering};
+use rckalign::{all_vs_all, batch_jobs, PairJob, PairOutcome, SimilarityMatrix};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Master configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterConfig {
+    /// Address to listen on; port 0 picks a free port.
+    pub addr: SocketAddr,
+    /// Jobs per dispatched batch.
+    pub batch_size: usize,
+    /// Comparison method the farm runs.
+    pub method: MethodKind,
+    /// Queue ordering before batching (longest-first by default — the
+    /// makespan heuristic the simulator's load-balance ablation vindicates).
+    pub ordering: JobOrdering,
+    /// Silence window after which a worker is declared dead and its
+    /// batches are requeued.
+    pub heartbeat_timeout: Duration,
+    /// Hold dispatch until this many workers have connected.
+    pub min_workers: usize,
+}
+
+impl Default for MasterConfig {
+    fn default() -> MasterConfig {
+        MasterConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            batch_size: 16,
+            method: MethodKind::TmAlign,
+            ordering: JobOrdering::LongestFirst,
+            heartbeat_timeout: Duration::from_millis(1000),
+            min_workers: 1,
+        }
+    }
+}
+
+/// Result of a completed service run.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// The assembled similarity matrix — identical to what an in-process
+    /// [`rckalign::run_all_vs_all`] over the same dataset produces.
+    pub matrix: SimilarityMatrix,
+    /// Accepted outcomes, sorted by `(i, j)`.
+    pub outcomes: Vec<PairOutcome>,
+    /// Final counters.
+    pub stats: StatsSnapshot,
+}
+
+/// One batch currently out on a worker.
+struct Inflight {
+    jobs: Vec<PairJob>,
+    worker_id: u32,
+    deadline: Instant,
+}
+
+/// The shared work-queue state (guarded by the `Mutex` in `Shared`).
+struct Work {
+    queue: VecDeque<Vec<PairJob>>,
+    inflight: HashMap<u64, Inflight>,
+    done: HashSet<(u32, u32)>,
+    outcomes: Vec<PairOutcome>,
+    streams: HashMap<u32, TcpStream>,
+    next_batch_id: u64,
+    total_pairs: usize,
+    finished: bool,
+}
+
+impl Work {
+    fn check_finished(&mut self) {
+        if self.done.len() == self.total_pairs {
+            self.finished = true;
+        }
+    }
+
+    /// Requeue every batch `worker_id` holds; returns jobs requeued.
+    fn requeue_worker(&mut self, worker_id: u32, stats: &ServeStats) -> usize {
+        let ids: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, b)| b.worker_id == worker_id)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut requeued = 0;
+        for id in ids {
+            let batch = self.inflight.remove(&id).expect("listed id in flight");
+            requeued += batch.jobs.len();
+            stats.on_batch_requeued(batch.jobs.len());
+            self.queue.push_front(batch.jobs);
+        }
+        requeued
+    }
+}
+
+struct Shared {
+    work: Mutex<Work>,
+    available: Condvar,
+    chains: Arc<Vec<CaChain>>,
+    stats: Arc<ServeStats>,
+    cfg: MasterConfig,
+    next_worker_id: AtomicU32,
+}
+
+/// A bound, not-yet-running service master.
+pub struct Master {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Master {
+    /// Bind the service socket and stage the all-vs-all workload over
+    /// `chains`. No jobs are dispatched until [`Master::run`].
+    pub fn bind(chains: Vec<CaChain>, cfg: MasterConfig) -> io::Result<Master> {
+        let listener = TcpListener::bind(cfg.addr)?;
+        let mut jobs = all_vs_all(chains.len(), cfg.method);
+        order_jobs(&mut jobs, &chains, cfg.ordering);
+        let total_pairs = jobs.len();
+        let queue: VecDeque<Vec<PairJob>> = if jobs.is_empty() {
+            VecDeque::new()
+        } else {
+            batch_jobs(&jobs, cfg.batch_size.max(1)).into()
+        };
+        let work = Work {
+            queue,
+            inflight: HashMap::new(),
+            done: HashSet::new(),
+            outcomes: Vec::with_capacity(total_pairs),
+            streams: HashMap::new(),
+            next_batch_id: 0,
+            total_pairs,
+            finished: total_pairs == 0,
+        };
+        Ok(Master {
+            listener,
+            shared: Arc::new(Shared {
+                work: Mutex::new(work),
+                available: Condvar::new(),
+                chains: Arc::new(chains),
+                stats: Arc::new(ServeStats::new()),
+                cfg,
+                next_worker_id: AtomicU32::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Live counters — clone the handle before [`Master::run`] to watch a
+    /// run (e.g. fault-injection tests polling for requeues).
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Serve until every pair has an accepted outcome, then shut workers
+    /// down and return the assembled matrix.
+    pub fn run(self) -> io::Result<ServeRun> {
+        self.listener.set_nonblocking(true)?;
+        let monitor = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || monitor_deadlines(&shared))
+        };
+        let mut handlers = Vec::new();
+        loop {
+            if self.shared.work.lock().expect("work lock").finished {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(std::thread::spawn(move || serve_worker(&shared, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.shared.available.notify_all();
+        monitor.join().expect("monitor thread");
+        for h in handlers {
+            let _ = h.join();
+        }
+
+        let mut work = self.shared.work.lock().expect("work lock");
+        let mut outcomes = std::mem::take(&mut work.outcomes);
+        outcomes.sort_by_key(|o| (o.i, o.j));
+        let matrix = SimilarityMatrix::from_outcomes(self.shared.chains.len(), &outcomes);
+        Ok(ServeRun {
+            matrix,
+            outcomes,
+            stats: self.shared.stats.snapshot(),
+        })
+    }
+}
+
+/// Deadline monitor: requeue batches whose worker went silent, and shut
+/// that worker's socket so its handler's blocking read returns. Runs
+/// until the workload is finished *and* nothing is left in flight.
+fn monitor_deadlines(shared: &Shared) {
+    let tick = (shared.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
+    loop {
+        {
+            let mut work = shared.work.lock().expect("work lock");
+            if work.finished && work.inflight.is_empty() {
+                break;
+            }
+            let now = Instant::now();
+            let expired: Vec<u32> = work
+                .inflight
+                .values()
+                .filter(|b| b.deadline <= now)
+                .map(|b| b.worker_id)
+                .collect();
+            for worker_id in expired {
+                if work.requeue_worker(worker_id, &shared.stats) > 0 {
+                    shared.stats.on_worker_lost(worker_id);
+                }
+                if let Some(stream) = work.streams.get(&worker_id) {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        shared.available.notify_all();
+        std::thread::sleep(tick);
+    }
+    shared.available.notify_all();
+}
+
+enum BatchFate {
+    /// Result accepted (or counted stale) — dispatch the next batch.
+    Continue,
+    /// Connection gone; inflight work already requeued.
+    Lost,
+}
+
+/// Per-connection handler: handshake, then dispatch/collect until the
+/// workload finishes or the worker is lost.
+fn serve_worker(shared: &Shared, mut stream: TcpStream) {
+    // A worker that never speaks must not pin this thread forever.
+    let _ = stream.set_read_timeout(Some(shared.cfg.heartbeat_timeout * 2));
+    let worker_id = match handshake(shared, &mut stream) {
+        Some(id) => id,
+        None => return,
+    };
+    {
+        let mut work = shared.work.lock().expect("work lock");
+        if let Ok(clone) = stream.try_clone() {
+            work.streams.insert(worker_id, clone);
+        }
+    }
+
+    loop {
+        let Some((batch_id, jobs)) = next_batch(shared, worker_id) else {
+            // Workload finished: orderly goodbye (best-effort — the
+            // socket may already be gone).
+            if let Ok(n) = proto::write_frame(&mut stream, &Frame::Shutdown) {
+                shared.stats.add_tx(n);
+            }
+            break;
+        };
+        let frame = Frame::JobBatch(proto::build_job_batch(
+            batch_id,
+            jobs.clone(),
+            &shared.chains,
+        ));
+        shared.stats.on_batch_dispatched(jobs.len());
+        match proto::write_frame(&mut stream, &frame) {
+            Ok(n) => shared.stats.add_tx(n),
+            Err(_) => {
+                lose_worker(shared, worker_id);
+                break;
+            }
+        }
+        match collect_result(shared, &mut stream, worker_id) {
+            BatchFate::Continue => {}
+            BatchFate::Lost => break,
+        }
+    }
+
+    let mut work = shared.work.lock().expect("work lock");
+    work.streams.remove(&worker_id);
+}
+
+/// Exchange Hello/Welcome; returns the assigned worker id.
+fn handshake(shared: &Shared, stream: &mut TcpStream) -> Option<u32> {
+    let (frame, n) = proto::read_frame(stream).ok()?;
+    shared.stats.add_rx(n);
+    let Frame::Hello(Hello {
+        protocol_version,
+        worker_name,
+    }) = frame
+    else {
+        return None;
+    };
+    if protocol_version != PROTOCOL_VERSION {
+        return None;
+    }
+    let worker_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    let welcome = Frame::Welcome(Welcome {
+        worker_id,
+        n_chains: shared.chains.len() as u32,
+    });
+    let n = proto::write_frame(stream, &welcome).ok()?;
+    shared.stats.add_tx(n);
+    shared.stats.on_worker_connected(worker_id, &worker_name);
+    // A new worker may satisfy the min_workers dispatch barrier.
+    shared.available.notify_all();
+    Some(worker_id)
+}
+
+/// Claim the next batch for `worker_id`, or `None` once the workload is
+/// finished. Blocks while the queue is empty or the min-workers barrier
+/// is unmet.
+fn next_batch(shared: &Shared, worker_id: u32) -> Option<(u64, Vec<PairJob>)> {
+    let mut work = shared.work.lock().expect("work lock");
+    loop {
+        if work.finished {
+            return None;
+        }
+        let barrier_met = shared.stats.workers_connected() >= shared.cfg.min_workers as u64;
+        if barrier_met && !work.queue.is_empty() {
+            break;
+        }
+        let (guard, _timeout) = shared
+            .available
+            .wait_timeout(work, Duration::from_millis(50))
+            .expect("work lock");
+        work = guard;
+    }
+    let jobs = work.queue.pop_front().expect("queue non-empty");
+    let batch_id = work.next_batch_id;
+    work.next_batch_id += 1;
+    work.inflight.insert(
+        batch_id,
+        Inflight {
+            jobs: jobs.clone(),
+            worker_id,
+            deadline: Instant::now() + shared.cfg.heartbeat_timeout,
+        },
+    );
+    Some((batch_id, jobs))
+}
+
+/// Read frames until the outstanding batch is answered (heartbeats
+/// refresh the deadline along the way) or the connection dies.
+fn collect_result(shared: &Shared, stream: &mut TcpStream, worker_id: u32) -> BatchFate {
+    loop {
+        match proto::read_frame(stream) {
+            Ok((frame, n)) => {
+                shared.stats.add_rx(n);
+                match frame {
+                    Frame::Heartbeat(_) => refresh_deadlines(shared, worker_id),
+                    Frame::ResultBatch(rb) => {
+                        accept_results(shared, worker_id, rb);
+                        return BatchFate::Continue;
+                    }
+                    // Anything else out of sequence: drop the worker.
+                    _ => {
+                        lose_worker(shared, worker_id);
+                        return BatchFate::Lost;
+                    }
+                }
+            }
+            Err(FrameError::Io(_)) | Err(FrameError::Truncated) => {
+                lose_worker(shared, worker_id);
+                return BatchFate::Lost;
+            }
+            Err(_) => {
+                // Garbage on the wire — the stream can no longer be
+                // trusted to be in frame sync.
+                lose_worker(shared, worker_id);
+                return BatchFate::Lost;
+            }
+        }
+    }
+}
+
+fn refresh_deadlines(shared: &Shared, worker_id: u32) {
+    let deadline = Instant::now() + shared.cfg.heartbeat_timeout;
+    let mut work = shared.work.lock().expect("work lock");
+    for batch in work.inflight.values_mut() {
+        if batch.worker_id == worker_id {
+            batch.deadline = deadline;
+        }
+    }
+}
+
+/// Accept a result frame: only if its batch is still in flight, and only
+/// pairs not already done (requeue races produce late duplicates).
+fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) {
+    let mut work = shared.work.lock().expect("work lock");
+    let Some(batch) = work.inflight.remove(&rb.batch_id) else {
+        shared.stats.on_stale_result();
+        return;
+    };
+    debug_assert_eq!(batch.worker_id, worker_id, "batch answered by stranger");
+    let mut fresh = 0usize;
+    let mut duplicates = 0usize;
+    for o in rb.outcomes {
+        if work.done.insert((o.i, o.j)) {
+            work.outcomes.push(o);
+            fresh += 1;
+        } else {
+            duplicates += 1;
+        }
+    }
+    shared.stats.on_batch_completed(worker_id, fresh);
+    if duplicates > 0 {
+        shared.stats.on_duplicate_results(duplicates);
+    }
+    work.check_finished();
+    if work.finished {
+        drop(work);
+        shared.available.notify_all();
+    }
+}
+
+/// Declare a worker dead: requeue its in-flight batches and wake anyone
+/// waiting for queue work. Counted as lost only when it actually held
+/// work — the monitor and the handler can both observe the same death,
+/// and only the first to requeue scores it.
+fn lose_worker(shared: &Shared, worker_id: u32) {
+    let requeued = {
+        let mut work = shared.work.lock().expect("work lock");
+        work.requeue_worker(worker_id, &shared.stats)
+    };
+    if requeued > 0 {
+        shared.stats.on_worker_lost(worker_id);
+        shared.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::datasets::tiny_profile;
+
+    #[test]
+    fn bind_stages_the_workload_without_dispatching() {
+        let chains = tiny_profile().generate(1);
+        let master = Master::bind(chains, MasterConfig::default()).unwrap();
+        assert_ne!(master.local_addr().port(), 0);
+        let work = master.shared.work.lock().unwrap();
+        assert_eq!(work.total_pairs, 28);
+        let staged: usize = work.queue.iter().map(|b| b.len()).sum();
+        assert_eq!(staged, 28);
+        assert!(!work.finished);
+        assert_eq!(master.stats().jobs_completed(), 0);
+    }
+
+    #[test]
+    fn empty_dataset_finishes_immediately() {
+        let master = Master::bind(Vec::new(), MasterConfig::default()).unwrap();
+        let run = master.run().unwrap();
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.matrix.len(), 0);
+        assert_eq!(run.stats.jobs_dispatched, 0);
+    }
+
+    #[test]
+    fn longest_first_ordering_front_loads_big_pairs() {
+        let chains = tiny_profile().generate(3);
+        let cfg = MasterConfig {
+            batch_size: 1,
+            ..MasterConfig::default()
+        };
+        let master = Master::bind(chains.clone(), cfg).unwrap();
+        let work = master.shared.work.lock().unwrap();
+        let cost = |jobs: &Vec<PairJob>| {
+            let j = jobs[0];
+            chains[j.i as usize].len() as u64 * chains[j.j as usize].len() as u64
+        };
+        let first = cost(work.queue.front().unwrap());
+        let last = cost(work.queue.back().unwrap());
+        assert!(first >= last, "queue not longest-first: {first} < {last}");
+    }
+}

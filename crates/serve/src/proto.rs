@@ -1,0 +1,541 @@
+//! The rck-serve wire protocol: versioned, length-prefixed frames.
+//!
+//! Framing (all integers little-endian, via the `rck-rcce` codec):
+//!
+//! ```text
+//! +--------+---------+------+-------------+=========+
+//! | magic  | version | kind | payload_len | payload |
+//! |  u32   |   u16   |  u8  |     u32     |  bytes  |
+//! +--------+---------+------+-------------+=========+
+//! ```
+//!
+//! The decoder rejects bad magic, unknown versions/kinds, and payload
+//! lengths beyond [`MAX_PAYLOAD`] *before* allocating, and reports
+//! truncation as an error rather than panicking — the frame boundary is
+//! the trust boundary of the service.
+//!
+//! Unlike the simulator's on-mesh job payloads (`rckalign::jobs`, f32
+//! coordinates — halved mesh traffic matters there), job batches carry
+//! **f64 coordinates**: the service promises results bit-identical to an
+//! in-process [`rckalign::run_all_vs_all`], so workers must see exactly
+//! the bytes the master loaded.
+
+use rck_pdb::geometry::Vec3;
+use rck_pdb::model::{AminoAcid, CaChain};
+use rck_rcce::{DecodeError, Reader, Writer};
+use rck_tmalign::MethodKind;
+use rckalign::{PairJob, PairOutcome};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write as IoWrite};
+
+/// Protocol magic: `"RCKS"`.
+pub const MAGIC: u32 = 0x5243_4B53;
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame header size in bytes (magic + version + kind + payload length).
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+
+/// Largest accepted payload (64 MiB) — caps allocation from the wire.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Worker → master greeting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Worker's protocol version (must equal [`PROTOCOL_VERSION`]).
+    pub protocol_version: u16,
+    /// Human-readable worker name (shown in the stats table).
+    pub worker_name: String,
+}
+
+/// Master → worker greeting reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Welcome {
+    /// Id the master assigned this worker.
+    pub worker_id: u32,
+    /// Number of chains in the dataset being compared.
+    pub n_chains: u32,
+}
+
+/// Master → worker: a batch of comparison jobs plus every chain they
+/// reference (the worker is stateless; data ships with the work).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobBatch {
+    /// Dispatch id — echoed back in the matching [`ResultBatch`].
+    pub batch_id: u64,
+    /// Chain table: `(dataset index, chain)` for every index the jobs use.
+    pub chains: Vec<(u32, CaChain)>,
+    /// The jobs; `i`/`j` are dataset indices present in `chains`.
+    pub jobs: Vec<PairJob>,
+}
+
+/// Worker → master: outcomes of one batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultBatch {
+    /// The batch these outcomes answer.
+    pub batch_id: u64,
+    /// One outcome per job of the batch, in any order.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+/// Worker → master liveness signal, sent while computing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Sender's worker id.
+    pub worker_id: u32,
+    /// Jobs completed by this worker so far (monotonic).
+    pub completed: u64,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Worker greeting.
+    Hello(Hello),
+    /// Master greeting reply.
+    Welcome(Welcome),
+    /// Work (master → worker).
+    JobBatch(JobBatch),
+    /// Results (worker → master).
+    ResultBatch(ResultBatch),
+    /// Liveness (worker → master).
+    Heartbeat(Heartbeat),
+    /// Orderly end of session (master → worker).
+    Shutdown,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => 1,
+            Frame::Welcome(_) => 2,
+            Frame::JobBatch(_) => 3,
+            Frame::ResultBatch(_) => 4,
+            Frame::Heartbeat(_) => 5,
+            Frame::Shutdown => 6,
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error.
+    Io(std::io::Error),
+    /// The buffer ends before the frame does.
+    Truncated,
+    /// First four bytes are not [`MAGIC`].
+    BadMagic(u32),
+    /// Version this implementation does not speak.
+    BadVersion(u16),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(usize),
+    /// Payload bytes do not decode as the declared kind.
+    Payload(DecodeError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversized(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            FrameError::Payload(e) => write!(f, "payload malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> FrameError {
+        FrameError::Payload(e)
+    }
+}
+
+/// Exact f64 chain encoding (contrast `rckalign::jobs`' f32 on-mesh one).
+fn put_chain(w: &mut Writer, chain: &CaChain) {
+    w.put_str(&chain.name);
+    w.put_u32(chain.len() as u32);
+    for aa in &chain.seq {
+        w.put_u8(aa.index());
+    }
+    for c in &chain.coords {
+        w.put_f64(c.x).put_f64(c.y).put_f64(c.z);
+    }
+}
+
+fn get_chain(r: &mut Reader) -> Result<CaChain, DecodeError> {
+    let name = r.get_str()?;
+    let len = r.get_u32()? as usize;
+    // Each residue takes 25 payload bytes (1 seq + 3×8 coords); a length
+    // the remaining bytes cannot hold is corrupt — reject it before
+    // allocating anything of that size.
+    if len.saturating_mul(25) > r.remaining() {
+        return Err(DecodeError { what: "chain length" });
+    }
+    let mut seq = Vec::with_capacity(len);
+    for _ in 0..len {
+        seq.push(AminoAcid::from_index(r.get_u8()?));
+    }
+    let mut coords = Vec::with_capacity(len);
+    for _ in 0..len {
+        let x = r.get_f64()?;
+        let y = r.get_f64()?;
+        let z = r.get_f64()?;
+        coords.push(Vec3::new(x, y, z));
+    }
+    Ok(CaChain { name, seq, coords })
+}
+
+fn put_job(w: &mut Writer, job: &PairJob) {
+    w.put_u32(job.i).put_u32(job.j).put_u8(job.method.code());
+}
+
+fn get_job(r: &mut Reader) -> Result<PairJob, DecodeError> {
+    let i = r.get_u32()?;
+    let j = r.get_u32()?;
+    let method = MethodKind::from_code(r.get_u8()?).ok_or(DecodeError {
+        what: "method code",
+    })?;
+    Ok(PairJob { i, j, method })
+}
+
+fn put_outcome(w: &mut Writer, o: &PairOutcome) {
+    w.put_u32(o.i)
+        .put_u32(o.j)
+        .put_u8(o.method.code())
+        .put_f64(o.similarity)
+        .put_f64(o.rmsd)
+        .put_u32(o.aligned_len)
+        .put_u64(o.ops);
+}
+
+fn get_outcome(r: &mut Reader) -> Result<PairOutcome, DecodeError> {
+    Ok(PairOutcome {
+        i: r.get_u32()?,
+        j: r.get_u32()?,
+        method: MethodKind::from_code(r.get_u8()?).ok_or(DecodeError {
+            what: "method code",
+        })?,
+        similarity: r.get_f64()?,
+        rmsd: r.get_f64()?,
+        aligned_len: r.get_u32()?,
+        ops: r.get_u64()?,
+    })
+}
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    match frame {
+        Frame::Hello(h) => {
+            w.put_u32(h.protocol_version as u32);
+            w.put_str(&h.worker_name);
+        }
+        Frame::Welcome(wl) => {
+            w.put_u32(wl.worker_id).put_u32(wl.n_chains);
+        }
+        Frame::JobBatch(b) => {
+            w.put_u64(b.batch_id);
+            w.put_u32(b.chains.len() as u32);
+            for (ix, chain) in &b.chains {
+                w.put_u32(*ix);
+                put_chain(&mut w, chain);
+            }
+            w.put_u32(b.jobs.len() as u32);
+            for job in &b.jobs {
+                put_job(&mut w, job);
+            }
+        }
+        Frame::ResultBatch(b) => {
+            w.put_u64(b.batch_id);
+            w.put_u32(b.outcomes.len() as u32);
+            for o in &b.outcomes {
+                put_outcome(&mut w, o);
+            }
+        }
+        Frame::Heartbeat(h) => {
+            w.put_u32(h.worker_id).put_u64(h.completed);
+        }
+        Frame::Shutdown => {}
+    }
+    w.finish()
+}
+
+fn decode_payload(kind: u8, payload: Vec<u8>) -> Result<Frame, FrameError> {
+    let mut r = Reader::new(payload);
+    let frame = match kind {
+        1 => Frame::Hello(Hello {
+            protocol_version: r.get_u32()? as u16,
+            worker_name: r.get_str()?,
+        }),
+        2 => Frame::Welcome(Welcome {
+            worker_id: r.get_u32()?,
+            n_chains: r.get_u32()?,
+        }),
+        3 => {
+            let batch_id = r.get_u64()?;
+            let n_chains = r.get_u32()? as usize;
+            // Count sanity: an empty chain still takes 8 bytes on the
+            // wire, so a count the payload cannot hold is corrupt.
+            if n_chains.saturating_mul(8) > r.remaining() {
+                return Err(DecodeError { what: "chain count" }.into());
+            }
+            let mut chains = Vec::with_capacity(n_chains);
+            for _ in 0..n_chains {
+                let ix = r.get_u32()?;
+                chains.push((ix, get_chain(&mut r)?));
+            }
+            let n_jobs = r.get_u32()? as usize;
+            if n_jobs.saturating_mul(9) > r.remaining() {
+                return Err(DecodeError { what: "job count" }.into());
+            }
+            let mut jobs = Vec::with_capacity(n_jobs);
+            for _ in 0..n_jobs {
+                jobs.push(get_job(&mut r)?);
+            }
+            Frame::JobBatch(JobBatch {
+                batch_id,
+                chains,
+                jobs,
+            })
+        }
+        4 => {
+            let batch_id = r.get_u64()?;
+            let n = r.get_u32()? as usize;
+            if n.saturating_mul(37) > r.remaining() {
+                return Err(DecodeError { what: "outcome count" }.into());
+            }
+            let mut outcomes = Vec::with_capacity(n);
+            for _ in 0..n {
+                outcomes.push(get_outcome(&mut r)?);
+            }
+            Frame::ResultBatch(ResultBatch { batch_id, outcomes })
+        }
+        5 => Frame::Heartbeat(Heartbeat {
+            worker_id: r.get_u32()?,
+            completed: r.get_u64()?,
+        }),
+        6 => Frame::Shutdown,
+        k => return Err(FrameError::BadKind(k)),
+    };
+    Ok(frame)
+}
+
+/// Encode one frame (header + payload) into bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    assert!(payload.len() <= MAX_PAYLOAD, "frame payload exceeds limit");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.push(frame.kind());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one frame from the start of `buf`; returns the frame and how
+/// many bytes it consumed. Never panics on malformed input.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = buf[6];
+    let payload_len = u32::from_le_bytes(buf[7..11].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(payload_len));
+    }
+    if buf.len() < HEADER_LEN + payload_len {
+        return Err(FrameError::Truncated);
+    }
+    let payload = buf[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
+    Ok((decode_payload(kind, payload)?, HEADER_LEN + payload_len))
+}
+
+/// Write one frame to a stream; returns bytes written.
+pub fn write_frame(w: &mut impl IoWrite, frame: &Frame) -> std::io::Result<usize> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Read one frame from a stream; returns the frame and bytes consumed.
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = header[6];
+    let payload_len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(payload_len));
+    }
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    Ok((decode_payload(kind, payload)?, HEADER_LEN + payload_len))
+}
+
+/// Build the [`JobBatch`] for a set of jobs: collect the referenced
+/// chains from the dataset into the batch's chain table.
+pub fn build_job_batch(batch_id: u64, jobs: Vec<PairJob>, dataset: &[CaChain]) -> JobBatch {
+    let chains = rckalign::chain_indices(&jobs)
+        .into_iter()
+        .map(|ix| (ix, dataset[ix as usize].clone()))
+        .collect();
+    JobBatch {
+        batch_id,
+        chains,
+        jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::datasets::tiny_profile;
+
+    fn sample_batch() -> JobBatch {
+        let chains = tiny_profile().generate(7);
+        let jobs = vec![
+            PairJob {
+                i: 0,
+                j: 3,
+                method: MethodKind::TmAlign,
+            },
+            PairJob {
+                i: 3,
+                j: 5,
+                method: MethodKind::TmAlign,
+            },
+        ];
+        build_job_batch(11, jobs, &chains)
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let frames = vec![
+            Frame::Hello(Hello {
+                protocol_version: PROTOCOL_VERSION,
+                worker_name: "w0".into(),
+            }),
+            Frame::Welcome(Welcome {
+                worker_id: 4,
+                n_chains: 34,
+            }),
+            Frame::JobBatch(sample_batch()),
+            Frame::ResultBatch(ResultBatch {
+                batch_id: 11,
+                outcomes: vec![PairOutcome {
+                    i: 0,
+                    j: 3,
+                    method: MethodKind::TmAlign,
+                    similarity: 0.5,
+                    rmsd: 2.0,
+                    aligned_len: 20,
+                    ops: 999,
+                }],
+            }),
+            Frame::Heartbeat(Heartbeat {
+                worker_id: 4,
+                completed: 17,
+            }),
+            Frame::Shutdown,
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            let (back, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn chain_coordinates_roundtrip_exactly() {
+        let b = sample_batch();
+        let bytes = encode_frame(&Frame::JobBatch(b.clone()));
+        let (back, _) = decode_frame(&bytes).unwrap();
+        let Frame::JobBatch(back) = back else {
+            panic!("wrong frame kind");
+        };
+        for ((ix_a, ca), (ix_b, cb)) in b.chains.iter().zip(&back.chains) {
+            assert_eq!(ix_a, ix_b);
+            // Bit-exact f64 roundtrip — the service's core fidelity claim.
+            for (p, q) in ca.coords.iter().zip(&cb.coords) {
+                assert_eq!(p.x.to_bits(), q.x.to_bits());
+                assert_eq!(p.y.to_bits(), q.y.to_bits());
+                assert_eq!(p.z.to_bits(), q.z.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode_frame(&Frame::JobBatch(sample_batch()));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_frame(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_kind_oversize_rejected() {
+        let good = encode_frame(&Frame::Shutdown);
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[4] = 0xEE;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadVersion(_))));
+        let mut bad = good.clone();
+        bad[6] = 99;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadKind(99))));
+        let mut bad = good;
+        bad[7..11].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_frame(&bad), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn stream_io_roundtrip() {
+        let mut buf = Vec::new();
+        let sent = Frame::Heartbeat(Heartbeat {
+            worker_id: 1,
+            completed: 2,
+        });
+        let n = write_frame(&mut buf, &sent).unwrap();
+        assert_eq!(n, buf.len());
+        let mut cursor = std::io::Cursor::new(buf);
+        let (got, used) = read_frame(&mut cursor).unwrap();
+        assert_eq!(got, sent);
+        assert_eq!(used, n);
+    }
+}

@@ -1,0 +1,303 @@
+//! Service counters and the per-worker throughput report.
+//!
+//! [`ServeStats`] is the live, lock-light view shared between the
+//! master's acceptor, connection handlers and deadline monitor (plain
+//! atomics, one mutex around the per-worker map). [`StatsSnapshot`] is
+//! the frozen copy a finished run returns, rendered with the same
+//! [`rckalign::report::TextTable`] the simulator's experiment drivers
+//! use, so service output reads like the rest of the repository.
+
+use rckalign::report::TextTable;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-worker live accounting.
+#[derive(Debug, Clone)]
+struct WorkerEntry {
+    name: String,
+    jobs_completed: u64,
+    batches_completed: u64,
+    connected_at: Instant,
+    lost: bool,
+}
+
+/// Live counters for one service run. All methods take `&self`; the
+/// master shares one instance behind an `Arc` with every thread it runs.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    jobs_dispatched: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_requeued: AtomicU64,
+    batches_dispatched: AtomicU64,
+    batches_completed: AtomicU64,
+    batches_requeued: AtomicU64,
+    stale_results: AtomicU64,
+    duplicate_results: AtomicU64,
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    workers_connected: AtomicU64,
+    workers_lost: AtomicU64,
+    workers: Mutex<HashMap<u32, WorkerEntry>>,
+}
+
+impl ServeStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    pub(crate) fn on_worker_connected(&self, id: u32, name: &str) {
+        self.workers_connected.fetch_add(1, Ordering::Relaxed);
+        self.workers.lock().expect("stats lock").insert(
+            id,
+            WorkerEntry {
+                name: name.to_string(),
+                jobs_completed: 0,
+                batches_completed: 0,
+                connected_at: Instant::now(),
+                lost: false,
+            },
+        );
+    }
+
+    pub(crate) fn on_worker_lost(&self, id: u32) {
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = self.workers.lock().expect("stats lock").get_mut(&id) {
+            w.lost = true;
+        }
+    }
+
+    pub(crate) fn on_batch_dispatched(&self, jobs: usize) {
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.jobs_dispatched.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_batch_completed(&self, worker_id: u32, jobs: usize) {
+        self.batches_completed.fetch_add(1, Ordering::Relaxed);
+        self.jobs_completed.fetch_add(jobs as u64, Ordering::Relaxed);
+        if let Some(w) = self
+            .workers
+            .lock()
+            .expect("stats lock")
+            .get_mut(&worker_id)
+        {
+            w.batches_completed += 1;
+            w.jobs_completed += jobs as u64;
+        }
+    }
+
+    pub(crate) fn on_batch_requeued(&self, jobs: usize) {
+        self.batches_requeued.fetch_add(1, Ordering::Relaxed);
+        self.jobs_requeued.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_stale_result(&self) {
+        self.stale_results.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_duplicate_results(&self, n: usize) {
+        self.duplicate_results.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_tx(&self, bytes: usize) {
+        self.bytes_tx.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_rx(&self, bytes: usize) {
+        self.bytes_rx.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Jobs requeued so far (tests poll this to observe fault recovery).
+    pub fn jobs_requeued(&self) -> u64 {
+        self.jobs_requeued.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Workers that have connected so far.
+    pub fn workers_connected(&self) -> u64 {
+        self.workers_connected.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the counters into a reportable snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let workers = {
+            let map = self.workers.lock().expect("stats lock");
+            let mut rows: Vec<WorkerRow> = map
+                .iter()
+                .map(|(&id, w)| {
+                    let secs = w.connected_at.elapsed().as_secs_f64();
+                    WorkerRow {
+                        worker_id: id,
+                        name: w.name.clone(),
+                        jobs_completed: w.jobs_completed,
+                        batches_completed: w.batches_completed,
+                        jobs_per_sec: if secs > 0.0 {
+                            w.jobs_completed as f64 / secs
+                        } else {
+                            0.0
+                        },
+                        lost: w.lost,
+                    }
+                })
+                .collect();
+            rows.sort_by_key(|r| r.worker_id);
+            rows
+        };
+        StatsSnapshot {
+            jobs_dispatched: self.jobs_dispatched.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_requeued: self.jobs_requeued.load(Ordering::Relaxed),
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            batches_completed: self.batches_completed.load(Ordering::Relaxed),
+            batches_requeued: self.batches_requeued.load(Ordering::Relaxed),
+            stale_results: self.stale_results.load(Ordering::Relaxed),
+            duplicate_results: self.duplicate_results.load(Ordering::Relaxed),
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            workers_connected: self.workers_connected.load(Ordering::Relaxed),
+            workers_lost: self.workers_lost.load(Ordering::Relaxed),
+            workers,
+        }
+    }
+}
+
+/// One worker's line in the final report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerRow {
+    /// Id the master assigned.
+    pub worker_id: u32,
+    /// Name from the worker's Hello.
+    pub name: String,
+    /// Jobs this worker completed.
+    pub jobs_completed: u64,
+    /// Batches this worker completed.
+    pub batches_completed: u64,
+    /// Completed jobs per wall-clock second of connection.
+    pub jobs_per_sec: f64,
+    /// Whether the master declared this worker dead.
+    pub lost: bool,
+}
+
+/// Frozen counters of one finished (or in-flight) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Jobs handed to workers (counting re-dispatches).
+    pub jobs_dispatched: u64,
+    /// Jobs whose outcome was accepted.
+    pub jobs_completed: u64,
+    /// Jobs put back on the queue after a worker was lost.
+    pub jobs_requeued: u64,
+    /// Batches handed to workers (counting re-dispatches).
+    pub batches_dispatched: u64,
+    /// Batches whose results were accepted.
+    pub batches_completed: u64,
+    /// Batches put back on the queue.
+    pub batches_requeued: u64,
+    /// Result frames answering a batch id no longer in flight.
+    pub stale_results: u64,
+    /// Outcomes dropped because the pair was already done.
+    pub duplicate_results: u64,
+    /// Bytes the master wrote to workers.
+    pub bytes_tx: u64,
+    /// Bytes the master read from workers.
+    pub bytes_rx: u64,
+    /// Workers that connected over the run.
+    pub workers_connected: u64,
+    /// Workers the master declared dead.
+    pub workers_lost: u64,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerRow>,
+}
+
+impl StatsSnapshot {
+    /// Render the run summary plus the per-worker throughput table.
+    pub fn render(&self) -> String {
+        let mut totals = TextTable::new(&["counter", "value"]);
+        let rows: [(&str, u64); 12] = [
+            ("jobs dispatched", self.jobs_dispatched),
+            ("jobs completed", self.jobs_completed),
+            ("jobs requeued", self.jobs_requeued),
+            ("batches dispatched", self.batches_dispatched),
+            ("batches completed", self.batches_completed),
+            ("batches requeued", self.batches_requeued),
+            ("stale result frames", self.stale_results),
+            ("duplicate outcomes", self.duplicate_results),
+            ("bytes sent", self.bytes_tx),
+            ("bytes received", self.bytes_rx),
+            ("workers connected", self.workers_connected),
+            ("workers lost", self.workers_lost),
+        ];
+        for (name, value) in rows {
+            totals.row(&[name.to_string(), value.to_string()]);
+        }
+        let mut per_worker = TextTable::new(&["worker", "id", "jobs", "batches", "jobs/s", "state"]);
+        for w in &self.workers {
+            per_worker.row(&[
+                w.name.clone(),
+                w.worker_id.to_string(),
+                w.jobs_completed.to_string(),
+                w.batches_completed.to_string(),
+                format!("{:.1}", w.jobs_per_sec),
+                if w.lost { "lost" } else { "ok" }.to_string(),
+            ]);
+        }
+        format!("{}\n{}", totals.render(), per_worker.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = ServeStats::new();
+        s.on_worker_connected(0, "w0");
+        s.on_worker_connected(1, "w1");
+        s.on_batch_dispatched(4);
+        s.on_batch_dispatched(4);
+        s.on_batch_completed(0, 4);
+        s.on_batch_requeued(4);
+        s.on_worker_lost(1);
+        s.on_stale_result();
+        s.on_duplicate_results(2);
+        s.add_tx(100);
+        s.add_rx(40);
+
+        let snap = s.snapshot();
+        assert_eq!(snap.jobs_dispatched, 8);
+        assert_eq!(snap.jobs_completed, 4);
+        assert_eq!(snap.jobs_requeued, 4);
+        assert_eq!(snap.batches_dispatched, 2);
+        assert_eq!(snap.batches_completed, 1);
+        assert_eq!(snap.batches_requeued, 1);
+        assert_eq!(snap.stale_results, 1);
+        assert_eq!(snap.duplicate_results, 2);
+        assert_eq!(snap.bytes_tx, 100);
+        assert_eq!(snap.bytes_rx, 40);
+        assert_eq!(snap.workers_connected, 2);
+        assert_eq!(snap.workers_lost, 1);
+        assert_eq!(snap.workers.len(), 2);
+        assert_eq!(snap.workers[0].name, "w0");
+        assert_eq!(snap.workers[0].jobs_completed, 4);
+        assert!(!snap.workers[0].lost);
+        assert!(snap.workers[1].lost);
+    }
+
+    #[test]
+    fn render_mentions_every_worker() {
+        let s = ServeStats::new();
+        s.on_worker_connected(3, "farmhand");
+        s.on_batch_completed(3, 7);
+        let text = s.snapshot().render();
+        assert!(text.contains("farmhand"));
+        assert!(text.contains("jobs requeued"));
+        assert!(text.contains("bytes sent"));
+    }
+}

@@ -1,0 +1,261 @@
+//! The rck-serve worker: connect, receive batches, run the real kernel,
+//! stream results back.
+//!
+//! The worker is stateless by design — every batch carries the chains it
+//! needs (the paper's "data ships with the job" rule), so a worker can
+//! join, die, or be replaced at any point without the master's dataset
+//! ever leaving the master. A background thread emits heartbeats while
+//! the main thread computes, so a long batch never looks like a dead
+//! connection.
+//!
+//! Computation is *exactly* the in-process path: decode f64 coordinates,
+//! `MethodKind::instantiate`, `PscMethod::compare` — which is what makes
+//! the service matrix bit-identical to [`rckalign::run_all_vs_all`].
+
+use crate::proto::{self, Frame, FrameError, Heartbeat, Hello, JobBatch, PROTOCOL_VERSION};
+use rck_pdb::model::CaChain;
+use rckalign::PairOutcome;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Master address to connect to.
+    pub addr: SocketAddr,
+    /// Name reported in the Hello (shows up in the master's stats table).
+    pub name: String,
+    /// How often the heartbeat thread pings the master.
+    pub heartbeat_interval: Duration,
+    /// Fault injection: drop the connection without replying after
+    /// receiving this many batches (`Some(0)` = die on the first batch).
+    /// `None` (the default) never fails.
+    pub fail_after_batches: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// Defaults for a worker connecting to `addr`: named `"worker"`,
+    /// 100 ms heartbeats, no fault injection.
+    pub fn connect_to(addr: SocketAddr) -> WorkerConfig {
+        WorkerConfig {
+            addr,
+            name: "worker".to_string(),
+            heartbeat_interval: Duration::from_millis(100),
+            fail_after_batches: None,
+        }
+    }
+}
+
+/// What one worker did over its session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Id the master assigned.
+    pub worker_id: u32,
+    /// Batches fully computed and answered.
+    pub batches_done: u64,
+    /// Jobs fully computed and answered.
+    pub jobs_done: u64,
+    /// Bytes written to the master.
+    pub bytes_tx: u64,
+    /// Bytes read from the master.
+    pub bytes_rx: u64,
+    /// Whether the session ended by injected fault rather than Shutdown.
+    pub failed_by_injection: bool,
+}
+
+fn frame_io_err(e: FrameError) -> io::Error {
+    match e {
+        FrameError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// Run one job batch through the real comparison kernel.
+fn compute_batch(batch: &JobBatch) -> Vec<PairOutcome> {
+    let table: HashMap<u32, &CaChain> = batch.chains.iter().map(|(ix, c)| (*ix, c)).collect();
+    batch
+        .jobs
+        .iter()
+        .map(|job| {
+            let a = table.get(&job.i).expect("batch carries chain i");
+            let b = table.get(&job.j).expect("batch carries chain j");
+            let score = job.method.instantiate().compare(a, b);
+            PairOutcome {
+                i: job.i,
+                j: job.j,
+                method: job.method,
+                similarity: score.similarity,
+                rmsd: score.rmsd.unwrap_or(f64::NAN),
+                aligned_len: score.aligned_len as u32,
+                ops: score.ops,
+            }
+        })
+        .collect()
+}
+
+/// Connect to the master and serve until it sends Shutdown (or the
+/// configured fault injection fires).
+pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerReport> {
+    let mut stream = TcpStream::connect(cfg.addr)?;
+    stream.set_nodelay(true).ok();
+
+    let mut bytes_tx = 0u64;
+    let mut bytes_rx = 0u64;
+
+    bytes_tx += proto::write_frame(
+        &mut stream,
+        &Frame::Hello(Hello {
+            protocol_version: PROTOCOL_VERSION,
+            worker_name: cfg.name.clone(),
+        }),
+    )? as u64;
+    let (frame, n) = proto::read_frame(&mut stream).map_err(frame_io_err)?;
+    bytes_rx += n as u64;
+    let Frame::Welcome(welcome) = frame else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected Welcome after Hello",
+        ));
+    };
+    let worker_id = welcome.worker_id;
+
+    // Writes come from two threads (results here, heartbeats below), so
+    // the write half lives behind a mutex; reads stay on this thread.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let hb_bytes = Arc::new(AtomicU64::new(0));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        let completed = Arc::clone(&completed);
+        let hb_bytes = Arc::clone(&hb_bytes);
+        let interval = cfg.heartbeat_interval;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let beat = Frame::Heartbeat(Heartbeat {
+                    worker_id,
+                    completed: completed.load(Ordering::Relaxed),
+                });
+                let mut w = writer.lock().expect("writer lock");
+                match proto::write_frame(&mut *w, &beat) {
+                    Ok(n) => {
+                        hb_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break, // master gone; main thread notices too
+                }
+            }
+        })
+    };
+
+    let mut report = WorkerReport {
+        worker_id,
+        batches_done: 0,
+        jobs_done: 0,
+        bytes_tx,
+        bytes_rx,
+        failed_by_injection: false,
+    };
+    let outcome = serve_loop(cfg, &mut stream, &writer, &completed, &mut report);
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = heartbeat.join();
+    report.jobs_done = completed.load(Ordering::Relaxed);
+    report.bytes_tx += hb_bytes.load(Ordering::Relaxed);
+    outcome.map(|()| report)
+}
+
+/// The batch-serving loop; returns once the master says Shutdown, the
+/// injected fault fires (marked in `report`), or the connection errors.
+fn serve_loop(
+    cfg: &WorkerConfig,
+    stream: &mut TcpStream,
+    writer: &Mutex<TcpStream>,
+    completed: &AtomicU64,
+    report: &mut WorkerReport,
+) -> io::Result<()> {
+    loop {
+        let (frame, n) = proto::read_frame(stream).map_err(frame_io_err)?;
+        report.bytes_rx += n as u64;
+        match frame {
+            Frame::JobBatch(batch) => {
+                if let Some(limit) = cfg.fail_after_batches {
+                    if report.batches_done >= limit as u64 {
+                        // Injected fault: vanish without replying.
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        report.failed_by_injection = true;
+                        return Ok(());
+                    }
+                }
+                let outcomes = compute_batch(&batch);
+                completed.fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+                let reply = Frame::ResultBatch(proto::ResultBatch {
+                    batch_id: batch.batch_id,
+                    outcomes,
+                });
+                let written = {
+                    let mut w = writer.lock().expect("writer lock");
+                    proto::write_frame(&mut *w, &reply)
+                };
+                report.bytes_tx += written? as u64;
+                report.batches_done += 1;
+            }
+            Frame::Shutdown => return Ok(()),
+            // The master never sends anything else after Welcome.
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected frame from master",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_pdb::datasets::tiny_profile;
+    use rck_tmalign::MethodKind;
+    use rckalign::{PairCache, PairJob};
+
+    #[test]
+    fn compute_batch_matches_the_in_process_cache() {
+        let chains = tiny_profile().generate(9);
+        let jobs = vec![
+            PairJob {
+                i: 1,
+                j: 4,
+                method: MethodKind::TmAlign,
+            },
+            PairJob {
+                i: 0,
+                j: 7,
+                method: MethodKind::KabschRmsd,
+            },
+        ];
+        let batch = proto::build_job_batch(1, jobs.clone(), &chains);
+        let ours = compute_batch(&batch);
+        let cache = PairCache::new(chains);
+        for (job, got) in jobs.iter().zip(&ours) {
+            let want = cache.get_or_compute(job);
+            assert_eq!(*got, want, "worker diverged from in-process kernel");
+        }
+    }
+
+    #[test]
+    fn connect_to_defaults() {
+        let cfg = WorkerConfig::connect_to(SocketAddr::from(([127, 0, 0, 1], 9)));
+        assert_eq!(cfg.name, "worker");
+        assert!(cfg.fail_after_batches.is_none());
+        assert!(cfg.heartbeat_interval < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end service tests over real loopback TCP.
+//!
+//! The acceptance bar from the service-layer issue: the matrix assembled
+//! over the wire must be **bit-identical** to an in-process
+//! [`rckalign::run_all_vs_all`] over the same dataset — including after
+//! an injected worker failure mid-run.
+
+use rck_serve::{run_worker, Master, MasterConfig, WorkerConfig};
+use rck_tmalign::MethodKind;
+use rckalign::loadbalance::JobOrdering;
+use rckalign::{run_all_vs_all, PairCache, RckAlignOptions, SimilarityMatrix};
+use std::time::{Duration, Instant};
+
+fn tiny_chains() -> Vec<rck_pdb::model::CaChain> {
+    rck_pdb::datasets::tiny_profile().generate(42)
+}
+
+/// The ground truth: the simulator's in-process all-vs-all matrix.
+fn in_process_matrix(chains: &[rck_pdb::model::CaChain]) -> SimilarityMatrix {
+    let cache = PairCache::new(chains.to_vec());
+    let run = run_all_vs_all(&cache, &RckAlignOptions::paper(4));
+    SimilarityMatrix::from_outcomes(chains.len(), &run.outcomes)
+}
+
+#[test]
+fn three_workers_reproduce_the_in_process_matrix() {
+    let chains = tiny_chains();
+    let expected = in_process_matrix(&chains);
+
+    let cfg = MasterConfig {
+        batch_size: 4,
+        method: MethodKind::TmAlign,
+        ordering: JobOrdering::LongestFirst,
+        min_workers: 3,
+        ..MasterConfig::default()
+    };
+    let master = Master::bind(chains.clone(), cfg).unwrap();
+    let addr = master.local_addr();
+
+    let workers: Vec<_> = (0..3)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut cfg = WorkerConfig::connect_to(addr);
+                cfg.name = format!("w{k}");
+                run_worker(&cfg)
+            })
+        })
+        .collect();
+
+    let run = master.run().unwrap();
+
+    for w in workers {
+        let report = w.join().expect("worker thread").expect("worker session");
+        assert!(!report.failed_by_injection);
+    }
+
+    assert_eq!(run.outcomes.len(), 28, "C(8,2) pairs for the tiny dataset");
+    assert_eq!(
+        run.matrix, expected,
+        "service matrix differs from in-process run_all_vs_all"
+    );
+    assert!((run.matrix.coverage() - 1.0).abs() < 1e-12);
+    assert_eq!(run.stats.jobs_completed, 28);
+    assert_eq!(run.stats.jobs_requeued, 0, "healthy run must not requeue");
+    assert_eq!(run.stats.workers_connected, 3);
+    assert_eq!(run.stats.workers_lost, 0);
+    // Every byte both ways went over real sockets.
+    assert!(run.stats.bytes_tx > 0);
+    assert!(run.stats.bytes_rx > 0);
+    // The report renders without panicking and names every worker.
+    let rendered = run.stats.render();
+    for k in 0..3 {
+        assert!(rendered.contains(&format!("w{k}")));
+    }
+}
+
+#[test]
+fn killed_worker_requeues_and_the_matrix_is_still_exact() {
+    let chains = tiny_chains();
+    let expected = in_process_matrix(&chains);
+
+    let cfg = MasterConfig {
+        batch_size: 4,
+        method: MethodKind::TmAlign,
+        ordering: JobOrdering::LongestFirst,
+        heartbeat_timeout: Duration::from_millis(400),
+        ..MasterConfig::default()
+    };
+    let master = Master::bind(chains.clone(), cfg).unwrap();
+    let addr = master.local_addr();
+    let stats = master.stats();
+    let master_thread = std::thread::spawn(move || master.run());
+
+    // The doomed worker connects first, receives one batch, and vanishes
+    // without replying.
+    let doomed = std::thread::spawn(move || {
+        let mut cfg = WorkerConfig::connect_to(addr);
+        cfg.name = "doomed".to_string();
+        cfg.fail_after_batches = Some(0);
+        run_worker(&cfg)
+    });
+    let report = doomed.join().expect("doomed thread").expect("doomed session");
+    assert!(report.failed_by_injection);
+    assert_eq!(report.batches_done, 0, "died before answering anything");
+
+    // Wait until the master has noticed and requeued the orphaned batch,
+    // so the recovery path is exercised deterministically.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats.jobs_requeued() == 0 {
+        assert!(Instant::now() < deadline, "master never requeued the batch");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A healthy worker now drains the whole queue, orphaned batch included.
+    let healthy = std::thread::spawn(move || {
+        let mut cfg = WorkerConfig::connect_to(addr);
+        cfg.name = "healthy".to_string();
+        run_worker(&cfg)
+    });
+
+    let run = master_thread.join().expect("master thread").unwrap();
+    let report = healthy.join().expect("healthy thread").expect("healthy session");
+    assert!(!report.failed_by_injection);
+    assert_eq!(report.jobs_done, 28, "healthy worker computed every pair");
+
+    // No pair lost, no pair duplicated, matrix still bit-identical.
+    assert_eq!(run.outcomes.len(), 28);
+    let mut keys: Vec<(u32, u32)> = run.outcomes.iter().map(|o| (o.i, o.j)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), 28, "duplicated pair in accepted outcomes");
+    assert_eq!(
+        run.matrix, expected,
+        "matrix diverged after worker failure and requeue"
+    );
+    assert!(run.stats.jobs_requeued >= 1, "requeue path never ran");
+    assert!(run.stats.workers_lost >= 1);
+    assert_eq!(run.stats.jobs_completed, 28);
+}

@@ -1,0 +1,172 @@
+//! Property tests for the rck-serve frame codec (satellite of the
+//! service-layer issue): arbitrary `JobBatch`/`ResultBatch` frames must
+//! round-trip exactly, and the decoder must reject truncated or
+//! oversized frames with an error — never a panic, never an
+//! attacker-sized allocation.
+
+use proptest::prelude::*;
+use rck_pdb::geometry::Vec3;
+use rck_pdb::model::{AminoAcid, CaChain};
+use rck_serve::proto::{
+    decode_frame, encode_frame, JobBatch, ResultBatch, HEADER_LEN, MAX_PAYLOAD,
+};
+use rck_serve::{Frame, FrameError};
+use rck_tmalign::MethodKind;
+use rckalign::{PairJob, PairOutcome};
+
+fn method_strategy() -> impl Strategy<Value = MethodKind> {
+    (0u8..3).prop_map(|code| MethodKind::from_code(code).expect("valid method code"))
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..12).prop_map(|raw| {
+        raw.into_iter()
+            .map(|b| (b'a' + (b % 26)) as char)
+            .collect()
+    })
+}
+
+/// A chain whose `seq` and `coords` lengths agree (the codec encodes one
+/// shared length), with finite coordinates.
+fn chain_strategy() -> impl Strategy<Value = CaChain> {
+    let residue = ((0u8..20), (-999.0f64..999.0, -999.0f64..999.0, -999.0f64..999.0));
+    (
+        name_strategy(),
+        prop::collection::vec(residue, 0..40),
+    )
+        .prop_map(|(name, residues)| {
+            let seq = residues
+                .iter()
+                .map(|(aa, _)| AminoAcid::from_index(*aa))
+                .collect();
+            let coords = residues
+                .iter()
+                .map(|(_, (x, y, z))| Vec3::new(*x, *y, *z))
+                .collect();
+            CaChain { name, seq, coords }
+        })
+}
+
+fn job_batch_strategy() -> impl Strategy<Value = JobBatch> {
+    (
+        any::<u64>(),
+        prop::collection::vec(
+            (any::<u32>(), chain_strategy()),
+            0..5,
+        ),
+        prop::collection::vec(
+            (any::<u32>(), any::<u32>(), method_strategy()),
+            0..20,
+        ),
+    )
+        .prop_map(|(batch_id, chains, raw_jobs)| JobBatch {
+            batch_id,
+            chains,
+            jobs: raw_jobs
+                .into_iter()
+                .map(|(i, j, method)| PairJob { i, j, method })
+                .collect(),
+        })
+}
+
+fn result_batch_strategy() -> impl Strategy<Value = ResultBatch> {
+    (
+        any::<u64>(),
+        prop::collection::vec(
+            (
+                (any::<u32>(), any::<u32>(), method_strategy()),
+                (-10.0f64..10.0, 0.0f64..100.0),
+                (any::<u32>(), any::<u64>()),
+            ),
+            0..30,
+        ),
+    )
+        .prop_map(|(batch_id, rows)| ResultBatch {
+            batch_id,
+            outcomes: rows
+                .into_iter()
+                .map(|((i, j, method), (similarity, rmsd), (aligned_len, ops))| PairOutcome {
+                    i,
+                    j,
+                    method,
+                    similarity,
+                    rmsd,
+                    aligned_len,
+                    ops,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn job_batch_roundtrips(batch in job_batch_strategy()) {
+        let frame = Frame::JobBatch(batch);
+        let bytes = encode_frame(&frame);
+        let (back, used) = decode_frame(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn result_batch_roundtrips(batch in result_batch_strategy()) {
+        let frame = Frame::ResultBatch(batch);
+        let bytes = encode_frame(&frame);
+        let (back, used) = decode_frame(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn truncated_frames_error_without_panicking(
+        batch in job_batch_strategy(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = encode_frame(&Frame::JobBatch(batch));
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(
+            decode_frame(&bytes[..cut]).is_err(),
+            "a {cut}-byte prefix of a {}-byte frame decoded",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn garbled_payloads_error_without_panicking(
+        batch in result_batch_strategy(),
+        flip_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&Frame::ResultBatch(batch));
+        let pos = (flip_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= xor;
+        // Corruption may land in a value field (decodes to different
+        // data) or a structural field (errors) — it must never panic.
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_before_allocation(
+        excess in 1u64..=u32::MAX as u64 - MAX_PAYLOAD as u64,
+    ) {
+        // A header declaring more than MAX_PAYLOAD bytes, with no body:
+        // must be rejected as Oversized, not attempted (or allocated).
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        let huge = (MAX_PAYLOAD as u64 + excess) as u32;
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&huge.to_le_bytes());
+        prop_assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Oversized(n)) if n == huge as usize
+        ));
+    }
+}
+
+#[test]
+fn empty_input_is_truncated_not_panic() {
+    assert!(matches!(decode_frame(&[]), Err(FrameError::Truncated)));
+    assert!(matches!(
+        decode_frame(&[0u8; HEADER_LEN - 1]),
+        Err(FrameError::Truncated)
+    ));
+}
