@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest 1.x API this workspace's
-//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! property tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
 //! `prop_filter` / `prop_recursive` / `boxed`, range and tuple
 //! strategies, `prop::collection::vec`, `any::<T>()`, the `proptest!`
 //! test macro, `prop_assert*` / `prop_assume!`, `prop_oneof!`, and

@@ -1,0 +1,119 @@
+//! Exposing metrics to the outside world: multi-registry rendering and
+//! a one-shot TCP dump server (`GET /metrics`-style, HTTP/1.0).
+//!
+//! The dump server is deliberately minimal — no routing, no keep-alive,
+//! no TLS. Connect, optionally send any request bytes, receive one
+//! `text/plain` response with the full Prometheus dump, connection
+//! closes. `curl http://host:port/metrics` works; so does `nc`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Concatenate the Prometheus renderings of several registries (for
+/// example the serve layer's private registry plus the global
+/// kernel/farm registry) into one scrape body.
+pub fn render_all(sources: &[Arc<Registry>]) -> String {
+    let mut out = String::new();
+    for reg in sources {
+        let text = reg.render();
+        if !text.is_empty() {
+            out.push_str(&text);
+        }
+    }
+    out
+}
+
+/// Spawn a background thread serving one-shot Prometheus text dumps of
+/// `sources` on `addr`. Returns the actually-bound address (useful with
+/// port 0) and the listener thread handle. The thread runs until the
+/// process exits.
+pub fn spawn_dump_server(
+    addr: SocketAddr,
+    sources: Vec<Arc<Registry>>,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("rck-obs-dump".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let body = render_all(&sources);
+                // Serve each scrape on its own short-lived thread so a
+                // stalled client cannot block the accept loop.
+                std::thread::spawn(move || serve_one(stream, body));
+            }
+        })?;
+    Ok((local, handle))
+}
+
+fn serve_one(mut stream: TcpStream, body: String) {
+    // Best-effort drain of whatever request line the client sent; we
+    // answer identically regardless, so parsing it would be theater.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 1024];
+    let _ = stream.read(&mut scratch);
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_all_concatenates_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("rck_test_exp_a", "h").inc();
+        b.counter("rck_test_exp_b", "h").add(2);
+        let text = render_all(&[a, b]);
+        assert!(text.contains("rck_test_exp_a 1"));
+        assert!(text.contains("rck_test_exp_b 2"));
+    }
+
+    #[test]
+    fn dump_server_answers_a_scrape() {
+        let reg = Registry::new();
+        reg.counter("rck_test_scrape_total", "scrapes").add(42);
+        let (addr, _handle) =
+            spawn_dump_server("127.0.0.1:0".parse().unwrap(), vec![Arc::clone(&reg)]).unwrap();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+
+        assert!(response.starts_with("HTTP/1.0 200 OK"));
+        assert!(response.contains("text/plain"));
+        assert!(response.contains("rck_test_scrape_total 42"));
+    }
+
+    #[test]
+    fn dump_server_serves_repeated_scrapes() {
+        let reg = Registry::new();
+        let c = reg.counter("rck_test_rescrape", "h");
+        let (addr, _handle) =
+            spawn_dump_server("127.0.0.1:0".parse().unwrap(), vec![Arc::clone(&reg)]).unwrap();
+        for expect in 1..=3u64 {
+            c.inc();
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(response.contains(&format!("rck_test_rescrape {expect}")));
+        }
+    }
+}

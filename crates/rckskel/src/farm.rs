@@ -93,6 +93,8 @@ pub fn collect(
 /// several rounds against the same slaves.
 pub fn farm_round(comm: &mut Rcce, slave_ranks: &[usize], jobs: &[Job]) -> Vec<JobResult> {
     assert!(!slave_ranks.is_empty(), "FARM needs at least one slave");
+    let metrics = crate::metrics::farm_metrics();
+    metrics.queue_depth.set(jobs.len() as i64);
     let mut results = Vec::with_capacity(jobs.len());
     let mut next = 0usize;
 
@@ -106,19 +108,26 @@ pub fn farm_round(comm: &mut Rcce, slave_ranks: &[usize], jobs: &[Job]) -> Vec<J
         next += 1;
         active.push(rank);
     }
+    metrics.jobs_dispatched.add(active.len() as u64);
+    metrics.queue_depth.set((jobs.len() - next) as i64);
 
     // Steady state: collect one result, refill that slave.
     let mut outstanding = active.len();
     while outstanding > 0 {
         let (rank, data) = comm.recv_any(&active);
         results.push(wire::decode_result(rank, data));
+        metrics.results_collected.inc();
+        crate::metrics::slave_jobs(rank).inc();
         if next < jobs.len() {
             comm.send(rank, wire::encode_job(&jobs[next]));
             next += 1;
+            metrics.jobs_dispatched.inc();
+            metrics.queue_depth.sub(1);
         } else {
             outstanding -= 1;
         }
     }
+    metrics.rounds.inc();
     results
 }
 

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod farm;
+pub mod metrics;
 pub mod pipeline;
 pub mod task;
 pub mod tree;

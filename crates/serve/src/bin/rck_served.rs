@@ -3,13 +3,17 @@
 //! ```text
 //! rck_served [--addr HOST:PORT] [--dataset CK34|RS119|TINY8] [--seed S]
 //!            [--batch N] [--ordering fifo|lpt|shuffle] [--timeout-ms MS]
-//!            [--min-workers N]
+//!            [--min-workers N] [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! Loads the dataset, prints the bound address, serves the all-vs-all
 //! workload to connecting `rck_worker`s, and prints the final stats and
-//! a matrix digest when every pair is done.
+//! a matrix digest when every pair is done. With `--metrics-addr` a
+//! second listener serves one-shot Prometheus text dumps of the serve
+//! counters plus the global (kernel/farm) registry — `curl` it at any
+//! point during the run.
 
+use rck_obs::{spawn_dump_server, Registry};
 use rck_pdb::datasets;
 use rck_serve::{Master, MasterConfig};
 use rckalign::JobOrdering;
@@ -22,11 +26,11 @@ rck_served — TCP master serving the all-vs-all TM-align workload
 USAGE:
   rck_served [--addr HOST:PORT] [--dataset CK34|RS119|TINY8] [--seed S]
              [--batch N] [--ordering fifo|lpt|shuffle] [--timeout-ms MS]
-             [--min-workers N]
+             [--min-workers N] [--metrics-addr HOST:PORT]
 
 Defaults: --addr 127.0.0.1:0 (prints the picked port), --dataset TINY8,
 --seed 2013, --batch 16, --ordering lpt, --timeout-ms 1000,
---min-workers 1.
+--min-workers 1, no metrics listener.
 ";
 
 #[derive(Debug, PartialEq)]
@@ -37,6 +41,7 @@ struct Options {
     dataset: String,
     seed: u64,
     cfg: MasterConfig,
+    metrics_addr: Option<SocketAddr>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, ParseError> {
@@ -44,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
     let mut dataset = "TINY8".to_string();
     let mut seed = 2013u64;
     let mut ordering = "lpt".to_string();
+    let mut metrics_addr = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let name = a
@@ -85,6 +91,13 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
                     .parse()
                     .map_err(|_| ParseError(format!("bad worker count {value}")))?;
             }
+            "metrics-addr" => {
+                metrics_addr = Some(
+                    value
+                        .parse::<SocketAddr>()
+                        .map_err(|_| ParseError(format!("bad metrics address {value}")))?,
+                );
+            }
             other => return Err(ParseError(format!("unknown flag --{other}"))),
         }
     }
@@ -96,7 +109,12 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         "shuffle" => JobOrdering::Shuffled(seed),
         other => return Err(ParseError(format!("unknown ordering {other}"))),
     };
-    Ok(Options { dataset, seed, cfg })
+    Ok(Options {
+        dataset,
+        seed,
+        cfg,
+        metrics_addr,
+    })
 }
 
 fn serve(opts: Options) -> Result<(), String> {
@@ -111,6 +129,17 @@ fn serve(opts: Options) -> Result<(), String> {
         rckalign::pair_count(n),
         master.local_addr()
     );
+    if let Some(addr) = opts.metrics_addr {
+        // Pre-register the kernel and farm families so every series the
+        // process can emit is visible (at zero) from the first scrape.
+        rck_tmalign::stages::stage_counters();
+        rck_skel::metrics::farm_metrics();
+        // Serve counters plus whatever the global registry accumulates
+        // (kernel stages once workers-in-process or reports run here).
+        let sources = vec![master.stats().registry(), Registry::global().clone()];
+        let (bound, _handle) = spawn_dump_server(addr, sources).map_err(|e| e.to_string())?;
+        println!("rck_served: metrics on http://{bound}/metrics");
+    }
     let run = master.run().map_err(|e| e.to_string())?;
     println!();
     print!("{}", run.stats.render());
@@ -165,7 +194,8 @@ mod tests {
     fn full_flag_set() {
         let opts = parse(
             "--addr 0.0.0.0:7000 --dataset CK34 --seed 9 --batch 32 \
-             --ordering shuffle --timeout-ms 250 --min-workers 4",
+             --ordering shuffle --timeout-ms 250 --min-workers 4 \
+             --metrics-addr 127.0.0.1:9100",
         )
         .unwrap();
         assert_eq!(opts.dataset, "CK34");
@@ -174,6 +204,7 @@ mod tests {
         assert_eq!(opts.cfg.ordering, JobOrdering::Shuffled(9));
         assert_eq!(opts.cfg.heartbeat_timeout.as_millis(), 250);
         assert_eq!(opts.cfg.min_workers, 4);
+        assert_eq!(opts.metrics_addr.unwrap().port(), 9100);
     }
 
     #[test]
@@ -185,5 +216,6 @@ mod tests {
         assert!(parse("--timeout-ms 0").is_err());
         assert!(parse("--seed").is_err());
         assert!(parse("--frobnicate 1").is_err());
+        assert!(parse("--metrics-addr not-an-addr").is_err());
     }
 }

@@ -49,6 +49,6 @@ pub mod stats;
 pub mod worker;
 
 pub use master::{Master, MasterConfig, ServeRun};
-pub use proto::{Frame, FrameError, PROTOCOL_VERSION};
+pub use proto::{Frame, FrameCodec, FrameError, PROTOCOL_VERSION};
 pub use stats::{ServeStats, StatsSnapshot};
 pub use worker::{run_worker, WorkerConfig, WorkerReport};

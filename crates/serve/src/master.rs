@@ -79,6 +79,7 @@ struct Inflight {
     jobs: Vec<PairJob>,
     worker_id: u32,
     deadline: Instant,
+    dispatched_at: Instant,
 }
 
 /// The shared work-queue state (guarded by the `Mutex` in `Shared`).
@@ -88,6 +89,9 @@ struct Work {
     done: HashSet<(u32, u32)>,
     outcomes: Vec<PairOutcome>,
     streams: HashMap<u32, TcpStream>,
+    /// Last liveness signal (heartbeat or result) per worker, feeding
+    /// the `rck_heartbeat_gap_seconds` histogram.
+    last_signal: HashMap<u32, Instant>,
     next_batch_id: u64,
     total_pairs: usize,
     finished: bool,
@@ -153,6 +157,7 @@ impl Master {
             done: HashSet::new(),
             outcomes: Vec::with_capacity(total_pairs),
             streams: HashMap::new(),
+            last_signal: HashMap::new(),
             next_batch_id: 0,
             total_pairs,
             finished: total_pairs == 0,
@@ -361,12 +366,14 @@ fn next_batch(shared: &Shared, worker_id: u32) -> Option<(u64, Vec<PairJob>)> {
     let jobs = work.queue.pop_front().expect("queue non-empty");
     let batch_id = work.next_batch_id;
     work.next_batch_id += 1;
+    let now = Instant::now();
     work.inflight.insert(
         batch_id,
         Inflight {
             jobs: jobs.clone(),
             worker_id,
-            deadline: Instant::now() + shared.cfg.heartbeat_timeout,
+            deadline: now + shared.cfg.heartbeat_timeout,
+            dispatched_at: now,
         },
     );
     Some((batch_id, jobs))
@@ -407,8 +414,10 @@ fn collect_result(shared: &Shared, stream: &mut TcpStream, worker_id: u32) -> Ba
 }
 
 fn refresh_deadlines(shared: &Shared, worker_id: u32) {
-    let deadline = Instant::now() + shared.cfg.heartbeat_timeout;
+    let now = Instant::now();
+    let deadline = now + shared.cfg.heartbeat_timeout;
     let mut work = shared.work.lock().expect("work lock");
+    note_liveness(&mut work, shared, worker_id, now);
     for batch in work.inflight.values_mut() {
         if batch.worker_id == worker_id {
             batch.deadline = deadline;
@@ -416,15 +425,29 @@ fn refresh_deadlines(shared: &Shared, worker_id: u32) {
     }
 }
 
+/// Record a liveness signal (heartbeat or accepted result) and observe
+/// the gap since the worker's previous one.
+fn note_liveness(work: &mut Work, shared: &Shared, worker_id: u32, now: Instant) {
+    if let Some(prev) = work.last_signal.insert(worker_id, now) {
+        shared
+            .stats
+            .observe_heartbeat_gap(now.duration_since(prev).as_secs_f64());
+    }
+}
+
 /// Accept a result frame: only if its batch is still in flight, and only
 /// pairs not already done (requeue races produce late duplicates).
 fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) {
     let mut work = shared.work.lock().expect("work lock");
+    note_liveness(&mut work, shared, worker_id, Instant::now());
     let Some(batch) = work.inflight.remove(&rb.batch_id) else {
         shared.stats.on_stale_result();
         return;
     };
     debug_assert_eq!(batch.worker_id, worker_id, "batch answered by stranger");
+    shared
+        .stats
+        .observe_batch_rtt(batch.dispatched_at.elapsed().as_secs_f64());
     let mut fresh = 0usize;
     let mut duplicates = 0usize;
     for o in rb.outcomes {

@@ -403,6 +403,73 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), FrameError> {
     Ok((decode_payload(kind, payload)?, HEADER_LEN + payload_len))
 }
 
+/// Incremental frame decoder for byte streams that arrive in arbitrary
+/// chunks (a socket read rarely lands on a frame boundary).
+///
+/// Feed bytes in as they arrive; pull complete frames out as they become
+/// decodable. Truncation is simply "no frame yet" — only genuinely
+/// malformed input (bad magic, unknown version/kind, oversized payload,
+/// undecodable payload) is an error, after which the stream is out of
+/// frame sync and should be dropped.
+///
+/// ```
+/// use rck_serve::proto::{encode_frame, Frame, FrameCodec};
+///
+/// let bytes = encode_frame(&Frame::Shutdown);
+/// let (head, tail) = bytes.split_at(5); // mid-header split
+///
+/// let mut codec = FrameCodec::new();
+/// codec.feed(head);
+/// assert!(codec.next_frame().unwrap().is_none()); // not enough yet
+/// codec.feed(tail);
+/// assert_eq!(codec.next_frame().unwrap(), Some(Frame::Shutdown));
+/// assert_eq!(codec.next_frame().unwrap(), None); // buffer drained
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buf: Vec<u8>,
+    consumed: u64,
+}
+
+impl FrameCodec {
+    /// An empty codec.
+    pub fn new() -> FrameCodec {
+        FrameCodec::default()
+    }
+
+    /// Append received bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed by a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total bytes consumed by successfully decoded frames — the wire
+    /// accounting the serve stats report as `rck_bytes_rx`.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    ///
+    /// Returns `Ok(None)` while the buffer ends mid-frame; an `Err`
+    /// means the stream is corrupt and cannot be resynchronized.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match decode_frame(&self.buf) {
+            Ok((frame, used)) => {
+                self.buf.drain(..used);
+                self.consumed += used as u64;
+                Ok(Some(frame))
+            }
+            Err(FrameError::Truncated) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// Build the [`JobBatch`] for a set of jobs: collect the referenced
 /// chains from the dataset into the batch's chain table.
 pub fn build_job_batch(batch_id: u64, jobs: Vec<PairJob>, dataset: &[CaChain]) -> JobBatch {
@@ -522,6 +589,43 @@ mod tests {
         let mut bad = good;
         bad[7..11].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert!(matches!(decode_frame(&bad), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn codec_reassembles_frames_from_arbitrary_chunks() {
+        let frames = vec![
+            Frame::Heartbeat(Heartbeat {
+                worker_id: 1,
+                completed: 2,
+            }),
+            Frame::JobBatch(sample_batch()),
+            Frame::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        // Feed one byte at a time — worst-case fragmentation.
+        let mut codec = FrameCodec::new();
+        let mut decoded = Vec::new();
+        for &b in &wire {
+            codec.feed(&[b]);
+            while let Some(f) = codec.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert_eq!(codec.pending(), 0);
+        assert_eq!(codec.consumed(), wire.len() as u64);
+    }
+
+    #[test]
+    fn codec_surfaces_corruption() {
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        bytes[0] ^= 0xFF;
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        assert!(matches!(codec.next_frame(), Err(FrameError::BadMagic(_))));
     }
 
     #[test]

@@ -1,16 +1,23 @@
 //! Service counters and the per-worker throughput report.
 //!
 //! [`ServeStats`] is the live, lock-light view shared between the
-//! master's acceptor, connection handlers and deadline monitor (plain
-//! atomics, one mutex around the per-worker map). [`StatsSnapshot`] is
-//! the frozen copy a finished run returns, rendered with the same
-//! [`rckalign::report::TextTable`] the simulator's experiment drivers
-//! use, so service output reads like the rest of the repository.
+//! master's acceptor, connection handlers and deadline monitor. Since
+//! the observability pass it is a thin façade over [`rck_obs`]: every
+//! counter is a handle into a private [`Registry`], so the same numbers
+//! that feed the end-of-run [`StatsSnapshot`] report are also available
+//! as a Prometheus text dump (see [`ServeStats::registry`]).
+//!
+//! The registry is **per-instance**, not the process-global one: tests
+//! assert exact counter values on isolated `ServeStats`, and two masters
+//! in one process (as in the loopback tests) must not share counters.
+//! [`StatsSnapshot`] renders with the same [`rckalign::report::TextTable`]
+//! the simulator's experiment drivers use, so service output reads like
+//! the rest of the repository.
 
+use rck_obs::{Counter, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BOUNDS};
 use rckalign::report::TextTable;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Per-worker live accounting.
@@ -25,31 +32,96 @@ struct WorkerEntry {
 
 /// Live counters for one service run. All methods take `&self`; the
 /// master shares one instance behind an `Arc` with every thread it runs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeStats {
-    jobs_dispatched: AtomicU64,
-    jobs_completed: AtomicU64,
-    jobs_requeued: AtomicU64,
-    batches_dispatched: AtomicU64,
-    batches_completed: AtomicU64,
-    batches_requeued: AtomicU64,
-    stale_results: AtomicU64,
-    duplicate_results: AtomicU64,
-    bytes_tx: AtomicU64,
-    bytes_rx: AtomicU64,
-    workers_connected: AtomicU64,
-    workers_lost: AtomicU64,
+    registry: Arc<Registry>,
+    jobs_dispatched: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    jobs_requeued: Arc<Counter>,
+    batches_dispatched: Arc<Counter>,
+    batches_completed: Arc<Counter>,
+    batches_requeued: Arc<Counter>,
+    stale_results: Arc<Counter>,
+    duplicate_results: Arc<Counter>,
+    bytes_tx: Arc<Counter>,
+    bytes_rx: Arc<Counter>,
+    workers_connected: Arc<Counter>,
+    workers_lost: Arc<Counter>,
+    batch_rtt: Arc<Histogram>,
+    heartbeat_gap: Arc<Histogram>,
     workers: Mutex<HashMap<u32, WorkerEntry>>,
 }
 
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
+    }
+}
+
 impl ServeStats {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters backed by a private metric registry.
     pub fn new() -> ServeStats {
-        ServeStats::default()
+        let registry = Registry::new();
+        ServeStats {
+            jobs_dispatched: registry.counter(
+                "rck_jobs_dispatched",
+                "jobs handed to workers, counting re-dispatches",
+            ),
+            jobs_completed: registry
+                .counter("rck_jobs_completed", "jobs whose outcome was accepted"),
+            jobs_requeued: registry.counter(
+                "rck_jobs_requeued",
+                "jobs put back on the queue after a worker was lost",
+            ),
+            batches_dispatched: registry.counter(
+                "rck_batches_dispatched",
+                "batches handed to workers, counting re-dispatches",
+            ),
+            batches_completed: registry.counter(
+                "rck_batches_completed",
+                "batches whose results were accepted",
+            ),
+            batches_requeued: registry
+                .counter("rck_batches_requeued", "batches put back on the queue"),
+            stale_results: registry.counter(
+                "rck_stale_results",
+                "result frames answering a batch id no longer in flight",
+            ),
+            duplicate_results: registry.counter(
+                "rck_duplicate_results",
+                "outcomes dropped because the pair was already done",
+            ),
+            bytes_tx: registry.counter("rck_bytes_tx", "bytes the master wrote to workers"),
+            bytes_rx: registry.counter("rck_bytes_rx", "bytes the master read from workers"),
+            workers_connected: registry.counter(
+                "rck_workers_connected",
+                "workers that connected over the run",
+            ),
+            workers_lost: registry
+                .counter("rck_workers_lost", "workers the master declared dead"),
+            batch_rtt: registry.histogram(
+                "rck_batch_rtt_seconds",
+                "dispatch-to-accepted-result round trip per batch",
+                DEFAULT_LATENCY_BOUNDS,
+            ),
+            heartbeat_gap: registry.histogram(
+                "rck_heartbeat_gap_seconds",
+                "time between consecutive liveness signals from a worker",
+                DEFAULT_LATENCY_BOUNDS,
+            ),
+            workers: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// The private registry behind these counters, for Prometheus-style
+    /// dumps (`rck_served --metrics-addr`, the `rck-report` bin).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     pub(crate) fn on_worker_connected(&self, id: u32, name: &str) {
-        self.workers_connected.fetch_add(1, Ordering::Relaxed);
+        self.workers_connected.inc();
         self.workers.lock().expect("stats lock").insert(
             id,
             WorkerEntry {
@@ -63,20 +135,20 @@ impl ServeStats {
     }
 
     pub(crate) fn on_worker_lost(&self, id: u32) {
-        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+        self.workers_lost.inc();
         if let Some(w) = self.workers.lock().expect("stats lock").get_mut(&id) {
             w.lost = true;
         }
     }
 
     pub(crate) fn on_batch_dispatched(&self, jobs: usize) {
-        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
-        self.jobs_dispatched.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.batches_dispatched.inc();
+        self.jobs_dispatched.add(jobs as u64);
     }
 
     pub(crate) fn on_batch_completed(&self, worker_id: u32, jobs: usize) {
-        self.batches_completed.fetch_add(1, Ordering::Relaxed);
-        self.jobs_completed.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.batches_completed.inc();
+        self.jobs_completed.add(jobs as u64);
         if let Some(w) = self
             .workers
             .lock()
@@ -86,42 +158,60 @@ impl ServeStats {
             w.batches_completed += 1;
             w.jobs_completed += jobs as u64;
         }
+        let id = worker_id.to_string();
+        self.registry
+            .counter_with(
+                "rck_worker_jobs",
+                "jobs completed per worker",
+                &[("worker", &id)],
+            )
+            .add(jobs as u64);
     }
 
     pub(crate) fn on_batch_requeued(&self, jobs: usize) {
-        self.batches_requeued.fetch_add(1, Ordering::Relaxed);
-        self.jobs_requeued.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.batches_requeued.inc();
+        self.jobs_requeued.add(jobs as u64);
     }
 
     pub(crate) fn on_stale_result(&self) {
-        self.stale_results.fetch_add(1, Ordering::Relaxed);
+        self.stale_results.inc();
     }
 
     pub(crate) fn on_duplicate_results(&self, n: usize) {
-        self.duplicate_results.fetch_add(n as u64, Ordering::Relaxed);
+        self.duplicate_results.add(n as u64);
     }
 
     pub(crate) fn add_tx(&self, bytes: usize) {
-        self.bytes_tx.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_tx.add(bytes as u64);
     }
 
     pub(crate) fn add_rx(&self, bytes: usize) {
-        self.bytes_rx.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_rx.add(bytes as u64);
+    }
+
+    /// Record one batch's dispatch-to-result round trip.
+    pub(crate) fn observe_batch_rtt(&self, seconds: f64) {
+        self.batch_rtt.observe(seconds);
+    }
+
+    /// Record the gap since a worker's previous liveness signal.
+    pub(crate) fn observe_heartbeat_gap(&self, seconds: f64) {
+        self.heartbeat_gap.observe(seconds);
     }
 
     /// Jobs requeued so far (tests poll this to observe fault recovery).
     pub fn jobs_requeued(&self) -> u64 {
-        self.jobs_requeued.load(Ordering::Relaxed)
+        self.jobs_requeued.get()
     }
 
     /// Jobs completed so far.
     pub fn jobs_completed(&self) -> u64 {
-        self.jobs_completed.load(Ordering::Relaxed)
+        self.jobs_completed.get()
     }
 
     /// Workers that have connected so far.
     pub fn workers_connected(&self) -> u64 {
-        self.workers_connected.load(Ordering::Relaxed)
+        self.workers_connected.get()
     }
 
     /// Freeze the counters into a reportable snapshot.
@@ -150,18 +240,20 @@ impl ServeStats {
             rows
         };
         StatsSnapshot {
-            jobs_dispatched: self.jobs_dispatched.load(Ordering::Relaxed),
-            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
-            jobs_requeued: self.jobs_requeued.load(Ordering::Relaxed),
-            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
-            batches_completed: self.batches_completed.load(Ordering::Relaxed),
-            batches_requeued: self.batches_requeued.load(Ordering::Relaxed),
-            stale_results: self.stale_results.load(Ordering::Relaxed),
-            duplicate_results: self.duplicate_results.load(Ordering::Relaxed),
-            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
-            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
-            workers_connected: self.workers_connected.load(Ordering::Relaxed),
-            workers_lost: self.workers_lost.load(Ordering::Relaxed),
+            jobs_dispatched: self.jobs_dispatched.get(),
+            jobs_completed: self.jobs_completed.get(),
+            jobs_requeued: self.jobs_requeued.get(),
+            batches_dispatched: self.batches_dispatched.get(),
+            batches_completed: self.batches_completed.get(),
+            batches_requeued: self.batches_requeued.get(),
+            stale_results: self.stale_results.get(),
+            duplicate_results: self.duplicate_results.get(),
+            bytes_tx: self.bytes_tx.get(),
+            bytes_rx: self.bytes_rx.get(),
+            workers_connected: self.workers_connected.get(),
+            workers_lost: self.workers_lost.get(),
+            batch_rtt: self.batch_rtt.snapshot(),
+            heartbeat_gap: self.heartbeat_gap.snapshot(),
             workers,
         }
     }
@@ -211,6 +303,10 @@ pub struct StatsSnapshot {
     pub workers_connected: u64,
     /// Workers the master declared dead.
     pub workers_lost: u64,
+    /// Dispatch-to-result latency distribution per batch.
+    pub batch_rtt: HistogramSnapshot,
+    /// Gaps between consecutive liveness signals per worker.
+    pub heartbeat_gap: HistogramSnapshot,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerRow>,
 }
@@ -236,6 +332,19 @@ impl StatsSnapshot {
         for (name, value) in rows {
             totals.row(&[name.to_string(), value.to_string()]);
         }
+        let mut latency = TextTable::new(&["latency", "count", "p50", "p95", "p99"]);
+        for (name, snap) in [
+            ("batch rtt (s)", &self.batch_rtt),
+            ("heartbeat gap (s)", &self.heartbeat_gap),
+        ] {
+            latency.row(&[
+                name.to_string(),
+                snap.count.to_string(),
+                fmt_pct(snap, 50.0),
+                fmt_pct(snap, 95.0),
+                fmt_pct(snap, 99.0),
+            ]);
+        }
         let mut per_worker = TextTable::new(&["worker", "id", "jobs", "batches", "jobs/s", "state"]);
         for w in &self.workers {
             per_worker.row(&[
@@ -247,7 +356,20 @@ impl StatsSnapshot {
                 if w.lost { "lost" } else { "ok" }.to_string(),
             ]);
         }
-        format!("{}\n{}", totals.render(), per_worker.render())
+        format!(
+            "{}\n{}\n{}",
+            totals.render(),
+            latency.render(),
+            per_worker.render()
+        )
+    }
+}
+
+fn fmt_pct(snap: &HistogramSnapshot, p: f64) -> String {
+    match snap.percentile(p) {
+        Some(v) if v.is_finite() => format!("≤{v:.4}"),
+        Some(_) => ">60".to_string(),
+        None => "-".to_string(),
     }
 }
 
@@ -269,6 +391,8 @@ mod tests {
         s.on_duplicate_results(2);
         s.add_tx(100);
         s.add_rx(40);
+        s.observe_batch_rtt(0.02);
+        s.observe_heartbeat_gap(0.3);
 
         let snap = s.snapshot();
         assert_eq!(snap.jobs_dispatched, 8);
@@ -283,6 +407,8 @@ mod tests {
         assert_eq!(snap.bytes_rx, 40);
         assert_eq!(snap.workers_connected, 2);
         assert_eq!(snap.workers_lost, 1);
+        assert_eq!(snap.batch_rtt.count, 1);
+        assert_eq!(snap.heartbeat_gap.count, 1);
         assert_eq!(snap.workers.len(), 2);
         assert_eq!(snap.workers[0].name, "w0");
         assert_eq!(snap.workers[0].jobs_completed, 4);
@@ -299,5 +425,28 @@ mod tests {
         assert!(text.contains("farmhand"));
         assert!(text.contains("jobs requeued"));
         assert!(text.contains("bytes sent"));
+        assert!(text.contains("p95"));
+    }
+
+    #[test]
+    fn registry_dump_mirrors_the_counters() {
+        let s = ServeStats::new();
+        s.on_worker_connected(0, "w0");
+        s.on_batch_dispatched(4);
+        s.on_batch_completed(0, 4);
+        s.observe_batch_rtt(0.02);
+        let text = s.registry().render();
+        assert!(text.contains("rck_batches_completed 1"));
+        assert!(text.contains("rck_jobs_completed 4"));
+        assert!(text.contains("rck_worker_jobs{worker=\"0\"} 4"));
+        assert!(text.contains("rck_batch_rtt_seconds_count 1"));
+    }
+
+    #[test]
+    fn two_instances_do_not_share_counters() {
+        let a = ServeStats::new();
+        let b = ServeStats::new();
+        a.on_batch_dispatched(4);
+        assert_eq!(b.snapshot().batches_dispatched, 0);
     }
 }

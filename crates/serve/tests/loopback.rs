@@ -9,6 +9,8 @@ use rck_serve::{run_worker, Master, MasterConfig, WorkerConfig};
 use rck_tmalign::MethodKind;
 use rckalign::loadbalance::JobOrdering;
 use rckalign::{run_all_vs_all, PairCache, RckAlignOptions, SimilarityMatrix};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 fn tiny_chains() -> Vec<rck_pdb::model::CaChain> {
@@ -136,4 +138,96 @@ fn killed_worker_requeues_and_the_matrix_is_still_exact() {
     assert!(run.stats.jobs_requeued >= 1, "requeue path never ran");
     assert!(run.stats.workers_lost >= 1);
     assert_eq!(run.stats.jobs_completed, 28);
+}
+
+/// Check one Prometheus text line: `name{labels} value` or `name value`,
+/// with the value parsing as a float. Returns the metric name.
+fn parse_prom_line(line: &str) -> &str {
+    let (series, value) = line.rsplit_once(' ').expect("line has a value");
+    assert!(
+        value.parse::<f64>().is_ok(),
+        "unparseable sample value in {line:?}"
+    );
+    let name = series.split('{').next().unwrap();
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "bad metric name in {line:?}"
+    );
+    name
+}
+
+#[test]
+fn loopback_run_exports_a_parseable_prometheus_dump() {
+    let chains = tiny_chains();
+    let cfg = MasterConfig {
+        batch_size: 4,
+        min_workers: 2,
+        ..MasterConfig::default()
+    };
+    let master = Master::bind(chains, cfg).unwrap();
+    let addr = master.local_addr();
+    // The dump endpoint `rck_served --metrics-addr` spawns: serve
+    // counters plus the global (kernel/farm) registry.
+    let (metrics_addr, _handle) = rck_obs::spawn_dump_server(
+        "127.0.0.1:0".parse().unwrap(),
+        vec![master.stats().registry(), rck_obs::Registry::global().clone()],
+    )
+    .unwrap();
+
+    let workers: Vec<_> = (0..2)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut cfg = WorkerConfig::connect_to(addr);
+                cfg.name = format!("w{k}");
+                run_worker(&cfg)
+            })
+        })
+        .collect();
+    let run = master.run().unwrap();
+    for w in workers {
+        w.join().expect("worker thread").expect("worker session");
+    }
+    assert_eq!(run.stats.jobs_completed, 28);
+
+    // Scrape after the run: every series must be well-formed and the
+    // farm, serve, and kernel families all present.
+    let mut stream = TcpStream::connect(metrics_addr).unwrap();
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK"));
+    let body = response.split("\r\n\r\n").nth(1).expect("has a body");
+
+    let mut names = std::collections::HashSet::new();
+    for line in body.lines() {
+        if line.starts_with('#') {
+            let tag = line.split_whitespace().next().unwrap();
+            assert!(tag == "#", "comment lines start with #");
+            let kind = line.split_whitespace().nth(1).unwrap();
+            assert!(kind == "HELP" || kind == "TYPE", "bad comment {line:?}");
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        names.insert(parse_prom_line(line).to_string());
+    }
+
+    // Nonzero batch counter — the acceptance bar for the dump endpoint.
+    let batches_line = body
+        .lines()
+        .find(|l| l.starts_with("rck_batches_completed "))
+        .expect("rck_batches_completed series present");
+    let batches: f64 = batches_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+    assert!(batches > 0.0, "no batches reported: {batches_line}");
+
+    // Serve series.
+    assert!(names.contains("rck_jobs_completed"));
+    assert!(names.contains("rck_batch_rtt_seconds_bucket"));
+    assert!(names.contains("rck_worker_jobs"));
+    // Kernel-stage series — the workers above ran the real kernel in
+    // this process, so these are nonzero too.
+    assert!(names.contains("rck_kernel_alignments_total"));
+    assert!(names.contains("rck_kernel_dp_rounds_total"));
 }

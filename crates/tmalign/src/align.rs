@@ -175,6 +175,7 @@ pub fn tm_align_with(a: &CaChain, b: &CaChain, params: &TmAlignParams) -> TmAlig
     let init_ss = ss_alignment(&ss_a, &ss_b, &mut meter);
     let hybrid_seed = init_gapless.transform.unwrap_or(Transform::IDENTITY);
     let init_hybrid = hybrid_alignment(x, y, &ss_a, &ss_b, &hybrid_seed, d0_opt, &mut meter);
+    crate::stages::stage_counters().initial_alignments.add(3);
 
     // --- Refinement ----------------------------------------------------
     let depth = if params.fast_refinement {
@@ -238,6 +239,10 @@ pub fn tm_align_with(a: &CaChain, b: &CaChain, params: &TmAlignParams) -> TmAlig
         .iter()
         .filter(|&&(i, j)| a.seq[i] != rck_pdb::AminoAcid::Unknown && a.seq[i] == b.seq[j])
         .count();
+
+    let stages = crate::stages::stage_counters();
+    stages.alignments.inc();
+    stages.ops.add(meter.ops());
 
     TmAlignResult {
         name_a: a.name.clone(),

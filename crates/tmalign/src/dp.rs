@@ -108,6 +108,7 @@ pub fn needleman_wunsch(
     if n == 0 || m == 0 {
         return (Vec::new(), 0.0);
     }
+    crate::stages::stage_counters().dp_rounds.inc();
     meter.charge((n as u64) * (m as u64));
 
     // val[(i,j)] = best score of aligning prefixes x[..i], y[..j];

@@ -37,6 +37,7 @@ pub fn superpose(mobile: &[Vec3], reference: &[Vec3], meter: &mut WorkMeter) -> 
     );
     assert!(!mobile.is_empty(), "superpose requires at least one pair");
     let n = mobile.len();
+    crate::stages::stage_counters().kabsch_iterations.inc();
     meter.charge(n as u64 + 30); // covariance accumulation + eigen solve
 
     let cm = centroid(mobile);

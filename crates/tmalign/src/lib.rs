@@ -38,6 +38,7 @@ pub mod initial;
 pub mod kabsch;
 pub mod meter;
 pub mod secstruct;
+pub mod stages;
 pub mod tmscore;
 
 pub use align::{tm_align, tm_align_with, Normalization, TmAlignParams, TmAlignResult};

@@ -90,6 +90,7 @@ pub fn search(
             transform: Transform::IDENTITY,
         };
     }
+    crate::stages::stage_counters().tmscore_refinements.inc();
 
     // Seed fragment lengths, longest first.
     let mut seed_lens: Vec<usize> = match depth {
