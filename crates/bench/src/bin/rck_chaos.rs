@@ -1,0 +1,172 @@
+//! `rck-chaos` — drive seeded fault scenarios through the serve layer.
+//!
+//! ```text
+//! rck_chaos [--seeds N] [--base-seed S] [--repeat K] [--out PATH]
+//! ```
+//!
+//! Each seed deterministically derives one complete scenario — dataset
+//! size, batch size, worker-session scripts (crash/hang/slow), and
+//! frame-level fault plans (drop, duplicate, corrupt, truncate, split,
+//! reorder) — and runs it end-to-end over the in-memory transport
+//! ([`rck_serve::transport::MemNet`]): a real [`rck_serve::Master`] and
+//! real workers computing the actual TM-align kernel, with faults
+//! injected underneath them.
+//!
+//! Every scenario must uphold the serve layer's core promise:
+//!
+//! * if the fault plan permits completion, the assembled matrix is
+//!   **bit-identical** to in-process `run_all_vs_all`;
+//! * otherwise the master fails **cleanly** — never a wrong matrix,
+//!   never a deadlock (a per-scenario watchdog enforces the latter).
+//!
+//! The canonical report (one line per scenario: plan + verdict + matrix
+//! fingerprint) contains no timings and no fired-fault counts, so
+//! re-running a seed yields a byte-identical line — `--repeat K` asserts
+//! exactly that. Observed fault/serve counters (which *are*
+//! timing-dependent) go to stderr instead.
+
+use rck_serve::chaos::{run_scenario, ScenarioResult};
+use rck_serve::ScenarioPlan;
+use std::fmt::Write as FmtWrite;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+rck_chaos — seeded fault-injection scenarios for the rck-serve layer
+
+USAGE:
+  rck_chaos [--seeds N] [--base-seed S] [--repeat K] [--out PATH]
+
+Defaults: --seeds 32, --base-seed 0, --repeat 1 (set 2+ to assert
+byte-identical reports per seed), no --out (stdout only).
+";
+
+/// A scenario that neither completes nor aborts within this window is a
+/// liveness bug — exactly what the harness exists to catch.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+#[derive(Debug)]
+struct Options {
+    seeds: u64,
+    base_seed: u64,
+    repeat: u64,
+    out: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        seeds: 32,
+        base_seed: 0,
+        repeat: 1,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let name = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {a}"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        match name {
+            "seeds" => {
+                opts.seeds = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n >= 1)
+                    .ok_or_else(|| format!("bad seed count {value}"))?;
+            }
+            "base-seed" => {
+                opts.base_seed = value.parse().map_err(|_| format!("bad base seed {value}"))?;
+            }
+            "repeat" => {
+                opts.repeat = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n >= 1)
+                    .ok_or_else(|| format!("bad repeat count {value}"))?;
+            }
+            "out" => opts.out = Some(value.clone()),
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Run one scenario under the deadlock watchdog.
+fn run_guarded(seed: u64) -> ScenarioResult {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let plan = ScenarioPlan::from_seed(seed);
+        let _ = tx.send(run_scenario(&plan));
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(result) => result,
+        Err(_) => {
+            eprintln!("seed {seed:06}: DEADLOCK — scenario still running after {WATCHDOG:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = String::new();
+    let mut failures = 0u64;
+    let mut completed = 0u64;
+    let mut aborted = 0u64;
+    for seed in opts.base_seed..opts.base_seed + opts.seeds {
+        let first = run_guarded(seed);
+        for rerun in 1..opts.repeat {
+            let again = run_guarded(seed);
+            if again.report_line != first.report_line {
+                eprintln!(
+                    "seed {seed:06}: NONDETERMINISTIC report (rerun {rerun})\n  first: {}\n  again: {}",
+                    first.report_line, again.report_line
+                );
+                failures += 1;
+            }
+        }
+        if first.pass {
+            if first.plan.expect_complete {
+                completed += 1;
+            } else {
+                aborted += 1;
+            }
+        } else {
+            failures += 1;
+        }
+        println!(
+            "{} {}",
+            if first.pass { "ok  " } else { "FAIL" },
+            first.report_line
+        );
+        eprintln!("seed {seed:06} observed: {}", first.observed);
+        let _ = writeln!(report, "{}", first.report_line);
+    }
+
+    let summary = format!(
+        "{} scenarios: {completed} completed bit-identical, {aborted} aborted cleanly, {failures} failures",
+        opts.seeds
+    );
+    println!("{summary}");
+    if let Some(path) = &opts.out {
+        let full = format!("# rck-chaos scenario report\n\n```\n{report}```\n\n{summary}\n");
+        if let Err(e) = std::fs::write(path, full) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

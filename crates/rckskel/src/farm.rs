@@ -109,6 +109,7 @@ pub fn farm_round(comm: &mut Rcce, slave_ranks: &[usize], jobs: &[Job]) -> Vec<J
         active.push(rank);
     }
     metrics.jobs_dispatched.add(active.len() as u64);
+    metrics.jobs_inflight.add(active.len() as i64);
     metrics.queue_depth.set((jobs.len() - next) as i64);
 
     // Steady state: collect one result, refill that slave.
@@ -117,11 +118,13 @@ pub fn farm_round(comm: &mut Rcce, slave_ranks: &[usize], jobs: &[Job]) -> Vec<J
         let (rank, data) = comm.recv_any(&active);
         results.push(wire::decode_result(rank, data));
         metrics.results_collected.inc();
+        metrics.jobs_inflight.sub(1);
         crate::metrics::slave_jobs(rank).inc();
         if next < jobs.len() {
             comm.send(rank, wire::encode_job(&jobs[next]));
             next += 1;
             metrics.jobs_dispatched.inc();
+            metrics.jobs_inflight.add(1);
             metrics.queue_depth.sub(1);
         } else {
             outstanding -= 1;

@@ -21,6 +21,13 @@ pub struct FarmMetrics {
     pub results_collected: Arc<Counter>,
     /// Jobs not yet dispatched in the currently running round.
     pub queue_depth: Arc<Gauge>,
+    /// Jobs dispatched to a slave whose result has not come back yet.
+    ///
+    /// Together with the counters this closes the farm's accounting
+    /// equation — `dispatched == collected + inflight` holds at every
+    /// instant, so a nonzero residue after a round pinpoints exactly how
+    /// many jobs died with a failed slave.
+    pub jobs_inflight: Arc<Gauge>,
 }
 
 static FARM: OnceLock<FarmMetrics> = OnceLock::new();
@@ -43,6 +50,10 @@ pub fn farm_metrics() -> &'static FarmMetrics {
             queue_depth: reg.gauge(
                 "rck_farm_queue_depth",
                 "jobs pending dispatch in the running farm round",
+            ),
+            jobs_inflight: reg.gauge(
+                "rck_farm_jobs_inflight",
+                "jobs dispatched to slaves and not yet collected",
             ),
         }
     })

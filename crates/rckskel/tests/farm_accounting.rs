@@ -1,0 +1,167 @@
+//! Farm accounting invariants, measured through the process-global
+//! metric registry: every dispatched job is either collected or still
+//! in flight — `dispatched == collected + inflight` — in healthy rounds
+//! *and* after a slave dies mid-round.
+//!
+//! These live in their own test binary so no other test in the process
+//! touches the `rck_farm_*` metrics; the tests themselves serialize on a
+//! lock and assert on before/after deltas.
+
+use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, Simulator};
+use rck_rcce::Rcce;
+use rck_skel::metrics::{farm_metrics, slave_jobs};
+use rck_skel::{farm, slave_loop, Job, SlaveReply};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Global-registry deltas are only meaningful while nothing else runs a
+/// farm; the harness runs `#[test]`s concurrently, so serialize here.
+fn metrics_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        // A previous test panicked while holding the lock (expected for
+        // the crash test's unwinding) — the metrics are still valid.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Snapshot {
+    dispatched: u64,
+    collected: u64,
+    inflight: i64,
+    queue_depth: i64,
+}
+
+fn snapshot() -> Snapshot {
+    let m = farm_metrics();
+    Snapshot {
+        dispatched: m.jobs_dispatched.get(),
+        collected: m.results_collected.get(),
+        inflight: m.jobs_inflight.get(),
+        queue_depth: m.queue_depth.get(),
+    }
+}
+
+/// Master on core 0 farming `jobs` over `n_slaves` slaves; each slave
+/// crashes when its personal job count reaches `crash_at` (never, if
+/// `None`).
+fn run_farm(n_slaves: usize, jobs: usize, crash_at: Option<usize>) -> Vec<u64> {
+    let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
+    let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+    let job_list: Vec<Job> = (0..jobs)
+        .map(|k| Job::new(k as u64, vec![k as u8]))
+        .collect();
+    let ids = Mutex::new(Vec::new());
+    {
+        let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+        {
+            let ues = ues.clone();
+            let slave_ranks = slave_ranks.clone();
+            let ids = &ids;
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                for r in farm(&mut comm, &slave_ranks, &job_list) {
+                    ids.lock().unwrap().push(r.job_id);
+                }
+            })));
+        }
+        for _ in 0..n_slaves {
+            let ues = ues.clone();
+            programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                let mut comm = Rcce::new(ctx, &ues);
+                let mut count = 0usize;
+                slave_loop(&mut comm, 0, |_id, p| {
+                    count += 1;
+                    if Some(count) == crash_at {
+                        panic!("slave crashed for the accounting test");
+                    }
+                    SlaveReply {
+                        ops: (p[0] as u64 + 1) * 1_000,
+                        payload: p,
+                    }
+                });
+            })));
+        }
+        Simulator::new(NocConfig::scc()).run(programs);
+    }
+    ids.into_inner().unwrap()
+}
+
+#[test]
+fn healthy_round_balances_to_zero_inflight() {
+    let _guard = metrics_lock();
+    let before = snapshot();
+    let slave_before: Vec<u64> = (1..=4).map(|r| slave_jobs(r).get()).collect();
+
+    let ids = run_farm(4, 30, None);
+    assert_eq!(ids.len(), 30);
+
+    let after = snapshot();
+    let dispatched = after.dispatched - before.dispatched;
+    let collected = after.collected - before.collected;
+    assert_eq!(dispatched, 30, "every job dispatched exactly once");
+    assert_eq!(collected, 30, "every job collected exactly once");
+    assert_eq!(
+        after.inflight, before.inflight,
+        "a healthy round must return the in-flight gauge to its baseline"
+    );
+    assert_eq!(after.queue_depth, 0, "nothing left pending");
+    // Per-slave completion counters sum to the job count.
+    let slave_delta: u64 = (1..=4)
+        .map(|r| slave_jobs(r).get() - slave_before[r - 1])
+        .sum();
+    assert_eq!(slave_delta, 30, "per-slave counters must sum to the total");
+}
+
+#[test]
+fn inflight_gauge_reports_jobs_lost_to_a_dead_slave() {
+    let _guard = metrics_lock();
+    let before = snapshot();
+
+    // Single slave, crash on its 4th job: 3 results come back and the
+    // simulation dies with the slave's panic.
+    let err = catch_unwind(AssertUnwindSafe(|| run_farm(1, 10, Some(4))))
+        .expect_err("the slave's panic must propagate to the master");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic".into());
+    assert!(msg.contains("slave crashed"), "unexpected panic: {msg}");
+
+    let after = snapshot();
+    let dispatched = after.dispatched - before.dispatched;
+    let collected = after.collected - before.collected;
+    let inflight = after.inflight - before.inflight;
+    assert!(
+        collected < dispatched,
+        "a job must have died in flight (dispatched {dispatched}, collected {collected})"
+    );
+    assert_eq!(collected, 3, "exactly the jobs finished before the crash");
+    assert_eq!(
+        dispatched,
+        collected + inflight as u64,
+        "accounting must balance: dispatched = collected + in-flight residue"
+    );
+    assert!(inflight >= 1, "the dying job stays visible in the gauge");
+}
+
+#[test]
+fn accounting_balances_across_consecutive_rounds() {
+    let _guard = metrics_lock();
+    let before = snapshot();
+
+    // Several healthy farms in sequence: counters are monotone across
+    // rounds while the gauge keeps returning to baseline.
+    let mut total = 0u64;
+    for jobs in [5usize, 17, 1, 12] {
+        let ids = run_farm(3, jobs, None);
+        assert_eq!(ids.len(), jobs);
+        total += jobs as u64;
+        let now = snapshot();
+        assert_eq!(now.dispatched - before.dispatched, total);
+        assert_eq!(now.collected - before.collected, total);
+        assert_eq!(now.inflight, before.inflight);
+    }
+}

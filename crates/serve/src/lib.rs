@@ -28,7 +28,12 @@
 //! * [`worker`] — the client: decode batch, run the real kernel, stream
 //!   results back ([`run_worker`]);
 //! * [`stats`] — dispatch/requeue/byte counters and a per-worker
-//!   throughput table ([`stats::StatsSnapshot::render`]).
+//!   throughput table ([`stats::StatsSnapshot::render`]);
+//! * [`transport`] — the pluggable byte-stream seam: real TCP, or the
+//!   deterministic in-memory network ([`transport::MemNet`]);
+//! * [`chaos`] — seeded fault plans and end-to-end fault scenarios
+//!   ([`chaos::run_scenario`]) proving the requeue/heartbeat/dedup
+//!   machinery never yields a wrong matrix and never deadlocks.
 //!
 //! ```no_run
 //! use rck_serve::{Master, MasterConfig, WorkerConfig};
@@ -43,12 +48,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod master;
 pub mod proto;
 pub mod stats;
+pub mod transport;
 pub mod worker;
 
-pub use master::{Master, MasterConfig, ServeRun};
+pub use chaos::{run_scenario, FaultPlan, FaultProfile, ScenarioPlan, ScenarioResult, Verdict};
+pub use master::{AbortHandle, Master, MasterConfig, ServeRun};
 pub use proto::{Frame, FrameCodec, FrameError, PROTOCOL_VERSION};
 pub use stats::{ServeStats, StatsSnapshot};
-pub use worker::{run_worker, WorkerConfig, WorkerReport};
+pub use transport::{Conn, Listener, MemNet};
+pub use worker::{run_worker, run_worker_conn, WorkerConfig, WorkerReport};

@@ -1,32 +1,42 @@
 //! The rck-serve master: job generation, batch dispatch, fault recovery
-//! and result assembly over real TCP connections.
+//! and result assembly over a pluggable transport.
 //!
 //! One thread per connected worker (plus a deadline monitor) shares a
-//! single work-queue state under a mutex/condvar pair. Fault tolerance is
-//! two mechanisms stacked:
+//! single work-queue state under a mutex/condvar pair. The master speaks
+//! to workers through the [`crate::transport`] seam — real TCP in
+//! production ([`Master::bind`]), the deterministic in-memory network in
+//! the chaos harness ([`Master::bind_on`]). Fault tolerance is three
+//! mechanisms stacked:
 //!
-//! * **connection loss** — a failed read or write on a worker's socket
-//!   immediately requeues every batch that worker held;
+//! * **connection loss** — a failed read or write on a worker's
+//!   connection immediately requeues every batch that worker held;
 //! * **heartbeat deadline** — the monitor requeues batches whose worker
 //!   has gone silent past [`MasterConfig::heartbeat_timeout`] and shuts
-//!   the socket down, which also unblocks the handler's pending read.
+//!   the connection down, which also unblocks the handler's pending read;
+//! * **batch timeout** — heartbeats extend a batch's deadline only up to
+//!   [`MasterConfig::batch_timeout`] past dispatch, so a worker whose
+//!   heartbeats flow but whose job traffic is lost (a chaos-plan frame
+//!   drop, a half-broken link) cannot pin its batch forever.
 //!
 //! Requeued work can race its original worker, so acceptance is guarded
-//! twice: a result frame must answer a batch id still in flight, and each
+//! three times: a result frame must answer a batch id still in flight,
+//! its outcomes must answer exactly the jobs that batch dispatched
+//! (anything else is counted mismatched and the batch requeued), and each
 //! `(i, j)` pair is accepted only once (late duplicates are counted and
 //! dropped). The final [`SimilarityMatrix`] is therefore complete and
 //! exact no matter how many workers die mid-run.
 
-use crate::proto::{self, Frame, FrameError, Hello, ResultBatch, Welcome, PROTOCOL_VERSION};
+use crate::proto::{self, Frame, Hello, ResultBatch, Welcome, PROTOCOL_VERSION};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::transport::{Conn, Listener, TcpChannelListener};
 use rck_pdb::model::CaChain;
 use rck_tmalign::MethodKind;
 use rckalign::loadbalance::{order_jobs, JobOrdering};
 use rckalign::{all_vs_all, batch_jobs, PairJob, PairOutcome, SimilarityMatrix};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,6 +55,12 @@ pub struct MasterConfig {
     /// Silence window after which a worker is declared dead and its
     /// batches are requeued.
     pub heartbeat_timeout: Duration,
+    /// Upper bound on how long heartbeats may keep one dispatched batch
+    /// alive. `None` (the default) trusts heartbeats indefinitely; the
+    /// chaos harness sets it so a worker whose results are lost on the
+    /// wire — while its heartbeats still flow — gets its batch requeued
+    /// instead of stalling the run.
+    pub batch_timeout: Option<Duration>,
     /// Hold dispatch until this many workers have connected.
     pub min_workers: usize,
 }
@@ -57,6 +73,7 @@ impl Default for MasterConfig {
             method: MethodKind::TmAlign,
             ordering: JobOrdering::LongestFirst,
             heartbeat_timeout: Duration::from_millis(1000),
+            batch_timeout: None,
             min_workers: 1,
         }
     }
@@ -88,7 +105,7 @@ struct Work {
     inflight: HashMap<u64, Inflight>,
     done: HashSet<(u32, u32)>,
     outcomes: Vec<PairOutcome>,
-    streams: HashMap<u32, TcpStream>,
+    streams: HashMap<u32, Box<dyn Conn>>,
     /// Last liveness signal (heartbeat or result) per worker, feeding
     /// the `rck_heartbeat_gap_seconds` histogram.
     last_signal: HashMap<u32, Instant>,
@@ -130,19 +147,53 @@ struct Shared {
     stats: Arc<ServeStats>,
     cfg: MasterConfig,
     next_worker_id: AtomicU32,
+    /// Set by [`AbortHandle::abort`]: stop accepting, stop dispatching,
+    /// fail the run instead of assembling a partial matrix.
+    aborted: AtomicBool,
 }
 
 /// A bound, not-yet-running service master.
 pub struct Master {
-    listener: TcpListener,
+    listener: Box<dyn Listener>,
     shared: Arc<Shared>,
 }
 
+/// Cancels a running [`Master`] from another thread: the run stops
+/// dispatching, handler threads drain on their read timeouts, and
+/// [`Master::run`] returns `Err(Interrupted)` instead of a partial
+/// matrix. The chaos driver pulls this lever once every scripted worker
+/// session has ended with the workload still incomplete — an
+/// unrecoverable schedule must fail *cleanly*, never deadlock.
+#[derive(Clone)]
+pub struct AbortHandle {
+    shared: Arc<Shared>,
+}
+
+impl AbortHandle {
+    /// Stop the run. Idempotent; safe from any thread.
+    pub fn abort(&self) {
+        self.shared.aborted.store(true, Ordering::SeqCst);
+        let work = self.shared.work.lock().expect("work lock");
+        for conn in work.streams.values() {
+            conn.shutdown();
+        }
+        drop(work);
+        self.shared.available.notify_all();
+    }
+}
+
 impl Master {
-    /// Bind the service socket and stage the all-vs-all workload over
+    /// Bind the service TCP socket and stage the all-vs-all workload over
     /// `chains`. No jobs are dispatched until [`Master::run`].
     pub fn bind(chains: Vec<CaChain>, cfg: MasterConfig) -> io::Result<Master> {
-        let listener = TcpListener::bind(cfg.addr)?;
+        let listener = TcpChannelListener::bind(cfg.addr)?;
+        Ok(Master::bind_on(Box::new(listener), chains, cfg))
+    }
+
+    /// Stage the workload on an already-bound transport listener — the
+    /// seam the chaos harness uses to run the unmodified master over the
+    /// deterministic in-memory network ([`crate::transport::MemNet`]).
+    pub fn bind_on(listener: Box<dyn Listener>, chains: Vec<CaChain>, cfg: MasterConfig) -> Master {
         let mut jobs = all_vs_all(chains.len(), cfg.method);
         order_jobs(&mut jobs, &chains, cfg.ordering);
         let total_pairs = jobs.len();
@@ -162,7 +213,7 @@ impl Master {
             total_pairs,
             finished: total_pairs == 0,
         };
-        Ok(Master {
+        Master {
             listener,
             shared: Arc::new(Shared {
                 work: Mutex::new(work),
@@ -171,13 +222,19 @@ impl Master {
                 stats: Arc::new(ServeStats::new()),
                 cfg,
                 next_worker_id: AtomicU32::new(0),
+                aborted: AtomicBool::new(false),
             }),
-        })
+        }
     }
 
     /// The bound address (with the real port when `addr` asked for 0).
+    ///
+    /// # Panics
+    /// Panics on transports without a socket address (the in-memory one).
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener has addr")
+        self.listener
+            .local_addr()
+            .expect("transport has no socket address")
     }
 
     /// Live counters — clone the handle before [`Master::run`] to watch a
@@ -186,26 +243,34 @@ impl Master {
         Arc::clone(&self.shared.stats)
     }
 
+    /// A handle that cancels the run from another thread.
+    pub fn abort_handle(&self) -> AbortHandle {
+        AbortHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Serve until every pair has an accepted outcome, then shut workers
-    /// down and return the assembled matrix.
+    /// down and return the assembled matrix. Returns
+    /// `Err(ErrorKind::Interrupted)` if aborted first.
     pub fn run(self) -> io::Result<ServeRun> {
-        self.listener.set_nonblocking(true)?;
         let monitor = {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || monitor_deadlines(&shared))
         };
         let mut handlers = Vec::new();
         loop {
-            if self.shared.work.lock().expect("work lock").finished {
+            if self.shared.work.lock().expect("work lock").finished
+                || self.shared.aborted.load(Ordering::SeqCst)
+            {
                 break;
             }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    stream.set_nonblocking(false)?;
+            match self.listener.poll_accept() {
+                Ok(Some(conn)) => {
                     let shared = Arc::clone(&self.shared);
-                    handlers.push(std::thread::spawn(move || serve_worker(&shared, stream)));
+                    handlers.push(std::thread::spawn(move || serve_worker(&shared, conn)));
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                Ok(None) => {
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) => return Err(e),
@@ -218,6 +283,12 @@ impl Master {
         }
 
         let mut work = self.shared.work.lock().expect("work lock");
+        if !work.finished {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "service run aborted before completion",
+            ));
+        }
         let mut outcomes = std::mem::take(&mut work.outcomes);
         outcomes.sort_by_key(|o| (o.i, o.j));
         let matrix = SimilarityMatrix::from_outcomes(self.shared.chains.len(), &outcomes);
@@ -230,14 +301,17 @@ impl Master {
 }
 
 /// Deadline monitor: requeue batches whose worker went silent, and shut
-/// that worker's socket so its handler's blocking read returns. Runs
-/// until the workload is finished *and* nothing is left in flight.
+/// that worker's connection so its handler's blocking read returns. Runs
+/// until the workload is finished *and* nothing is left in flight (or
+/// the run is aborted).
 fn monitor_deadlines(shared: &Shared) {
     let tick = (shared.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
     loop {
         {
             let mut work = shared.work.lock().expect("work lock");
-            if work.finished && work.inflight.is_empty() {
+            if (work.finished && work.inflight.is_empty())
+                || shared.aborted.load(Ordering::SeqCst)
+            {
                 break;
             }
             let now = Instant::now();
@@ -251,8 +325,8 @@ fn monitor_deadlines(shared: &Shared) {
                 if work.requeue_worker(worker_id, &shared.stats) > 0 {
                     shared.stats.on_worker_lost(worker_id);
                 }
-                if let Some(stream) = work.streams.get(&worker_id) {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                if let Some(conn) = work.streams.get(&worker_id) {
+                    conn.shutdown();
                 }
             }
         }
@@ -271,25 +345,31 @@ enum BatchFate {
 
 /// Per-connection handler: handshake, then dispatch/collect until the
 /// workload finishes or the worker is lost.
-fn serve_worker(shared: &Shared, mut stream: TcpStream) {
+fn serve_worker(shared: &Shared, mut conn: Box<dyn Conn>) {
     // A worker that never speaks must not pin this thread forever.
-    let _ = stream.set_read_timeout(Some(shared.cfg.heartbeat_timeout * 2));
-    let worker_id = match handshake(shared, &mut stream) {
+    let _ = conn.set_read_timeout(Some(shared.cfg.heartbeat_timeout * 2));
+    let worker_id = match handshake(shared, &mut conn) {
         Some(id) => id,
-        None => return,
+        None => {
+            // The peer may be blocked mid-handshake on a frame that will
+            // never come (e.g. its Hello was eaten by a fault plan) —
+            // tear the connection down so it finds out.
+            conn.shutdown();
+            return;
+        }
     };
     {
         let mut work = shared.work.lock().expect("work lock");
-        if let Ok(clone) = stream.try_clone() {
+        if let Ok(clone) = conn.try_clone() {
             work.streams.insert(worker_id, clone);
         }
     }
 
     loop {
         let Some((batch_id, jobs)) = next_batch(shared, worker_id) else {
-            // Workload finished: orderly goodbye (best-effort — the
-            // socket may already be gone).
-            if let Ok(n) = proto::write_frame(&mut stream, &Frame::Shutdown) {
+            // Workload finished or run aborted: orderly goodbye
+            // (best-effort — the connection may already be gone).
+            if let Ok(n) = proto::write_frame(&mut conn, &Frame::Shutdown) {
                 shared.stats.add_tx(n);
             }
             break;
@@ -300,14 +380,14 @@ fn serve_worker(shared: &Shared, mut stream: TcpStream) {
             &shared.chains,
         ));
         shared.stats.on_batch_dispatched(jobs.len());
-        match proto::write_frame(&mut stream, &frame) {
+        match proto::write_frame(&mut conn, &frame) {
             Ok(n) => shared.stats.add_tx(n),
             Err(_) => {
                 lose_worker(shared, worker_id);
                 break;
             }
         }
-        match collect_result(shared, &mut stream, worker_id) {
+        match collect_result(shared, &mut conn, worker_id) {
             BatchFate::Continue => {}
             BatchFate::Lost => break,
         }
@@ -315,12 +395,28 @@ fn serve_worker(shared: &Shared, mut stream: TcpStream) {
 
     let mut work = shared.work.lock().expect("work lock");
     work.streams.remove(&worker_id);
+    drop(work);
+    // Closing here (not just dropping our handle) guarantees the peer's
+    // pending reads unblock even while other clones of this connection
+    // are still alive elsewhere.
+    conn.shutdown();
 }
 
 /// Exchange Hello/Welcome; returns the assigned worker id.
-fn handshake(shared: &Shared, stream: &mut TcpStream) -> Option<u32> {
-    let (frame, n) = proto::read_frame(stream).ok()?;
-    shared.stats.add_rx(n);
+fn handshake(shared: &Shared, conn: &mut Box<dyn Conn>) -> Option<u32> {
+    let frame = match proto::read_frame(conn) {
+        Ok((frame, n)) => {
+            shared.stats.add_rx(n);
+            frame
+        }
+        Err(e) => {
+            if e.is_decode_error() {
+                shared.stats.on_decode_error();
+                eprintln!("[rck-serve] handshake decode error: {e}");
+            }
+            return None;
+        }
+    };
     let Frame::Hello(Hello {
         protocol_version,
         worker_name,
@@ -336,7 +432,7 @@ fn handshake(shared: &Shared, stream: &mut TcpStream) -> Option<u32> {
         worker_id,
         n_chains: shared.chains.len() as u32,
     });
-    let n = proto::write_frame(stream, &welcome).ok()?;
+    let n = proto::write_frame(conn, &welcome).ok()?;
     shared.stats.add_tx(n);
     shared.stats.on_worker_connected(worker_id, &worker_name);
     // A new worker may satisfy the min_workers dispatch barrier.
@@ -345,12 +441,12 @@ fn handshake(shared: &Shared, stream: &mut TcpStream) -> Option<u32> {
 }
 
 /// Claim the next batch for `worker_id`, or `None` once the workload is
-/// finished. Blocks while the queue is empty or the min-workers barrier
-/// is unmet.
+/// finished (or aborted). Blocks while the queue is empty or the
+/// min-workers barrier is unmet.
 fn next_batch(shared: &Shared, worker_id: u32) -> Option<(u64, Vec<PairJob>)> {
     let mut work = shared.work.lock().expect("work lock");
     loop {
-        if work.finished {
+        if work.finished || shared.aborted.load(Ordering::SeqCst) {
             return None;
         }
         let barrier_met = shared.stats.workers_connected() >= shared.cfg.min_workers as u64;
@@ -372,26 +468,32 @@ fn next_batch(shared: &Shared, worker_id: u32) -> Option<(u64, Vec<PairJob>)> {
         Inflight {
             jobs: jobs.clone(),
             worker_id,
-            deadline: now + shared.cfg.heartbeat_timeout,
+            deadline: now + batch_deadline(&shared.cfg),
             dispatched_at: now,
         },
     );
     Some((batch_id, jobs))
 }
 
+/// The initial per-batch deadline: one heartbeat window, capped by the
+/// batch timeout when one is configured.
+fn batch_deadline(cfg: &MasterConfig) -> Duration {
+    match cfg.batch_timeout {
+        Some(cap) => cfg.heartbeat_timeout.min(cap),
+        None => cfg.heartbeat_timeout,
+    }
+}
+
 /// Read frames until the outstanding batch is answered (heartbeats
 /// refresh the deadline along the way) or the connection dies.
-fn collect_result(shared: &Shared, stream: &mut TcpStream, worker_id: u32) -> BatchFate {
+fn collect_result(shared: &Shared, conn: &mut Box<dyn Conn>, worker_id: u32) -> BatchFate {
     loop {
-        match proto::read_frame(stream) {
+        match proto::read_frame(conn) {
             Ok((frame, n)) => {
                 shared.stats.add_rx(n);
                 match frame {
                     Frame::Heartbeat(_) => refresh_deadlines(shared, worker_id),
-                    Frame::ResultBatch(rb) => {
-                        accept_results(shared, worker_id, rb);
-                        return BatchFate::Continue;
-                    }
+                    Frame::ResultBatch(rb) => return accept_results(shared, worker_id, rb),
                     // Anything else out of sequence: drop the worker.
                     _ => {
                         lose_worker(shared, worker_id);
@@ -399,13 +501,19 @@ fn collect_result(shared: &Shared, stream: &mut TcpStream, worker_id: u32) -> Ba
                     }
                 }
             }
-            Err(FrameError::Io(_)) | Err(FrameError::Truncated) => {
-                lose_worker(shared, worker_id);
-                return BatchFate::Lost;
-            }
-            Err(_) => {
-                // Garbage on the wire — the stream can no longer be
-                // trusted to be in frame sync.
+            Err(e) => {
+                // Connection-level failures (EOF, reset, timeout) are the
+                // expected way workers die; anything else means the byte
+                // stream itself is bad — a torn frame, a checksum
+                // mismatch, garbage where a header should be. Those were
+                // silently folded into "worker lost" before the chaos
+                // harness; now they are counted and logged, because a
+                // rising decode-error rate is a wire-protocol bug, not
+                // worker churn.
+                if e.is_decode_error() {
+                    shared.stats.on_decode_error();
+                    eprintln!("[rck-serve] worker {worker_id}: decode error: {e}");
+                }
                 lose_worker(shared, worker_id);
                 return BatchFate::Lost;
             }
@@ -415,12 +523,18 @@ fn collect_result(shared: &Shared, stream: &mut TcpStream, worker_id: u32) -> Ba
 
 fn refresh_deadlines(shared: &Shared, worker_id: u32) {
     let now = Instant::now();
-    let deadline = now + shared.cfg.heartbeat_timeout;
     let mut work = shared.work.lock().expect("work lock");
     note_liveness(&mut work, shared, worker_id, now);
     for batch in work.inflight.values_mut() {
         if batch.worker_id == worker_id {
-            batch.deadline = deadline;
+            // A heartbeat proves the worker is alive, not that the batch
+            // is making progress — cap the extension so lost job/result
+            // frames cannot ride heartbeats into a permanent stall.
+            let extended = now + shared.cfg.heartbeat_timeout;
+            batch.deadline = match shared.cfg.batch_timeout {
+                Some(cap) => extended.min(batch.dispatched_at + cap),
+                None => extended,
+            };
         }
     }
 }
@@ -435,16 +549,33 @@ fn note_liveness(work: &mut Work, shared: &Shared, worker_id: u32, now: Instant)
     }
 }
 
-/// Accept a result frame: only if its batch is still in flight, and only
+/// Accept a result frame: only if its batch is still in flight, only if
+/// its outcomes answer exactly the jobs that batch dispatched, and only
 /// pairs not already done (requeue races produce late duplicates).
-fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) {
+fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) -> BatchFate {
     let mut work = shared.work.lock().expect("work lock");
     note_liveness(&mut work, shared, worker_id, Instant::now());
     let Some(batch) = work.inflight.remove(&rb.batch_id) else {
         shared.stats.on_stale_result();
-        return;
+        return BatchFate::Continue;
     };
     debug_assert_eq!(batch.worker_id, worker_id, "batch answered by stranger");
+    if !answers_exactly(&batch.jobs, &rb.outcomes) {
+        // A structurally valid frame carrying the wrong jobs: a byzantine
+        // or desynced worker. Its outcomes must never reach the matrix —
+        // requeue the batch and drop the connection.
+        shared.stats.on_mismatched_result();
+        shared.stats.on_batch_requeued(batch.jobs.len());
+        work.queue.push_front(batch.jobs);
+        drop(work);
+        eprintln!(
+            "[rck-serve] worker {worker_id}: result frame for batch {} does not answer its jobs",
+            rb.batch_id
+        );
+        shared.stats.on_worker_lost(worker_id);
+        shared.available.notify_all();
+        return BatchFate::Lost;
+    }
     shared
         .stats
         .observe_batch_rtt(batch.dispatched_at.elapsed().as_secs_f64());
@@ -467,6 +598,26 @@ fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) {
         drop(work);
         shared.available.notify_all();
     }
+    BatchFate::Continue
+}
+
+/// Whether `outcomes` answers exactly the dispatched `jobs` — same
+/// multiset of `(i, j, method)`, nothing missing, nothing extra. Guards
+/// both the matrix (an alien `(i, j)` would corrupt or panic
+/// [`SimilarityMatrix::from_outcomes`]) and termination (an unanswered
+/// job silently removed from flight would never complete).
+fn answers_exactly(jobs: &[PairJob], outcomes: &[PairOutcome]) -> bool {
+    if jobs.len() != outcomes.len() {
+        return false;
+    }
+    let mut want: Vec<(u32, u32, u8)> = jobs.iter().map(|j| (j.i, j.j, j.method.code())).collect();
+    let mut got: Vec<(u32, u32, u8)> = outcomes
+        .iter()
+        .map(|o| (o.i, o.j, o.method.code()))
+        .collect();
+    want.sort_unstable();
+    got.sort_unstable();
+    want == got
 }
 
 /// Declare a worker dead: requeue its in-flight batches and wake anyone
@@ -527,5 +678,46 @@ mod tests {
         let first = cost(work.queue.front().unwrap());
         let last = cost(work.queue.back().unwrap());
         assert!(first >= last, "queue not longest-first: {first} < {last}");
+    }
+
+    #[test]
+    fn abort_fails_a_run_with_no_workers() {
+        let chains = tiny_profile().generate(2);
+        let master = Master::bind(chains, MasterConfig::default()).unwrap();
+        let abort = master.abort_handle();
+        let t = std::thread::spawn(move || master.run());
+        std::thread::sleep(Duration::from_millis(30));
+        abort.abort();
+        let err = t.join().unwrap().expect_err("aborted run must not return a matrix");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn answers_exactly_rejects_alien_missing_and_extra_outcomes() {
+        let method = MethodKind::TmAlign;
+        let jobs = vec![
+            PairJob { i: 0, j: 1, method },
+            PairJob { i: 0, j: 2, method },
+        ];
+        let outcome = |i: u32, j: u32| PairOutcome {
+            i,
+            j,
+            method,
+            similarity: 0.5,
+            rmsd: 1.0,
+            aligned_len: 5,
+            ops: 10,
+        };
+        // Exact answer, any order: accepted.
+        assert!(answers_exactly(&jobs, &[outcome(0, 2), outcome(0, 1)]));
+        // Alien pair swapped in: rejected.
+        assert!(!answers_exactly(&jobs, &[outcome(0, 1), outcome(5, 6)]));
+        // Short answer: rejected.
+        assert!(!answers_exactly(&jobs, &[outcome(0, 1)]));
+        // Padded answer: rejected.
+        assert!(!answers_exactly(
+            &jobs,
+            &[outcome(0, 1), outcome(0, 2), outcome(0, 2)]
+        ));
     }
 }

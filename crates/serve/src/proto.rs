@@ -3,16 +3,24 @@
 //! Framing (all integers little-endian, via the `rck-rcce` codec):
 //!
 //! ```text
-//! +--------+---------+------+-------------+=========+
-//! | magic  | version | kind | payload_len | payload |
-//! |  u32   |   u16   |  u8  |     u32     |  bytes  |
-//! +--------+---------+------+-------------+=========+
+//! +--------+---------+------+-------------+----------+=========+
+//! | magic  | version | kind | payload_len | checksum | payload |
+//! |  u32   |   u16   |  u8  |     u32     |   u64    |  bytes  |
+//! +--------+---------+------+-------------+----------+=========+
 //! ```
 //!
 //! The decoder rejects bad magic, unknown versions/kinds, and payload
 //! lengths beyond [`MAX_PAYLOAD`] *before* allocating, and reports
 //! truncation as an error rather than panicking — the frame boundary is
 //! the trust boundary of the service.
+//!
+//! `checksum` is FNV-1a 64 over the kind byte, the payload length, and
+//! the payload bytes (see [`fnv1a64`]). Protocol version 2 added it so a
+//! corrupted or torn frame is *always* rejected instead of decoding into
+//! a structurally-valid-but-wrong message: the chaos harness
+//! ([`crate::chaos`]) injects exactly such corruption, and the service's
+//! bit-identical-matrix guarantee relies on every damaged result frame
+//! being refused at this boundary.
 //!
 //! Unlike the simulator's on-mesh job payloads (`rckalign::jobs`, f32
 //! coordinates — halved mesh traffic matters there), job batches carry
@@ -31,11 +39,12 @@ use std::io::{Read, Write as IoWrite};
 /// Protocol magic: `"RCKS"`.
 pub const MAGIC: u32 = 0x5243_4B53;
 
-/// Current protocol version.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Current protocol version (2: frame checksums).
+pub const PROTOCOL_VERSION: u16 = 2;
 
-/// Frame header size in bytes (magic + version + kind + payload length).
-pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+/// Frame header size in bytes (magic + version + kind + payload length +
+/// checksum).
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4 + 8;
 
 /// Largest accepted payload (64 MiB) — caps allocation from the wire.
 pub const MAX_PAYLOAD: usize = 64 << 20;
@@ -123,7 +132,9 @@ impl Frame {
 pub enum FrameError {
     /// Underlying transport error.
     Io(std::io::Error),
-    /// The buffer ends before the frame does.
+    /// The stream ended cleanly on a frame boundary (orderly close).
+    Closed,
+    /// The buffer or stream ends before the frame does.
     Truncated,
     /// First four bytes are not [`MAGIC`].
     BadMagic(u32),
@@ -133,19 +144,41 @@ pub enum FrameError {
     BadKind(u8),
     /// Declared payload length exceeds [`MAX_PAYLOAD`].
     Oversized(usize),
+    /// Header checksum does not match the received payload.
+    Checksum {
+        /// Checksum declared in the header.
+        want: u64,
+        /// Checksum computed over the received bytes.
+        got: u64,
+    },
     /// Payload bytes do not decode as the declared kind.
     Payload(DecodeError),
+}
+
+impl FrameError {
+    /// True for errors meaning the peer's byte stream itself is damaged
+    /// (corruption, truncation, framing garbage) — as opposed to plain
+    /// connection loss ([`FrameError::Io`] / [`FrameError::Closed`]).
+    /// The master counts these as decode errors before dropping the
+    /// connection.
+    pub fn is_decode_error(&self) -> bool {
+        !matches!(self, FrameError::Io(_) | FrameError::Closed)
+    }
 }
 
 impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
             FrameError::Truncated => write!(f, "frame truncated"),
             FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
             FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             FrameError::Oversized(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            FrameError::Checksum { want, got } => {
+                write!(f, "frame checksum mismatch: header {want:#018x}, computed {got:#018x}")
+            }
             FrameError::Payload(e) => write!(f, "payload malformed: {e}"),
         }
     }
@@ -334,6 +367,71 @@ fn decode_payload(kind: u8, payload: Vec<u8>) -> Result<Frame, FrameError> {
     Ok(frame)
 }
 
+/// FNV-1a 64-bit over a byte slice, seedable so multiple slices can be
+/// chained. Used for the frame checksum and the chaos harness's matrix
+/// fingerprints.
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = if seed == 0 { OFFSET } else { seed };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The checksum stored in a frame header: FNV-1a 64 over the kind byte,
+/// the payload length, and the payload bytes.
+fn frame_checksum(kind: u8, payload: &[u8]) -> u64 {
+    let h = fnv1a64(0, &[kind]);
+    let h = fnv1a64(h, &(payload.len() as u32).to_le_bytes());
+    fnv1a64(h, payload)
+}
+
+/// Parsed fixed-size header fields (after magic/version validation).
+struct Header {
+    kind: u8,
+    payload_len: usize,
+    checksum: u64,
+}
+
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = header[6];
+    if !(1..=6).contains(&kind) {
+        return Err(FrameError::BadKind(kind));
+    }
+    let payload_len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(payload_len));
+    }
+    let checksum = u64::from_le_bytes(header[11..19].try_into().expect("8 bytes"));
+    Ok(Header {
+        kind,
+        payload_len,
+        checksum,
+    })
+}
+
+fn check_payload(h: &Header, payload: &[u8]) -> Result<(), FrameError> {
+    let got = frame_checksum(h.kind, payload);
+    if got != h.checksum {
+        return Err(FrameError::Checksum {
+            want: h.checksum,
+            got,
+        });
+    }
+    Ok(())
+}
+
 /// Encode one frame (header + payload) into bytes.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let payload = encode_payload(frame);
@@ -343,6 +441,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
     out.push(frame.kind());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_checksum(frame.kind(), &payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
 }
@@ -353,24 +452,16 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
     if buf.len() < HEADER_LEN {
         return Err(FrameError::Truncated);
     }
-    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-    if magic != MAGIC {
-        return Err(FrameError::BadMagic(magic));
-    }
-    let version = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes"));
-    if version != PROTOCOL_VERSION {
-        return Err(FrameError::BadVersion(version));
-    }
-    let kind = buf[6];
-    let payload_len = u32::from_le_bytes(buf[7..11].try_into().expect("4 bytes")) as usize;
-    if payload_len > MAX_PAYLOAD {
-        return Err(FrameError::Oversized(payload_len));
-    }
-    if buf.len() < HEADER_LEN + payload_len {
+    let header = parse_header(buf[..HEADER_LEN].try_into().expect("header bytes"))?;
+    if buf.len() < HEADER_LEN + header.payload_len {
         return Err(FrameError::Truncated);
     }
-    let payload = buf[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
-    Ok((decode_payload(kind, payload)?, HEADER_LEN + payload_len))
+    let payload = buf[HEADER_LEN..HEADER_LEN + header.payload_len].to_vec();
+    check_payload(&header, &payload)?;
+    Ok((
+        decode_payload(header.kind, payload)?,
+        HEADER_LEN + header.payload_len,
+    ))
 }
 
 /// Write one frame to a stream; returns bytes written.
@@ -382,25 +473,42 @@ pub fn write_frame(w: &mut impl IoWrite, frame: &Frame) -> std::io::Result<usize
 }
 
 /// Read one frame from a stream; returns the frame and bytes consumed.
+///
+/// An EOF *on* a frame boundary is [`FrameError::Closed`] (the peer hung
+/// up cleanly); an EOF *inside* a frame is [`FrameError::Truncated`] (a
+/// short read — the frame was torn). The distinction matters to the
+/// master's accounting: only the latter is a decode error.
 pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), FrameError> {
     let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    if magic != MAGIC {
-        return Err(FrameError::BadMagic(magic));
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
     }
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
-    if version != PROTOCOL_VERSION {
-        return Err(FrameError::BadVersion(version));
-    }
-    let kind = header[6];
-    let payload_len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes")) as usize;
-    if payload_len > MAX_PAYLOAD {
-        return Err(FrameError::Oversized(payload_len));
-    }
-    let mut payload = vec![0u8; payload_len];
-    r.read_exact(&mut payload)?;
-    Ok((decode_payload(kind, payload)?, HEADER_LEN + payload_len))
+    let header = parse_header(&header)?;
+    let mut payload = vec![0u8; header.payload_len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    check_payload(&header, &payload)?;
+    Ok((
+        decode_payload(header.kind, payload)?,
+        HEADER_LEN + header.payload_len,
+    ))
 }
 
 /// Incremental frame decoder for byte streams that arrive in arbitrary
@@ -589,6 +697,46 @@ mod tests {
         let mut bad = good;
         bad[7..11].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert!(matches!(decode_frame(&bad), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn corrupted_payload_byte_fails_the_checksum() {
+        let bytes = encode_frame(&Frame::ResultBatch(ResultBatch {
+            batch_id: 3,
+            outcomes: vec![PairOutcome {
+                i: 0,
+                j: 1,
+                method: MethodKind::TmAlign,
+                similarity: 0.75,
+                rmsd: 1.5,
+                aligned_len: 12,
+                ops: 77,
+            }],
+        }));
+        // Flip every payload byte in turn: the checksum must catch each
+        // one — a corrupted similarity f64 would otherwise decode as a
+        // structurally valid (wrong) result.
+        for ix in HEADER_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[ix] ^= 0x40;
+            assert!(
+                matches!(decode_frame(&bad), Err(FrameError::Checksum { .. })),
+                "payload corruption at byte {ix} not caught"
+            );
+        }
+        // And the checksum field itself is covered too.
+        let mut bad = bytes.clone();
+        bad[11] ^= 0x01;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::Checksum { .. })));
+    }
+
+    #[test]
+    fn stream_eof_is_closed_on_boundary_truncated_inside() {
+        let bytes = encode_frame(&Frame::Shutdown);
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
+        let mut torn = std::io::Cursor::new(bytes[..HEADER_LEN - 3].to_vec());
+        assert!(matches!(read_frame(&mut torn), Err(FrameError::Truncated)));
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub struct ServeStats {
     batches_requeued: Arc<Counter>,
     stale_results: Arc<Counter>,
     duplicate_results: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    mismatched_results: Arc<Counter>,
     bytes_tx: Arc<Counter>,
     bytes_rx: Arc<Counter>,
     workers_connected: Arc<Counter>,
@@ -90,6 +92,14 @@ impl ServeStats {
             duplicate_results: registry.counter(
                 "rck_duplicate_results",
                 "outcomes dropped because the pair was already done",
+            ),
+            decode_errors: registry.counter(
+                "rck_serve_decode_errors_total",
+                "frames the master could not decode (torn, corrupted, or out of sync)",
+            ),
+            mismatched_results: registry.counter(
+                "rck_serve_mismatched_results_total",
+                "result frames rejected for not answering their batch's jobs",
             ),
             bytes_tx: registry.counter("rck_bytes_tx", "bytes the master wrote to workers"),
             bytes_rx: registry.counter("rck_bytes_rx", "bytes the master read from workers"),
@@ -181,6 +191,14 @@ impl ServeStats {
         self.duplicate_results.add(n as u64);
     }
 
+    pub(crate) fn on_decode_error(&self) {
+        self.decode_errors.inc();
+    }
+
+    pub(crate) fn on_mismatched_result(&self) {
+        self.mismatched_results.inc();
+    }
+
     pub(crate) fn add_tx(&self, bytes: usize) {
         self.bytes_tx.add(bytes as u64);
     }
@@ -212,6 +230,12 @@ impl ServeStats {
     /// Workers that have connected so far.
     pub fn workers_connected(&self) -> u64 {
         self.workers_connected.get()
+    }
+
+    /// Frames the master failed to decode so far (tests and the chaos
+    /// harness poll this to observe wire-level damage being detected).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.get()
     }
 
     /// Freeze the counters into a reportable snapshot.
@@ -248,6 +272,8 @@ impl ServeStats {
             batches_requeued: self.batches_requeued.get(),
             stale_results: self.stale_results.get(),
             duplicate_results: self.duplicate_results.get(),
+            decode_errors: self.decode_errors.get(),
+            mismatched_results: self.mismatched_results.get(),
             bytes_tx: self.bytes_tx.get(),
             bytes_rx: self.bytes_rx.get(),
             workers_connected: self.workers_connected.get(),
@@ -295,6 +321,10 @@ pub struct StatsSnapshot {
     pub stale_results: u64,
     /// Outcomes dropped because the pair was already done.
     pub duplicate_results: u64,
+    /// Frames the master could not decode (torn, corrupted, out of sync).
+    pub decode_errors: u64,
+    /// Result frames rejected for not answering their batch's jobs.
+    pub mismatched_results: u64,
     /// Bytes the master wrote to workers.
     pub bytes_tx: u64,
     /// Bytes the master read from workers.
@@ -315,7 +345,7 @@ impl StatsSnapshot {
     /// Render the run summary plus the per-worker throughput table.
     pub fn render(&self) -> String {
         let mut totals = TextTable::new(&["counter", "value"]);
-        let rows: [(&str, u64); 12] = [
+        let rows: [(&str, u64); 14] = [
             ("jobs dispatched", self.jobs_dispatched),
             ("jobs completed", self.jobs_completed),
             ("jobs requeued", self.jobs_requeued),
@@ -324,6 +354,8 @@ impl StatsSnapshot {
             ("batches requeued", self.batches_requeued),
             ("stale result frames", self.stale_results),
             ("duplicate outcomes", self.duplicate_results),
+            ("decode errors", self.decode_errors),
+            ("mismatched result frames", self.mismatched_results),
             ("bytes sent", self.bytes_tx),
             ("bytes received", self.bytes_rx),
             ("workers connected", self.workers_connected),
@@ -389,6 +421,8 @@ mod tests {
         s.on_worker_lost(1);
         s.on_stale_result();
         s.on_duplicate_results(2);
+        s.on_decode_error();
+        s.on_mismatched_result();
         s.add_tx(100);
         s.add_rx(40);
         s.observe_batch_rtt(0.02);
@@ -403,6 +437,8 @@ mod tests {
         assert_eq!(snap.batches_requeued, 1);
         assert_eq!(snap.stale_results, 1);
         assert_eq!(snap.duplicate_results, 2);
+        assert_eq!(snap.decode_errors, 1);
+        assert_eq!(snap.mismatched_results, 1);
         assert_eq!(snap.bytes_tx, 100);
         assert_eq!(snap.bytes_rx, 40);
         assert_eq!(snap.workers_connected, 2);
@@ -424,6 +460,7 @@ mod tests {
         let text = s.snapshot().render();
         assert!(text.contains("farmhand"));
         assert!(text.contains("jobs requeued"));
+        assert!(text.contains("decode errors"));
         assert!(text.contains("bytes sent"));
         assert!(text.contains("p95"));
     }

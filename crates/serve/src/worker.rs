@@ -8,16 +8,22 @@
 //! the main thread computes, so a long batch never looks like a dead
 //! connection.
 //!
+//! Like the master, the worker runs on the [`crate::transport`] seam:
+//! [`run_worker`] is the TCP entry point, [`run_worker_conn`] serves any
+//! [`Conn`] — which is how the chaos harness drives scripted worker
+//! sessions (crash, hang, slowdown) over the in-memory network.
+//!
 //! Computation is *exactly* the in-process path: decode f64 coordinates,
 //! `MethodKind::instantiate`, `PscMethod::compare` — which is what makes
 //! the service matrix bit-identical to [`rckalign::run_all_vs_all`].
 
 use crate::proto::{self, Frame, FrameError, Heartbeat, Hello, JobBatch, PROTOCOL_VERSION};
+use crate::transport::{Conn, TcpConn};
 use rck_pdb::model::CaChain;
 use rckalign::PairOutcome;
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -35,6 +41,13 @@ pub struct WorkerConfig {
     /// receiving this many batches (`Some(0)` = die on the first batch).
     /// `None` (the default) never fails.
     pub fail_after_batches: Option<usize>,
+    /// Fault injection: go completely silent — no replies, no
+    /// heartbeats, connection left open — after receiving this many
+    /// batches, until the master tears the connection down.
+    pub hang_after_batches: Option<usize>,
+    /// Fault injection: sleep this long before computing each batch (a
+    /// straggler, not a failure — the run still completes).
+    pub slow_per_batch: Option<Duration>,
 }
 
 impl WorkerConfig {
@@ -46,6 +59,8 @@ impl WorkerConfig {
             name: "worker".to_string(),
             heartbeat_interval: Duration::from_millis(100),
             fail_after_batches: None,
+            hang_after_batches: None,
+            slow_per_batch: None,
         }
     }
 }
@@ -70,6 +85,7 @@ pub struct WorkerReport {
 fn frame_io_err(e: FrameError) -> io::Error {
     match e {
         FrameError::Io(e) => e,
+        FrameError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"),
         other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
     }
 }
@@ -97,12 +113,16 @@ fn compute_batch(batch: &JobBatch) -> Vec<PairOutcome> {
         .collect()
 }
 
-/// Connect to the master and serve until it sends Shutdown (or the
-/// configured fault injection fires).
+/// Connect to the master over TCP and serve until it sends Shutdown (or
+/// the configured fault injection fires).
 pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerReport> {
-    let mut stream = TcpStream::connect(cfg.addr)?;
-    stream.set_nodelay(true).ok();
+    run_worker_conn(Box::new(TcpConn::connect(cfg.addr)?), cfg)
+}
 
+/// Serve a master over an already-established connection — any
+/// [`Conn`], which is how the chaos harness runs scripted sessions over
+/// the in-memory transport.
+pub fn run_worker_conn(mut stream: Box<dyn Conn>, cfg: &WorkerConfig) -> io::Result<WorkerReport> {
     let mut bytes_tx = 0u64;
     let mut bytes_rx = 0u64;
 
@@ -164,7 +184,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerReport> {
         bytes_rx,
         failed_by_injection: false,
     };
-    let outcome = serve_loop(cfg, &mut stream, &writer, &completed, &mut report);
+    let outcome = serve_loop(cfg, &mut stream, &writer, &stop, &completed, &mut report);
 
     stop.store(true, Ordering::Relaxed);
     let _ = heartbeat.join();
@@ -173,12 +193,13 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerReport> {
     outcome.map(|()| report)
 }
 
-/// The batch-serving loop; returns once the master says Shutdown, the
+/// The batch-serving loop; returns once the master says Shutdown, an
 /// injected fault fires (marked in `report`), or the connection errors.
 fn serve_loop(
     cfg: &WorkerConfig,
-    stream: &mut TcpStream,
-    writer: &Mutex<TcpStream>,
+    stream: &mut Box<dyn Conn>,
+    writer: &Mutex<Box<dyn Conn>>,
+    stop: &AtomicBool,
     completed: &AtomicU64,
     report: &mut WorkerReport,
 ) -> io::Result<()> {
@@ -190,10 +211,25 @@ fn serve_loop(
                 if let Some(limit) = cfg.fail_after_batches {
                     if report.batches_done >= limit as u64 {
                         // Injected fault: vanish without replying.
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        stream.shutdown();
                         report.failed_by_injection = true;
                         return Ok(());
                     }
+                }
+                if let Some(limit) = cfg.hang_after_batches {
+                    if report.batches_done >= limit as u64 {
+                        // Injected fault: go silent with the connection
+                        // open. Stopping the heartbeat thread is what
+                        // makes the master's deadline machinery (not
+                        // connection loss) detect us.
+                        stop.store(true, Ordering::Relaxed);
+                        report.failed_by_injection = true;
+                        while proto::read_frame(stream).is_ok() {}
+                        return Ok(());
+                    }
+                }
+                if let Some(delay) = cfg.slow_per_batch {
+                    std::thread::sleep(delay);
                 }
                 let outcomes = compute_batch(&batch);
                 completed.fetch_add(outcomes.len() as u64, Ordering::Relaxed);
@@ -256,6 +292,8 @@ mod tests {
         let cfg = WorkerConfig::connect_to(SocketAddr::from(([127, 0, 0, 1], 9)));
         assert_eq!(cfg.name, "worker");
         assert!(cfg.fail_after_batches.is_none());
+        assert!(cfg.hang_after_batches.is_none());
+        assert!(cfg.slow_per_batch.is_none());
         assert!(cfg.heartbeat_interval < Duration::from_secs(1));
     }
 }

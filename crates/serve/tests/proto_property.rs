@@ -10,7 +10,7 @@ use rck_pdb::model::{AminoAcid, CaChain};
 use rck_serve::proto::{
     decode_frame, encode_frame, JobBatch, ResultBatch, HEADER_LEN, MAX_PAYLOAD,
 };
-use rck_serve::{Frame, FrameError};
+use rck_serve::{Frame, FrameCodec, FrameError};
 use rck_tmalign::MethodKind;
 use rckalign::{PairJob, PairOutcome};
 
@@ -140,9 +140,10 @@ proptest! {
         let mut bytes = encode_frame(&Frame::ResultBatch(batch));
         let pos = (flip_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= xor;
-        // Corruption may land in a value field (decodes to different
-        // data) or a structural field (errors) — it must never panic.
-        let _ = decode_frame(&bytes);
+        // Since protocol v2 every single-byte flip is caught: either a
+        // structural header check or the frame checksum fires. It must
+        // never decode to different data, and never panic.
+        prop_assert!(decode_frame(&bytes).is_err(), "flip at {pos} decoded");
     }
 
     #[test]
@@ -151,15 +152,89 @@ proptest! {
     ) {
         // A header declaring more than MAX_PAYLOAD bytes, with no body:
         // must be rejected as Oversized, not attempted (or allocated).
+        // payload_len sits at bytes 7..11 of the v2 header; the stale
+        // checksum behind it is irrelevant because the size check fires
+        // during header parsing, before any payload is read or hashed.
         let mut bytes = encode_frame(&Frame::Shutdown);
         let huge = (MAX_PAYLOAD as u64 + excess) as u32;
-        let len = bytes.len();
-        bytes[len - 4..].copy_from_slice(&huge.to_le_bytes());
+        bytes[7..11].copy_from_slice(&huge.to_le_bytes());
         prop_assert!(matches!(
             decode_frame(&bytes),
             Err(FrameError::Oversized(n)) if n == huge as usize
         ));
     }
+
+    #[test]
+    fn codec_decodes_identically_at_any_split_points(
+        batches in prop::collection::vec(result_batch_strategy(), 1..4),
+        splits in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        // Satellite: incremental decoding. One wire image, three feeding
+        // disciplines — whole buffer, byte-at-a-time, random split points
+        // — must all yield the same frame sequence with nothing left over.
+        let frames: Vec<Frame> = batches.into_iter().map(Frame::ResultBatch).collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+
+        let drain = |codec: &mut FrameCodec| {
+            let mut out = Vec::new();
+            while let Some(f) = codec.next_frame().expect("valid stream") {
+                out.push(f);
+            }
+            out
+        };
+
+        let mut whole = FrameCodec::new();
+        whole.feed(&wire);
+        let whole_frames = drain(&mut whole);
+        prop_assert_eq!(&whole_frames, &frames);
+        prop_assert_eq!(whole.pending(), 0);
+        prop_assert_eq!(whole.consumed(), wire.len() as u64);
+
+        let mut bytewise = FrameCodec::new();
+        let mut bytewise_frames = Vec::new();
+        for &b in &wire {
+            bytewise.feed(&[b]);
+            bytewise_frames.extend(drain(&mut bytewise));
+        }
+        prop_assert_eq!(&bytewise_frames, &frames);
+        prop_assert_eq!(bytewise.pending(), 0);
+
+        let mut cuts: Vec<usize> = splits
+            .iter()
+            .map(|s| (s % (wire.len() as u64 + 1)) as usize)
+            .collect();
+        cuts.push(0);
+        cuts.push(wire.len());
+        cuts.sort_unstable();
+        let mut chunked = FrameCodec::new();
+        let mut chunked_frames = Vec::new();
+        for w in cuts.windows(2) {
+            chunked.feed(&wire[w[0]..w[1]]);
+            chunked_frames.extend(drain(&mut chunked));
+        }
+        prop_assert_eq!(&chunked_frames, &frames);
+        prop_assert_eq!(chunked.pending(), 0);
+        prop_assert_eq!(chunked.consumed(), wire.len() as u64);
+    }
+}
+
+#[test]
+fn codec_rejects_oversized_header_before_the_payload_arrives() {
+    // The 64 MiB cap must fire from the 19 header bytes alone — an
+    // attacker must not be able to park an unbounded allocation behind
+    // a huge declared length.
+    let mut header = encode_frame(&Frame::Shutdown);
+    header.truncate(HEADER_LEN);
+    header[7..11].copy_from_slice(&(u32::MAX).to_le_bytes());
+    let mut codec = FrameCodec::new();
+    codec.feed(&header);
+    assert!(matches!(
+        codec.next_frame(),
+        Err(FrameError::Oversized(_))
+    ));
 }
 
 #[test]

@@ -1,1 +1,22 @@
-// Integration-test-only crate; see tests/ directory.
+//! Shared helpers for the cross-crate integration tests.
+
+/// The seed a randomized test should run with: `RCK_TEST_SEED` from the
+/// environment if set, else `default`.
+///
+/// Every randomized integration test draws its seed through here and
+/// prints it on entry, so a failure report always carries the exact seed
+/// to replay:
+///
+/// ```text
+/// RCK_TEST_SEED=123456 cargo test -p rck-integration-tests failing_test
+/// ```
+pub fn scenario_seed(default: u64) -> u64 {
+    let seed = match std::env::var("RCK_TEST_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("RCK_TEST_SEED must be a u64, got {v:?}")),
+        Err(_) => default,
+    };
+    eprintln!("[rck-test] seed = {seed} (override with RCK_TEST_SEED)");
+    seed
+}

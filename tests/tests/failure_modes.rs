@@ -23,8 +23,13 @@ fn mutual_recv_reports_deadlock_with_core_states() {
 #[test]
 #[should_panic(expected = "slave bug")]
 fn slave_panic_mid_farm_propagates() {
-    // A slave that dies on its third job must bring the whole simulation
-    // down with its own message, not hang the master.
+    // A slave that dies partway through its jobs must bring the whole
+    // simulation down with its own message, not hang the master. The
+    // crash point is seeded (override with RCK_TEST_SEED): with a single
+    // slave every job lands on it, so any point in 1..=10 is reached.
+    let seed = rck_integration_tests::scenario_seed(3);
+    let crash_at = (seed % 10) as usize + 1;
+    eprintln!("[rck-test] slave will crash on job #{crash_at}");
     let ues: Vec<CoreId> = vec![CoreId(0), CoreId(1)];
     let _ = Simulator::new(NocConfig::scc()).run(vec![
         Some(Box::new({
@@ -43,7 +48,7 @@ fn slave_panic_mid_farm_propagates() {
                 let mut count = 0;
                 slave_loop(&mut comm, 0, |_id, p| {
                     count += 1;
-                    if count == 3 {
+                    if count == crash_at {
                         panic!("slave bug");
                     }
                     SlaveReply { payload: p, ops: 100 }

@@ -1,16 +1,26 @@
 //! Scale stress: the full 48-core chip under thousands of messages stays
 //! deterministic and consistent.
+//!
+//! Job payloads are drawn from a seeded generator; set `RCK_TEST_SEED` to
+//! replay a particular workload (the chosen seed is printed on entry).
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rck_integration_tests::scenario_seed;
 use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, Simulator};
 use rck_rcce::Rcce;
 use rck_skel::{farm, slave_loop, Job, SlaveReply};
 
-fn big_farm(jobs: usize) -> (rck_noc::SimTime, u64, Vec<u64>) {
+fn big_farm(jobs: usize, seed: u64) -> (rck_noc::SimTime, u64, Vec<u64>) {
     let n_slaves = 47usize;
     let ues: Vec<CoreId> = (0..=n_slaves).map(CoreId).collect();
     let slave_ranks: Vec<usize> = (1..=n_slaves).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
     let job_list: Vec<Job> = (0..jobs)
-        .map(|k| Job::new(k as u64, vec![(k % 251) as u8, (k / 251) as u8]))
+        .map(|k| {
+            let weight = rng.gen_range(0..=250u32) as u8;
+            Job::new(k as u64, vec![weight, (k / 251) as u8])
+        })
         .collect();
     let ids = std::sync::Mutex::new(Vec::with_capacity(jobs));
     let report = {
@@ -43,20 +53,22 @@ fn big_farm(jobs: usize) -> (rck_noc::SimTime, u64, Vec<u64>) {
 
 #[test]
 fn two_thousand_jobs_on_48_cores() {
-    let (makespan, messages, ids) = big_farm(2000);
+    let seed = scenario_seed(42);
+    let (makespan, messages, ids) = big_farm(2000, seed);
     // jobs out + results back + 47 terminates.
-    assert_eq!(messages, 2 * 2000 + 47);
-    assert!(makespan > rck_noc::SimTime::ZERO);
+    assert_eq!(messages, 2 * 2000 + 47, "seed {seed}");
+    assert!(makespan > rck_noc::SimTime::ZERO, "seed {seed}");
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();
-    assert_eq!(sorted.len(), 2000, "every job exactly once");
+    assert_eq!(sorted.len(), 2000, "seed {seed}: every job exactly once");
 }
 
 #[test]
 fn big_farm_is_deterministic() {
-    let a = big_farm(600);
-    let b = big_farm(600);
-    assert_eq!(a.0, b.0);
-    assert_eq!(a.2, b.2);
+    let seed = scenario_seed(7);
+    let a = big_farm(600, seed);
+    let b = big_farm(600, seed);
+    assert_eq!(a.0, b.0, "seed {seed}: makespans diverged");
+    assert_eq!(a.2, b.2, "seed {seed}: completion orders diverged");
 }
