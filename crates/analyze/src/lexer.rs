@@ -1,0 +1,487 @@
+//! A small Rust lexer — just enough structure for the lint passes.
+//!
+//! This is *not* a parser: it produces a flat token stream with line
+//! numbers, plus two pieces of context every pass needs:
+//!
+//! * whether a token sits inside `#[cfg(test)]` / `#[test]` code (the
+//!   panic and metric passes only police production code), and
+//! * the set of `// rck-lint: allow(...)` marker comments, keyed by the
+//!   line they appear on (the escape hatch suppresses findings on the
+//!   marker's own line and the line below it).
+//!
+//! Handling comments (including nested block comments), string literals
+//! (including raw strings), char literals vs. lifetimes, and numeric
+//! literals correctly is what lets the passes trust simple token-pattern
+//! matching: an `unwrap(` inside a doc comment or a string never fires.
+
+use std::collections::BTreeMap;
+
+/// What a token is. Only the distinctions the passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `self`, ...).
+    Ident,
+    /// String literal (`"..."`, `r"..."`, `r#"..."#`, `b"..."`). The
+    /// token text is the *content*, with simple escapes resolved.
+    Str,
+    /// Numeric literal, verbatim (`19`, `0x5243_4B53`, `64`).
+    Num,
+    /// Single punctuation character (`.`, `(`, `{`, `!`, ...).
+    Punct,
+}
+
+/// One token with its source position and test-code flag.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what it holds per class).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// True when the token is inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// Lexer output: the token stream plus the allow-marker map.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `line -> marker names` for every `// rck-lint: allow(name)`
+    /// comment. A marker on line `n` covers findings on lines `n` and
+    /// `n + 1`, so it can sit above the offending statement.
+    pub allows: BTreeMap<u32, Vec<String>>,
+}
+
+impl Lexed {
+    /// True when `name` is allowed on `line` by a marker on the same
+    /// line or the line directly above.
+    pub fn is_allowed(&self, name: &str, line: u32) -> bool {
+        let hit = |l: u32| {
+            self.allows
+                .get(&l)
+                .is_some_and(|names| names.iter().any(|n| n == name))
+        };
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+}
+
+/// Tokenize `src`. Never fails: malformed input degrades to punct
+/// tokens rather than aborting the pass.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_marker(&src[start..i], line, &mut out.allows);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if raw_str_start(b, i).is_some() => {
+                let (hashes, body_at) = raw_str_start(b, i).unwrap_or((0, i));
+                let tok_line = line;
+                let (content, next, newlines) = scan_raw_str(src, body_at, hashes);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: tok_line,
+                    in_test: false,
+                });
+                line += newlines;
+                i = next;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let tok_line = line;
+                let (content, next, newlines) = scan_str(src, i + 2);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: tok_line,
+                    in_test: false,
+                });
+                line += newlines;
+                i = next;
+            }
+            b'"' => {
+                let tok_line = line;
+                let (content, next, newlines) = scan_str(src, i + 1);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: tok_line,
+                    in_test: false,
+                });
+                line += newlines;
+                i = next;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'ident` not
+                // followed by a closing quote; a char literal always
+                // closes within a few bytes.
+                if let Some(next) = char_lit_end(b, i) {
+                    i = next;
+                } else {
+                    // Lifetime: skip the quote, the ident lexes next.
+                    i += 1;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                    in_test: false,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Don't swallow `..` range punctuation or method
+                    // calls on integers (`1..=6`, `0.max(x)`).
+                    if b[i] == b'.'
+                        && (b.get(i + 1) == Some(&b'.')
+                            || b.get(i + 1).is_some_and(|n| n.is_ascii_alphabetic()))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                    in_test: false,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_code(&mut out.toks);
+    out
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` ... — returns (hash count, index of first
+/// content byte) when `i` starts a raw string.
+fn raw_str_start(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// Scan a raw string body starting at `at`; returns (content, index
+/// after the closing delimiter, newline count).
+fn scan_raw_str(src: &str, at: usize, hashes: usize) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let close: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    let mut i = at;
+    let mut newlines = 0;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            newlines += 1;
+        }
+        if src[i..].starts_with(&close) {
+            return (src[at..i].to_string(), i + close.len(), newlines);
+        }
+        i += 1;
+    }
+    (src[at..].to_string(), b.len(), newlines)
+}
+
+/// Scan a normal string body starting at `at` (just past the opening
+/// quote); returns (content with simple escapes resolved, index after
+/// the closing quote, newline count).
+fn scan_str(src: &str, at: usize) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut content = String::new();
+    let mut i = at;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => return (content, i + 1, newlines),
+            b'\\' => {
+                match b.get(i + 1) {
+                    Some(b'n') => content.push('\n'),
+                    Some(b't') => content.push('\t'),
+                    Some(b'"') => content.push('"'),
+                    Some(b'\\') => content.push('\\'),
+                    Some(&other) => content.push(other as char),
+                    None => {}
+                }
+                i += 2;
+            }
+            b'\n' => {
+                newlines += 1;
+                content.push('\n');
+                i += 1;
+            }
+            c => {
+                content.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    (content, b.len(), newlines)
+}
+
+/// If `i` starts a char literal (`'a'`, `'\n'`, `'\u{1F600}'`), return
+/// the index just past its closing quote; `None` for lifetimes.
+fn char_lit_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if b.get(j) == Some(&b'\\') {
+        j += 2;
+        // \u{...}
+        if b.get(j - 1) == Some(&b'{') || (b.get(j) == Some(&b'{')) {
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            return (b.get(j) == Some(&b'\'')).then_some(j + 1);
+        }
+        return (b.get(j) == Some(&b'\'')).then_some(j + 1);
+    }
+    // One (possibly multi-byte UTF-8) char then a closing quote.
+    let mut k = j + 1;
+    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+        k += 1;
+    }
+    (b.get(k) == Some(&b'\'')).then_some(k + 1)
+}
+
+/// Record `// rck-lint: allow(name)` markers found in a line comment.
+fn scan_marker(comment: &str, line: u32, allows: &mut BTreeMap<u32, Vec<String>>) {
+    let Some(rest) = comment.split("rck-lint:").nth(1) else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(end) = args.find(')') else { return };
+    for name in args[..end].split(',') {
+        let name = name.trim();
+        if !name.is_empty() {
+            allows.entry(line).or_default().push(name.to_string());
+        }
+    }
+}
+
+/// Flag tokens that belong to `#[cfg(test)]` items or `#[test]` fns.
+///
+/// Heuristic, but sound for this workspace's idioms: after the
+/// attribute, the *next item* is skipped — everything up to the
+/// matching `}` of the first `{` encountered (or a bare `;` for
+/// `mod tests;`). Nested attributes between the marker and the item
+/// body (e.g. `#[cfg(test)] #[derive(..)] struct S {..}`) are walked
+/// through without resetting the search.
+fn mark_test_code(toks: &mut [Tok]) {
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(attr_end) = test_attr_end(toks, i) {
+            // Find the extent of the item that follows.
+            let mut j = attr_end;
+            let mut depth = 0usize;
+            let mut entered = false;
+            while j < toks.len() {
+                let t = &toks[j].text;
+                if toks[j].kind == TokKind::Punct {
+                    match t.as_str() {
+                        "{" => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        "}" => {
+                            depth = depth.saturating_sub(1);
+                            if entered && depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        ";" if !entered => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            for t in &mut toks[i..j] {
+                t.in_test = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// If tokens at `i` start `#[cfg(test)]` or `#[test]`, return the index
+/// just past the closing `]`.
+fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if toks.get(i)?.text != "#" || toks.get(i + 1)?.text != "[" {
+        return None;
+    }
+    let mut j = i + 2;
+    let mut depth = 1usize;
+    let mut is_test = false;
+    // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` all count.
+    let mut saw_cfg_or_bare = false;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("test") {
+        saw_cfg_or_bare = true;
+    }
+    let saw_cfg = toks.get(j).map(|t| t.text.as_str()) == Some("cfg");
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && t.text == "test" && saw_cfg {
+            is_test = true;
+        }
+        j += 1;
+    }
+    if saw_cfg_or_bare || is_test {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_strings_and_lines() {
+        let l = lex("let x = \"rck_jobs\";\nfoo.unwrap();");
+        let names: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(names.contains(&"rck_jobs"));
+        let unwrap = l.toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 2);
+        assert!(!unwrap.in_test);
+    }
+
+    #[test]
+    fn comments_and_raw_strings_do_not_leak_tokens() {
+        let l = lex("// unwrap()\n/* panic! /* nested */ still */ r#\"expect(\"# ok");
+        assert!(!l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+        assert!(!l.toks.iter().any(|t| t.text == "panic"));
+        // The raw string is one Str token with `expect(` as content.
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "expect("));
+        assert!(l.toks.iter().any(|t| t.text == "ok"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\nfn prod2() {}";
+        let l = lex(src);
+        let unwraps: Vec<_> = l.toks.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+        let prod2 = l.toks.iter().find(|t| t.text == "prod2").unwrap();
+        assert!(!prod2.in_test);
+    }
+
+    #[test]
+    fn allow_markers_cover_their_line_and_the_next() {
+        let src = "// rck-lint: allow(panic)\nx.unwrap();\ny.unwrap(); // rck-lint: allow(panic, lock_across_io)\nz.unwrap();";
+        let l = lex(src);
+        assert!(l.is_allowed("panic", 2));
+        assert!(l.is_allowed("panic", 3));
+        assert!(l.is_allowed("lock_across_io", 3));
+        assert!(!l.is_allowed("panic", 4 + 1));
+        assert!(!l.is_allowed("lock_across_io", 2));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.text == "a" && t.kind == TokKind::Ident));
+        // 'b' consumed as a char literal, not an ident `b`.
+        assert!(!l.toks.iter().any(|t| t.text == "b"));
+    }
+
+    #[test]
+    fn numbers_keep_hex_and_underscores() {
+        let l = lex("const M: u32 = 0x5243_4B53; const H: usize = 4 + 2 + 1;");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0x5243_4B53"));
+    }
+}

@@ -1,0 +1,426 @@
+//! Pass 1: the metrics contract.
+//!
+//! Three parties must agree on the `rck_*` namespace: registration
+//! sites (`Registry::{counter,gauge,histogram}[_with]` calls), string
+//! literals that *use* a metric name (tests asserting on scrape output,
+//! report generators), and the DESIGN.md §9 catalogue. This pass cross-
+//! checks all three:
+//!
+//! * every name used anywhere must be registered (derived histogram
+//!   series `_bucket` / `_count` / `_sum` count as their histogram);
+//! * every production registration happens exactly once, follows the
+//!   naming convention (counters end `_total`, histograms `_seconds`,
+//!   gauges end in neither), and appears in DESIGN.md §9;
+//! * every name §9 documents is actually registered (no orphaned docs).
+//!
+//! Test-code registrations (`rck_test_*` in obs unit tests) are *known*
+//! for the usage check but exempt from the documentation and naming
+//! contract — they never reach a scrape endpoint.
+
+use crate::lexer::{self, TokKind};
+use crate::{Finding, Pass, Workspace};
+use std::collections::BTreeMap;
+
+/// Metric family kinds, as implied by the registration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// `counter` / `counter_with`.
+    Counter,
+    /// `gauge` / `gauge_with`.
+    Gauge,
+    /// `histogram` / `histogram_with`.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registration site found in the source.
+#[derive(Debug, Clone)]
+pub struct RegisteredMetric {
+    /// The metric family name (`rck_...`).
+    pub name: String,
+    /// Counter / gauge / histogram.
+    pub kind: MetricKind,
+    /// Workspace-relative file of the registration.
+    pub file: String,
+    /// 1-based line of the name literal.
+    pub line: u32,
+    /// True when the registration sits in test code.
+    pub in_test: bool,
+}
+
+/// A name (or name family) documented in DESIGN.md §9.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DocName {
+    /// A concrete metric name.
+    Exact(String),
+    /// A `rck_foo_*` wildcard: documents every name with the prefix.
+    Prefix(String),
+}
+
+/// Run the metrics-contract pass. Returns findings plus the inventory
+/// of production registrations (the report prints it).
+pub fn check(ws: &Workspace) -> (Vec<Finding>, Vec<RegisteredMetric>) {
+    let mut findings = Vec::new();
+    let mut regs: Vec<RegisteredMetric> = Vec::new();
+    let mut usages: Vec<(String, String, u32)> = Vec::new(); // (name, file, line)
+
+    for file in &ws.files {
+        let Some(src) = ws.read(file) else { continue };
+        let lexed = lexer::lex(&src);
+        let file_is_test = is_test_path(file);
+        collect_registrations(&lexed.toks, file, file_is_test, &mut regs);
+        collect_usages(&lexed.toks, file, &mut usages);
+    }
+    regs.sort_by(|a, b| (&a.name, &a.file, a.line).cmp(&(&b.name, &b.file, b.line)));
+    usages.sort();
+
+    // --- registered exactly once (production registrations only) ---
+    let mut by_name: BTreeMap<&str, Vec<&RegisteredMetric>> = BTreeMap::new();
+    for r in regs.iter().filter(|r| !r.in_test) {
+        by_name.entry(&r.name).or_default().push(r);
+    }
+    for (name, sites) in &by_name {
+        if sites.len() > 1 {
+            let locations: Vec<String> = sites
+                .iter()
+                .map(|r| format!("{}:{}", r.file, r.line))
+                .collect();
+            findings.push(Finding::at(
+                Pass::Metrics,
+                sites[0].file.clone(),
+                sites[0].line,
+                format!(
+                    "metric `{name}` registered {} times ({}); each family must be registered exactly once",
+                    sites.len(),
+                    locations.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // --- naming convention ---
+    for r in regs.iter().filter(|r| !r.in_test) {
+        let ok = match r.kind {
+            MetricKind::Counter => r.name.ends_with("_total"),
+            MetricKind::Histogram => r.name.ends_with("_seconds"),
+            MetricKind::Gauge => !r.name.ends_with("_total") && !r.name.ends_with("_seconds"),
+        };
+        if !ok {
+            let rule = match r.kind {
+                MetricKind::Counter => "counters must end `_total`",
+                MetricKind::Histogram => "histograms must end `_seconds`",
+                MetricKind::Gauge => "gauges must not carry a `_total`/`_seconds` suffix",
+            };
+            findings.push(Finding::at(
+                Pass::Metrics,
+                r.file.clone(),
+                r.line,
+                format!(
+                    "{} `{}` breaks the naming convention: {rule}",
+                    r.kind.as_str(),
+                    r.name
+                ),
+            ));
+        }
+    }
+
+    // --- documentation contract (DESIGN.md §9) ---
+    let docs = ws
+        .read("DESIGN.md")
+        .map(|d| doc_names(&section(&d, 9)))
+        .unwrap_or_default();
+    if docs.is_empty() {
+        findings.push(Finding::at(
+            Pass::Metrics,
+            "DESIGN.md",
+            0,
+            "no metric names found in DESIGN.md §9 — the metrics catalogue is missing".to_string(),
+        ));
+    } else {
+        for r in regs.iter().filter(|r| !r.in_test) {
+            if !documented(&docs, &r.name) {
+                findings.push(Finding::at(
+                    Pass::Metrics,
+                    r.file.clone(),
+                    r.line,
+                    format!(
+                        "metric `{}` is registered but not documented in DESIGN.md \u{a7}9",
+                        r.name
+                    ),
+                ));
+            }
+        }
+        for d in &docs {
+            let covered = match d {
+                DocName::Exact(name) => by_name.contains_key(name.as_str()),
+                DocName::Prefix(prefix) => by_name.keys().any(|n| n.starts_with(prefix.as_str())),
+            };
+            if !covered {
+                let shown = match d {
+                    DocName::Exact(n) => n.clone(),
+                    DocName::Prefix(p) => format!("{p}*"),
+                };
+                findings.push(Finding::at(
+                    Pass::Metrics,
+                    "DESIGN.md",
+                    0,
+                    format!("DESIGN.md \u{a7}9 documents `{shown}` but nothing registers it (orphaned doc)"),
+                ));
+            }
+        }
+    }
+
+    // --- usage: every name that appears as a literal must resolve ---
+    let known: Vec<&str> = regs.iter().map(|r| r.name.as_str()).collect();
+    for (name, file, line) in &usages {
+        if !resolves(&known, &regs, name) {
+            findings.push(Finding::at(
+                Pass::Metrics,
+                file.clone(),
+                *line,
+                format!("string literal uses metric name `{name}` but no registration defines it"),
+            ));
+        }
+    }
+
+    let inventory: Vec<RegisteredMetric> = regs.into_iter().filter(|r| !r.in_test).collect();
+    (findings, inventory)
+}
+
+/// Integration-test files live outside `#[cfg(test)]`, but everything
+/// in a `tests/` directory is test code for contract purposes.
+fn is_test_path(file: &str) -> bool {
+    file.starts_with("tests/") || file.contains("/tests/")
+}
+
+fn collect_registrations(
+    toks: &[lexer::Tok],
+    file: &str,
+    file_is_test: bool,
+    out: &mut Vec<RegisteredMetric>,
+) {
+    for w in toks.windows(4) {
+        let [dot, method, paren, name] = w else {
+            continue;
+        };
+        if dot.text != "." || method.kind != TokKind::Ident || paren.text != "(" {
+            continue;
+        }
+        let kind = match method.text.as_str() {
+            "counter" | "counter_with" => MetricKind::Counter,
+            "gauge" | "gauge_with" => MetricKind::Gauge,
+            "histogram" | "histogram_with" => MetricKind::Histogram,
+            _ => continue,
+        };
+        if name.kind != TokKind::Str || !name.text.starts_with("rck_") {
+            continue;
+        }
+        out.push(RegisteredMetric {
+            name: name.text.clone(),
+            kind,
+            file: file.to_string(),
+            line: name.line,
+            in_test: file_is_test || name.in_test,
+        });
+    }
+}
+
+/// A string literal counts as a metric usage when it *is* a metric
+/// name: `rck_` followed by `[a-z0-9_]+`, and the remainder is either
+/// empty or a `{label=...}` selector. Log prefixes like
+/// `"rck_served: ..."` don't qualify.
+fn collect_usages(toks: &[lexer::Tok], file: &str, out: &mut Vec<(String, String, u32)>) {
+    for t in toks {
+        if t.kind != TokKind::Str || !t.text.starts_with("rck_") {
+            continue;
+        }
+        let name_len = t
+            .text
+            .bytes()
+            .take_while(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'_')
+            .count();
+        let rest = &t.text[name_len..];
+        if rest.is_empty() || rest.starts_with('{') {
+            out.push((t.text[..name_len].to_string(), file.to_string(), t.line));
+        }
+    }
+}
+
+/// A used name resolves if it is registered (anywhere, test included)
+/// or is a derived series of a registered histogram.
+fn resolves(known: &[&str], regs: &[RegisteredMetric], name: &str) -> bool {
+    if known.contains(&name) {
+        return true;
+    }
+    for suffix in ["_bucket", "_count", "_sum"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if regs
+                .iter()
+                .any(|r| r.kind == MetricKind::Histogram && r.name == base)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn documented(docs: &[DocName], name: &str) -> bool {
+    docs.iter().any(|d| match d {
+        DocName::Exact(n) => n == name,
+        DocName::Prefix(p) => name.starts_with(p.as_str()),
+    })
+}
+
+/// Extract the text of `## <n>.`-numbered section `n` from DESIGN.md.
+pub(crate) fn section(design: &str, n: u32) -> String {
+    let header = format!("## {n}.");
+    let mut out = String::new();
+    let mut inside = false;
+    for line in design.lines() {
+        if line.starts_with("## ") {
+            inside = line.starts_with(&header);
+            continue;
+        }
+        if inside {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse metric names out of backtick spans in §9 text, with brace
+/// expansion (`rck_jobs_{a,b}_total`), label stripping
+/// (`rck_worker_jobs_total{worker="N"}`), and `*` wildcards
+/// (`rck_chaos_*`).
+fn doc_names(sec9: &str) -> Vec<DocName> {
+    let mut out = Vec::new();
+    for span in backtick_spans(sec9) {
+        if !span.contains("rck_") {
+            continue;
+        }
+        // A metric span has no whitespace; `rck_served --flags` is not
+        // a metric mention.
+        if span.contains(char::is_whitespace) {
+            continue;
+        }
+        for name in expand(&span) {
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        let key = |d: &DocName| match d {
+            DocName::Exact(n) => (0u8, n.clone()),
+            DocName::Prefix(p) => (1u8, p.clone()),
+        };
+        key(a).cmp(&key(b))
+    });
+    out
+}
+
+fn backtick_spans(text: &str) -> Vec<String> {
+    let mut spans = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        spans.push(after[..end].to_string());
+        rest = &after[end + 1..];
+    }
+    spans
+}
+
+/// Expand one backticked span into doc names.
+fn expand(span: &str) -> Vec<DocName> {
+    // Trailing wildcard: `rck_chaos_*`.
+    if let Some(prefix) = span.strip_suffix('*') {
+        if prefix.ends_with('_') && is_name(prefix.trim_end_matches('_')) {
+            return vec![DocName::Prefix(prefix.to_string())];
+        }
+    }
+    if let (Some(open), Some(close)) = (span.find('{'), span.find('}')) {
+        if open < close {
+            let inner = &span[open + 1..close];
+            let prefix = &span[..open];
+            let suffix = &span[close + 1..];
+            if inner.contains('=') {
+                // `{worker="N"}` is a label selector, not alternatives.
+                return if is_name(prefix) {
+                    vec![DocName::Exact(prefix.to_string())]
+                } else {
+                    Vec::new()
+                };
+            }
+            let mut out = Vec::new();
+            for alt in inner.split(',') {
+                let name = format!("{prefix}{alt}{suffix}");
+                if is_name(&name) {
+                    out.push(DocName::Exact(name));
+                }
+            }
+            return out;
+        }
+    }
+    if is_name(span) {
+        vec![DocName::Exact(span.to_string())]
+    } else {
+        Vec::new()
+    }
+}
+
+fn is_name(s: &str) -> bool {
+    s.starts_with("rck_")
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_name_expansion() {
+        let sec = "counters: `rck_jobs_{dispatched,completed}_total`, labeled \
+                   `rck_worker_jobs_total{worker=\"N\"}`, wildcard `rck_chaos_*`, \
+                   plain `rck_batch_rtt_seconds`, and a binary `rck_served --flag x`.";
+        let names = doc_names(sec);
+        assert!(names.contains(&DocName::Exact("rck_jobs_dispatched_total".into())));
+        assert!(names.contains(&DocName::Exact("rck_jobs_completed_total".into())));
+        assert!(names.contains(&DocName::Exact("rck_worker_jobs_total".into())));
+        assert!(names.contains(&DocName::Prefix("rck_chaos_".into())));
+        assert!(names.contains(&DocName::Exact("rck_batch_rtt_seconds".into())));
+        assert!(!names
+            .iter()
+            .any(|d| matches!(d, DocName::Exact(n) if n == "rck_served")));
+    }
+
+    #[test]
+    fn section_slicing() {
+        let d = "## 8. A\neight\n## 9. B\nnine\nmore\n## 10. C\nten\n";
+        assert_eq!(section(d, 9), "nine\nmore\n");
+        assert_eq!(section(d, 10), "ten\n");
+    }
+
+    #[test]
+    fn usage_boundary_rules() {
+        let toks = lexer::lex(
+            "let a = \"rck_x_total\"; let b = \"rck_served: on {}\"; let c = \"rck_y_total{worker=\\\"0\\\"} 4\";",
+        );
+        let mut out = Vec::new();
+        collect_usages(&toks.toks, "f.rs", &mut out);
+        let names: Vec<&str> = out.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["rck_x_total", "rck_y_total"]);
+    }
+}

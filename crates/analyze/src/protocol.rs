@@ -1,0 +1,524 @@
+//! Pass 2: wire-format consistency between `serve/src/proto.rs` and
+//! DESIGN.md §6.
+//!
+//! The code side is parsed from tokens: `MAGIC`, `PROTOCOL_VERSION`,
+//! `HEADER_LEN` (a `+` expression), `MAX_PAYLOAD` (a `<<` expression),
+//! the `Frame::kind` match arms, and the `(lo..=hi)` kind-range check
+//! in `parse_header`. The doc side is parsed from §6's offset table,
+//! prose ("a 19-byte header", "(64 MiB)"), and the frame-kind markdown
+//! table. Any disagreement is a finding — doc drift fails CI exactly
+//! like a broken test.
+
+use crate::lexer::{self, TokKind};
+use crate::{Finding, Pass, Workspace};
+use std::collections::BTreeMap;
+
+/// The wire contract as extracted from `proto.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireContract {
+    /// `MAGIC`.
+    pub magic: u64,
+    /// `PROTOCOL_VERSION`.
+    pub version: u64,
+    /// `HEADER_LEN` in bytes.
+    pub header_len: u64,
+    /// `MAX_PAYLOAD` in bytes.
+    pub max_payload: u64,
+    /// Frame kind byte → variant name, from `Frame::kind`.
+    pub kinds: BTreeMap<u64, String>,
+    /// The `(lo..=hi)` range `parse_header` accepts.
+    pub kind_range: Option<(u64, u64)>,
+}
+
+/// Relative path of the protocol source this pass reads.
+pub const PROTO_RS: &str = "crates/serve/src/proto.rs";
+
+/// Run the protocol-consistency pass.
+pub fn check(ws: &Workspace) -> (Vec<Finding>, Option<WireContract>) {
+    let Some(proto_src) = ws.read(PROTO_RS) else {
+        return (
+            vec![Finding::at(
+                Pass::Protocol,
+                PROTO_RS,
+                0,
+                "protocol source missing — cannot check the wire contract".to_string(),
+            )],
+            None,
+        );
+    };
+    let Some(design) = ws.read("DESIGN.md") else {
+        return (
+            vec![Finding::at(
+                Pass::Protocol,
+                "DESIGN.md",
+                0,
+                "DESIGN.md missing — cannot check the wire contract".to_string(),
+            )],
+            None,
+        );
+    };
+    let (mut findings, contract) = check_sources(&proto_src, &design);
+    findings.sort();
+    (findings, contract)
+}
+
+/// Core of the pass, on raw sources — directly testable on fixtures.
+pub fn check_sources(proto_src: &str, design: &str) -> (Vec<Finding>, Option<WireContract>) {
+    let mut findings = Vec::new();
+    let code = extract_code(proto_src, &mut findings);
+    let doc = extract_doc(design, &mut findings);
+    if let Some(code) = &code {
+        diff(code, &doc, &mut findings);
+    }
+    (findings, code)
+}
+
+// ---------------------------------------------------------------- code
+
+fn extract_code(src: &str, findings: &mut Vec<Finding>) -> Option<WireContract> {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.toks;
+
+    let magic = const_value(toks, "MAGIC");
+    let version = const_value(toks, "PROTOCOL_VERSION");
+    let header_len = const_value(toks, "HEADER_LEN");
+    let max_payload = const_value(toks, "MAX_PAYLOAD");
+
+    for (name, v) in [
+        ("MAGIC", &magic),
+        ("PROTOCOL_VERSION", &version),
+        ("HEADER_LEN", &header_len),
+        ("MAX_PAYLOAD", &max_payload),
+    ] {
+        if v.is_none() {
+            findings.push(Finding::at(
+                Pass::Protocol,
+                PROTO_RS,
+                0,
+                format!("could not extract `{name}` from proto.rs"),
+            ));
+        }
+    }
+
+    let kinds = kind_arms(toks);
+    if kinds.is_empty() {
+        findings.push(Finding::at(
+            Pass::Protocol,
+            PROTO_RS,
+            0,
+            "could not extract `Frame::kind` match arms from proto.rs".to_string(),
+        ));
+    }
+    let kind_range = accepted_range(toks);
+
+    Some(WireContract {
+        magic: magic?,
+        version: version?,
+        header_len: header_len?,
+        max_payload: max_payload?,
+        kinds,
+        kind_range,
+    })
+}
+
+/// Value of `const NAME: T = <expr>;` where the expression is numbers
+/// joined by `+` or `<<`.
+fn const_value(toks: &[lexer::Tok], name: &str) -> Option<u64> {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == name
+            && i > 0
+            && toks[i - 1].text == "const"
+        {
+            // Skip to `=`, then evaluate until `;`.
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].text != "=" && toks[j].text != ";" {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.text.as_str()) != Some("=") {
+                return None;
+            }
+            return eval_expr(&toks[j + 1..]);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Evaluate `num (op num)*;` with `op` ∈ {`+`, `<<`} — the only
+/// shapes the protocol constants use. Stops at `;`.
+fn eval_expr(toks: &[lexer::Tok]) -> Option<u64> {
+    let mut acc: Option<u64> = None;
+    let mut op: Option<char> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Num => {
+                let v = parse_num(&t.text)?;
+                acc = Some(match (acc, op) {
+                    (None, _) => v,
+                    (Some(a), Some('+')) => a.checked_add(v)?,
+                    (Some(a), Some('<')) => a.checked_shl(v as u32)?,
+                    _ => return None,
+                });
+                op = None;
+            }
+            TokKind::Punct if t.text == "+" => op = Some('+'),
+            // `<<` arrives as two `<` puncts.
+            TokKind::Punct
+                if t.text == "<" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("<") =>
+            {
+                op = Some('<');
+                i += 1;
+            }
+            TokKind::Punct if t.text == ";" => return acc,
+            _ => return None,
+        }
+        i += 1;
+    }
+    acc
+}
+
+/// Parse `19`, `0x5243_4B53`, `64` (underscores allowed).
+pub(crate) fn parse_num(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+/// `Frame::Name(..) => N` match arms.
+fn kind_arms(toks: &[lexer::Tok]) -> BTreeMap<u64, String> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if toks[i].text == "Frame"
+            && toks[i + 1].text == ":"
+            && toks[i + 2].text == ":"
+            && toks[i + 3].kind == TokKind::Ident
+        {
+            let name = toks[i + 3].text.clone();
+            let mut j = i + 4;
+            // Optional `(_)` payload pattern.
+            if toks.get(j).map(|t| t.text.as_str()) == Some("(") {
+                while j < toks.len() && toks[j].text != ")" {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.text.as_str()) == Some("=")
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some(">")
+                && toks.get(j + 2).map(|t| t.kind) == Some(TokKind::Num)
+            {
+                if let Some(v) = parse_num(&toks[j + 2].text) {
+                    out.insert(v, name);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The `(lo..=hi)` literal range (from `parse_header`'s kind check).
+fn accepted_range(toks: &[lexer::Tok]) -> Option<(u64, u64)> {
+    for i in 0..toks.len().saturating_sub(4) {
+        if toks[i].kind == TokKind::Num
+            && toks[i + 1].text == "."
+            && toks[i + 2].text == "."
+            && toks[i + 3].text == "="
+            && toks[i + 4].kind == TokKind::Num
+        {
+            return Some((parse_num(&toks[i].text)?, parse_num(&toks[i + 4].text)?));
+        }
+    }
+    None
+}
+
+// ----------------------------------------------------------------- doc
+
+#[derive(Debug, Default)]
+struct DocContract {
+    magic: Option<u64>,
+    version: Option<u64>,
+    header_len_prose: Option<u64>,
+    payload_offset: Option<u64>,
+    max_payload_mib: Option<u64>,
+    kinds: BTreeMap<u64, String>,
+}
+
+fn extract_doc(design: &str, findings: &mut Vec<Finding>) -> DocContract {
+    let sec = crate::metrics::section(design, 6);
+    let mut doc = DocContract::default();
+
+    for line in sec.lines() {
+        // Offset table rows: `0  4  MAGIC = 0x5243_4B53 ...`.
+        if line.contains("MAGIC") {
+            doc.magic = doc.magic.or_else(|| find_hex(line));
+        }
+        if line.contains("PROTOCOL_VERSION") {
+            doc.version = doc
+                .version
+                .or_else(|| number_in_parens(line, "PROTOCOL_VERSION"));
+        }
+        if line.contains("MiB") {
+            doc.max_payload_mib = doc.max_payload_mib.or_else(|| number_before(line, " MiB"));
+        }
+        // Prose: "a 19-byte header".
+        if line.contains("-byte header") {
+            doc.header_len_prose = doc
+                .header_len_prose
+                .or_else(|| number_before(line, "-byte header"));
+        }
+        // Offset-table payload row: `19      …     payload`.
+        let trimmed = line.trim_start();
+        if trimmed.chars().next().is_some_and(|c| c.is_ascii_digit()) && line.contains("payload") {
+            let lead: String = trimmed.chars().take_while(|c| c.is_ascii_digit()).collect();
+            let rest = trimmed[lead.len()..].trim_start();
+            // The payload row's size column is `…` (not a number).
+            if rest.starts_with('…') {
+                doc.payload_offset = doc.payload_offset.or_else(|| lead.parse().ok());
+            }
+        }
+        // Kind table rows: `| 1 | `Hello` | direction | payload |`.
+        if let Some((num, name)) = kind_row(line) {
+            doc.kinds.insert(num, name);
+        }
+    }
+
+    for (what, missing) in [
+        ("magic constant", doc.magic.is_none()),
+        ("protocol version", doc.version.is_none()),
+        (
+            "header length (`N-byte header` prose)",
+            doc.header_len_prose.is_none(),
+        ),
+        ("payload cap (`N MiB`)", doc.max_payload_mib.is_none()),
+    ] {
+        if missing {
+            findings.push(Finding::at(
+                Pass::Protocol,
+                "DESIGN.md",
+                0,
+                format!("DESIGN.md \u{a7}6 does not state the {what}"),
+            ));
+        }
+    }
+    if doc.kinds.is_empty() {
+        findings.push(Finding::at(
+            Pass::Protocol,
+            "DESIGN.md",
+            0,
+            "DESIGN.md \u{a7}6 has no frame-kind table".to_string(),
+        ));
+    }
+    doc
+}
+
+fn find_hex(line: &str) -> Option<u64> {
+    let at = line.find("0x")?;
+    let hex: String = line[at + 2..]
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    u64::from_str_radix(&hex, 16).ok()
+}
+
+/// `... NAME (2), ...` → 2.
+fn number_in_parens(line: &str, after: &str) -> Option<u64> {
+    let at = line.find(after)? + after.len();
+    let rest = line[at..].trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let digits: String = inner.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// `... ≤ MAX_PAYLOAD (64 MiB)` → 64 (number directly before `marker`).
+fn number_before(line: &str, marker: &str) -> Option<u64> {
+    let at = line.find(marker)?;
+    let before = &line[..at];
+    let digits: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    let digits: String = digits.chars().rev().collect();
+    digits.parse().ok()
+}
+
+/// `| 1 | `Hello` | ... |` → (1, "Hello").
+fn kind_row(line: &str) -> Option<(u64, String)> {
+    let line = line.trim();
+    let mut cells = line.strip_prefix('|')?.split('|');
+    let num: u64 = cells.next()?.trim().parse().ok()?;
+    let name_cell = cells.next()?.trim();
+    let name = name_cell.strip_prefix('`')?.strip_suffix('`')?;
+    if name.chars().all(|c| c.is_ascii_alphanumeric()) {
+        Some((num, name.to_string()))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------- diff
+
+fn diff(code: &WireContract, doc: &DocContract, findings: &mut Vec<Finding>) {
+    if let Some(m) = doc.magic {
+        if m != code.magic {
+            findings.push(mismatch(format!(
+                "MAGIC: code has 0x{:08X}, DESIGN.md \u{a7}6 says 0x{:08X}",
+                code.magic, m
+            )));
+        }
+    }
+    if let Some(v) = doc.version {
+        if v != code.version {
+            findings.push(mismatch(format!(
+                "protocol version: code has {}, DESIGN.md \u{a7}6 says {}",
+                code.version, v
+            )));
+        }
+    }
+    if let Some(h) = doc.header_len_prose {
+        if h != code.header_len {
+            findings.push(mismatch(format!(
+                "header length: code HEADER_LEN is {} bytes, DESIGN.md \u{a7}6 prose says {}-byte header",
+                code.header_len, h
+            )));
+        }
+    }
+    if let Some(off) = doc.payload_offset {
+        if off != code.header_len {
+            findings.push(mismatch(format!(
+                "header length: code HEADER_LEN is {} bytes, but \u{a7}6's offset table puts the payload at offset {}",
+                code.header_len, off
+            )));
+        }
+    }
+    if let Some(mib) = doc.max_payload_mib {
+        if mib << 20 != code.max_payload {
+            findings.push(mismatch(format!(
+                "payload cap: code MAX_PAYLOAD is {} bytes, DESIGN.md \u{a7}6 says {} MiB",
+                code.max_payload, mib
+            )));
+        }
+    }
+    for (num, name) in &code.kinds {
+        match doc.kinds.get(num) {
+            None => findings.push(mismatch(format!(
+                "frame kind {num} (`{name}`) is in code but missing from \u{a7}6's kind table"
+            ))),
+            Some(doc_name) if doc_name != name => findings.push(mismatch(format!(
+                "frame kind {num}: code names it `{name}`, \u{a7}6's table says `{doc_name}`"
+            ))),
+            _ => {}
+        }
+    }
+    for (num, name) in &doc.kinds {
+        if !code.kinds.contains_key(num) {
+            findings.push(mismatch(format!(
+                "frame kind {num} (`{name}`) is documented in \u{a7}6 but not implemented by `Frame::kind`"
+            )));
+        }
+    }
+    if let Some((lo, hi)) = code.kind_range {
+        let (min, max) = match (code.kinds.keys().min(), code.kinds.keys().max()) {
+            (Some(a), Some(b)) => (*a, *b),
+            _ => (lo, hi),
+        };
+        if lo != min || hi != max {
+            findings.push(Finding::at(
+                Pass::Protocol,
+                PROTO_RS,
+                0,
+                format!(
+                    "parse_header accepts kinds {lo}..={hi} but Frame::kind defines {min}..={max}"
+                ),
+            ));
+        }
+    }
+}
+
+fn mismatch(message: String) -> Finding {
+    Finding::at(Pass::Protocol, PROTO_RS, 0, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_PROTO: &str = r#"
+pub const MAGIC: u32 = 0x5243_4B53;
+pub const PROTOCOL_VERSION: u16 = 2;
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4 + 8;
+pub const MAX_PAYLOAD: usize = 64 << 20;
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => 1,
+            Frame::Welcome(_) => 2,
+            Frame::Shutdown => 3,
+        }
+    }
+}
+fn parse_header(kind: u8) {
+    if !(1..=3).contains(&kind) {}
+}
+"#;
+
+    const GOOD_DESIGN: &str = "## 6. Wire\nEvery frame is a 19-byte header.\n```\n\
+0       4     MAGIC      = 0x5243_4B53\n\
+4       2     version    = PROTOCOL_VERSION (2), little-endian\n\
+7       4     payload length, \u{2264} MAX_PAYLOAD (64 MiB)\n\
+19      \u{2026}     payload\n```\n\
+| kind | frame | dir |\n|---:|---|---|\n\
+| 1 | `Hello` | w |\n| 2 | `Welcome` | m |\n| 3 | `Shutdown` | m |\n\n## 7. Next\n";
+
+    #[test]
+    fn consistent_sources_produce_no_findings() {
+        let (findings, contract) = check_sources(GOOD_PROTO, GOOD_DESIGN);
+        assert_eq!(findings, vec![], "expected clean, got: {findings:?}");
+        let c = contract.unwrap();
+        assert_eq!(c.magic, 0x5243_4B53);
+        assert_eq!(c.header_len, 19);
+        assert_eq!(c.max_payload, 64 << 20);
+        assert_eq!(c.kinds.len(), 3);
+        assert_eq!(c.kind_range, Some((1, 3)));
+    }
+
+    #[test]
+    fn header_len_drift_is_caught() {
+        let design = GOOD_DESIGN.replace("19-byte header", "23-byte header");
+        let (findings, _) = check_sources(GOOD_PROTO, &design);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("23-byte header")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn kind_table_drift_is_caught() {
+        let design = GOOD_DESIGN.replace("| 3 | `Shutdown` |", "| 3 | `Goodbye` |");
+        let (findings, _) = check_sources(GOOD_PROTO, &design);
+        assert!(findings.iter().any(|f| f.message.contains("`Goodbye`")));
+    }
+
+    #[test]
+    fn range_vs_kind_map_drift_is_caught() {
+        let proto = GOOD_PROTO.replace("(1..=3)", "(1..=6)");
+        let (findings, _) = check_sources(&proto, GOOD_DESIGN);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("parse_header accepts kinds 1..=6")));
+    }
+}

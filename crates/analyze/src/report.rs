@@ -1,0 +1,114 @@
+//! Deterministic Markdown rendering of a lint run.
+//!
+//! The report is machine-diffable like the `rck_chaos` reports: no
+//! timestamps, no absolute paths, stable ordering everywhere. Two runs
+//! over the same tree produce byte-identical output (the determinism
+//! test pins this).
+
+use crate::{Pass, RunOutcome};
+use std::fmt::Write as _;
+
+/// Render the full Markdown report for `outcome`.
+pub fn render(outcome: &RunOutcome) -> String {
+    let mut out = String::new();
+    let n = outcome.findings.len();
+    out.push_str("# rck_lint report\n\n");
+    if n == 0 {
+        out.push_str("**Clean**: all five passes found no violations.\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "**{n} violation{}** across the passes below.",
+            plural(n)
+        );
+    }
+    out.push('\n');
+
+    out.push_str("## Summary\n\n");
+    out.push_str("| pass | findings |\n|---|---:|\n");
+    for pass in Pass::all() {
+        let count = outcome.findings.iter().filter(|f| f.pass == pass).count();
+        let _ = writeln!(out, "| {} | {} |", pass.slug(), count);
+    }
+    out.push('\n');
+
+    for pass in Pass::all() {
+        let of_pass: Vec<_> = outcome.findings.iter().filter(|f| f.pass == pass).collect();
+        if of_pass.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "## {}\n", pass.slug());
+        for f in of_pass {
+            if f.file.is_empty() {
+                let _ = writeln!(out, "- {}", f.message);
+            } else if f.line == 0 {
+                let _ = writeln!(out, "- `{}`: {}", f.file, f.message);
+            } else {
+                let _ = writeln!(out, "- `{}:{}`: {}", f.file, f.line, f.message);
+            }
+        }
+        out.push('\n');
+    }
+
+    out.push_str("## Checked contracts\n\n");
+    if let Some(c) = &outcome.protocol {
+        let _ = writeln!(
+            out,
+            "- wire: magic 0x{:08X}, protocol v{}, {}-byte header, {} MiB payload cap, {} frame kinds",
+            c.magic,
+            c.version,
+            c.header_len,
+            c.max_payload >> 20,
+            c.kinds.len()
+        );
+    }
+    if let Some(m) = &outcome.model {
+        let _ = writeln!(
+            out,
+            "- batch lifecycle: {} reachable states, {} transitions explored, accounting + conservation hold in every state",
+            m.states, m.transitions
+        );
+    }
+    let _ = writeln!(
+        out,
+        "- metrics: {} production families under contract",
+        outcome.metrics.len()
+    );
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    #[test]
+    fn clean_and_dirty_render() {
+        let clean = RunOutcome {
+            findings: vec![],
+            protocol: None,
+            model: None,
+            metrics: vec![],
+        };
+        assert!(render(&clean).contains("**Clean**"));
+
+        let dirty = RunOutcome {
+            findings: vec![Finding::at(Pass::Panics, "a.rs", 7, "boom")],
+            protocol: None,
+            model: None,
+            metrics: vec![],
+        };
+        let r = render(&dirty);
+        assert!(r.contains("**1 violation**"));
+        assert!(r.contains("`a.rs:7`: boom"));
+        assert!(r.contains("| panic-path | 1 |"));
+    }
+}

@@ -1,0 +1,27 @@
+// Fixture: wire constants that DISAGREE with this tree's DESIGN.md §6
+// (the doc claims a 23-byte header and calls kind 2 `Goodbye`).
+
+pub const MAGIC: u32 = 0x5243_4B53;
+pub const PROTOCOL_VERSION: u16 = 2;
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4 + 8;
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+pub enum Frame {
+    Hello(u8),
+    Welcome(u8),
+    Shutdown,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => 1,
+            Frame::Welcome(_) => 2,
+            Frame::Shutdown => 3,
+        }
+    }
+}
+
+fn parse_header(kind: u8) -> bool {
+    (1..=3).contains(&kind)
+}

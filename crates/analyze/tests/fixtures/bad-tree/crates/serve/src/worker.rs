@@ -1,0 +1,13 @@
+// Fixture: reverses master.rs's alpha→beta lock order and uses a
+// metric name that nothing registers.
+
+fn ordering(&self) {
+    let b = self.beta.lock().unwrap();
+    let a = self.alpha.lock().unwrap();
+    drop(a);
+    drop(b);
+}
+
+fn scrape(&self) -> &str {
+    "rck_phantom_total"
+}

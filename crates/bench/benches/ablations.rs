@@ -13,11 +13,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rck_noc::NocConfig;
+use rck_tmalign::MethodKind;
 use rckalign::{
     run_all_vs_all, run_hierarchical, run_mcpsc, HierarchyOptions, JobOrdering, McPscOptions,
     PairCache, PartitionStrategy, RckAlignOptions, Scheduling,
 };
-use rck_tmalign::MethodKind;
 use rckalign_bench::tiny_cache;
 use std::hint::black_box;
 use std::sync::Once;
@@ -45,7 +45,10 @@ fn bench_load_balancing(c: &mut Criterion) {
                     ..RckAlignOptions::paper(6)
                 },
             );
-            eprintln!("ablation_loadbalance[{name}]: simulated {:.2}s", run.makespan_secs);
+            eprintln!(
+                "ablation_loadbalance[{name}]: simulated {:.2}s",
+                run.makespan_secs
+            );
         }
     });
     let mut group = c.benchmark_group("ablation_loadbalance");
@@ -115,17 +118,21 @@ fn bench_fast_cores(c: &mut Criterion) {
     let cache = prepared_tiny();
     let mut group = c.benchmark_group("ablation_fastcores");
     for mult in [1u32, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{mult}x")), &mult, |b, &m| {
-            b.iter(|| {
-                black_box(run_all_vs_all(
-                    &cache,
-                    &RckAlignOptions {
-                        noc: NocConfig::scc().with_freq(800e6 * m as f64),
-                        ..RckAlignOptions::paper(7)
-                    },
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mult}x")),
+            &mult,
+            |b, &m| {
+                b.iter(|| {
+                    black_box(run_all_vs_all(
+                        &cache,
+                        &RckAlignOptions {
+                            noc: NocConfig::scc().with_freq(800e6 * m as f64),
+                            ..RckAlignOptions::paper(7)
+                        },
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -95,7 +95,11 @@ fn bench_full_alignment(c: &mut Criterion) {
     sorted.sort_by_key(|&i| chains[i].len());
     let pairs = [
         ("small", sorted[0], sorted[1]),
-        ("medium", sorted[sorted.len() / 2], sorted[sorted.len() / 2 + 1]),
+        (
+            "medium",
+            sorted[sorted.len() / 2],
+            sorted[sorted.len() / 2 + 1],
+        ),
         ("large", sorted[sorted.len() - 2], sorted[sorted.len() - 1]),
     ];
     let mut group = c.benchmark_group("tm_align_pair");

@@ -94,5 +94,10 @@ fn bench_barrier(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ping_pong, bench_farm_throughput, bench_barrier);
+criterion_group!(
+    benches,
+    bench_ping_pong,
+    bench_farm_throughput,
+    bench_barrier
+);
 criterion_main!(benches);

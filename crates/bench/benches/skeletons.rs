@@ -91,31 +91,35 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("skeleton_pipeline");
     group.sample_size(20);
     for stages in [2usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &n_stages| {
-            b.iter(|| {
-                let ues: Vec<CoreId> = (0..=n_stages).map(CoreId).collect();
-                let stage_ranks: Vec<usize> = (1..=n_stages).collect();
-                let mut programs: Vec<Option<CoreProgram>> = Vec::new();
-                {
-                    let ues = ues.clone();
-                    let stage_ranks = stage_ranks.clone();
-                    programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
-                        let mut comm = Rcce::new(ctx, &ues);
-                        let _ = pipeline(&mut comm, &stage_ranks, &jobs(40));
-                    })));
-                }
-                for stage in 1..=n_stages {
-                    let ues = ues.clone();
-                    let prev = if stage == 1 { 0 } else { stage - 1 };
-                    let next = if stage == n_stages { 0 } else { stage + 1 };
-                    programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
-                        let mut comm = Rcce::new(ctx, &ues);
-                        stage_loop(&mut comm, prev, next, |_id, p| (p, 5_000));
-                    })));
-                }
-                black_box(Simulator::new(NocConfig::scc()).run(programs))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, &n_stages| {
+                b.iter(|| {
+                    let ues: Vec<CoreId> = (0..=n_stages).map(CoreId).collect();
+                    let stage_ranks: Vec<usize> = (1..=n_stages).collect();
+                    let mut programs: Vec<Option<CoreProgram>> = Vec::new();
+                    {
+                        let ues = ues.clone();
+                        let stage_ranks = stage_ranks.clone();
+                        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                            let mut comm = Rcce::new(ctx, &ues);
+                            let _ = pipeline(&mut comm, &stage_ranks, &jobs(40));
+                        })));
+                    }
+                    for stage in 1..=n_stages {
+                        let ues = ues.clone();
+                        let prev = if stage == 1 { 0 } else { stage - 1 };
+                        let next = if stage == n_stages { 0 } else { stage + 1 };
+                        programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
+                            let mut comm = Rcce::new(ctx, &ues);
+                            stage_loop(&mut comm, prev, next, |_id, p| (p, 5_000));
+                        })));
+                    }
+                    black_box(Simulator::new(NocConfig::scc()).run(programs))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -28,9 +28,7 @@ fn bench_exp1(c: &mut Criterion) {
                 &NocConfig::scc(),
                 &DistributedConfig::default(),
             );
-            assert!(rows
-                .iter()
-                .all(|r| r.tmalign_dist_secs > r.rckalign_secs));
+            assert!(rows.iter().all(|r| r.tmalign_dist_secs > r.rckalign_secs));
             black_box(rows)
         })
     });
@@ -42,7 +40,11 @@ fn bench_table3(c: &mut Criterion) {
     let rs = prepared_tiny();
     c.bench_function("table3_serial_baselines_tiny", |b| {
         b.iter(|| {
-            let rows = table3(black_box(&ck), black_box(&rs), NocConfig::scc().cycles_per_op);
+            let rows = table3(
+                black_box(&ck),
+                black_box(&rs),
+                NocConfig::scc().cycles_per_op,
+            );
             assert!(rows[0].ck34_secs < rows[1].ck34_secs);
             black_box(rows)
         })
@@ -60,13 +62,11 @@ fn bench_exp2(c: &mut Criterion) {
             &counts,
             |b, counts| {
                 b.iter(|| {
-                    let rows = experiment2(
-                        black_box(&ck),
-                        black_box(&rs),
-                        counts,
-                        &NocConfig::scc(),
-                    );
-                    assert!(rows.windows(2).all(|w| w[1].ck34_speedup > w[0].ck34_speedup));
+                    let rows =
+                        experiment2(black_box(&ck), black_box(&rs), counts, &NocConfig::scc());
+                    assert!(rows
+                        .windows(2)
+                        .all(|w| w[1].ck34_speedup > w[0].ck34_speedup));
                     black_box(rows)
                 })
             },
@@ -82,7 +82,9 @@ fn bench_table5(c: &mut Criterion) {
     c.bench_function("table5_summary_tiny", |b| {
         b.iter(|| {
             let rows = table5(black_box(&ck), black_box(&rs), &NocConfig::scc());
-            assert!(rows.iter().all(|r| r.speedup_vs_p54c() > r.speedup_vs_amd()));
+            assert!(rows
+                .iter()
+                .all(|r| r.speedup_vs_p54c() > r.speedup_vs_amd()));
             black_box(rows)
         })
     });

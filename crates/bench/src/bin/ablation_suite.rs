@@ -56,7 +56,10 @@ fn main() {
     println!("\nAblation 3 — master hierarchy (CK34, ~44 working slaves)\n");
     let mut t = TextTable::new(&["Organisation", "Makespan (s)"]);
     let flat = run_all_vs_all(&cache, &RckAlignOptions::paper(44));
-    t.row(&["flat: 1 master × 44 slaves".into(), fmt_secs(flat.makespan_secs)]);
+    t.row(&[
+        "flat: 1 master × 44 slaves".into(),
+        fmt_secs(flat.makespan_secs),
+    ]);
     for (k, s) in [(2usize, 22usize), (4, 10)] {
         let h = run_hierarchical(
             &cache,
@@ -123,7 +126,10 @@ fn main() {
     // congestion model on, the makespan should barely move.
     println!("\nAblation 5 — mesh link contention (CK34, 47 slaves)\n");
     let mut t = TextTable::new(&["Mesh model", "Makespan (s)"]);
-    for (name, contention) in [("contention-free (default)", false), ("per-link FCFS contention", true)] {
+    for (name, contention) in [
+        ("contention-free (default)", false),
+        ("per-link FCFS contention", true),
+    ] {
         let mut noc = NocConfig::scc();
         noc.link_contention = contention;
         let run = run_all_vs_all(
@@ -142,7 +148,10 @@ fn main() {
     // 6. MC-PSC partitioning.
     println!("\nAblation 6 — MC-PSC core partitioning (CK34, 45 slaves, 3 methods)\n");
     let mut t = TextTable::new(&["Strategy", "Makespan (s)", "Partition"]);
-    for strategy in [PartitionStrategy::Equal, PartitionStrategy::ProportionalToCost] {
+    for strategy in [
+        PartitionStrategy::Equal,
+        PartitionStrategy::ProportionalToCost,
+    ] {
         let run = run_mcpsc(
             &cache,
             &McPscOptions {

@@ -105,7 +105,8 @@ fn main() -> ExitCode {
     ));
     claims.push(Claim::new(
         "distributed curve keeps improving through 47 cores (no early flattening)",
-        e1.windows(2).all(|w| w[1].tmalign_dist_secs < w[0].tmalign_dist_secs),
+        e1.windows(2)
+            .all(|w| w[1].tmalign_dist_secs < w[0].tmalign_dist_secs),
         "checked 5 sweep points".into(),
     ));
 

@@ -76,7 +76,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("bad seed count {value}"))?;
             }
             "base-seed" => {
-                opts.base_seed = value.parse().map_err(|_| format!("bad base seed {value}"))?;
+                opts.base_seed = value
+                    .parse()
+                    .map_err(|_| format!("bad base seed {value}"))?;
             }
             "repeat" => {
                 opts.repeat = value

@@ -396,7 +396,11 @@ mod tests {
         assert_eq!(paper_reference("CK34", 1), Some((1.0, 2029.0)));
         assert_eq!(paper_reference("ck34", 47).unwrap().0, 36.17);
         assert_eq!(paper_reference("RS119", 3).unwrap().1, 9654.0);
-        assert_eq!(paper_reference("CK34", 2), None, "no paper row for 2 slaves");
+        assert_eq!(
+            paper_reference("CK34", 2),
+            None,
+            "no paper row for 2 slaves"
+        );
         assert_eq!(paper_reference("TINY8", 1), None);
     }
 

@@ -10,8 +10,16 @@ use rckalign_bench::{ck34_cache, paper};
 fn main() {
     let cache = ck34_cache();
     let noc = NocConfig::scc();
-    eprintln!("computing CK34 pair cache + {} sweep points…", PAPER_SLAVE_COUNTS.len());
-    let rows = experiment1(&cache, &PAPER_SLAVE_COUNTS, &noc, &DistributedConfig::default());
+    eprintln!(
+        "computing CK34 pair cache + {} sweep points…",
+        PAPER_SLAVE_COUNTS.len()
+    );
+    let rows = experiment1(
+        &cache,
+        &PAPER_SLAVE_COUNTS,
+        &noc,
+        &DistributedConfig::default(),
+    );
 
     println!("Table II — rckAlign vs distributed TM-align, all-vs-all CK34 (seconds)\n");
     let mut t = TextTable::new(&[
@@ -32,11 +40,17 @@ fn main() {
     }
     print!("{}", t.render());
     if let Err(e) = std::fs::create_dir_all("target/experiments").and_then(|_| {
-        std::fs::write(concat!("target/experiments/", env!("CARGO_BIN_NAME"), ".csv"), t.to_csv())
+        std::fs::write(
+            concat!("target/experiments/", env!("CARGO_BIN_NAME"), ".csv"),
+            t.to_csv(),
+        )
     }) {
         eprintln!("note: could not write CSV: {e}");
     } else {
-        eprintln!("CSV written to target/experiments/{}.csv", env!("CARGO_BIN_NAME"));
+        eprintln!(
+            "CSV written to target/experiments/{}.csv",
+            env!("CARGO_BIN_NAME")
+        );
     }
 
     println!("\nFigure 5 — time (log scale) vs number of cores\n");
@@ -70,7 +84,5 @@ fn main() {
         .iter()
         .map(|r| r.tmalign_dist_secs / r.rckalign_secs)
         .fold(f64::INFINITY, f64::min);
-    println!(
-        "\nShape check: distributed/rckAlign ratio ≥ {worst:.2} at every N (paper: 2.1–2.6)."
-    );
+    println!("\nShape check: distributed/rckAlign ratio ≥ {worst:.2} at every N (paper: 2.1–2.6).");
 }

@@ -13,15 +13,11 @@ fn main() {
     let rows = table3(&ck, &rs, NocConfig::scc().cycles_per_op);
 
     println!("Table III — serial all-vs-all TM-align baselines (seconds)\n");
-    let mut t = TextTable::new(&[
-        "Processor",
-        "CK34",
-        "CK34(paper)",
-        "RS119",
-        "RS119(paper)",
-    ]);
+    let mut t = TextTable::new(&["Processor", "CK34", "CK34(paper)", "RS119", "RS119(paper)"]);
     for (row, (pname, pck, prs)) in rows.iter().zip(paper::TABLE3) {
-        assert!(row.processor.contains(pname.split_whitespace().next().unwrap()));
+        assert!(row
+            .processor
+            .contains(pname.split_whitespace().next().unwrap()));
         t.row(&[
             row.processor.clone(),
             fmt_secs(row.ck34_secs),

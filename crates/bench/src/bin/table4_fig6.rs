@@ -9,7 +9,10 @@ use rckalign_bench::{ck34_cache, paper, rs119_cache};
 fn main() {
     let ck = ck34_cache();
     let rs = rs119_cache();
-    eprintln!("computing pair caches + 2×{} sweep points…", PAPER_SLAVE_COUNTS.len());
+    eprintln!(
+        "computing pair caches + 2×{} sweep points…",
+        PAPER_SLAVE_COUNTS.len()
+    );
     let rows = experiment2(&ck, &rs, &PAPER_SLAVE_COUNTS, &NocConfig::scc());
 
     println!("Table IV — rckAlign all-vs-all performance (speedup vs 1 SCC core)\n");
@@ -41,11 +44,17 @@ fn main() {
     }
     print!("{}", t.render());
     if let Err(e) = std::fs::create_dir_all("target/experiments").and_then(|_| {
-        std::fs::write(concat!("target/experiments/", env!("CARGO_BIN_NAME"), ".csv"), t.to_csv())
+        std::fs::write(
+            concat!("target/experiments/", env!("CARGO_BIN_NAME"), ".csv"),
+            t.to_csv(),
+        )
     }) {
         eprintln!("note: could not write CSV: {e}");
     } else {
-        eprintln!("CSV written to target/experiments/{}.csv", env!("CARGO_BIN_NAME"));
+        eprintln!(
+            "CSV written to target/experiments/{}.csv",
+            env!("CARGO_BIN_NAME")
+        );
     }
 
     println!("\nFigure 6 — speedup vs number of slave cores\n");

@@ -5,9 +5,9 @@
 //! sweep rckAlign past the SCC's 47-slave ceiling on RS119.
 
 use rck_noc::{NocConfig, Topology};
+use rck_tmalign::MethodKind;
 use rckalign::report::{fmt_secs, fmt_speedup, TextTable};
 use rckalign::{serial, CpuModel, RckAlignOptions};
-use rck_tmalign::MethodKind;
 use rckalign_bench::rs119_cache;
 
 fn main() {
@@ -26,12 +26,7 @@ fn main() {
     assert_eq!(scc128.topology.core_count(), 128);
 
     let jobs = rckalign::all_vs_all(cache.len(), MethodKind::TmAlign);
-    let base = serial::serial_time_secs(
-        &cache,
-        &jobs,
-        &CpuModel::p54c_800(),
-        scc128.cycles_per_op,
-    );
+    let base = serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), scc128.cycles_per_op);
 
     println!("What-if — a 128-core SCC-class chip (8×8 tiles), RS119 all-vs-all\n");
     let mut t = TextTable::new(&["Slave Cores", "Time (s)", "Speedup", "Efficiency"]);

@@ -36,8 +36,8 @@ pub mod paper {
 
     /// Table II: rckAlign seconds on CK34.
     pub const TABLE2_RCKALIGN: [f64; 24] = [
-        2027.0, 689.0, 420.0, 305.0, 238.0, 196.0, 168.0, 148.0, 132.0, 120.0, 109.0, 101.0,
-        94.0, 88.0, 83.0, 79.0, 73.0, 71.0, 68.0, 65.0, 62.0, 60.0, 59.0, 56.0,
+        2027.0, 689.0, 420.0, 305.0, 238.0, 196.0, 168.0, 148.0, 132.0, 120.0, 109.0, 101.0, 94.0,
+        88.0, 83.0, 79.0, 73.0, 71.0, 68.0, 65.0, 62.0, 60.0, 59.0, 56.0,
     ];
 
     /// Table II: distributed TM-align seconds on CK34.
@@ -54,20 +54,58 @@ pub mod paper {
 
     /// Table IV: CK34 (speedup, seconds) per slave count.
     pub const TABLE4_CK34: [(f64, f64); 24] = [
-        (1.0, 2029.0), (2.94, 689.0), (4.82, 420.0), (6.66, 305.0), (8.52, 238.0),
-        (10.34, 196.0), (12.09, 168.0), (13.74, 148.0), (15.36, 132.0), (16.89, 120.0),
-        (18.53, 109.0), (20.03, 101.0), (21.56, 94.0), (23.02, 88.0), (24.52, 83.0),
-        (25.72, 79.0), (27.68, 73.0), (28.43, 71.0), (29.75, 68.0), (30.97, 65.0),
-        (32.60, 62.0), (33.59, 60.0), (34.45, 59.0), (36.17, 56.0),
+        (1.0, 2029.0),
+        (2.94, 689.0),
+        (4.82, 420.0),
+        (6.66, 305.0),
+        (8.52, 238.0),
+        (10.34, 196.0),
+        (12.09, 168.0),
+        (13.74, 148.0),
+        (15.36, 132.0),
+        (16.89, 120.0),
+        (18.53, 109.0),
+        (20.03, 101.0),
+        (21.56, 94.0),
+        (23.02, 88.0),
+        (24.52, 83.0),
+        (25.72, 79.0),
+        (27.68, 73.0),
+        (28.43, 71.0),
+        (29.75, 68.0),
+        (30.97, 65.0),
+        (32.60, 62.0),
+        (33.59, 60.0),
+        (34.45, 59.0),
+        (36.17, 56.0),
     ];
 
     /// Table IV: RS119 (speedup, seconds) per slave count.
     pub const TABLE4_RS119: [(f64, f64); 24] = [
-        (1.0, 28597.0), (2.96, 9654.0), (4.91, 5818.0), (6.95, 4114.0), (8.94, 3195.0),
-        (10.97, 2605.0), (12.95, 2208.0), (14.88, 1921.0), (16.76, 1705.0), (18.64, 1534.0),
-        (20.59, 1389.0), (22.52, 1270.0), (24.52, 1166.0), (26.49, 1079.0), (28.45, 1005.0),
-        (30.37, 941.0), (32.32, 885.0), (34.21, 836.0), (36.14, 791.0), (38.01, 752.0),
-        (39.74, 719.0), (41.49, 689.0), (43.40, 659.0), (44.78, 640.0),
+        (1.0, 28597.0),
+        (2.96, 9654.0),
+        (4.91, 5818.0),
+        (6.95, 4114.0),
+        (8.94, 3195.0),
+        (10.97, 2605.0),
+        (12.95, 2208.0),
+        (14.88, 1921.0),
+        (16.76, 1705.0),
+        (18.64, 1534.0),
+        (20.59, 1389.0),
+        (22.52, 1270.0),
+        (24.52, 1166.0),
+        (26.49, 1079.0),
+        (28.45, 1005.0),
+        (30.37, 941.0),
+        (32.32, 885.0),
+        (34.21, 836.0),
+        (36.14, 791.0),
+        (38.01, 752.0),
+        (39.74, 719.0),
+        (41.49, 689.0),
+        (43.40, 659.0),
+        (44.78, 640.0),
     ];
 
     /// Table V rows: (dataset, TM-align AMD, TM-align P54C, rckAlign SCC).

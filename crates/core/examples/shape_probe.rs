@@ -1,7 +1,7 @@
 //! Dev probe: CK34 shape check against the paper.
-use rckalign::*;
 use rck_pdb::datasets;
 use rck_tmalign::MethodKind;
+use rckalign::*;
 use std::time::Instant;
 
 fn main() {
@@ -20,7 +20,13 @@ fn main() {
     for n in [1usize, 11, 23, 35, 47] {
         let t = Instant::now();
         let run = run_all_vs_all(&cache, &RckAlignOptions::paper(n));
-        let dist = run_distributed(&cache, &jobs, n, &RckAlignOptions::paper(1).noc, &Default::default());
+        let dist = run_distributed(
+            &cache,
+            &jobs,
+            n,
+            &RckAlignOptions::paper(1).noc,
+            &Default::default(),
+        );
         println!(
             "N={n:2}: rck {:7.0}s (speedup {:5.2}) dist {:7.0}s   [host {:?}]",
             run.makespan_secs,

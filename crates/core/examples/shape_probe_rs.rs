@@ -1,7 +1,7 @@
 //! Dev probe: RS119 shape check.
-use rckalign::*;
 use rck_pdb::datasets;
 use rck_tmalign::MethodKind;
+use rckalign::*;
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +17,11 @@ fn main() {
     for n in [1usize, 11, 23, 47] {
         let t = Instant::now();
         let run = run_all_vs_all(&cache, &RckAlignOptions::paper(n));
-        println!("N={n:2}: rck {:7.0}s speedup {:5.2}  [host {:?}]",
-                 run.makespan_secs, p54c / run.makespan_secs, t.elapsed());
+        println!(
+            "N={n:2}: rck {:7.0}s speedup {:5.2}  [host {:?}]",
+            run.makespan_secs,
+            p54c / run.makespan_secs,
+            t.elapsed()
+        );
     }
 }

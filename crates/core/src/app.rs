@@ -132,11 +132,7 @@ pub fn run_all_vs_all(cache: &PairCache, opts: &RckAlignOptions) -> RckAlignRun 
                 .map(|(k, pj)| {
                     Job::new(
                         k as u64,
-                        encode_pair_payload(
-                            pj,
-                            &chains[pj.i as usize],
-                            &chains[pj.j as usize],
-                        ),
+                        encode_pair_payload(pj, &chains[pj.i as usize], &chains[pj.j as usize]),
                     )
                 })
                 .collect();
@@ -285,7 +281,10 @@ mod tests {
             },
         );
         assert_eq!(run.outcomes.len(), pair_count(cache.len()));
-        assert!(run.outcomes.iter().all(|o| o.method == MethodKind::KabschRmsd));
+        assert!(run
+            .outcomes
+            .iter()
+            .all(|o| o.method == MethodKind::KabschRmsd));
     }
 
     #[test]

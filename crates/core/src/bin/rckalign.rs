@@ -110,7 +110,10 @@ fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         .unwrap_or(2013);
     let slaves: usize = flags
         .get("slaves")
-        .map(|v| v.parse().map_err(|_| ParseError(format!("bad slave count {v}"))))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| ParseError(format!("bad slave count {v}")))
+        })
         .transpose()?
         .unwrap_or(47);
     if slaves == 0 || slaves > 47 {
@@ -121,7 +124,9 @@ fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         Some("datasets") => Ok(Command::Datasets),
         Some("align") => {
             if pos.len() != 4 {
-                return Err(ParseError("align needs <dataset> <chain_a> <chain_b>".into()));
+                return Err(ParseError(
+                    "align needs <dataset> <chain_a> <chain_b>".into(),
+                ));
             }
             Ok(Command::Align {
                 dataset: pos[1].clone(),
@@ -198,7 +203,11 @@ fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     out
                 }
             };
-            Ok(Command::Experiment { which, points, seed })
+            Ok(Command::Experiment {
+                which,
+                points,
+                seed,
+            })
         }
         Some("export") => {
             if pos.len() != 3 {
@@ -248,7 +257,12 @@ fn run(cmd: Command) -> Result<(), ParseError> {
             }
             Ok(())
         }
-        Command::Align { dataset, a, b, seed } => {
+        Command::Align {
+            dataset,
+            a,
+            b,
+            seed,
+        } => {
             let chains = load_dataset(&dataset, seed)?;
             let ca = find_chain(&chains, &a)?;
             let cb = find_chain(&chains, &b)?;
@@ -314,7 +328,11 @@ fn run(cmd: Command) -> Result<(), ParseError> {
                 n_slaves: slaves,
                 method,
                 ordering,
-                scheduling: if waves { Scheduling::Waves } else { Scheduling::Farm },
+                scheduling: if waves {
+                    Scheduling::Waves
+                } else {
+                    Scheduling::Farm
+                },
                 noc: NocConfig::scc(),
             };
             let run = run_all_vs_all(&cache, &opts);
@@ -336,7 +354,11 @@ fn run(cmd: Command) -> Result<(), ParseError> {
             }
             Ok(())
         }
-        Command::Experiment { which, points, seed } => {
+        Command::Experiment {
+            which,
+            points,
+            seed,
+        } => {
             run_experiment(which, &points, seed);
             Ok(())
         }
@@ -400,7 +422,8 @@ fn run_experiment(which: u8, points: &[usize], seed: u64) {
         5 => {
             let rs = PairCache::new(datasets::rs119_profile().generate(seed));
             let rows = experiments::table5(&ck, &rs, &noc);
-            let mut t = TextTable::new(&["Dataset", "TM-align AMD", "TM-align P54C", "rckAlign SCC"]);
+            let mut t =
+                TextTable::new(&["Dataset", "TM-align AMD", "TM-align P54C", "rckAlign SCC"]);
             for r in &rows {
                 t.row(&[
                     r.dataset.clone(),
@@ -462,7 +485,8 @@ mod tests {
 
     #[test]
     fn parses_allvsall_with_flags() {
-        let c = parse("allvsall TINY8 --slaves 5 --method contact-map --ordering lpt --waves").unwrap();
+        let c =
+            parse("allvsall TINY8 --slaves 5 --method contact-map --ordering lpt --waves").unwrap();
         match c {
             Command::AllVsAll {
                 dataset,
@@ -512,7 +536,9 @@ mod tests {
     #[test]
     fn default_flags() {
         match parse("rank TINY8 thlx_00").unwrap() {
-            Command::Rank { top, slaves, seed, .. } => {
+            Command::Rank {
+                top, slaves, seed, ..
+            } => {
                 assert_eq!(top, 10);
                 assert_eq!(slaves, 47);
                 assert_eq!(seed, 2013);

@@ -190,10 +190,18 @@ mod tests {
     }
 
     #[test]
-    fn methods_are_cached_independently(){
+    fn methods_are_cached_independently() {
         let c = cache();
-        let tm = PairJob { i: 0, j: 1, method: MethodKind::TmAlign };
-        let cm = PairJob { i: 0, j: 1, method: MethodKind::ContactMap };
+        let tm = PairJob {
+            i: 0,
+            j: 1,
+            method: MethodKind::TmAlign,
+        };
+        let cm = PairJob {
+            i: 0,
+            j: 1,
+            method: MethodKind::ContactMap,
+        };
         let a = c.get_or_compute(&tm);
         let b = c.get_or_compute(&cm);
         assert_eq!(c.computed(), 2);

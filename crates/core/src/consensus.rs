@@ -36,11 +36,8 @@ impl Consensus {
         let mut kept = Vec::new();
         let mut matrices = Vec::new();
         for &m in methods {
-            let of_method: Vec<PairOutcome> = outcomes
-                .iter()
-                .filter(|o| o.method == m)
-                .copied()
-                .collect();
+            let of_method: Vec<PairOutcome> =
+                outcomes.iter().filter(|o| o.method == m).copied().collect();
             if !of_method.is_empty() {
                 kept.push(m);
                 matrices.push(SimilarityMatrix::from_outcomes(n, &of_method));
@@ -71,7 +68,10 @@ impl Consensus {
     /// # Panics
     /// Panics if no method contributed any outcomes.
     pub fn ranked_neighbours(&self, query: usize, combiner: Combiner) -> Vec<(usize, f64)> {
-        assert!(!self.matrices.is_empty(), "consensus needs at least one method");
+        assert!(
+            !self.matrices.is_empty(),
+            "consensus needs at least one method"
+        );
         let candidates: Vec<usize> = (0..self.n).filter(|&k| k != query).collect();
         let mut scores: Vec<(usize, f64)> = match combiner {
             Combiner::MeanScore => candidates
@@ -119,7 +119,11 @@ impl Consensus {
                     .collect()
             }
         };
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scores.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
         scores
     }
 }
@@ -170,7 +174,10 @@ mod tests {
     fn mean_rank_is_scale_free() {
         // Scale one method's scores by 100× — rank consensus unchanged.
         let mut scaled = sample();
-        for o in scaled.iter_mut().filter(|o| o.method == MethodKind::ContactMap) {
+        for o in scaled
+            .iter_mut()
+            .filter(|o| o.method == MethodKind::ContactMap)
+        {
             o.similarity /= 100.0;
         }
         let a = Consensus::from_outcomes(4, &sample(), &METHODS);
@@ -191,7 +198,8 @@ mod tests {
 
     #[test]
     fn missing_methods_are_dropped() {
-        let c = Consensus::from_outcomes(4, &sample(), &[MethodKind::TmAlign, MethodKind::KabschRmsd]);
+        let c =
+            Consensus::from_outcomes(4, &sample(), &[MethodKind::TmAlign, MethodKind::KabschRmsd]);
         assert_eq!(c.methods(), &[MethodKind::TmAlign]);
         assert!(c.matrix_for(MethodKind::KabschRmsd).is_none());
         assert!(c.matrix_for(MethodKind::TmAlign).is_some());

@@ -18,7 +18,9 @@
 
 use crate::cache::PairCache;
 use crate::jobs::{decode_outcome, encode_outcome, PairJob};
-use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, ResourceId, SimDuration, SimReport, Simulator};
+use rck_noc::{
+    CoreCtx, CoreId, CoreProgram, NocConfig, ResourceId, SimDuration, SimReport, Simulator,
+};
 use rck_rcce::{Rcce, Reader, Writer};
 use rck_skel::{farm, wire, Job, JobResult};
 use serde::{Deserialize, Serialize};
@@ -99,9 +101,7 @@ pub fn run_distributed(
     let outcomes = parking_lot::Mutex::new(Vec::with_capacity(jobs.len()));
 
     let spawn = SimDuration::from_secs_f64(dcfg.spawn_overhead_secs);
-    let nfs = SimDuration::from_secs_f64(
-        dcfg.nfs_read_secs_per_file * dcfg.files_per_job as f64,
-    );
+    let nfs = SimDuration::from_secs_f64(dcfg.nfs_read_secs_per_file * dcfg.files_per_job as f64);
 
     let mut programs: Vec<Option<CoreProgram>> = Vec::with_capacity(n_slaves + 1);
     // The MCPC dispatcher: dynamic farm over tiny job descriptors.
@@ -209,13 +209,11 @@ mod tests {
         let (cache, jobs) = setup();
         let dcfg = DistributedConfig::default();
         let run = run_distributed(&cache, &jobs, 1, &NocConfig::scc(), &dcfg);
-        let per_job_overhead = dcfg.spawn_overhead_secs
-            + dcfg.nfs_read_secs_per_file * dcfg.files_per_job as f64;
+        let per_job_overhead =
+            dcfg.spawn_overhead_secs + dcfg.nfs_read_secs_per_file * dcfg.files_per_job as f64;
         let compute: f64 = jobs
             .iter()
-            .map(|j| {
-                CpuSecs::secs(cache.get_or_compute(j).ops, NocConfig::scc().cycles_per_op)
-            })
+            .map(|j| CpuSecs::secs(cache.get_or_compute(j).ops, NocConfig::scc().cycles_per_op))
             .sum();
         let expect = compute + per_job_overhead * jobs.len() as f64;
         let rel = (run.makespan_secs - expect).abs() / expect;

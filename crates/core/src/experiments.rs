@@ -240,7 +240,11 @@ mod tests {
         let rows = experiment2(&ck, &rs, &[1, 2, 4], &NocConfig::scc());
         assert_eq!(rows.len(), 3);
         // Speedup at 1 slave ≈ 1 (paper Table IV row 1).
-        assert!((rows[0].ck34_speedup - 1.0).abs() < 0.05, "{}", rows[0].ck34_speedup);
+        assert!(
+            (rows[0].ck34_speedup - 1.0).abs() < 0.05,
+            "{}",
+            rows[0].ck34_speedup
+        );
         assert!(rows[1].ck34_speedup > rows[0].ck34_speedup);
         assert!(rows[2].ck34_speedup > rows[1].ck34_speedup);
         // Never super-linear.

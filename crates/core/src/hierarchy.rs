@@ -64,7 +64,9 @@ fn encode_block(jobs: &[Vec<u8>]) -> Vec<u8> {
 fn decode_block(data: Vec<u8>) -> Vec<Vec<u8>> {
     let mut r = Reader::new(data);
     let n = r.get_u32().expect("block length");
-    (0..n).map(|_| r.get_bytes().expect("block entry")).collect()
+    (0..n)
+        .map(|_| r.get_bytes().expect("block entry"))
+        .collect()
 }
 
 /// Run the all-vs-all workload through a two-level master hierarchy.

@@ -75,7 +75,9 @@ fn put_chain(w: &mut Writer, chain: &CaChain) {
         w.put_u8(aa.index());
     }
     for c in &chain.coords {
-        w.put_f32(c.x as f32).put_f32(c.y as f32).put_f32(c.z as f32);
+        w.put_f32(c.x as f32)
+            .put_f32(c.y as f32)
+            .put_f32(c.z as f32);
     }
 }
 
@@ -289,9 +291,21 @@ mod tests {
     #[test]
     fn chain_indices_are_sorted_unique() {
         let jobs = vec![
-            PairJob { i: 3, j: 7, method: MethodKind::TmAlign },
-            PairJob { i: 0, j: 3, method: MethodKind::TmAlign },
-            PairJob { i: 7, j: 9, method: MethodKind::TmAlign },
+            PairJob {
+                i: 3,
+                j: 7,
+                method: MethodKind::TmAlign,
+            },
+            PairJob {
+                i: 0,
+                j: 3,
+                method: MethodKind::TmAlign,
+            },
+            PairJob {
+                i: 7,
+                j: 9,
+                method: MethodKind::TmAlign,
+            },
         ];
         assert_eq!(chain_indices(&jobs), vec![0, 3, 7, 9]);
         assert!(chain_indices(&[]).is_empty());

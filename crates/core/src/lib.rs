@@ -44,8 +44,8 @@ pub mod serial;
 
 pub use analysis::{utilization, utilization_sweep, UtilizationPoint};
 pub use app::{run_all_vs_all, RckAlignOptions, RckAlignRun, Scheduling};
-pub use consensus::{Combiner, Consensus};
 pub use cache::PairCache;
+pub use consensus::{Combiner, Consensus};
 pub use cpu::CpuModel;
 pub use distributed::{run_distributed, DistributedConfig, DistributedRun};
 pub use hierarchy::{run_hierarchical, HierarchyOptions, HierarchyRun};

@@ -62,7 +62,10 @@ pub struct McPscRun {
 impl McPscRun {
     /// Outcomes of one method.
     pub fn outcomes_for(&self, method: MethodKind) -> Vec<&PairOutcome> {
-        self.outcomes.iter().filter(|o| o.method == method).collect()
+        self.outcomes
+            .iter()
+            .filter(|o| o.method == method)
+            .collect()
     }
 }
 
@@ -199,9 +202,8 @@ pub fn run_mcpsc(cache: &PairCache, opts: &McPscOptions) -> McPscRun {
             charge_dataset_load(ctx, chains);
             let mut comm = Rcce::new(ctx, &ues);
             let mut next: Vec<usize> = vec![0; methods.len()];
-            let method_idx = |m: MethodKind| {
-                methods.iter().position(|&x| x == m).expect("known method")
-            };
+            let method_idx =
+                |m: MethodKind| methods.iter().position(|&x| x == m).expect("known method");
 
             // Prime every slave with the first job of its method.
             let mut active: Vec<usize> = Vec::new();

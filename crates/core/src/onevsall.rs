@@ -13,8 +13,7 @@ use crate::app::charge_dataset_load;
 use crate::cache::PairCache;
 use crate::consensus::{Combiner, Consensus};
 use crate::jobs::{
-    decode_outcome, decode_pair_payload, encode_outcome, encode_pair_payload, PairJob,
-    PairOutcome,
+    decode_outcome, decode_pair_payload, encode_outcome, encode_pair_payload, PairJob, PairOutcome,
 };
 use rck_noc::{CoreCtx, CoreId, CoreProgram, NocConfig, SimReport, Simulator};
 use rck_rcce::Rcce;
@@ -201,8 +200,8 @@ mod tests {
     fn one_vs_all_is_cheaper_than_all_vs_all() {
         let c = cache();
         let one = run_one_vs_all(&c, 0, &opts(4)).makespan_secs;
-        let all = crate::app::run_all_vs_all(&c, &crate::app::RckAlignOptions::paper(4))
-            .makespan_secs;
+        let all =
+            crate::app::run_all_vs_all(&c, &crate::app::RckAlignOptions::paper(4)).makespan_secs;
         assert!(one < all, "one-vs-all {one} vs all-vs-all {all}");
     }
 

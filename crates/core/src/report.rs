@@ -81,9 +81,8 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        let row_line = |cells: &[String]| {
-            cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-        };
+        let row_line =
+            |cells: &[String]| cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
         let _ = writeln!(out, "{}", row_line(&self.headers));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row_line(row));
@@ -147,7 +146,10 @@ pub struct Series {
 /// Render series as an ASCII scatter chart, optionally with a log y-axis
 /// (Figure 5 of the paper is log-scale).
 pub fn ascii_chart(series: &[Series], width: usize, height: usize, log_y: bool) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }

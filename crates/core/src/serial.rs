@@ -55,7 +55,10 @@ mod tests {
         let t_amd = serial_time_secs(&cache, &jobs, &amd, 1700.0);
         let t_p54c = serial_time_secs(&cache, &jobs, &p54c, 1700.0);
         let ratio = t_p54c / t_amd;
-        assert!((ratio - amd.speed_ratio_over(&p54c)).abs() < 1e-9, "{ratio}");
+        assert!(
+            (ratio - amd.speed_ratio_over(&p54c)).abs() < 1e-9,
+            "{ratio}"
+        );
     }
 
     #[test]
@@ -78,12 +81,7 @@ mod tests {
         let cache = PairCache::new(tiny_profile().generate(5));
         let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
         let opts = RckAlignOptions::paper(1);
-        let serial = serial_time_secs(
-            &cache,
-            &jobs,
-            &CpuModel::p54c_800(),
-            opts.noc.cycles_per_op,
-        );
+        let serial = serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), opts.noc.cycles_per_op);
         let parallel = run_all_vs_all(&cache, &opts).makespan_secs;
         let rel = (parallel - serial).abs() / serial;
         assert!(rel < 0.05, "serial {serial} vs 1-slave {parallel} ({rel})");

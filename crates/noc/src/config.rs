@@ -131,7 +131,10 @@ impl NocConfig {
             problems.push("topology has zero cores".into());
         }
         if !(self.freq_hz > 0.0 && self.freq_hz.is_finite()) {
-            problems.push(format!("core frequency must be positive, got {}", self.freq_hz));
+            problems.push(format!(
+                "core frequency must be positive, got {}",
+                self.freq_hz
+            ));
         }
         if !(self.cycles_per_op > 0.0 && self.cycles_per_op.is_finite()) {
             problems.push(format!(
@@ -194,7 +197,10 @@ mod tests {
     fn copy_time_has_fixed_overhead() {
         let c = NocConfig::scc();
         let empty = c.copy_time(0);
-        assert!(empty.0 > 0, "per-message overhead applies to empty payloads");
+        assert!(
+            empty.0 > 0,
+            "per-message overhead applies to empty payloads"
+        );
         let big = c.copy_time(100_000);
         assert!(big > empty);
     }

@@ -22,9 +22,9 @@
 
 use crate::config::NocConfig;
 use crate::stats::{CoreStats, SimReport};
-use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::CoreId;
+use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -146,7 +146,6 @@ impl Shared {
             }
         }
     }
-
 }
 
 /// Handle through which a core program interacts with the simulated chip.
@@ -289,11 +288,13 @@ impl CoreCtx {
         let rr = s.cores[self.id].rr_cursor;
         let candidate = srcs
             .iter()
-            .filter(|&&c| matches!(&s.cores[c].status, Status::BlockedSend { to } if *to == self.id))
+            .filter(
+                |&&c| matches!(&s.cores[c].status, Status::BlockedSend { to } if *to == self.id),
+            )
             .min_by_key(|&&c| {
                 let posted = s.cores[c].posted_at;
-                let rr_dist = srcs.iter().position(|&x| x == c).unwrap().wrapping_sub(rr)
-                    % srcs.len().max(1);
+                let rr_dist =
+                    srcs.iter().position(|&x| x == c).unwrap().wrapping_sub(rr) % srcs.len().max(1);
                 (posted, rr_dist)
             })
             .copied();
@@ -305,7 +306,7 @@ impl CoreCtx {
                     charge_probes(&self.shared.cfg, &mut s, self.id, srcs, sender);
                 }
                 complete_transfer(&self.shared.cfg, &mut s, sender, self.id, payload, false);
-                
+
                 s.cores[self.id].inbox.take().expect("transfer delivered")
             }
             None => {
@@ -643,7 +644,12 @@ impl Simulator {
         if let Some(msg) = &s.failed {
             panic!("{msg}");
         }
-        let makespan = s.cores.iter().map(|c| c.time).max().unwrap_or(SimTime::ZERO);
+        let makespan = s
+            .cores
+            .iter()
+            .map(|c| c.time)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         let report = SimReport {
             makespan,
             per_core: s.cores.iter().map(|c| c.stats).collect(),
@@ -1010,16 +1016,22 @@ mod tests {
         let kinds: Vec<_> = trace.iter().map(|e| e.kind).collect();
         assert!(kinds.iter().any(|k| matches!(
             k,
-            crate::trace::TraceKind::Message { src: CoreId(0), dst: CoreId(1), bytes: 3 }
+            crate::trace::TraceKind::Message {
+                src: CoreId(0),
+                dst: CoreId(1),
+                bytes: 3
+            }
         )));
         assert!(kinds.iter().any(|k| matches!(
             k,
-            crate::trace::TraceKind::Resource { id: 3, core: CoreId(1) }
+            crate::trace::TraceKind::Resource {
+                id: 3,
+                core: CoreId(1)
+            }
         )));
-        assert!(kinds.iter().any(|k| matches!(
-            k,
-            crate::trace::TraceKind::Barrier { group: 2 }
-        )));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, crate::trace::TraceKind::Barrier { group: 2 })));
         // Trace is ordered by completion time.
         assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
     }

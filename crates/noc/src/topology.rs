@@ -213,10 +213,7 @@ mod tests {
         let t = Topology::SCC;
         // Corner tiles land on four distinct controllers.
         let corners = [CoreId(0), CoreId(10), CoreId(36), CoreId(46)];
-        let mut mcs: Vec<usize> = corners
-            .iter()
-            .map(|&c| t.memory_controller_of(c))
-            .collect();
+        let mut mcs: Vec<usize> = corners.iter().map(|&c| t.memory_controller_of(c)).collect();
         mcs.sort_unstable();
         mcs.dedup();
         assert_eq!(mcs.len(), 4);

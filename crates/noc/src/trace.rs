@@ -99,7 +99,12 @@ pub fn render_timeline(events: &[TraceEvent], n_cores: usize, width: usize) -> S
     if events.is_empty() {
         return String::from("(no events)\n");
     }
-    let t_max = events.iter().map(|e| e.at.0).max().expect("non-empty").max(1);
+    let t_max = events
+        .iter()
+        .map(|e| e.at.0)
+        .max()
+        .expect("non-empty")
+        .max(1);
     let bucket = |t: SimTime| ((t.0 as u128 * (width as u128 - 1)) / t_max as u128) as usize;
 
     let mut rows: Vec<Vec<char>> = vec![vec!['.'; width]; n_cores];

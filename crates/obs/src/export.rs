@@ -90,9 +90,7 @@ mod tests {
             spawn_dump_server("127.0.0.1:0".parse().unwrap(), vec![Arc::clone(&reg)]).unwrap();
 
         let mut stream = TcpStream::connect(addr).unwrap();
-        stream
-            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
-            .unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
 

@@ -50,8 +50,7 @@ pub mod registry;
 
 pub use export::{render_all, spawn_dump_server};
 pub use metric::{
-    nearest_rank, percentile, Counter, Gauge, Histogram, HistogramSnapshot,
-    DEFAULT_LATENCY_BOUNDS,
+    nearest_rank, percentile, Counter, Gauge, Histogram, HistogramSnapshot, DEFAULT_LATENCY_BOUNDS,
 };
 pub use registry::Registry;
 

@@ -169,7 +169,8 @@ impl Registry {
             members: BTreeMap::new(),
         });
         assert_eq!(
-            family.kind, kind,
+            family.kind,
+            kind,
             "metric {name} already registered as a {}",
             family.kind.as_str()
         );
@@ -225,7 +226,10 @@ fn validate_name(name: &str) {
         .next()
         .map(|c| c.is_ascii_alphabetic() || c == '_')
         .unwrap_or(false);
-    let ok_rest = name.chars().skip(1).all(|c| c.is_ascii_alphanumeric() || c == '_');
+    let ok_rest = name
+        .chars()
+        .skip(1)
+        .all(|c| c.is_ascii_alphanumeric() || c == '_');
     assert!(
         ok_first && ok_rest,
         "invalid metric or label name {name:?}: want [a-zA-Z_][a-zA-Z0-9_]*"
@@ -233,7 +237,9 @@ fn validate_name(name: &str) {
 }
 
 fn escape_label_value(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn label_string(labels: &[(&str, &str)]) -> String {
@@ -355,7 +361,9 @@ mod tests {
         let reg = Registry::new();
         let c = reg.counter_with("rck_test_esc", "h", &[("path", "a\"b\\c")]);
         c.inc();
-        assert!(reg.render().contains("rck_test_esc{path=\"a\\\"b\\\\c\"} 1"));
+        assert!(reg
+            .render()
+            .contains("rck_test_esc{path=\"a\\\"b\\\\c\"} 1"));
     }
 
     #[test]

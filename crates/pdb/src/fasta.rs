@@ -68,12 +68,10 @@ pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, PdbError> {
                 seq: Vec::new(),
             });
         } else {
-            let current = records
-                .last_mut()
-                .ok_or(PdbError::Malformed {
-                    line: lineno + 1,
-                    what: "sequence before FASTA header",
-                })?;
+            let current = records.last_mut().ok_or(PdbError::Malformed {
+                line: lineno + 1,
+                what: "sequence before FASTA header",
+            })?;
             for ch in line.chars() {
                 if ch.is_ascii_alphabetic() || ch == '*' || ch == '-' {
                     if ch != '*' && ch != '-' {
@@ -104,7 +102,10 @@ mod tests {
         let records = vec![
             FastaRecord {
                 header: "chain_a first test".into(),
-                seq: "ACDEFGHIKLMNPQRSTVWY".chars().map(AminoAcid::from_one_letter).collect(),
+                seq: "ACDEFGHIKLMNPQRSTVWY"
+                    .chars()
+                    .map(AminoAcid::from_one_letter)
+                    .collect(),
             },
             FastaRecord {
                 header: "chain_b".into(),

@@ -27,7 +27,7 @@ mod writer;
 
 pub use error::PdbError;
 pub use geometry::{Mat3, Transform, Vec3};
-pub use model::{AminoAcid, Atom, CaChain, Chain, Residue, Structure};
 pub use io::{load_pdb_dir, write_dataset_dir, IoError};
+pub use model::{AminoAcid, Atom, CaChain, Chain, Residue, Structure};
 pub use parser::{parse_pdb, parse_pdb_with, ParseOptions};
 pub use writer::write_pdb;

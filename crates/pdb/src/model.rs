@@ -14,8 +14,26 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum AminoAcid {
-    Ala, Arg, Asn, Asp, Cys, Gln, Glu, Gly, His, Ile,
-    Leu, Lys, Met, Phe, Pro, Ser, Thr, Trp, Tyr, Val,
+    Ala,
+    Arg,
+    Asn,
+    Asp,
+    Cys,
+    Gln,
+    Glu,
+    Gly,
+    His,
+    Ile,
+    Leu,
+    Lys,
+    Met,
+    Phe,
+    Pro,
+    Ser,
+    Thr,
+    Trp,
+    Tyr,
+    Val,
     /// Any residue we do not recognise (e.g. `MSE` before normalisation).
     Unknown,
 }
@@ -23,11 +41,26 @@ pub enum AminoAcid {
 impl AminoAcid {
     /// All twenty standard residues, in alphabetical three-letter order.
     pub const STANDARD: [AminoAcid; 20] = [
-        AminoAcid::Ala, AminoAcid::Arg, AminoAcid::Asn, AminoAcid::Asp,
-        AminoAcid::Cys, AminoAcid::Gln, AminoAcid::Glu, AminoAcid::Gly,
-        AminoAcid::His, AminoAcid::Ile, AminoAcid::Leu, AminoAcid::Lys,
-        AminoAcid::Met, AminoAcid::Phe, AminoAcid::Pro, AminoAcid::Ser,
-        AminoAcid::Thr, AminoAcid::Trp, AminoAcid::Tyr, AminoAcid::Val,
+        AminoAcid::Ala,
+        AminoAcid::Arg,
+        AminoAcid::Asn,
+        AminoAcid::Asp,
+        AminoAcid::Cys,
+        AminoAcid::Gln,
+        AminoAcid::Glu,
+        AminoAcid::Gly,
+        AminoAcid::His,
+        AminoAcid::Ile,
+        AminoAcid::Leu,
+        AminoAcid::Lys,
+        AminoAcid::Met,
+        AminoAcid::Phe,
+        AminoAcid::Pro,
+        AminoAcid::Ser,
+        AminoAcid::Thr,
+        AminoAcid::Trp,
+        AminoAcid::Tyr,
+        AminoAcid::Val,
     ];
 
     /// Parse a PDB three-letter residue name (case-insensitive). Selected
@@ -169,7 +202,9 @@ impl AminoAcid {
 
     /// Inverse of [`AminoAcid::index`]; values above 20 map to `Unknown`.
     pub fn from_index(idx: u8) -> AminoAcid {
-        *Self::STANDARD.get(idx as usize).unwrap_or(&AminoAcid::Unknown)
+        *Self::STANDARD
+            .get(idx as usize)
+            .unwrap_or(&AminoAcid::Unknown)
     }
 }
 
@@ -389,8 +424,7 @@ mod tests {
 
     #[test]
     fn standard_has_unique_codes() {
-        let mut letters: Vec<char> =
-            AminoAcid::STANDARD.iter().map(|a| a.one_letter()).collect();
+        let mut letters: Vec<char> = AminoAcid::STANDARD.iter().map(|a| a.one_letter()).collect();
         letters.sort_unstable();
         letters.dedup();
         assert_eq!(letters.len(), 20);

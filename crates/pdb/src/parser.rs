@@ -36,11 +36,7 @@ pub fn parse_pdb(name: &str, text: &str) -> Result<Structure, PdbError> {
 }
 
 /// Parse with explicit [`ParseOptions`].
-pub fn parse_pdb_with(
-    name: &str,
-    text: &str,
-    opts: &ParseOptions,
-) -> Result<Structure, PdbError> {
+pub fn parse_pdb_with(name: &str, text: &str, opts: &ParseOptions) -> Result<Structure, PdbError> {
     let mut structure = Structure::new(name);
     let mut in_model = 0usize; // how many MODEL records seen so far
     let mut chain_done = std::collections::HashSet::new();
@@ -55,10 +51,9 @@ pub fn parse_pdb_with(
                     break;
                 }
             }
-            "ENDMDL"
-                if opts.first_model_only => {
-                    break;
-                }
+            "ENDMDL" if opts.first_model_only => {
+                break;
+            }
             "END" => break,
             "TER" => {
                 // Mark the current chain closed so stray atoms after TER

@@ -218,7 +218,10 @@ impl FoldTemplate {
                 if rng.gen_bool(0.5) {
                     for _ in 0..amount {
                         let at = rng.gen_range(1..seg_res.len());
-                        seg_res.insert(at, interpolate_residue(&seg_res[at - 1], &seg_res[at], &mut rng));
+                        seg_res.insert(
+                            at,
+                            interpolate_residue(&seg_res[at - 1], &seg_res[at], &mut rng),
+                        );
                     }
                 } else {
                     for _ in 0..amount.min(seg_res.len().saturating_sub(2)) {
@@ -300,7 +303,14 @@ pub fn build_backbone(name: &str, track: &[(f64, f64, AminoAcid)]) -> Structure 
     for (idx, &(phi, psi, aa)) in track.iter().enumerate() {
         // Carbonyl O: in the plane of CA-C-N(next), opposite ψ+π direction.
         // Place it after we know ψ (we always know ψ from the track).
-        let o_pos = nerf_place(n_pos, ca_pos, c_pos, ideal::C_O, 121.0 * PI / 180.0, psi + PI);
+        let o_pos = nerf_place(
+            n_pos,
+            ca_pos,
+            c_pos,
+            ideal::C_O,
+            121.0 * PI / 180.0,
+            psi + PI,
+        );
         let atoms = vec![
             Atom::new(serial, "N", n_pos),
             Atom::new(serial + 1, "CA", ca_pos),
@@ -322,9 +332,23 @@ pub fn build_backbone(name: &str, track: &[(f64, f64, AminoAcid)]) -> Structure 
         // Next residue's N: torsion ψ(i) about CA(i)-C(i).
         let n_next = nerf_place(n_pos, ca_pos, c_pos, ideal::C_N, ideal::ANG_CA_C_N, psi);
         // Next CA: torsion ω (trans) about C(i)-N(i+1).
-        let ca_next = nerf_place(ca_pos, c_pos, n_next, ideal::N_CA, ideal::ANG_C_N_CA, ideal::OMEGA);
+        let ca_next = nerf_place(
+            ca_pos,
+            c_pos,
+            n_next,
+            ideal::N_CA,
+            ideal::ANG_C_N_CA,
+            ideal::OMEGA,
+        );
         // Next C: torsion φ(i+1) about N(i+1)-CA(i+1).
-        let c_next = nerf_place(c_pos, n_next, ca_next, ideal::CA_C, ideal::ANG_N_CA_C, phi_next);
+        let c_next = nerf_place(
+            c_pos,
+            n_next,
+            ca_next,
+            ideal::CA_C,
+            ideal::ANG_N_CA_C,
+            phi_next,
+        );
         let _ = phi; // φ of residue 0 is unused by construction
         n_pos = n_next;
         ca_pos = ca_next;
@@ -343,11 +367,7 @@ pub fn build_backbone(name: &str, track: &[(f64, f64, AminoAcid)]) -> Structure 
 /// where real structures are irregular too.
 fn interpolate_residue<R: Rng>(a: &Residue, b: &Residue, rng: &mut R) -> Residue {
     let mid = |pa: Vec3, pb: Vec3| (pa + pb) / 2.0;
-    let offset = Vec3::new(
-        gauss(rng) * 0.8,
-        gauss(rng) * 0.8,
-        gauss(rng) * 0.8,
-    );
+    let offset = Vec3::new(gauss(rng) * 0.8, gauss(rng) * 0.8, gauss(rng) * 0.8);
     let atoms = a
         .atoms
         .iter()
@@ -435,7 +455,10 @@ mod tests {
             let c = w[0].atom("C").unwrap();
             let n_next = w[1].atom("N").unwrap();
             let ca_next = w[1].ca().unwrap();
-            assert!((c.dist(n_next) - ideal::C_N).abs() < 1e-9, "peptide bond length");
+            assert!(
+                (c.dist(n_next) - ideal::C_N).abs() < 1e-9,
+                "peptide bond length"
+            );
             // ω torsion is trans.
             let ca = w[0].ca().unwrap();
             let om = dihedral(ca, c, n_next, ca_next);
@@ -462,9 +485,12 @@ mod tests {
         }
         let s = t.member(1, &MemberVariation::default(), 1);
         let trace = s.chains[0].ca_trace();
-        let mean: f64 = trace.windows(2).map(|w| w[0].dist(w[1])).sum::<f64>()
-            / (trace.len() - 1) as f64;
-        assert!((mean - 3.8).abs() < 1.0, "member mean CA-CA distance {mean}");
+        let mean: f64 =
+            trace.windows(2).map(|w| w[0].dist(w[1])).sum::<f64>() / (trace.len() - 1) as f64;
+        assert!(
+            (mean - 3.8).abs() < 1.0,
+            "member mean CA-CA distance {mean}"
+        );
     }
 
     #[test]

@@ -10,7 +10,12 @@ pub fn write_pdb(structure: &Structure) -> String {
     let _ = writeln!(
         out,
         "HEADER    SYNTHETIC STRUCTURE                     01-JAN-13   {:<4}",
-        structure.name.chars().take(4).collect::<String>().to_ascii_uppercase()
+        structure
+            .name
+            .chars()
+            .take(4)
+            .collect::<String>()
+            .to_ascii_uppercase()
     );
     let mut serial = 1u32;
     for chain in &structure.chains {

@@ -164,7 +164,9 @@ impl Reader {
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, DecodeError> {
         let raw = self.get_bytes()?;
-        String::from_utf8(raw).map_err(|_| DecodeError { what: "utf-8 string" })
+        String::from_utf8(raw).map_err(|_| DecodeError {
+            what: "utf-8 string",
+        })
     }
 
     /// Bytes not yet consumed.

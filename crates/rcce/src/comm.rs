@@ -212,7 +212,9 @@ impl<'a> Rcce<'a> {
         );
         let mut r = Reader::new(packed);
         let n = r.get_u32().expect("allgather count");
-        (0..n).map(|_| r.get_bytes().expect("allgather part")).collect()
+        (0..n)
+            .map(|_| r.get_bytes().expect("allgather part"))
+            .collect()
     }
 
     /// Charge virtual compute time for `ops` kernel operations.
@@ -376,10 +378,9 @@ mod tests {
     #[should_panic(expected = "not a UE")]
     fn non_member_rejected() {
         let ues = [CoreId(5)];
-        let _ = Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(
-            move |ctx: &mut CoreCtx| {
+        let _ =
+            Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(move |ctx: &mut CoreCtx| {
                 let _ = Rcce::new(ctx, &ues);
-            },
-        ))]);
+            }))]);
     }
 }

@@ -222,7 +222,9 @@ mod tests {
     }
 
     fn jobs(n: usize) -> Vec<Job> {
-        (0..n).map(|i| Job::new(i as u64, vec![i as u8 + 1])).collect()
+        (0..n)
+            .map(|i| Job::new(i as u64, vec![i as u8 + 1]))
+            .collect()
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod tree;
 
 pub use farm::{collect, farm, farm_round, par, seq, slave_loop, terminate, waves, SlaveReply};
 pub use pipeline::{pipeline, stage_loop};
-pub use tree::{run_task, run_task_and_terminate};
 pub use task::{wire, Job, JobResult, Task};
+pub use tree::{run_task, run_task_and_terminate};

@@ -63,7 +63,7 @@ pub fn farm_metrics() -> &'static FarmMetrics {
 pub fn slave_jobs(rank: usize) -> Arc<Counter> {
     let rank = rank.to_string();
     Registry::global().counter_with(
-        "rck_farm_slave_jobs",
+        "rck_farm_slave_jobs_total",
         "jobs completed per slave rank",
         &[("slave", &rank)],
     )
@@ -79,6 +79,6 @@ mod tests {
         slave_jobs(999).add(0);
         let text = Registry::global().render();
         assert!(text.contains("rck_farm_rounds_total"));
-        assert!(text.contains("rck_farm_slave_jobs{slave=\"999\"}"));
+        assert!(text.contains("rck_farm_slave_jobs_total{slave=\"999\"}"));
     }
 }

@@ -112,10 +112,15 @@ mod tests {
                 let next = if stage == n_stages { 0 } else { stage + 1 };
                 programs.push(Some(Box::new(move |ctx: &mut CoreCtx| {
                     let mut comm = Rcce::new(ctx, &ues);
-                    stage_loop(&mut comm, if stage == 1 { 0 } else { stage - 1 }, next, |_id, mut p| {
-                        p.push(stage as u8);
-                        (p, 10_000)
-                    });
+                    stage_loop(
+                        &mut comm,
+                        if stage == 1 { 0 } else { stage - 1 },
+                        next,
+                        |_id, mut p| {
+                            p.push(stage as u8);
+                            (p, 10_000)
+                        },
+                    );
                 })));
             }
             Simulator::new(NocConfig::scc()).run(programs)
@@ -161,8 +166,14 @@ mod tests {
         let serial = stage_time.saturating_mul((n * 3) as u64);
         let ideal = stage_time.saturating_mul((n + 3 - 1) as u64);
         let makespan = report.makespan.since(rck_noc::SimTime::ZERO);
-        assert!(makespan < serial, "no overlap: {makespan} vs serial {serial}");
-        assert!(makespan >= ideal, "{makespan} below the pipeline bound {ideal}");
+        assert!(
+            makespan < serial,
+            "no overlap: {makespan} vs serial {serial}"
+        );
+        assert!(
+            makespan >= ideal,
+            "{makespan} below the pipeline bound {ideal}"
+        );
     }
 
     #[test]

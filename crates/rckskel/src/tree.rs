@@ -22,7 +22,10 @@ use rck_rcce::Rcce;
 /// [`crate::farm::slave_loop`]; this function does **not** send terminate
 /// signals — call [`crate::farm::terminate`] when done with the slaves.
 pub fn run_task(comm: &mut Rcce, slave_ranks: &[usize], task: &Task) -> Vec<JobResult> {
-    assert!(!slave_ranks.is_empty(), "task tree needs at least one slave");
+    assert!(
+        !slave_ranks.is_empty(),
+        "task tree needs at least one slave"
+    );
     let mut results = Vec::with_capacity(task.job_count());
     walk(comm, slave_ranks, task, &mut results);
     results
@@ -114,7 +117,10 @@ mod tests {
         with_tree(3, |comm, slaves| {
             let tree = Task::Par(vec![leaf(0, 1), leaf(1, 2), leaf(2, 3), leaf(3, 4)]);
             let rs = run_task_and_terminate(comm, slaves, &tree);
-            collected.lock().unwrap().extend(rs.into_iter().map(|r| r.job_id));
+            collected
+                .lock()
+                .unwrap()
+                .extend(rs.into_iter().map(|r| r.job_id));
         });
         let mut ids = collected.into_inner().unwrap();
         ids.sort_unstable();
@@ -131,7 +137,10 @@ mod tests {
                 Task::Par(vec![leaf(10, 2), leaf(11, 2)]),
             ]);
             let rs = run_task_and_terminate(comm, slaves, &tree);
-            collected.lock().unwrap().extend(rs.into_iter().map(|r| r.job_id));
+            collected
+                .lock()
+                .unwrap()
+                .extend(rs.into_iter().map(|r| r.job_id));
         });
         let ids = collected.into_inner().unwrap();
         assert_eq!(ids.len(), 5);
@@ -153,7 +162,10 @@ mod tests {
                 leaf(4, 1),
             ]);
             let rs = run_task_and_terminate(comm, slaves, &tree);
-            collected.lock().unwrap().extend(rs.into_iter().map(|r| r.job_id));
+            collected
+                .lock()
+                .unwrap()
+                .extend(rs.into_iter().map(|r| r.job_id));
         });
         let ids = collected.into_inner().unwrap();
         assert_eq!(ids.len(), 5);

@@ -28,6 +28,7 @@
 
 use crate::master::{Master, MasterConfig};
 use crate::proto::fnv1a64;
+use crate::sync::MutexExt;
 use crate::transport::MemNet;
 use crate::worker::{run_worker_conn, WorkerConfig};
 use rand::rngs::StdRng;
@@ -166,7 +167,9 @@ impl FaultPlan {
 
     /// A schedule that never faults.
     pub fn clean() -> FaultPlan {
-        FaultPlan { actions: Vec::new() }
+        FaultPlan {
+            actions: Vec::new(),
+        }
     }
 
     fn action(&self, op: usize) -> Option<Fault> {
@@ -208,8 +211,10 @@ impl ChaosCounters {
     /// Register the `rck_chaos_*` family on `registry`.
     pub fn register(registry: &Registry) -> Arc<ChaosCounters> {
         Arc::new(ChaosCounters {
-            frames_dropped: registry
-                .counter("rck_chaos_frames_dropped_total", "frames discarded by fault injection"),
+            frames_dropped: registry.counter(
+                "rck_chaos_frames_dropped_total",
+                "frames discarded by fault injection",
+            ),
             frames_duplicated: registry.counter(
                 "rck_chaos_frames_duplicated_total",
                 "frames delivered twice by fault injection",
@@ -282,7 +287,7 @@ impl WriteChaos {
         pipe: &(impl PipeSink + ?Sized),
         frame: &[u8],
     ) -> io::Result<()> {
-        let mut st = self.state.lock().expect("chaos lock");
+        let mut st = self.state.lock_recover();
         let action = st.plan.action(st.op);
         st.op += 1;
         match action {
@@ -535,7 +540,11 @@ impl ScenarioPlan {
             self.total_pairs(),
             self.batch_size,
             scripts.join(" | "),
-            if self.expect_complete { "complete" } else { "abort" },
+            if self.expect_complete {
+                "complete"
+            } else {
+                "abort"
+            },
         )
     }
 }
@@ -719,7 +728,9 @@ pub fn run_scenario(plan: &ScenarioPlan) -> ScenarioResult {
         Ok(run) => {
             let got_fnv = outcomes_fingerprint(&run.outcomes);
             if run.matrix == expected_matrix && got_fnv == want_fnv {
-                Verdict::CompletedIdentical { matrix_fnv: got_fnv }
+                Verdict::CompletedIdentical {
+                    matrix_fnv: got_fnv,
+                }
             } else {
                 Verdict::CompletedDivergent { got_fnv, want_fnv }
             }
@@ -863,8 +874,9 @@ mod tests {
                 );
             }
         }
-        let descriptions: std::collections::HashSet<String> =
-            (0..40).map(|s| ScenarioPlan::from_seed(s).describe()).collect();
+        let descriptions: std::collections::HashSet<String> = (0..40)
+            .map(|s| ScenarioPlan::from_seed(s).describe())
+            .collect();
         assert!(descriptions.len() > 30, "seeds barely vary the schedule");
         assert!(
             (0..40).any(|s| !ScenarioPlan::from_seed(s).expect_complete),
@@ -883,11 +895,13 @@ mod tests {
             aligned_len: 10,
             ops: 100,
         };
-        let b = PairOutcome { i: 0, j: 2, similarity: 0.25, ..a };
-        assert_eq!(
-            outcomes_fingerprint(&[a, b]),
-            outcomes_fingerprint(&[b, a])
-        );
+        let b = PairOutcome {
+            i: 0,
+            j: 2,
+            similarity: 0.25,
+            ..a
+        };
+        assert_eq!(outcomes_fingerprint(&[a, b]), outcomes_fingerprint(&[b, a]));
         let mut c = b;
         c.similarity = 0.26;
         assert_ne!(outcomes_fingerprint(&[a, b]), outcomes_fingerprint(&[a, c]));

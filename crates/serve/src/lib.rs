@@ -52,6 +52,7 @@ pub mod chaos;
 pub mod master;
 pub mod proto;
 pub mod stats;
+pub mod sync;
 pub mod transport;
 pub mod worker;
 
@@ -59,5 +60,6 @@ pub use chaos::{run_scenario, FaultPlan, FaultProfile, ScenarioPlan, ScenarioRes
 pub use master::{AbortHandle, Master, MasterConfig, ServeRun};
 pub use proto::{Frame, FrameCodec, FrameError, PROTOCOL_VERSION};
 pub use stats::{ServeStats, StatsSnapshot};
+pub use sync::MutexExt;
 pub use transport::{Conn, Listener, MemNet};
 pub use worker::{run_worker, run_worker_conn, WorkerConfig, WorkerReport};

@@ -28,6 +28,7 @@
 
 use crate::proto::{self, Frame, Hello, ResultBatch, Welcome, PROTOCOL_VERSION};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::sync::MutexExt;
 use crate::transport::{Conn, Listener, TcpChannelListener};
 use rck_pdb::model::CaChain;
 use rck_tmalign::MethodKind;
@@ -131,7 +132,9 @@ impl Work {
             .collect();
         let mut requeued = 0;
         for id in ids {
-            let batch = self.inflight.remove(&id).expect("listed id in flight");
+            let Some(batch) = self.inflight.remove(&id) else {
+                continue;
+            };
             requeued += batch.jobs.len();
             stats.on_batch_requeued(batch.jobs.len());
             self.queue.push_front(batch.jobs);
@@ -173,7 +176,7 @@ impl AbortHandle {
     /// Stop the run. Idempotent; safe from any thread.
     pub fn abort(&self) {
         self.shared.aborted.store(true, Ordering::SeqCst);
-        let work = self.shared.work.lock().expect("work lock");
+        let work = self.shared.work.lock_recover();
         for conn in work.streams.values() {
             conn.shutdown();
         }
@@ -234,6 +237,7 @@ impl Master {
     pub fn local_addr(&self) -> SocketAddr {
         self.listener
             .local_addr()
+            // rck-lint: allow(panic) — documented panic: only the in-memory transport lacks an address
             .expect("transport has no socket address")
     }
 
@@ -260,7 +264,7 @@ impl Master {
         };
         let mut handlers = Vec::new();
         loop {
-            if self.shared.work.lock().expect("work lock").finished
+            if self.shared.work.lock_recover().finished
                 || self.shared.aborted.load(Ordering::SeqCst)
             {
                 break;
@@ -277,12 +281,14 @@ impl Master {
             }
         }
         self.shared.available.notify_all();
-        monitor.join().expect("monitor thread");
+        if monitor.join().is_err() {
+            return Err(io::Error::other("deadline monitor thread panicked"));
+        }
         for h in handlers {
             let _ = h.join();
         }
 
-        let mut work = self.shared.work.lock().expect("work lock");
+        let mut work = self.shared.work.lock_recover();
         if !work.finished {
             return Err(io::Error::new(
                 io::ErrorKind::Interrupted,
@@ -308,9 +314,8 @@ fn monitor_deadlines(shared: &Shared) {
     let tick = (shared.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
     loop {
         {
-            let mut work = shared.work.lock().expect("work lock");
-            if (work.finished && work.inflight.is_empty())
-                || shared.aborted.load(Ordering::SeqCst)
+            let mut work = shared.work.lock_recover();
+            if (work.finished && work.inflight.is_empty()) || shared.aborted.load(Ordering::SeqCst)
             {
                 break;
             }
@@ -359,7 +364,7 @@ fn serve_worker(shared: &Shared, mut conn: Box<dyn Conn>) {
         }
     };
     {
-        let mut work = shared.work.lock().expect("work lock");
+        let mut work = shared.work.lock_recover();
         if let Ok(clone) = conn.try_clone() {
             work.streams.insert(worker_id, clone);
         }
@@ -393,7 +398,7 @@ fn serve_worker(shared: &Shared, mut conn: Box<dyn Conn>) {
         }
     }
 
-    let mut work = shared.work.lock().expect("work lock");
+    let mut work = shared.work.lock_recover();
     work.streams.remove(&worker_id);
     drop(work);
     // Closing here (not just dropping our handle) guarantees the peer's
@@ -444,22 +449,23 @@ fn handshake(shared: &Shared, conn: &mut Box<dyn Conn>) -> Option<u32> {
 /// finished (or aborted). Blocks while the queue is empty or the
 /// min-workers barrier is unmet.
 fn next_batch(shared: &Shared, worker_id: u32) -> Option<(u64, Vec<PairJob>)> {
-    let mut work = shared.work.lock().expect("work lock");
-    loop {
+    let mut work = shared.work.lock_recover();
+    let jobs = loop {
         if work.finished || shared.aborted.load(Ordering::SeqCst) {
             return None;
         }
         let barrier_met = shared.stats.workers_connected() >= shared.cfg.min_workers as u64;
-        if barrier_met && !work.queue.is_empty() {
-            break;
+        if barrier_met {
+            if let Some(jobs) = work.queue.pop_front() {
+                break jobs;
+            }
         }
         let (guard, _timeout) = shared
             .available
             .wait_timeout(work, Duration::from_millis(50))
-            .expect("work lock");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         work = guard;
-    }
-    let jobs = work.queue.pop_front().expect("queue non-empty");
+    };
     let batch_id = work.next_batch_id;
     work.next_batch_id += 1;
     let now = Instant::now();
@@ -523,7 +529,7 @@ fn collect_result(shared: &Shared, conn: &mut Box<dyn Conn>, worker_id: u32) -> 
 
 fn refresh_deadlines(shared: &Shared, worker_id: u32) {
     let now = Instant::now();
-    let mut work = shared.work.lock().expect("work lock");
+    let mut work = shared.work.lock_recover();
     note_liveness(&mut work, shared, worker_id, now);
     for batch in work.inflight.values_mut() {
         if batch.worker_id == worker_id {
@@ -553,7 +559,7 @@ fn note_liveness(work: &mut Work, shared: &Shared, worker_id: u32, now: Instant)
 /// its outcomes answer exactly the jobs that batch dispatched, and only
 /// pairs not already done (requeue races produce late duplicates).
 fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) -> BatchFate {
-    let mut work = shared.work.lock().expect("work lock");
+    let mut work = shared.work.lock_recover();
     note_liveness(&mut work, shared, worker_id, Instant::now());
     let Some(batch) = work.inflight.remove(&rb.batch_id) else {
         shared.stats.on_stale_result();
@@ -626,7 +632,7 @@ fn answers_exactly(jobs: &[PairJob], outcomes: &[PairOutcome]) -> bool {
 /// and only the first to requeue scores it.
 fn lose_worker(shared: &Shared, worker_id: u32) {
     let requeued = {
-        let mut work = shared.work.lock().expect("work lock");
+        let mut work = shared.work.lock_recover();
         work.requeue_worker(worker_id, &shared.stats)
     };
     if requeued > 0 {
@@ -688,7 +694,10 @@ mod tests {
         let t = std::thread::spawn(move || master.run());
         std::thread::sleep(Duration::from_millis(30));
         abort.abort();
-        let err = t.join().unwrap().expect_err("aborted run must not return a matrix");
+        let err = t
+            .join()
+            .unwrap()
+            .expect_err("aborted run must not return a matrix");
         assert_eq!(err.kind(), io::ErrorKind::Interrupted);
     }
 

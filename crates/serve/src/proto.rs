@@ -177,7 +177,10 @@ impl std::fmt::Display for FrameError {
             FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             FrameError::Oversized(n) => write!(f, "payload of {n} bytes exceeds limit"),
             FrameError::Checksum { want, got } => {
-                write!(f, "frame checksum mismatch: header {want:#018x}, computed {got:#018x}")
+                write!(
+                    f,
+                    "frame checksum mismatch: header {want:#018x}, computed {got:#018x}"
+                )
             }
             FrameError::Payload(e) => write!(f, "payload malformed: {e}"),
         }
@@ -217,7 +220,9 @@ fn get_chain(r: &mut Reader) -> Result<CaChain, DecodeError> {
     // the remaining bytes cannot hold is corrupt — reject it before
     // allocating anything of that size.
     if len.saturating_mul(25) > r.remaining() {
-        return Err(DecodeError { what: "chain length" });
+        return Err(DecodeError {
+            what: "chain length",
+        });
     }
     let mut seq = Vec::with_capacity(len);
     for _ in 0..len {
@@ -324,7 +329,10 @@ fn decode_payload(kind: u8, payload: Vec<u8>) -> Result<Frame, FrameError> {
             // Count sanity: an empty chain still takes 8 bytes on the
             // wire, so a count the payload cannot hold is corrupt.
             if n_chains.saturating_mul(8) > r.remaining() {
-                return Err(DecodeError { what: "chain count" }.into());
+                return Err(DecodeError {
+                    what: "chain count",
+                }
+                .into());
             }
             let mut chains = Vec::with_capacity(n_chains);
             for _ in 0..n_chains {
@@ -349,7 +357,10 @@ fn decode_payload(kind: u8, payload: Vec<u8>) -> Result<Frame, FrameError> {
             let batch_id = r.get_u64()?;
             let n = r.get_u32()? as usize;
             if n.saturating_mul(37) > r.remaining() {
-                return Err(DecodeError { what: "outcome count" }.into());
+                return Err(DecodeError {
+                    what: "outcome count",
+                }
+                .into());
             }
             let mut outcomes = Vec::with_capacity(n);
             for _ in 0..n {
@@ -397,10 +408,12 @@ struct Header {
 }
 
 fn parse_header(header: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
+    // rck-lint: allow(panic) — infallible: constant-width slices of a fixed-size array
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
+    // rck-lint: allow(panic) — infallible: constant-width slice
     let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
     if version != PROTOCOL_VERSION {
         return Err(FrameError::BadVersion(version));
@@ -409,10 +422,12 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
     if !(1..=6).contains(&kind) {
         return Err(FrameError::BadKind(kind));
     }
+    // rck-lint: allow(panic) — infallible: constant-width slice
     let payload_len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes")) as usize;
     if payload_len > MAX_PAYLOAD {
         return Err(FrameError::Oversized(payload_len));
     }
+    // rck-lint: allow(panic) — infallible: constant-width slice
     let checksum = u64::from_le_bytes(header[11..19].try_into().expect("8 bytes"));
     Ok(Header {
         kind,
@@ -452,6 +467,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
     if buf.len() < HEADER_LEN {
         return Err(FrameError::Truncated);
     }
+    // rck-lint: allow(panic) — infallible: length checked against HEADER_LEN above
     let header = parse_header(buf[..HEADER_LEN].try_into().expect("header bytes"))?;
     if buf.len() < HEADER_LEN + header.payload_len {
         return Err(FrameError::Truncated);
@@ -556,7 +572,7 @@ impl FrameCodec {
     }
 
     /// Total bytes consumed by successfully decoded frames — the wire
-    /// accounting the serve stats report as `rck_bytes_rx`.
+    /// accounting the serve stats report as `rck_bytes_rx_total`.
     pub fn consumed(&self) -> u64 {
         self.consumed
     }
@@ -727,7 +743,10 @@ mod tests {
         // And the checksum field itself is covered too.
         let mut bad = bytes.clone();
         bad[11] ^= 0x01;
-        assert!(matches!(decode_frame(&bad), Err(FrameError::Checksum { .. })));
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(FrameError::Checksum { .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! the simulator's experiment drivers use, so service output reads like
 //! the rest of the repository.
 
+use crate::sync::MutexExt;
 use rck_obs::{Counter, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BOUNDS};
 use rckalign::report::TextTable;
 use std::collections::HashMap;
@@ -66,31 +67,35 @@ impl ServeStats {
         let registry = Registry::new();
         ServeStats {
             jobs_dispatched: registry.counter(
-                "rck_jobs_dispatched",
+                "rck_jobs_dispatched_total",
                 "jobs handed to workers, counting re-dispatches",
             ),
-            jobs_completed: registry
-                .counter("rck_jobs_completed", "jobs whose outcome was accepted"),
+            jobs_completed: registry.counter(
+                "rck_jobs_completed_total",
+                "jobs whose outcome was accepted",
+            ),
             jobs_requeued: registry.counter(
-                "rck_jobs_requeued",
+                "rck_jobs_requeued_total",
                 "jobs put back on the queue after a worker was lost",
             ),
             batches_dispatched: registry.counter(
-                "rck_batches_dispatched",
+                "rck_batches_dispatched_total",
                 "batches handed to workers, counting re-dispatches",
             ),
             batches_completed: registry.counter(
-                "rck_batches_completed",
+                "rck_batches_completed_total",
                 "batches whose results were accepted",
             ),
-            batches_requeued: registry
-                .counter("rck_batches_requeued", "batches put back on the queue"),
+            batches_requeued: registry.counter(
+                "rck_batches_requeued_total",
+                "batches put back on the queue",
+            ),
             stale_results: registry.counter(
-                "rck_stale_results",
+                "rck_stale_results_total",
                 "result frames answering a batch id no longer in flight",
             ),
             duplicate_results: registry.counter(
-                "rck_duplicate_results",
+                "rck_duplicate_results_total",
                 "outcomes dropped because the pair was already done",
             ),
             decode_errors: registry.counter(
@@ -101,14 +106,14 @@ impl ServeStats {
                 "rck_serve_mismatched_results_total",
                 "result frames rejected for not answering their batch's jobs",
             ),
-            bytes_tx: registry.counter("rck_bytes_tx", "bytes the master wrote to workers"),
-            bytes_rx: registry.counter("rck_bytes_rx", "bytes the master read from workers"),
+            bytes_tx: registry.counter("rck_bytes_tx_total", "bytes the master wrote to workers"),
+            bytes_rx: registry.counter("rck_bytes_rx_total", "bytes the master read from workers"),
             workers_connected: registry.counter(
-                "rck_workers_connected",
+                "rck_workers_connected_total",
                 "workers that connected over the run",
             ),
             workers_lost: registry
-                .counter("rck_workers_lost", "workers the master declared dead"),
+                .counter("rck_workers_lost_total", "workers the master declared dead"),
             batch_rtt: registry.histogram(
                 "rck_batch_rtt_seconds",
                 "dispatch-to-accepted-result round trip per batch",
@@ -132,7 +137,7 @@ impl ServeStats {
 
     pub(crate) fn on_worker_connected(&self, id: u32, name: &str) {
         self.workers_connected.inc();
-        self.workers.lock().expect("stats lock").insert(
+        self.workers.lock_recover().insert(
             id,
             WorkerEntry {
                 name: name.to_string(),
@@ -146,7 +151,7 @@ impl ServeStats {
 
     pub(crate) fn on_worker_lost(&self, id: u32) {
         self.workers_lost.inc();
-        if let Some(w) = self.workers.lock().expect("stats lock").get_mut(&id) {
+        if let Some(w) = self.workers.lock_recover().get_mut(&id) {
             w.lost = true;
         }
     }
@@ -159,19 +164,14 @@ impl ServeStats {
     pub(crate) fn on_batch_completed(&self, worker_id: u32, jobs: usize) {
         self.batches_completed.inc();
         self.jobs_completed.add(jobs as u64);
-        if let Some(w) = self
-            .workers
-            .lock()
-            .expect("stats lock")
-            .get_mut(&worker_id)
-        {
+        if let Some(w) = self.workers.lock_recover().get_mut(&worker_id) {
             w.batches_completed += 1;
             w.jobs_completed += jobs as u64;
         }
         let id = worker_id.to_string();
         self.registry
             .counter_with(
-                "rck_worker_jobs",
+                "rck_worker_jobs_total",
                 "jobs completed per worker",
                 &[("worker", &id)],
             )
@@ -241,7 +241,7 @@ impl ServeStats {
     /// Freeze the counters into a reportable snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         let workers = {
-            let map = self.workers.lock().expect("stats lock");
+            let map = self.workers.lock_recover();
             let mut rows: Vec<WorkerRow> = map
                 .iter()
                 .map(|(&id, w)| {
@@ -377,7 +377,8 @@ impl StatsSnapshot {
                 fmt_pct(snap, 99.0),
             ]);
         }
-        let mut per_worker = TextTable::new(&["worker", "id", "jobs", "batches", "jobs/s", "state"]);
+        let mut per_worker =
+            TextTable::new(&["worker", "id", "jobs", "batches", "jobs/s", "state"]);
         for w in &self.workers {
             per_worker.row(&[
                 w.name.clone(),
@@ -473,9 +474,9 @@ mod tests {
         s.on_batch_completed(0, 4);
         s.observe_batch_rtt(0.02);
         let text = s.registry().render();
-        assert!(text.contains("rck_batches_completed 1"));
-        assert!(text.contains("rck_jobs_completed 4"));
-        assert!(text.contains("rck_worker_jobs{worker=\"0\"} 4"));
+        assert!(text.contains("rck_batches_completed_total 1"));
+        assert!(text.contains("rck_jobs_completed_total 4"));
+        assert!(text.contains("rck_worker_jobs_total{worker=\"0\"} 4"));
         assert!(text.contains("rck_batch_rtt_seconds_count 1"));
     }
 

@@ -1,0 +1,50 @@
+//! Poison-tolerant locking for the serve layer.
+//!
+//! Every mutex in this crate guards state that stays consistent between
+//! statements (counters, queues, pipe buffers) — there is no multi-step
+//! critical section that a panic could leave half-applied. Under that
+//! discipline, lock poisoning carries no information worth dying for: a
+//! panicking handler thread already requeues its work via the deadline
+//! monitor, and cascading the panic into every *other* thread that
+//! touches the same mutex turns one lost worker into a hung service.
+//!
+//! [`MutexExt::lock_recover`] therefore recovers the guard from a
+//! poisoned mutex instead of panicking. It is the crate-wide replacement
+//! for `.lock().expect("...")`; the panic-path lint (`rck_lint`, see
+//! DESIGN.md §11) denies the latter in the serve hot-path files, and the
+//! lock-discipline pass recognizes `lock_recover` as an acquisition.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Poison-tolerant extension to [`std::sync::Mutex`].
+pub trait MutexExt<T> {
+    /// Lock, recovering the data if a previous holder panicked.
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*m.lock_recover(), 7);
+        *m.lock_recover() = 8;
+        assert_eq!(*m.lock_recover(), 8);
+    }
+}

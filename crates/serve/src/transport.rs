@@ -24,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::chaos::WriteChaos;
+use crate::sync::MutexExt;
 
 /// A bidirectional byte stream between a master and one worker.
 ///
@@ -163,7 +164,7 @@ impl crate::chaos::PipeSink for Pipe {
 
 impl Pipe {
     fn push(&self, chunk: Vec<u8>) -> io::Result<()> {
-        let mut s = self.state.lock().expect("pipe lock");
+        let mut s = self.state.lock_recover();
         if s.closed {
             return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
         }
@@ -177,7 +178,7 @@ impl Pipe {
     /// produce genuine short reads on the receiving side.
     fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
         let deadline = timeout.map(|t| Instant::now() + t);
-        let mut s = self.state.lock().expect("pipe lock");
+        let mut s = self.state.lock_recover();
         loop {
             if let Some(front) = s.chunks.front_mut() {
                 let n = front.len().min(buf.len());
@@ -194,7 +195,10 @@ impl Pipe {
             }
             match deadline {
                 None => {
-                    s = self.readable.wait(s).expect("pipe lock");
+                    s = self
+                        .readable
+                        .wait(s)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 Some(d) => {
                     let now = Instant::now();
@@ -207,7 +211,7 @@ impl Pipe {
                     let (guard, _) = self
                         .readable
                         .wait_timeout(s, d - now)
-                        .expect("pipe lock");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     s = guard;
                 }
             }
@@ -215,7 +219,7 @@ impl Pipe {
     }
 
     fn close(&self) {
-        let mut s = self.state.lock().expect("pipe lock");
+        let mut s = self.state.lock_recover();
         s.closed = true;
         self.readable.notify_all();
     }
@@ -258,7 +262,7 @@ impl Read for MemConn {
         if buf.is_empty() {
             return Ok(0);
         }
-        let timeout = *self.ep.read_timeout.lock().expect("timeout lock");
+        let timeout = *self.ep.read_timeout.lock_recover();
         self.ep.rx.read(buf, timeout)
     }
 }
@@ -291,7 +295,7 @@ impl Conn for MemConn {
     }
 
     fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        *self.ep.read_timeout.lock().expect("timeout lock") = timeout;
+        *self.ep.read_timeout.lock_recover() = timeout;
         Ok(())
     }
 }
@@ -380,7 +384,7 @@ impl MemNet {
                 chaos: server_chaos,
             }),
         };
-        let mut state = self.state.lock().expect("net lock");
+        let mut state = self.state.lock_recover();
         if !state.listener_open {
             return Err(io::Error::new(
                 io::ErrorKind::ConnectionRefused,
@@ -398,8 +402,11 @@ struct MemListener {
 
 impl Listener for MemListener {
     fn poll_accept(&self) -> io::Result<Option<Box<dyn Conn>>> {
-        let mut state = self.state.lock().expect("net lock");
-        Ok(state.pending.pop_front().map(|c| Box::new(c) as Box<dyn Conn>))
+        let mut state = self.state.lock_recover();
+        Ok(state
+            .pending
+            .pop_front()
+            .map(|c| Box::new(c) as Box<dyn Conn>))
     }
 
     fn local_addr(&self) -> Option<SocketAddr> {
@@ -409,7 +416,7 @@ impl Listener for MemListener {
 
 impl Drop for MemListener {
     fn drop(&mut self) {
-        let mut state = self.state.lock().expect("net lock");
+        let mut state = self.state.lock_recover();
         state.listener_open = false;
         // Connections queued but never accepted: closing their endpoints
         // unblocks clients waiting on a handshake that will never come.
@@ -460,7 +467,9 @@ mod tests {
         let listener = net.listener();
         let _client = net.connect().unwrap();
         let mut server = listener.poll_accept().unwrap().expect("pending");
-        server.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
         let mut buf = [0u8; 8];
         let err = server.read(&mut buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
@@ -483,7 +492,9 @@ mod tests {
         let mut server = listener.poll_accept().unwrap().expect("pending");
         drop(client);
         // A live clone keeps the stream open...
-        server.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
         let mut buf = [0u8; 1];
         assert_eq!(
             server.read(&mut buf).unwrap_err().kind(),

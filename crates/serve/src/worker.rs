@@ -18,6 +18,7 @@
 //! the service matrix bit-identical to [`rckalign::run_all_vs_all`].
 
 use crate::proto::{self, Frame, FrameError, Heartbeat, Hello, JobBatch, PROTOCOL_VERSION};
+use crate::sync::MutexExt;
 use crate::transport::{Conn, TcpConn};
 use rck_pdb::model::CaChain;
 use rckalign::PairOutcome;
@@ -90,17 +91,33 @@ fn frame_io_err(e: FrameError) -> io::Error {
     }
 }
 
-/// Run one job batch through the real comparison kernel.
-fn compute_batch(batch: &JobBatch) -> Vec<PairOutcome> {
+/// Run one job batch through the real comparison kernel. A batch whose
+/// jobs reference chains it does not carry violates the protocol's
+/// "data ships with the job" promise — that is a master bug or frame
+/// corruption the checksum missed, and it fails the session instead of
+/// panicking the worker.
+fn compute_batch(batch: &JobBatch) -> io::Result<Vec<PairOutcome>> {
     let table: HashMap<u32, &CaChain> = batch.chains.iter().map(|(ix, c)| (*ix, c)).collect();
+    let chain = |ix: u32| {
+        table.get(&ix).copied().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "batch {} references chain {ix} it does not carry",
+                    batch.batch_id
+                ),
+            )
+        })
+    };
     batch
         .jobs
         .iter()
         .map(|job| {
-            let a = table.get(&job.i).expect("batch carries chain i");
-            let b = table.get(&job.j).expect("batch carries chain j");
-            let score = job.method.instantiate().compare(a, b);
-            PairOutcome {
+            let score = job
+                .method
+                .instantiate()
+                .compare(chain(job.i)?, chain(job.j)?);
+            Ok(PairOutcome {
                 i: job.i,
                 j: job.j,
                 method: job.method,
@@ -108,7 +125,7 @@ fn compute_batch(batch: &JobBatch) -> Vec<PairOutcome> {
                 rmsd: score.rmsd.unwrap_or(f64::NAN),
                 aligned_len: score.aligned_len as u32,
                 ops: score.ops,
-            }
+            })
         })
         .collect()
 }
@@ -165,7 +182,10 @@ pub fn run_worker_conn(mut stream: Box<dyn Conn>, cfg: &WorkerConfig) -> io::Res
                     worker_id,
                     completed: completed.load(Ordering::Relaxed),
                 });
-                let mut w = writer.lock().expect("writer lock");
+                // The write half is shared with the result path by
+                // design; frames must not interleave mid-write.
+                let mut w = writer.lock_recover();
+                // rck-lint: allow(lock_across_io)
                 match proto::write_frame(&mut *w, &beat) {
                     Ok(n) => {
                         hb_bytes.fetch_add(n as u64, Ordering::Relaxed);
@@ -231,14 +251,16 @@ fn serve_loop(
                 if let Some(delay) = cfg.slow_per_batch {
                     std::thread::sleep(delay);
                 }
-                let outcomes = compute_batch(&batch);
+                let outcomes = compute_batch(&batch)?;
                 completed.fetch_add(outcomes.len() as u64, Ordering::Relaxed);
                 let reply = Frame::ResultBatch(proto::ResultBatch {
                     batch_id: batch.batch_id,
                     outcomes,
                 });
                 let written = {
-                    let mut w = writer.lock().expect("writer lock");
+                    // Same shared write half as the heartbeat thread.
+                    let mut w = writer.lock_recover();
+                    // rck-lint: allow(lock_across_io)
                     proto::write_frame(&mut *w, &reply)
                 };
                 report.bytes_tx += written? as u64;
@@ -279,7 +301,7 @@ mod tests {
             },
         ];
         let batch = proto::build_job_batch(1, jobs.clone(), &chains);
-        let ours = compute_batch(&batch);
+        let ours = compute_batch(&batch).unwrap();
         let cache = PairCache::new(chains);
         for (job, got) in jobs.iter().zip(&ours) {
             let want = cache.get_or_compute(job);

@@ -147,14 +147,19 @@ fn byzantine_results_are_rejected_and_requeued() {
         run.stats
     );
     assert!(
-        run.outcomes.iter().all(|o| (o.i as usize) < n && (o.j as usize) < n),
+        run.outcomes
+            .iter()
+            .all(|o| (o.i as usize) < n && (o.j as usize) < n),
         "an alien pair reached the accepted outcomes"
     );
     assert!(
         run.outcomes.iter().all(|o| o.similarity != 0.99),
         "a byzantine outcome value reached the matrix"
     );
-    assert_eq!(run.matrix, expected, "matrix diverged after byzantine frame");
+    assert_eq!(
+        run.matrix, expected,
+        "matrix diverged after byzantine frame"
+    );
 }
 
 #[test]

@@ -101,7 +101,10 @@ fn killed_worker_requeues_and_the_matrix_is_still_exact() {
         cfg.fail_after_batches = Some(0);
         run_worker(&cfg)
     });
-    let report = doomed.join().expect("doomed thread").expect("doomed session");
+    let report = doomed
+        .join()
+        .expect("doomed thread")
+        .expect("doomed session");
     assert!(report.failed_by_injection);
     assert_eq!(report.batches_done, 0, "died before answering anything");
 
@@ -121,7 +124,10 @@ fn killed_worker_requeues_and_the_matrix_is_still_exact() {
     });
 
     let run = master_thread.join().expect("master thread").unwrap();
-    let report = healthy.join().expect("healthy thread").expect("healthy session");
+    let report = healthy
+        .join()
+        .expect("healthy thread")
+        .expect("healthy session");
     assert!(!report.failed_by_injection);
     assert_eq!(report.jobs_done, 28, "healthy worker computed every pair");
 
@@ -150,8 +156,7 @@ fn parse_prom_line(line: &str) -> &str {
     );
     let name = series.split('{').next().unwrap();
     assert!(
-        name.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
         "bad metric name in {line:?}"
     );
     name
@@ -171,7 +176,10 @@ fn loopback_run_exports_a_parseable_prometheus_dump() {
     // counters plus the global (kernel/farm) registry.
     let (metrics_addr, _handle) = rck_obs::spawn_dump_server(
         "127.0.0.1:0".parse().unwrap(),
-        vec![master.stats().registry(), rck_obs::Registry::global().clone()],
+        vec![
+            master.stats().registry(),
+            rck_obs::Registry::global().clone(),
+        ],
     )
     .unwrap();
 
@@ -217,15 +225,15 @@ fn loopback_run_exports_a_parseable_prometheus_dump() {
     // Nonzero batch counter — the acceptance bar for the dump endpoint.
     let batches_line = body
         .lines()
-        .find(|l| l.starts_with("rck_batches_completed "))
-        .expect("rck_batches_completed series present");
+        .find(|l| l.starts_with("rck_batches_completed_total "))
+        .expect("rck_batches_completed_total series present");
     let batches: f64 = batches_line.rsplit_once(' ').unwrap().1.parse().unwrap();
     assert!(batches > 0.0, "no batches reported: {batches_line}");
 
     // Serve series.
-    assert!(names.contains("rck_jobs_completed"));
+    assert!(names.contains("rck_jobs_completed_total"));
     assert!(names.contains("rck_batch_rtt_seconds_bucket"));
-    assert!(names.contains("rck_worker_jobs"));
+    assert!(names.contains("rck_worker_jobs_total"));
     // Kernel-stage series — the workers above ran the real kernel in
     // this process, so these are nonzero too.
     assert!(names.contains("rck_kernel_alignments_total"));

@@ -19,45 +19,35 @@ fn method_strategy() -> impl Strategy<Value = MethodKind> {
 }
 
 fn name_strategy() -> impl Strategy<Value = String> {
-    prop::collection::vec(any::<u8>(), 0..12).prop_map(|raw| {
-        raw.into_iter()
-            .map(|b| (b'a' + (b % 26)) as char)
-            .collect()
-    })
+    prop::collection::vec(any::<u8>(), 0..12)
+        .prop_map(|raw| raw.into_iter().map(|b| (b'a' + (b % 26)) as char).collect())
 }
 
 /// A chain whose `seq` and `coords` lengths agree (the codec encodes one
 /// shared length), with finite coordinates.
 fn chain_strategy() -> impl Strategy<Value = CaChain> {
-    let residue = ((0u8..20), (-999.0f64..999.0, -999.0f64..999.0, -999.0f64..999.0));
-    (
-        name_strategy(),
-        prop::collection::vec(residue, 0..40),
-    )
-        .prop_map(|(name, residues)| {
-            let seq = residues
-                .iter()
-                .map(|(aa, _)| AminoAcid::from_index(*aa))
-                .collect();
-            let coords = residues
-                .iter()
-                .map(|(_, (x, y, z))| Vec3::new(*x, *y, *z))
-                .collect();
-            CaChain { name, seq, coords }
-        })
+    let residue = (
+        (0u8..20),
+        (-999.0f64..999.0, -999.0f64..999.0, -999.0f64..999.0),
+    );
+    (name_strategy(), prop::collection::vec(residue, 0..40)).prop_map(|(name, residues)| {
+        let seq = residues
+            .iter()
+            .map(|(aa, _)| AminoAcid::from_index(*aa))
+            .collect();
+        let coords = residues
+            .iter()
+            .map(|(_, (x, y, z))| Vec3::new(*x, *y, *z))
+            .collect();
+        CaChain { name, seq, coords }
+    })
 }
 
 fn job_batch_strategy() -> impl Strategy<Value = JobBatch> {
     (
         any::<u64>(),
-        prop::collection::vec(
-            (any::<u32>(), chain_strategy()),
-            0..5,
-        ),
-        prop::collection::vec(
-            (any::<u32>(), any::<u32>(), method_strategy()),
-            0..20,
-        ),
+        prop::collection::vec((any::<u32>(), chain_strategy()), 0..5),
+        prop::collection::vec((any::<u32>(), any::<u32>(), method_strategy()), 0..20),
     )
         .prop_map(|(batch_id, chains, raw_jobs)| JobBatch {
             batch_id,
@@ -85,15 +75,17 @@ fn result_batch_strategy() -> impl Strategy<Value = ResultBatch> {
             batch_id,
             outcomes: rows
                 .into_iter()
-                .map(|((i, j, method), (similarity, rmsd), (aligned_len, ops))| PairOutcome {
-                    i,
-                    j,
-                    method,
-                    similarity,
-                    rmsd,
-                    aligned_len,
-                    ops,
-                })
+                .map(
+                    |((i, j, method), (similarity, rmsd), (aligned_len, ops))| PairOutcome {
+                        i,
+                        j,
+                        method,
+                        similarity,
+                        rmsd,
+                        aligned_len,
+                        ops,
+                    },
+                )
                 .collect(),
         })
 }
@@ -231,10 +223,7 @@ fn codec_rejects_oversized_header_before_the_payload_arrives() {
     header[7..11].copy_from_slice(&(u32::MAX).to_le_bytes());
     let mut codec = FrameCodec::new();
     codec.feed(&header);
-    assert!(matches!(
-        codec.next_frame(),
-        Err(FrameError::Oversized(_))
-    ));
+    assert!(matches!(codec.next_frame(), Err(FrameError::Oversized(_))));
 }
 
 #[test]

@@ -6,20 +6,32 @@ use std::time::Instant;
 fn main() {
     let chains = datasets::ck34_profile().generate(2013);
     let lens: Vec<usize> = chains.iter().map(|c| c.len()).collect();
-    println!("lengths: min={} max={} mean={}", lens.iter().min().unwrap(), lens.iter().max().unwrap(), lens.iter().sum::<usize>()/lens.len());
+    println!(
+        "lengths: min={} max={} mean={}",
+        lens.iter().min().unwrap(),
+        lens.iter().max().unwrap(),
+        lens.iter().sum::<usize>() / lens.len()
+    );
     let t0 = Instant::now();
     let mut total_ops = 0u64;
     let mut n = 0;
     let mut tms = vec![];
     for i in 0..8 {
-        for j in (i+1)..10 {
-            let r = tm_align(&chains[i*3 % 34], &chains[j*3 % 34]);
+        for j in (i + 1)..10 {
+            let r = tm_align(&chains[i * 3 % 34], &chains[j * 3 % 34]);
             total_ops += r.ops;
             tms.push((r.name_a.clone(), r.name_b.clone(), r.tm_max_norm()));
             n += 1;
         }
     }
     let dt = t0.elapsed();
-    println!("{n} pairs in {:?} => {:?}/pair, mean ops/pair = {}", dt, dt/n, total_ops/n as u64);
-    for (a,b,tm) in tms.iter().take(12) { println!("{a} vs {b}: {tm:.3}"); }
+    println!(
+        "{n} pairs in {:?} => {:?}/pair, mean ops/pair = {}",
+        dt,
+        dt / n,
+        total_ops / n as u64
+    );
+    for (a, b, tm) in tms.iter().take(12) {
+        println!("{a} vs {b}: {tm:.3}");
+    }
 }

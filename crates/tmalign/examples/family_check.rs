@@ -26,8 +26,16 @@ fn main() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
         "within: n={} mean={:.3} min={:.3}; across: n={} mean={:.3} max={:.3}",
-        within.len(), mean(&within), within.iter().cloned().fold(1.0, f64::min),
-        across.len(), mean(&across), across.iter().cloned().fold(0.0, f64::max),
+        within.len(),
+        mean(&within),
+        within.iter().cloned().fold(1.0, f64::min),
+        across.len(),
+        mean(&across),
+        across.iter().cloned().fold(0.0, f64::max),
     );
-    println!("{n} pairs in {:?}, mean ops {}", t0.elapsed(), ops / n as u64);
+    println!(
+        "{n} pairs in {:?}, mean ops {}",
+        t0.elapsed(),
+        ops / n as u64
+    );
 }

@@ -371,7 +371,11 @@ mod tests {
         let moved = CaChain {
             name: "moved".into(),
             seq: c.seq.clone(),
-            coords: c.coords.iter().map(|&p| rot * p + Vec3::new(8.0, -3.0, 1.0)).collect(),
+            coords: c
+                .coords
+                .iter()
+                .map(|&p| rot * p + Vec3::new(8.0, -3.0, 1.0))
+                .collect(),
         };
         let r = tm_align(&c, &moved);
         assert!(r.tm_norm_a > 0.999, "tm = {}", r.tm_norm_a);
@@ -427,7 +431,11 @@ mod tests {
         let a = member(5, 0);
         let b = member(6, 0); // different family seed
         let r = tm_align(&a, &b);
-        assert!(crate::dp::is_valid_alignment(&r.alignment, a.len(), b.len()));
+        assert!(crate::dp::is_valid_alignment(
+            &r.alignment,
+            a.len(),
+            b.len()
+        ));
         assert_eq!(r.aligned_len, r.alignment.len());
     }
 
@@ -587,7 +595,10 @@ mod tests {
         let b = CaChain {
             name: "ins".into(),
             seq,
-            coords: coords.iter().map(|&p| rot * p + Vec3::new(5.0, -8.0, 2.0)).collect(),
+            coords: coords
+                .iter()
+                .map(|&p| rot * p + Vec3::new(5.0, -8.0, 2.0))
+                .collect(),
         };
         let r = tm_align(&a, &b);
         assert!(r.tm_norm_a > 0.9, "tm = {}", r.tm_norm_a);

@@ -228,7 +228,11 @@ mod tests {
 
     #[test]
     fn method_kind_codes_roundtrip() {
-        for k in [MethodKind::TmAlign, MethodKind::KabschRmsd, MethodKind::ContactMap] {
+        for k in [
+            MethodKind::TmAlign,
+            MethodKind::KabschRmsd,
+            MethodKind::ContactMap,
+        ] {
             assert_eq!(MethodKind::from_code(k.code()), Some(k));
         }
         assert_eq!(MethodKind::from_code(99), None);
@@ -237,7 +241,11 @@ mod tests {
     #[test]
     fn all_methods_self_similarity_is_high() {
         let cs = chains();
-        for kind in [MethodKind::TmAlign, MethodKind::KabschRmsd, MethodKind::ContactMap] {
+        for kind in [
+            MethodKind::TmAlign,
+            MethodKind::KabschRmsd,
+            MethodKind::ContactMap,
+        ] {
             let m = kind.instantiate();
             let s = m.compare(&cs[0], &cs[0]);
             assert!(s.similarity > 0.99, "{}: {}", kind.name(), s.similarity);
@@ -252,7 +260,11 @@ mod tests {
         let moved = CaChain {
             name: "m".into(),
             seq: cs[0].seq.clone(),
-            coords: cs[0].coords.iter().map(|&p| rot * p + Vec3::new(3.0, 4.0, 5.0)).collect(),
+            coords: cs[0]
+                .coords
+                .iter()
+                .map(|&p| rot * p + Vec3::new(3.0, 4.0, 5.0))
+                .collect(),
         };
         let s = KabschRmsdMethod.compare(&cs[0], &moved);
         assert!(s.rmsd.unwrap() < 1e-8);
@@ -275,7 +287,9 @@ mod tests {
     fn contact_map_empty_for_tiny_chain() {
         let tiny = CaChain::from_coords(
             "t",
-            (0..3).map(|i| Vec3::new(i as f64 * 3.8, 0.0, 0.0)).collect(),
+            (0..3)
+                .map(|i| Vec3::new(i as f64 * 3.8, 0.0, 0.0))
+                .collect(),
         );
         let s = ContactMapOverlap::default().compare(&tiny, &tiny);
         assert_eq!(s.similarity, 0.0);
@@ -293,7 +307,11 @@ mod tests {
     #[test]
     fn methods_report_ops() {
         let cs = chains();
-        for kind in [MethodKind::TmAlign, MethodKind::KabschRmsd, MethodKind::ContactMap] {
+        for kind in [
+            MethodKind::TmAlign,
+            MethodKind::KabschRmsd,
+            MethodKind::ContactMap,
+        ] {
             let s = kind.instantiate().compare(&cs[0], &cs[4]);
             assert!(s.ops > 0, "{} charged no ops", kind.name());
         }
@@ -302,9 +320,18 @@ mod tests {
     #[test]
     fn tmalign_is_most_expensive() {
         let cs = chains();
-        let tm = MethodKind::TmAlign.instantiate().compare(&cs[0], &cs[4]).ops;
-        let kb = MethodKind::KabschRmsd.instantiate().compare(&cs[0], &cs[4]).ops;
-        let cm = MethodKind::ContactMap.instantiate().compare(&cs[0], &cs[4]).ops;
+        let tm = MethodKind::TmAlign
+            .instantiate()
+            .compare(&cs[0], &cs[4])
+            .ops;
+        let kb = MethodKind::KabschRmsd
+            .instantiate()
+            .compare(&cs[0], &cs[4])
+            .ops;
+        let cm = MethodKind::ContactMap
+            .instantiate()
+            .compare(&cs[0], &cs[4])
+            .ops;
         assert!(tm > kb * 10, "tm {tm} vs kabsch {kb}");
         assert!(tm > cm, "tm {tm} vs contact {cm}");
     }

@@ -171,7 +171,11 @@ mod tests {
         assert!(text.contains(&format!("Name of Chain_1: {}", a.name)));
         // Wrapped lines never exceed 60 chars.
         for line in text.lines() {
-            if line.chars().all(|c| "ACDEFGHIKLMNPQRSTVWYX-:. ".contains(c)) && !line.is_empty() {
+            if line
+                .chars()
+                .all(|c| "ACDEFGHIKLMNPQRSTVWYX-:. ".contains(c))
+                && !line.is_empty()
+            {
                 assert!(line.chars().count() <= 60, "line too long: {line}");
             }
         }

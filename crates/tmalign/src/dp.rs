@@ -31,7 +31,11 @@ impl ScoreMatrix {
     }
 
     /// Build from a function of `(i, j)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> ScoreMatrix {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> ScoreMatrix {
         let mut m = ScoreMatrix::zeros(rows, cols);
         for i in 0..rows {
             for j in 0..cols {

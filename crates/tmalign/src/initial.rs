@@ -128,13 +128,17 @@ pub fn hybrid_alignment(
     let mut m = ScoreMatrix::from_fn(x.len(), y.len(), |i, j| {
         1.0 / (1.0 + moved[i].dist_sq(y[j]) / d0sq)
     });
-    let ss = ScoreMatrix::from_fn(x.len(), y.len(), |i, j| {
-        if ss_x[i] == ss_y[j] {
-            1.0
-        } else {
-            0.0
-        }
-    });
+    let ss = ScoreMatrix::from_fn(
+        x.len(),
+        y.len(),
+        |i, j| {
+            if ss_x[i] == ss_y[j] {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
     m.blend(0.5, 0.5, &ss);
     meter.charge(2 * (x.len() * y.len()) as u64);
     let (alignment, _) = needleman_wunsch(&m, SS_GAP, meter);
@@ -205,7 +209,10 @@ mod tests {
     fn gapless_respects_rigid_motion() {
         let x = helixish(30);
         let rot = Mat3::rotation_about(Vec3::new(1.0, 0.0, 1.0), 1.0);
-        let y: Vec<Vec3> = x.iter().map(|&p| rot * p + Vec3::new(4.0, 5.0, 6.0)).collect();
+        let y: Vec<Vec3> = x
+            .iter()
+            .map(|&p| rot * p + Vec3::new(4.0, 5.0, 6.0))
+            .collect();
         let init = gapless_threading(&x, &y, d0(30), 30, &mut meter());
         assert_eq!(init.alignment.len(), 30);
         let t = init.transform.unwrap();
@@ -242,15 +249,7 @@ mod tests {
     fn hybrid_alignment_recovers_identity() {
         let x = helixish(35);
         let ss = assign(&x, &mut meter());
-        let init = hybrid_alignment(
-            &x,
-            &x,
-            &ss,
-            &ss,
-            &Transform::IDENTITY,
-            d0(35),
-            &mut meter(),
-        );
+        let init = hybrid_alignment(&x, &x, &ss, &ss, &Transform::IDENTITY, d0(35), &mut meter());
         assert_eq!(init.alignment.len(), 35);
         assert!(init.alignment.iter().all(|&(i, j)| i == j));
     }
@@ -259,7 +258,10 @@ mod tests {
     fn sources_are_labelled() {
         let x = helixish(20);
         let ss = assign(&x, &mut meter());
-        assert_eq!(gapless_threading(&x, &x, 1.0, 20, &mut meter()).source, "gapless");
+        assert_eq!(
+            gapless_threading(&x, &x, 1.0, 20, &mut meter()).source,
+            "gapless"
+        );
         assert_eq!(ss_alignment(&ss, &ss, &mut meter()).source, "ss-dp");
         assert_eq!(
             hybrid_alignment(&x, &x, &ss, &ss, &Transform::IDENTITY, 1.0, &mut meter()).source,

@@ -183,7 +183,12 @@ mod tests {
         assert_eq!(SecStruct::Turn.code(), 3);
         assert_eq!(SecStruct::Strand.code(), 4);
         assert_eq!(
-            to_string(&[SecStruct::Coil, SecStruct::Helix, SecStruct::Turn, SecStruct::Strand]),
+            to_string(&[
+                SecStruct::Coil,
+                SecStruct::Helix,
+                SecStruct::Turn,
+                SecStruct::Strand
+            ]),
             "CHTE"
         );
     }

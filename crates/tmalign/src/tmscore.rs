@@ -272,7 +272,11 @@ mod tests {
         let x = helixish(40);
         let mut y = x.clone();
         for (i, p) in y.iter_mut().enumerate().skip(20) {
-            *p = Vec3::new(100.0 + i as f64 * 7.0, -50.0 * (i as f64).sin(), 3.0 * i as f64);
+            *p = Vec3::new(
+                100.0 + i as f64 * 7.0,
+                -50.0 * (i as f64).sin(),
+                3.0 * i as f64,
+            );
         }
         let r = search(&x, &y, d0(40), d0(40), 40, SearchDepth::Full, &mut meter());
         assert!(r.tm > 0.4 && r.tm < 0.75, "tm = {}", r.tm);
@@ -339,7 +343,9 @@ mod tests {
         // A bad decoy: unfolded (stretched out).
         let bad = CaChain::from_coords(
             "bad",
-            (0..60).map(|k| Vec3::new(k as f64 * 3.8, 0.0, 0.0)).collect(),
+            (0..60)
+                .map(|k| Vec3::new(k as f64 * 3.8, 0.0, 0.0))
+                .collect(),
         );
         let mut m = meter();
         let tg = tm_score_fixed(&native, &good, &mut m).tm;

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use rck_pdb::geometry::{Mat3, Vec3};
-use rck_tmalign::dp::{
-    brute_force_best_score, is_valid_alignment, needleman_wunsch, ScoreMatrix,
-};
+use rck_tmalign::dp::{brute_force_best_score, is_valid_alignment, needleman_wunsch, ScoreMatrix};
 use rck_tmalign::kabsch::{raw_rmsd, superpose};
 use rck_tmalign::secstruct;
 use rck_tmalign::tmscore::{d0, search, tm_score_of_pairs, SearchDepth};

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release -p rckalign-examples --bin all_vs_all_scc`
 
 use rck_pdb::datasets;
-use rckalign::{
-    run_all_vs_all, PairCache, RckAlignOptions, SimilarityMatrix,
-};
+use rckalign::{run_all_vs_all, PairCache, RckAlignOptions, SimilarityMatrix};
 
 fn main() {
     // The CK34-shaped dataset (34 chains, five fold families).
@@ -16,7 +14,10 @@ fn main() {
     let names: Vec<String> = chains.iter().map(|c| c.name.clone()).collect();
     let cache = PairCache::new(chains);
 
-    println!("all-vs-all TM-align of CK34 ({} pairs) on the simulated SCC", rckalign::pair_count(cache.len()));
+    println!(
+        "all-vs-all TM-align of CK34 ({} pairs) on the simulated SCC",
+        rckalign::pair_count(cache.len())
+    );
     for n_slaves in [1usize, 8, 24, 47] {
         let run = run_all_vs_all(&cache, &RckAlignOptions::paper(n_slaves));
         let slave_util = run.report.mean_utilization(1..=n_slaves);

@@ -44,8 +44,11 @@ fn main() {
     // 3. Round-trip through the parser.
     let parsed = parse_pdb(&member.name, &pdb_text).expect("own output parses");
     let chain = parsed.first_chain().expect("one chain");
-    println!("\nparsed back: {} residues, sequence {}…",
-        chain.len(), &chain.sequence()[..20.min(chain.len())]);
+    println!(
+        "\nparsed back: {} residues, sequence {}…",
+        chain.len(),
+        &chain.sequence()[..20.min(chain.len())]
+    );
 
     // 4. CA geometry sanity + secondary structure.
     let ca = CaChain::from_chain(&member.name, chain);
@@ -53,6 +56,9 @@ fn main() {
     let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
     println!("mean CA-CA distance: {mean_gap:.2} Å (ideal trans peptide: 3.80 Å)");
     let ss = secondary_structure(&ca);
-    println!("assigned secondary structure:\n  {}", secstruct::to_string(&ss));
+    println!(
+        "assigned secondary structure:\n  {}",
+        secstruct::to_string(&ss)
+    );
     println!("(helix block, loop, strand block, loop, helix block — as designed)");
 }

@@ -18,7 +18,10 @@ fn main() {
     let dcfg = DistributedConfig::default();
 
     println!("all-vs-all CK34: on-chip master (rckAlign) vs MCPC master (pssh + NFS)\n");
-    println!("{:>6}  {:>12}  {:>12}  {:>6}", "slaves", "rckAlign (s)", "distrib. (s)", "ratio");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>6}",
+        "slaves", "rckAlign (s)", "distrib. (s)", "ratio"
+    );
     for n in [1usize, 5, 15, 31, 47] {
         let rck = run_all_vs_all(&cache, &RckAlignOptions::paper(n));
         let dist = run_distributed(&cache, &jobs, n, &noc, &dcfg);
@@ -31,10 +34,14 @@ fn main() {
     }
 
     println!("\nwhere the distributed version loses (per the paper, §V-C):");
-    println!("  1. every job starts a fresh process on the core ({}s each);",
-        dcfg.spawn_overhead_secs);
-    println!("  2. every process reads its own structures over NFS ({}s/file,",
-        dcfg.nfs_read_secs_per_file);
+    println!(
+        "  1. every job starts a fresh process on the core ({}s each);",
+        dcfg.spawn_overhead_secs
+    );
+    println!(
+        "  2. every process reads its own structures over NFS ({}s/file,",
+        dcfg.nfs_read_secs_per_file
+    );
     println!("     serialised through the single MCPC disk controller).");
     println!("rckAlign loads the data once, on the chip, and ships it over the mesh.");
 }

@@ -19,7 +19,10 @@ fn main() {
         MethodKind::ContactMap,
     ];
 
-    for strategy in [PartitionStrategy::Equal, PartitionStrategy::ProportionalToCost] {
+    for strategy in [
+        PartitionStrategy::Equal,
+        PartitionStrategy::ProportionalToCost,
+    ] {
         let run = run_mcpsc(
             &cache,
             &McPscOptions {
@@ -29,7 +32,10 @@ fn main() {
                 noc: NocConfig::scc(),
             },
         );
-        println!("{strategy:?}: simulated {:.1}s; partition:", run.makespan_secs);
+        println!(
+            "{strategy:?}: simulated {:.1}s; partition:",
+            run.makespan_secs
+        );
         for (m, n) in &run.partition {
             println!("  {:12} {} slaves", m.name(), n);
         }
@@ -49,8 +55,11 @@ fn main() {
     let consensus = Consensus::from_outcomes(cache.len(), &run.outcomes, &methods);
 
     for combiner in [Combiner::MeanScore, Combiner::MeanRank] {
-        println!("\nconsensus neighbours of {} ({combiner:?} over {} criteria):",
-            names[0], methods.len());
+        println!(
+            "\nconsensus neighbours of {} ({combiner:?} over {} criteria):",
+            names[0],
+            methods.len()
+        );
         for (idx, score) in consensus.ranked_neighbours(0, combiner).into_iter().take(5) {
             let per_method: Vec<String> = methods
                 .iter()
@@ -59,7 +68,12 @@ fn main() {
                     format!("{}={v:.2}", m.name())
                 })
                 .collect();
-            println!("  {:10} consensus {:.3}  ({})", names[idx], score, per_method.join(", "));
+            println!(
+                "  {:10} consensus {:.3}  ({})",
+                names[idx],
+                score,
+                per_method.join(", ")
+            );
         }
     }
 }

@@ -48,7 +48,10 @@ fn main() {
     );
 
     let consensus = run.consensus(cache.len(), &methods);
-    println!("top hits (mean-rank consensus over {} criteria):", methods.len());
+    println!(
+        "top hits (mean-rank consensus over {} criteria):",
+        methods.len()
+    );
     for (idx, score) in consensus
         .ranked_neighbours(query, Combiner::MeanRank)
         .into_iter()
@@ -58,7 +61,10 @@ fn main() {
             .matrix_for(MethodKind::TmAlign)
             .expect("tm-align ran")
             .get(query, idx);
-        println!("  {:10} consensus {score:.3}   TM-score {tm:.3}", names[idx]);
+        println!(
+            "  {:10} consensus {score:.3}   TM-score {tm:.3}",
+            names[idx]
+        );
     }
     println!("\nall nine globin-family siblings should lead the list — the query's");
     println!("'function' is correctly inferred from structural neighbours.");

@@ -19,25 +19,48 @@ fn main() {
     let b = &chains[1];
     let result = tm_align(a, b);
     println!("\nTM-align {} vs {} (same family):", a.name, b.name);
-    println!("  TM-score (norm {} = {} aa): {:.4}", a.name, result.len_a, result.tm_norm_a);
-    println!("  TM-score (norm {} = {} aa): {:.4}", b.name, result.len_b, result.tm_norm_b);
-    println!("  aligned residues: {} / rmsd {:.2} Å / seq id {:.0}%",
-        result.aligned_len, result.rmsd, result.seq_identity * 100.0);
+    println!(
+        "  TM-score (norm {} = {} aa): {:.4}",
+        a.name, result.len_a, result.tm_norm_a
+    );
+    println!(
+        "  TM-score (norm {} = {} aa): {:.4}",
+        b.name, result.len_b, result.tm_norm_b
+    );
+    println!(
+        "  aligned residues: {} / rmsd {:.2} Å / seq id {:.0}%",
+        result.aligned_len,
+        result.rmsd,
+        result.seq_identity * 100.0
+    );
 
     // Cross-family pair: short, loose alignment, TM below the ~0.5
     // same-fold threshold.
     let c = &chains[5];
     let cross = tm_align(a, c);
     println!("\nTM-align {} vs {} (different families):", a.name, c.name);
-    println!("  TM-score: {:.4} (aligned {} / rmsd {:.2} Å)",
-        cross.tm_max_norm(), cross.aligned_len, cross.rmsd);
+    println!(
+        "  TM-score: {:.4} (aligned {} / rmsd {:.2} Å)",
+        cross.tm_max_norm(),
+        cross.aligned_len,
+        cross.rmsd
+    );
     assert!(result.tm_max_norm() > cross.tm_max_norm());
 
     // Secondary structure, assigned from CA geometry like TM-align does.
     let ss = secondary_structure(a);
-    println!("\n{} secondary structure:\n  {}", a.name, secstruct::to_string(&ss));
+    println!(
+        "\n{} secondary structure:\n  {}",
+        a.name,
+        secstruct::to_string(&ss)
+    );
 
-    println!("\nWork accounting: the same-family comparison cost {} kernel ops;", result.ops);
-    println!("on the simulated 800 MHz SCC core that is {:.2} simulated seconds.",
-        result.ops as f64 * rck_noc::NocConfig::scc().cycles_per_op / 800e6);
+    println!(
+        "\nWork accounting: the same-family comparison cost {} kernel ops;",
+        result.ops
+    );
+    println!(
+        "on the simulated 800 MHz SCC core that is {:.2} simulated seconds.",
+        result.ops as f64 * rck_noc::NocConfig::scc().cycles_per_op / 800e6
+    );
 }

@@ -68,8 +68,20 @@ fn reproducible_across_cache_prefill_strategies() {
 fn distributed_run_is_reproducible() {
     let c = cache(3);
     let jobs = all_vs_all(c.len(), MethodKind::TmAlign);
-    let a = run_distributed(&c, &jobs, 4, &rck_noc::NocConfig::scc(), &DistributedConfig::default());
-    let b = run_distributed(&c, &jobs, 4, &rck_noc::NocConfig::scc(), &DistributedConfig::default());
+    let a = run_distributed(
+        &c,
+        &jobs,
+        4,
+        &rck_noc::NocConfig::scc(),
+        &DistributedConfig::default(),
+    );
+    let b = run_distributed(
+        &c,
+        &jobs,
+        4,
+        &rck_noc::NocConfig::scc(),
+        &DistributedConfig::default(),
+    );
     assert_eq!(a.report.makespan, b.report.makespan);
     assert_eq!(a.outcomes, b.outcomes);
 }

@@ -71,7 +71,11 @@ fn ranked_retrieval_finds_family_members() {
 #[test]
 fn outcome_coverage_is_complete_for_every_method() {
     let cache = PairCache::new(datasets::tiny_profile().generate(9));
-    for method in [MethodKind::TmAlign, MethodKind::KabschRmsd, MethodKind::ContactMap] {
+    for method in [
+        MethodKind::TmAlign,
+        MethodKind::KabschRmsd,
+        MethodKind::ContactMap,
+    ] {
         let run = run_all_vs_all(
             &cache,
             &RckAlignOptions {

@@ -36,8 +36,9 @@ fn slave_panic_mid_farm_propagates() {
             let ues = ues.clone();
             move |ctx: &mut CoreCtx| {
                 let mut comm = Rcce::new(ctx, &ues);
-                let jobs: Vec<rck_skel::Job> =
-                    (0..10).map(|k| rck_skel::Job::new(k, vec![k as u8])).collect();
+                let jobs: Vec<rck_skel::Job> = (0..10)
+                    .map(|k| rck_skel::Job::new(k, vec![k as u8]))
+                    .collect();
                 let _ = rck_skel::farm(&mut comm, &[1], &jobs);
             }
         }) as CoreProgram),
@@ -51,7 +52,10 @@ fn slave_panic_mid_farm_propagates() {
                     if count == crash_at {
                         panic!("slave bug");
                     }
-                    SlaveReply { payload: p, ops: 100 }
+                    SlaveReply {
+                        payload: p,
+                        ops: 100,
+                    }
                 });
             }
         })),
@@ -100,19 +104,15 @@ fn chip_oversubscription_is_rejected_upfront() {
 #[test]
 #[should_panic(expected = "needs at least one source")]
 fn empty_recv_any_rejected() {
-    let _ = Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(
-        |ctx: &mut CoreCtx| {
-            let _ = ctx.recv_any(&[]);
-        },
-    ) as CoreProgram)]);
+    let _ = Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(|ctx: &mut CoreCtx| {
+        let _ = ctx.recv_any(&[]);
+    }) as CoreProgram)]);
 }
 
 #[test]
 #[should_panic(expected = "barrier group must include caller")]
 fn barrier_without_caller_rejected() {
-    let _ = Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(
-        |ctx: &mut CoreCtx| {
-            ctx.barrier(&[CoreId(1), CoreId(2)]);
-        },
-    ) as CoreProgram)]);
+    let _ = Simulator::new(NocConfig::scc()).run(vec![Some(Box::new(|ctx: &mut CoreCtx| {
+        ctx.barrier(&[CoreId(1), CoreId(2)]);
+    }) as CoreProgram)]);
 }

@@ -41,12 +41,7 @@ fn arb_chain() -> impl Strategy<Value = CaChain> {
 }
 
 fn arb_rotation() -> impl Strategy<Value = Mat3> {
-    (
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-        0.1f64..1.0,
-        -3.0f64..3.0,
-    )
+    (-1.0f64..1.0, -1.0f64..1.0, 0.1f64..1.0, -3.0f64..3.0)
         .prop_map(|(x, y, z, angle)| Mat3::rotation_about(Vec3::new(x, y, z), angle))
 }
 

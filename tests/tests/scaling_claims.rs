@@ -37,7 +37,10 @@ fn speedup_is_near_linear_then_saturates_gracefully() {
         assert!(speedup > last_speedup, "speedup fell at {n}");
         assert!(speedup <= n as f64 * 1.01, "super-linear at {n}");
         if n <= 4 {
-            assert!(speedup > 0.85 * n as f64, "efficiency too low at {n}: {speedup}");
+            assert!(
+                speedup > 0.85 * n as f64,
+                "efficiency too low at {n}: {speedup}"
+            );
         }
         last_speedup = speedup;
     }
@@ -50,7 +53,8 @@ fn one_slave_equals_serial_baseline() {
     let cache = small_ck();
     let jobs = all_vs_all(cache.len(), MethodKind::TmAlign);
     let noc = NocConfig::scc();
-    let serial_t = serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), noc.cycles_per_op);
+    let serial_t =
+        serial::serial_time_secs(&cache, &jobs, &CpuModel::p54c_800(), noc.cycles_per_op);
     let parallel_t = run_all_vs_all(&cache, &RckAlignOptions::paper(1)).makespan_secs;
     let rel = (parallel_t - serial_t).abs() / serial_t;
     assert!(rel < 0.02, "1-slave {parallel_t} vs serial {serial_t}");

@@ -48,7 +48,11 @@ fn big_farm(jobs: usize, seed: u64) -> (rck_noc::SimTime, u64, Vec<u64>) {
         }
         Simulator::new(NocConfig::scc()).run(programs)
     };
-    (report.makespan, report.total_messages(), ids.into_inner().unwrap())
+    (
+        report.makespan,
+        report.total_messages(),
+        ids.into_inner().unwrap(),
+    )
 }
 
 #[test]
