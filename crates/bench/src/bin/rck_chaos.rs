@@ -25,6 +25,7 @@
 //! exactly that. Observed fault/serve counters (which *are*
 //! timing-dependent) go to stderr instead.
 
+use rck_gate::chaos::{run_gate_scenario, GateScenarioPlan, GateScenarioResult};
 use rck_serve::chaos::{run_scenario, ScenarioResult};
 use rck_serve::ScenarioPlan;
 use std::fmt::Write as FmtWrite;
@@ -36,10 +37,12 @@ const USAGE: &str = "\
 rck_chaos — seeded fault-injection scenarios for the rck-serve layer
 
 USAGE:
-  rck_chaos [--seeds N] [--base-seed S] [--repeat K] [--out PATH]
+  rck_chaos [--seeds N] [--base-seed S] [--repeat K] [--gate-seeds N]
+            [--out PATH]
 
 Defaults: --seeds 32, --base-seed 0, --repeat 1 (set 2+ to assert
-byte-identical reports per seed), no --out (stdout only).
+byte-identical reports per seed), --gate-seeds 4 (multi-tenant serving
+-tier scenarios; 0 disables), no --out (stdout only).
 ";
 
 /// A scenario that neither completes nor aborts within this window is a
@@ -51,6 +54,7 @@ struct Options {
     seeds: u64,
     base_seed: u64,
     repeat: u64,
+    gate_seeds: u64,
     out: Option<String>,
 }
 
@@ -59,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seeds: 32,
         base_seed: 0,
         repeat: 1,
+        gate_seeds: 4,
         out: None,
     };
     let mut it = args.iter();
@@ -87,6 +92,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .filter(|&n: &u64| n >= 1)
                     .ok_or_else(|| format!("bad repeat count {value}"))?;
             }
+            "gate-seeds" => {
+                opts.gate_seeds = value
+                    .parse()
+                    .map_err(|_| format!("bad gate seed count {value}"))?;
+            }
             "out" => opts.out = Some(value.clone()),
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -105,6 +115,22 @@ fn run_guarded(seed: u64) -> ScenarioResult {
         Ok(result) => result,
         Err(_) => {
             eprintln!("seed {seed:06}: DEADLOCK — scenario still running after {WATCHDOG:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run one serving-tier scenario under the same deadlock watchdog.
+fn run_gate_guarded(seed: u64) -> GateScenarioResult {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let plan = GateScenarioPlan::from_seed(seed);
+        let _ = tx.send(run_gate_scenario(&plan));
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(result) => result,
+        Err(_) => {
+            eprintln!("gate seed {seed:06}: DEADLOCK — scenario still running after {WATCHDOG:?}");
             std::process::exit(2);
         }
     }
@@ -154,9 +180,49 @@ fn main() -> ExitCode {
         let _ = writeln!(report, "{}", first.report_line);
     }
 
+    // Serving-tier scenarios: multi-tenant gates under client-stream
+    // faults and worker crashes. Failures fold into the same exit code
+    // and the same final "N failures" figure the CI smoke greps for.
+    let mut gate_passed = 0u64;
+    for seed in opts.base_seed..opts.base_seed + opts.gate_seeds {
+        let first = run_gate_guarded(seed);
+        for rerun in 1..opts.repeat {
+            let again = run_gate_guarded(seed);
+            if again.report_line() != first.report_line() {
+                eprintln!(
+                    "gate seed {seed:06}: NONDETERMINISTIC report (rerun {rerun})\n  first: {}\n  again: {}",
+                    first.report_line(),
+                    again.report_line()
+                );
+                failures += 1;
+            }
+        }
+        if first.passed() {
+            gate_passed += 1;
+        } else {
+            failures += 1;
+            for f in &first.failures {
+                eprintln!("gate seed {seed:06}: {f}");
+            }
+        }
+        println!(
+            "{} {}",
+            if first.passed() { "ok  " } else { "FAIL" },
+            first.report_line()
+        );
+        let _ = writeln!(report, "{}", first.report_line());
+    }
+    if opts.gate_seeds > 0 {
+        println!(
+            "gate: {gate_passed}/{} serving-tier scenarios held isolation and bit-identity",
+            opts.gate_seeds
+        );
+    }
+
     let summary = format!(
-        "{} scenarios: {completed} completed bit-identical, {aborted} aborted cleanly, {failures} failures",
-        opts.seeds
+        "{} scenarios: {} completed bit-identical, {aborted} aborted cleanly, {failures} failures",
+        opts.seeds + opts.gate_seeds,
+        completed + gate_passed,
     );
     println!("{summary}");
     if let Some(path) = &opts.out {

@@ -1,0 +1,544 @@
+//! `rck_loadgen` — multi-tenant load generator for the rck-gate serving
+//! tier.
+//!
+//! Two modes:
+//!
+//! * **self-contained** (default): boots a gate over the in-memory
+//!   network with `--workers` real pool workers, then drives it — no
+//!   ports, deterministic dataset, suitable for CI smoke runs and for
+//!   regenerating the committed `BENCH_gate.json` baseline;
+//! * **remote** (`--addr`): dials an already-running `rck_gate` daemon's
+//!   query plane over TCP and only generates load.
+//!
+//! `--tenants` concurrent tenant threads each submit their share of
+//! `--queries` (one outstanding query per tenant — per-tenant closed
+//! loop, open across tenants), measuring client-side submit→ranking
+//! latency into an `rck_obs` histogram. The run prints queries/sec and
+//! p50/p95/p99 and, with `--out`, writes a machine-readable JSON
+//! baseline.
+
+use rck_gate::{Gate, GateClient, GateConfig};
+use rck_obs::{HistogramSnapshot, Registry, DEFAULT_LATENCY_BOUNDS};
+use rck_serve::proto::QuerySubmit;
+use rck_serve::transport::MemNet;
+use rck_serve::{run_worker_conn, WorkerConfig};
+use rck_tmalign::MethodKind;
+use std::fmt::Write as FmtWrite;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+rck_loadgen — multi-tenant load generator for the rck-gate serving tier
+
+USAGE:
+  rck_loadgen [--queries N] [--tenants N] [--workers N]
+              [--dataset CK34|RS119|TINY8] [--seed S] [--batch N]
+              [--addr HOST:PORT] [--out PATH]
+
+Defaults: --queries 50, --tenants 3, --workers 2, --dataset TINY8,
+--seed 2013, --batch 4. Without --addr a gate is booted in-process over
+the in-memory network; with --addr an already-running rck_gate daemon
+is driven instead (its --workers/--dataset/--seed/--batch are then its
+own business). --out writes a JSON baseline (e.g. BENCH_gate.json).
+";
+
+#[derive(Debug, PartialEq)]
+struct ParseError(String);
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    queries: usize,
+    tenants: usize,
+    workers: usize,
+    dataset: String,
+    seed: u64,
+    batch: usize,
+    addr: Option<SocketAddr>,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            queries: 50,
+            tenants: 3,
+            workers: 2,
+            dataset: "TINY8".to_string(),
+            seed: 2013,
+            batch: 4,
+            addr: None,
+            out: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let name = a
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("unexpected argument {a}")))?;
+        if name == "help" {
+            return Err(ParseError(String::new()));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
+        let positive = |what: &str| {
+            value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| ParseError(format!("bad {what} {value}")))
+        };
+        match name {
+            "queries" => opts.queries = positive("query count")?,
+            "tenants" => opts.tenants = positive("tenant count")?,
+            "workers" => opts.workers = positive("worker count")?,
+            "dataset" => opts.dataset = value.clone(),
+            "seed" => {
+                opts.seed = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed {value}")))?;
+            }
+            "batch" => opts.batch = positive("batch size")?,
+            "addr" => {
+                opts.addr = Some(
+                    value
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad address {value}")))?,
+                );
+            }
+            "out" => opts.out = Some(value.clone()),
+            other => return Err(ParseError(format!("unknown flag --{other}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Everything one load run measured, ready to print or serialize.
+struct LoadReport {
+    completed: u64,
+    rejected: u64,
+    errored: u64,
+    wall_secs: f64,
+    latency: HistogramSnapshot,
+    /// Mean fraction of the worker pool observed busy (self-contained
+    /// mode only; sampled from the gate's dispatch counters).
+    worker_utilization: Option<f64>,
+    jobs_completed: Option<u64>,
+}
+
+impl LoadReport {
+    fn queries_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.completed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn fmt_secs(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{:.1}", v * 1e3),
+        Some(_) => ">60000".to_string(),
+        None => "nan".to_string(),
+    }
+}
+
+/// Milliseconds as a JSON number, `null` when unobservable (keeps the
+/// baseline parseable, unlike a bare `nan`).
+fn json_ms(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{:.1}", v * 1e3),
+        _ => "null".to_string(),
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): flat object with
+/// numeric fields, stable key order, newline-terminated.
+fn render_json(opts: &Options, report: &LoadReport) -> String {
+    let mut js = String::new();
+    js.push_str("{\n");
+    let _ = writeln!(js, "  \"bench\": \"rck_loadgen\",");
+    let _ = writeln!(js, "  \"dataset\": \"{}\",", opts.dataset);
+    let _ = writeln!(js, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(js, "  \"tenants\": {},", opts.tenants);
+    let _ = writeln!(js, "  \"workers\": {},", opts.workers);
+    let _ = writeln!(js, "  \"batch_size\": {},", opts.batch);
+    let _ = writeln!(js, "  \"queries_requested\": {},", opts.queries);
+    let _ = writeln!(js, "  \"queries_completed\": {},", report.completed);
+    let _ = writeln!(js, "  \"queries_rejected\": {},", report.rejected);
+    let _ = writeln!(js, "  \"queries_errored\": {},", report.errored);
+    let _ = writeln!(js, "  \"wall_secs\": {:.6},", report.wall_secs);
+    let _ = writeln!(
+        js,
+        "  \"queries_per_sec\": {:.3},",
+        report.queries_per_sec()
+    );
+    let _ = writeln!(
+        js,
+        "  \"latency_ms\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}, \"count\": {} }},",
+        json_ms(report.latency.percentile(50.0)),
+        json_ms(report.latency.percentile(95.0)),
+        json_ms(report.latency.percentile(99.0)),
+        json_ms(if report.latency.count > 0 {
+            Some(report.latency.sum / report.latency.count as f64)
+        } else {
+            None
+        }),
+        report.latency.count,
+    );
+    match report.jobs_completed {
+        Some(jobs) => {
+            let _ = writeln!(js, "  \"jobs_completed\": {jobs},");
+        }
+        None => {
+            let _ = writeln!(js, "  \"jobs_completed\": null,");
+        }
+    }
+    match report.worker_utilization {
+        Some(u) => {
+            let _ = writeln!(js, "  \"worker_utilization\": {u:.3}");
+        }
+        None => {
+            let _ = writeln!(js, "  \"worker_utilization\": null");
+        }
+    }
+    js.push_str("}\n");
+    js
+}
+
+/// One tenant's closed loop: submit its share of queries back-to-back,
+/// observing each submit→terminal latency.
+#[allow(clippy::too_many_arguments)]
+fn tenant_loop(
+    mut client: GateClient,
+    tenant: String,
+    n_queries: usize,
+    queries: Vec<rck_pdb::model::CaChain>,
+    latency: Arc<rck_obs::Histogram>,
+    completed: Arc<AtomicU64>,
+    rejected: Arc<AtomicU64>,
+    errored: Arc<AtomicU64>,
+) {
+    for q in 0..n_queries {
+        let chain = queries[q % queries.len()].clone();
+        let started = Instant::now();
+        match client.run_query(QuerySubmit {
+            tenant: tenant.clone(),
+            query_id: q as u64,
+            weight: 1,
+            methods: vec![MethodKind::TmAlign],
+            chain,
+        }) {
+            Ok(outcome) if outcome.completed() => {
+                latency.observe(started.elapsed().as_secs_f64());
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {
+                rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                errored.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+    let _ = client.finish();
+}
+
+fn run_load(opts: &Options) -> Result<LoadReport, String> {
+    let profile = rck_pdb::datasets::by_name(&opts.dataset)
+        .ok_or_else(|| format!("unknown dataset {} (try CK34, RS119, TINY8)", opts.dataset))?;
+    let db = profile.generate(opts.seed);
+    // Query structures from a shifted seed: realistic "not in the
+    // database" queries, still fully deterministic.
+    let query_pool = profile.generate(opts.seed ^ 0x5eed);
+    eprintln!(
+        "rck_loadgen: {} db chains, {} tenants x {} queries, {} workers",
+        db.len(),
+        opts.tenants,
+        opts.queries,
+        opts.workers
+    );
+
+    // Plumbing that differs between the two modes: how to mint a client
+    // connection, plus (self-contained only) the gate and its farm.
+    let mut gate_rig = None;
+    let connect: Box<dyn Fn(usize) -> Result<GateClient, String>> = match opts.addr {
+        Some(addr) => Box::new(move |t| {
+            GateClient::dial(addr, &format!("tenant-{t}")).map_err(|e| e.to_string())
+        }),
+        None => {
+            let worker_net = Arc::new(MemNet::new());
+            let client_net = Arc::new(MemNet::new());
+            let gate = Gate::bind_on(
+                worker_net.listener(),
+                client_net.listener(),
+                db.clone(),
+                GateConfig {
+                    batch_size: opts.batch,
+                    ..GateConfig::default()
+                },
+            );
+            let handle = gate.handle();
+            let stats = gate.stats();
+            let gate_thread = std::thread::spawn(move || gate.run());
+            let workers: Vec<_> = (0..opts.workers)
+                .map(|k| {
+                    let conn = worker_net.connect().map_err(|e| e.to_string())?;
+                    Ok(std::thread::spawn(move || {
+                        let mut cfg =
+                            WorkerConfig::connect_to(SocketAddr::from(([127, 0, 0, 1], 0)));
+                        cfg.name = format!("w{k}");
+                        cfg.heartbeat_interval = Duration::from_millis(100);
+                        let _ = run_worker_conn(conn, &cfg);
+                    }))
+                })
+                .collect::<Result<_, String>>()?;
+            gate_rig = Some((handle, stats, gate_thread, workers));
+            let client_net = Arc::clone(&client_net);
+            Box::new(move |t| {
+                let conn = client_net.connect().map_err(|e| e.to_string())?;
+                GateClient::connect(conn, &format!("tenant-{t}")).map_err(|e| e.to_string())
+            })
+        }
+    };
+
+    // Occupancy sampler (self-contained mode): every few ms, estimate
+    // how many workers hold outstanding jobs from the dispatch/complete
+    // counters. A sampled mean, not an exact integral — labelled as such.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampler = gate_rig.as_ref().map(|(_, stats, _, _)| {
+        let stats = Arc::clone(stats);
+        let sampling = Arc::clone(&sampling);
+        let workers = opts.workers;
+        let batch = opts.batch.max(1);
+        std::thread::spawn(move || {
+            let mut samples = 0u64;
+            let mut busy = 0.0f64;
+            while sampling.load(Ordering::Relaxed) {
+                let snap = stats.snapshot();
+                let outstanding_jobs = snap.jobs_dispatched.saturating_sub(snap.jobs_completed);
+                let busy_workers = (outstanding_jobs as usize).div_ceil(batch).min(workers);
+                busy += busy_workers as f64 / workers as f64;
+                samples += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if samples == 0 {
+                0.0
+            } else {
+                busy / samples as f64
+            }
+        })
+    });
+
+    let registry = Registry::new();
+    let latency = registry.histogram(
+        "rck_loadgen_query_latency_seconds",
+        "client-side submit-to-ranking latency",
+        DEFAULT_LATENCY_BOUNDS,
+    );
+    let completed = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let errored = Arc::new(AtomicU64::new(0));
+
+    let started = Instant::now();
+    let mut tenant_threads = Vec::new();
+    for t in 0..opts.tenants {
+        // Spread the queries across tenants, first tenants take the
+        // remainder so the total is exact.
+        let share = opts.queries / opts.tenants + usize::from(t < opts.queries % opts.tenants);
+        if share == 0 {
+            continue;
+        }
+        let client = connect(t)?;
+        // Distinct per-tenant query sequence (coalescing stays a
+        // deliberate scenario, not an accident of identical pools).
+        let pool: Vec<_> = query_pool
+            .iter()
+            .cycle()
+            .skip(t % query_pool.len().max(1))
+            .take(query_pool.len().max(1))
+            .cloned()
+            .collect();
+        let tenant = format!("tenant-{t}");
+        let latency = Arc::clone(&latency);
+        let (completed, rejected, errored) = (
+            Arc::clone(&completed),
+            Arc::clone(&rejected),
+            Arc::clone(&errored),
+        );
+        tenant_threads.push(std::thread::spawn(move || {
+            tenant_loop(
+                client, tenant, share, pool, latency, completed, rejected, errored,
+            );
+        }));
+    }
+    for t in tenant_threads {
+        t.join().map_err(|_| "tenant thread panicked".to_string())?;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    sampling.store(false, Ordering::Relaxed);
+    let worker_utilization = sampler.map(|s| s.join().unwrap_or(0.0));
+    let jobs_completed = gate_rig.as_ref().map(|(_, stats, _, _)| {
+        let snap = stats.snapshot();
+        snap.jobs_completed
+    });
+    if let Some((handle, _, gate_thread, workers)) = gate_rig {
+        handle.drain();
+        gate_thread
+            .join()
+            .map_err(|_| "gate thread panicked".to_string())?;
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    Ok(LoadReport {
+        completed: completed.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        errored: errored.load(Ordering::Relaxed),
+        wall_secs,
+        latency: latency.snapshot(),
+        worker_utilization,
+        jobs_completed,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(ParseError(msg)) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run_load(&opts) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rck_loadgen: {}/{} queries completed in {:.2}s -> {:.1} queries/sec",
+        report.completed,
+        opts.queries,
+        report.wall_secs,
+        report.queries_per_sec()
+    );
+    println!(
+        "rck_loadgen: latency p50 {} ms, p95 {} ms, p99 {} ms",
+        fmt_secs(report.latency.percentile(50.0)),
+        fmt_secs(report.latency.percentile(95.0)),
+        fmt_secs(report.latency.percentile(99.0)),
+    );
+    if let Some(u) = report.worker_utilization {
+        println!("rck_loadgen: worker utilization ~{:.0}%", u * 100.0);
+    }
+    if report.errored > 0 {
+        eprintln!("error: {} tenant loops errored", report.errored);
+        return ExitCode::FAILURE;
+    }
+    if report.completed + report.rejected < opts.queries as u64 {
+        eprintln!("error: queries went missing (no terminal frame)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(out) = &opts.out {
+        let js = render_json(&opts, &report);
+        let path = std::path::Path::new(out);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: creating {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, &js) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("rck_loadgen: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Options, ParseError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(parse("").unwrap(), Options::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let opts = parse(
+            "--queries 10 --tenants 2 --workers 4 --dataset CK34 --seed 9 \
+             --batch 2 --addr 127.0.0.1:7200 --out /tmp/b.json",
+        )
+        .unwrap();
+        assert_eq!(opts.queries, 10);
+        assert_eq!(opts.tenants, 2);
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.dataset, "CK34");
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.batch, 2);
+        assert_eq!(opts.addr.unwrap().port(), 7200);
+        assert_eq!(opts.out.as_deref(), Some("/tmp/b.json"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("--queries 0").is_err());
+        assert!(parse("--tenants").is_err());
+        assert!(parse("--addr nowhere").is_err());
+        assert!(parse("--frobnicate 1").is_err());
+        assert!(parse("positional").is_err());
+    }
+
+    #[test]
+    fn json_baseline_is_well_formed_enough() {
+        let report = LoadReport {
+            completed: 50,
+            rejected: 0,
+            errored: 0,
+            wall_secs: 2.5,
+            latency: HistogramSnapshot::empty(DEFAULT_LATENCY_BOUNDS),
+            worker_utilization: Some(0.75),
+            jobs_completed: Some(400),
+        };
+        let js = render_json(&Options::default(), &report);
+        assert!(js.starts_with("{\n") && js.ends_with("}\n"));
+        assert!(js.contains("\"queries_per_sec\": 20.000"));
+        assert!(js.contains("\"worker_utilization\": 0.750"));
+        assert!(js.contains("\"p99\": null"), "empty histogram renders null");
+        // Two objects (top level + latency_ms): each contributes one
+        // more colon than comma, so the counts differ by exactly two.
+        assert_eq!(
+            js.matches(':').count(),
+            js.matches(',').count() + 2,
+            "one trailing comma missing or extra"
+        );
+    }
+}

@@ -22,9 +22,14 @@
 //!
 //! The Markdown lands at `--out` (default `docs/reports/run-report.md`).
 
+use rck_gate::{reference_ranking, Gate, GateClient, GateConfig};
 use rck_obs::Registry;
-use rck_serve::{run_worker, Master, MasterConfig, WorkerConfig};
+use rck_serve::proto::QuerySubmit;
+use rck_serve::transport::MemNet;
+use rck_serve::{run_worker, run_worker_conn, Master, MasterConfig, WorkerConfig};
 use rck_tmalign::stages::stage_counters;
+use rck_tmalign::MethodKind;
+use rckalign::consensus::Combiner;
 use rckalign::{
     run_all_vs_all, utilization_sweep, PairCache, RckAlignOptions, SimilarityMatrix,
     UtilizationPoint,
@@ -203,6 +208,140 @@ fn serve_section(run: &rck_serve::ServeRun, identical: bool) -> String {
     md
 }
 
+/// Boot a gate over the in-memory network, drive a fixed multi-tenant
+/// query load through real workers, and render queries/sec plus latency
+/// percentiles from the live `rck_gate_*` histograms. Every ranking is
+/// checked bit-identical against the in-process reference; returns an
+/// error line instead of a section if any diverged.
+fn gate_section(
+    db: &[rck_pdb::model::CaChain],
+    queries: &[rck_pdb::model::CaChain],
+    workers: usize,
+) -> Result<String, String> {
+    const TENANTS: usize = 3;
+    const QUERIES_PER_TENANT: usize = 4;
+    let worker_net = MemNet::new();
+    let client_net = MemNet::new();
+    let gate = Gate::bind_on(
+        worker_net.listener(),
+        client_net.listener(),
+        db.to_vec(),
+        GateConfig {
+            batch_size: 4,
+            ..GateConfig::default()
+        },
+    );
+    let handle = gate.handle();
+    let stats = gate.stats();
+    let gate_thread = std::thread::spawn(move || gate.run());
+    let worker_threads: Vec<_> = (0..workers)
+        .map(|k| {
+            let conn = worker_net.connect().map_err(|e| e.to_string())?;
+            Ok(std::thread::spawn(move || {
+                let mut cfg =
+                    WorkerConfig::connect_to(std::net::SocketAddr::from(([127, 0, 0, 1], 0)));
+                cfg.name = format!("gw{k}");
+                let _ = run_worker_conn(conn, &cfg);
+            }))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let started = std::time::Instant::now();
+    let mut tenant_threads = Vec::new();
+    for t in 0..TENANTS {
+        let conn = client_net.connect().map_err(|e| e.to_string())?;
+        let my_queries: Vec<_> = (0..QUERIES_PER_TENANT)
+            .map(|q| queries[(t * QUERIES_PER_TENANT + q) % queries.len()].clone())
+            .collect();
+        tenant_threads.push(std::thread::spawn(move || {
+            let mut client =
+                GateClient::connect(conn, &format!("tenant-{t}")).map_err(|e| e.to_string())?;
+            let mut rankings = Vec::new();
+            for (q, chain) in my_queries.into_iter().enumerate() {
+                let outcome = client
+                    .run_query(QuerySubmit {
+                        tenant: format!("tenant-{t}"),
+                        query_id: q as u64,
+                        weight: 1 + t as u32,
+                        methods: vec![MethodKind::TmAlign],
+                        chain: chain.clone(),
+                    })
+                    .map_err(|e| e.to_string())?;
+                let ranking = outcome
+                    .ranking
+                    .ok_or_else(|| format!("tenant {t} query {q} was refused"))?;
+                rankings.push((chain, ranking));
+            }
+            let _ = client.finish();
+            Ok::<_, String>(rankings)
+        }));
+    }
+    let mut identical = true;
+    let mut answered = 0usize;
+    for thread in tenant_threads {
+        let rankings = thread
+            .join()
+            .map_err(|_| "gate tenant thread panicked".to_string())??;
+        for (chain, ranking) in rankings {
+            answered += 1;
+            let expect = reference_ranking(db, &chain, &[MethodKind::TmAlign], Combiner::MeanRank);
+            let same = ranking.len() == expect.len()
+                && ranking
+                    .iter()
+                    .zip(&expect)
+                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+            identical &= same;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    handle.drain();
+    gate_thread
+        .join()
+        .map_err(|_| "gate thread panicked".to_string())?;
+    for w in worker_threads {
+        let _ = w.join();
+    }
+
+    let snap = stats.snapshot();
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "| tenants | queries | coalesced | jobs | requeues | queries/sec |\n\
+         |---:|---:|---:|---:|---:|---:|\n\
+         | {} | {} | {} | {} | {} | {:.1} |\n",
+        TENANTS,
+        snap.queries_completed,
+        snap.queries_coalesced,
+        snap.jobs_completed,
+        snap.jobs_requeued,
+        snap.queries_completed as f64 / wall,
+    );
+    let _ = writeln!(
+        md,
+        "Query latency (`rck_gate_query_latency_seconds`): p50 {}, p95 {}, \
+         p99 {} over {} queries; first partial \
+         (`rck_gate_first_result_seconds`): p50 {}.\n",
+        fmt_percentile(&snap.query_latency, 50.0),
+        fmt_percentile(&snap.query_latency, 95.0),
+        fmt_percentile(&snap.query_latency, 99.0),
+        snap.query_latency.count,
+        fmt_percentile(&snap.first_result, 50.0),
+    );
+    let _ = writeln!(
+        md,
+        "All {answered} streamed rankings vs in-process one-vs-all: **{}**.",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+    if !identical {
+        return Err("gate rankings diverged from the in-process reference".to_string());
+    }
+    Ok(md)
+}
+
 fn kernel_section() -> String {
     let st = stage_counters();
     let alignments = st.alignments.get().max(1);
@@ -303,6 +442,18 @@ fn run_report(opts: &Options) -> Result<String, String> {
         opts.workers
     );
     md.push_str(&serve_section(&run, identical));
+    // Part 2b: online serving tier over the same farm machinery.
+    eprintln!(
+        "rck_report: gate serving run with {} workers...",
+        opts.workers
+    );
+    let gate_queries = profile.generate(opts.seed ^ 0x5eed);
+    let gate_db = profile.generate(opts.seed);
+    let _ = writeln!(
+        md,
+        "\n## Online serving tier (rck-gate over the in-memory network)\n"
+    );
+    md.push_str(&gate_section(&gate_db, &gate_queries, opts.workers)?);
     let _ = writeln!(md, "\n## Kernel stage counters\n");
     md.push_str(&kernel_section());
     let _ = writeln!(md, "\n## Prometheus dump excerpt\n");

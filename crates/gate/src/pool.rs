@@ -1,0 +1,458 @@
+//! The gate's worker pool: the worker plane of the serving tier.
+//!
+//! Pool workers are the *unchanged* rck-serve workers
+//! ([`rck_serve::run_worker_conn`]): they handshake, receive
+//! self-contained [`rck_serve::proto::JobBatch`]s and answer with
+//! [`rck_serve::proto::ResultBatch`]s, never knowing whether a batch
+//! came from an offline all-vs-all master or from a query run. The
+//! gate-side handler mirrors the master's fault machinery — connection
+//! loss and heartbeat-deadline requeue, [`answers_exactly`] acceptance,
+//! per-pair dedup — because the serving tier inherits the same promise:
+//! the outcomes that reach a ranking are bit-identical to an in-process
+//! run, no matter how many workers die.
+//!
+//! The one scheduling difference from the master: the next batch is not
+//! `queue.pop_front()` but a two-step pick — the stride scheduler
+//! ([`crate::sched`]) chooses a *tenant*, then that tenant's runs are
+//! round-robined — which is what makes the farm's capacity weighted-fair
+//! under multi-tenant contention.
+
+use crate::{build_query_batch, GateShared, InflightBatch};
+use rck_serve::proto::{
+    self, answers_exactly, Frame, Hello, ResultBatch, Welcome, PROTOCOL_VERSION,
+};
+use rck_serve::transport::Conn;
+use rck_serve::MutexExt;
+use rckalign::PairJob;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+enum BatchFate {
+    /// Result accepted (or counted stale) — dispatch the next batch.
+    Continue,
+    /// Connection gone; inflight work already requeued.
+    Lost,
+}
+
+/// Per-connection handler for one pool worker: handshake, then
+/// dispatch/collect until the gate stops or the worker is lost.
+pub(crate) fn serve_pool_worker(shared: &GateShared, mut conn: Box<dyn Conn>) {
+    let _ = conn.set_read_timeout(Some(shared.cfg.heartbeat_timeout * 2));
+    let worker_id = match handshake(shared, &mut conn) {
+        Some(id) => id,
+        None => {
+            conn.shutdown();
+            return;
+        }
+    };
+    {
+        let mut state = shared.state.lock_recover();
+        if let Ok(clone) = conn.try_clone() {
+            state.worker_streams.insert(worker_id, clone);
+        }
+    }
+
+    loop {
+        let Some((batch_id, jobs, query_chain)) = next_query_batch(shared, worker_id) else {
+            // Gate stopping or drained: orderly goodbye (best-effort).
+            let _ = proto::write_frame(&mut conn, &Frame::Shutdown);
+            break;
+        };
+        let frame = Frame::JobBatch(build_query_batch(batch_id, jobs, &shared.db, &query_chain));
+        if proto::write_frame(&mut conn, &frame).is_err() {
+            lose_worker(shared, worker_id);
+            break;
+        }
+        match collect_result(shared, &mut conn, worker_id) {
+            BatchFate::Continue => {}
+            BatchFate::Lost => break,
+        }
+    }
+
+    let mut state = shared.state.lock_recover();
+    state.worker_streams.remove(&worker_id);
+    drop(state);
+    conn.shutdown();
+}
+
+/// Exchange Hello/Welcome on the worker plane. `n_chains` covers the
+/// database plus the query's virtual index, so every chain index a
+/// batch can carry is in range.
+fn handshake(shared: &GateShared, conn: &mut Box<dyn Conn>) -> Option<u32> {
+    let frame = match proto::read_frame(conn) {
+        Ok((frame, _)) => frame,
+        Err(e) => {
+            if e.is_decode_error() {
+                shared.stats.on_decode_error();
+                eprintln!("[rck-gate] worker handshake decode error: {e}");
+            }
+            return None;
+        }
+    };
+    let Frame::Hello(Hello {
+        protocol_version, ..
+    }) = frame
+    else {
+        return None;
+    };
+    if protocol_version != PROTOCOL_VERSION {
+        return None;
+    }
+    let worker_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    let welcome = Frame::Welcome(Welcome {
+        worker_id,
+        n_chains: shared.db.len() as u32 + 1,
+    });
+    proto::write_frame(conn, &welcome).ok()?;
+    shared.stats.on_worker_connected();
+    shared.work_available.notify_all();
+    Some(worker_id)
+}
+
+/// Claim the next batch for `worker_id`: stride-pick a tenant, then
+/// round-robin that tenant's runs. Returns the batch plus the owning
+/// run's query chain (needed to build the self-contained job batch), or
+/// `None` once the gate is stopping or drained.
+fn next_query_batch(
+    shared: &GateShared,
+    worker_id: u32,
+) -> Option<(u64, Vec<PairJob>, rck_pdb::model::CaChain)> {
+    let mut state = shared.state.lock_recover();
+    loop {
+        if shared.stopped.load(Ordering::SeqCst) || shared.drained(&state) {
+            return None;
+        }
+        if let Some(tenant) = state.sched.pick() {
+            if let Some(claim) = claim_tenant_batch(&mut state, &tenant, worker_id, shared) {
+                shared.stats.set_queue_depth(state.sched.total_backlog());
+                return Some(claim);
+            }
+            // Stale pick (the tenant's runs were requeued or completed
+            // between backlog accounting and now) — try again.
+            continue;
+        }
+        let (guard, _timeout) = shared
+            .work_available
+            .wait_timeout(state, Duration::from_millis(50))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state = guard;
+    }
+}
+
+/// Pop the next pending batch of `tenant`'s least-recently-served run
+/// and move it into flight.
+fn claim_tenant_batch(
+    state: &mut crate::GateState,
+    tenant: &str,
+    worker_id: u32,
+    shared: &GateShared,
+) -> Option<(u64, Vec<PairJob>, rck_pdb::model::CaChain)> {
+    let queue = state.tenant_runs.get_mut(tenant)?;
+    let mut claimed = None;
+    while let Some(run_id) = queue.pop_front() {
+        let Some(run) = state.runs.get_mut(&run_id) else {
+            continue; // completed run; stale round-robin entry
+        };
+        let Some(jobs) = run.pending.pop_front() else {
+            continue; // fully dispatched run; stale entry
+        };
+        if !run.pending.is_empty() {
+            queue.push_back(run_id);
+        }
+        claimed = Some((run_id, jobs, run.chain.clone()));
+        break;
+    }
+    let (run_id, jobs, chain) = claimed?;
+    let batch_id = state.next_batch_id;
+    state.next_batch_id += 1;
+    let now = Instant::now();
+    let deadline = match shared.cfg.batch_timeout {
+        Some(cap) => now + shared.cfg.heartbeat_timeout.min(cap),
+        None => now + shared.cfg.heartbeat_timeout,
+    };
+    state.inflight.insert(
+        batch_id,
+        InflightBatch {
+            run_id,
+            jobs: jobs.clone(),
+            worker_id,
+            deadline,
+            dispatched_at: now,
+        },
+    );
+    shared.stats.on_jobs_dispatched(tenant, jobs.len());
+    Some((batch_id, jobs, chain))
+}
+
+/// Read frames until the outstanding batch is answered (heartbeats
+/// refresh the deadline along the way) or the connection dies.
+fn collect_result(shared: &GateShared, conn: &mut Box<dyn Conn>, worker_id: u32) -> BatchFate {
+    loop {
+        match proto::read_frame(conn) {
+            Ok((frame, _)) => match frame {
+                Frame::Heartbeat(_) => refresh_deadlines(shared, worker_id),
+                Frame::ResultBatch(rb) => return accept_results(shared, worker_id, rb),
+                _ => {
+                    lose_worker(shared, worker_id);
+                    return BatchFate::Lost;
+                }
+            },
+            Err(e) => {
+                if e.is_decode_error() {
+                    shared.stats.on_decode_error();
+                    eprintln!("[rck-gate] worker {worker_id}: decode error: {e}");
+                }
+                lose_worker(shared, worker_id);
+                return BatchFate::Lost;
+            }
+        }
+    }
+}
+
+fn refresh_deadlines(shared: &GateShared, worker_id: u32) {
+    let now = Instant::now();
+    let mut state = shared.state.lock_recover();
+    state.last_signal.insert(worker_id, now);
+    for batch in state.inflight.values_mut() {
+        if batch.worker_id == worker_id {
+            let extended = now + shared.cfg.heartbeat_timeout;
+            batch.deadline = match shared.cfg.batch_timeout {
+                Some(cap) => extended.min(batch.dispatched_at + cap),
+                None => extended,
+            };
+        }
+    }
+}
+
+/// Accept a result frame under the same three guards as the batch
+/// master: the batch must still be in flight, its outcomes must answer
+/// exactly its jobs, and each `(i, j, method)` is accepted once per run.
+fn accept_results(shared: &GateShared, worker_id: u32, rb: ResultBatch) -> BatchFate {
+    let mut state = shared.state.lock_recover();
+    state.last_signal.insert(worker_id, Instant::now());
+    let Some(batch) = state.inflight.remove(&rb.batch_id) else {
+        // Requeue race: another worker already answered. Late copy is
+        // worthless but harmless.
+        return BatchFate::Continue;
+    };
+    if !answers_exactly(&batch.jobs, &rb.outcomes) {
+        // Byzantine or desynced worker: requeue, refuse, disconnect.
+        requeue_batch(&mut state, shared, batch);
+        drop(state);
+        eprintln!(
+            "[rck-gate] worker {worker_id}: result frame for batch {} does not answer its jobs",
+            rb.batch_id
+        );
+        shared.stats.on_worker_lost();
+        shared.work_available.notify_all();
+        return BatchFate::Lost;
+    }
+    let Some(run) = state.runs.get_mut(&batch.run_id) else {
+        // The run completed via a requeued copy of this same batch.
+        return BatchFate::Continue;
+    };
+    let mut fresh = Vec::new();
+    for o in rb.outcomes {
+        if run.done.insert((o.i, o.j, o.method.code())) {
+            run.outcomes.push(o);
+            fresh.push(o);
+        }
+    }
+    shared.stats.on_jobs_completed(fresh.len());
+    if !fresh.is_empty() {
+        if !run.first_result_seen {
+            run.first_result_seen = true;
+            shared
+                .stats
+                .on_first_result(run.started_at.elapsed().as_secs_f64());
+        }
+        let partial_done = run.done.len() as u32;
+        let partial_total = run.total_jobs as u32;
+        for sub in &run.subscribers {
+            shared.stats.on_partial();
+            sub.outbox.push(Frame::QueryPartial(proto::QueryPartial {
+                query_id: sub.query_id,
+                done: partial_done,
+                total: partial_total,
+                outcomes: fresh.clone(),
+            }));
+        }
+    }
+    if run.done.len() == run.total_jobs {
+        complete_run(&mut state, shared, batch.run_id);
+    }
+    drop(state);
+    shared.work_available.notify_all();
+    BatchFate::Continue
+}
+
+/// Fold a finished run's outcomes into the final ranking, stream the
+/// terminal [`rck_serve::proto::QueryDone`] to every subscriber, and
+/// retire the run.
+fn complete_run(state: &mut crate::GateState, shared: &GateShared, run_id: u64) {
+    let Some(run) = state.runs.remove(&run_id) else {
+        return;
+    };
+    state.coalesce.remove(&run.query_hash);
+    let ranking = crate::ranking_from_outcomes(
+        shared.db.len(),
+        &run.outcomes,
+        &run.methods,
+        shared.cfg.combiner,
+    );
+    for sub in &run.subscribers {
+        sub.outbox.push(Frame::QueryDone(proto::QueryDone {
+            query_id: sub.query_id,
+            ranking: ranking.clone(),
+        }));
+    }
+    shared
+        .stats
+        .on_query_completed(run.started_at.elapsed().as_secs_f64());
+}
+
+/// Put one in-flight batch back at the front of its run's queue.
+fn requeue_batch(state: &mut crate::GateState, shared: &GateShared, batch: InflightBatch) {
+    let Some(run) = state.runs.get_mut(&batch.run_id) else {
+        return;
+    };
+    shared.stats.on_jobs_requeued(batch.jobs.len());
+    run.pending.push_front(batch.jobs);
+    let tenant = run.tenant.clone();
+    state.sched.add_backlog(&tenant, 1);
+    state
+        .tenant_runs
+        .entry(tenant)
+        .or_default()
+        .push_back(batch.run_id);
+    shared.stats.set_queue_depth(state.sched.total_backlog());
+}
+
+/// Declare a worker dead: requeue every batch it held and wake waiters.
+fn lose_worker(shared: &GateShared, worker_id: u32) {
+    let requeued = {
+        let mut state = shared.state.lock_recover();
+        requeue_worker(&mut state, shared, worker_id)
+    };
+    if requeued > 0 {
+        shared.stats.on_worker_lost();
+        shared.work_available.notify_all();
+    }
+}
+
+fn requeue_worker(state: &mut crate::GateState, shared: &GateShared, worker_id: u32) -> usize {
+    let ids: Vec<u64> = state
+        .inflight
+        .iter()
+        .filter(|(_, b)| b.worker_id == worker_id)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut requeued = 0;
+    for id in ids {
+        let Some(batch) = state.inflight.remove(&id) else {
+            continue;
+        };
+        requeued += batch.jobs.len();
+        requeue_batch(state, shared, batch);
+    }
+    requeued
+}
+
+/// Deadline monitor: requeue batches whose worker went silent, shut the
+/// worker's connection so its handler's blocking read returns, and keep
+/// going until the gate stops or drains dry.
+pub(crate) fn monitor_deadlines(shared: &Arc<GateShared>) {
+    let tick = (shared.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
+    loop {
+        {
+            let mut state = shared.state.lock_recover();
+            if shared.stopped.load(Ordering::SeqCst) || shared.drained(&state) {
+                break;
+            }
+            let now = Instant::now();
+            let expired: Vec<u32> = state
+                .inflight
+                .values()
+                .filter(|b| b.deadline <= now)
+                .map(|b| b.worker_id)
+                .collect();
+            for worker_id in expired {
+                if requeue_worker(&mut state, shared, worker_id) > 0 {
+                    shared.stats.on_worker_lost();
+                }
+                if let Some(conn) = state.worker_streams.get(&worker_id) {
+                    conn.shutdown();
+                }
+            }
+        }
+        shared.work_available.notify_all();
+        std::thread::sleep(tick);
+    }
+    shared.work_available.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Outbox;
+    use crate::{Gate, GateConfig};
+    use rck_pdb::datasets::tiny_profile;
+    use rck_serve::proto::QuerySubmit;
+    use rck_serve::MemNet;
+    use rck_tmalign::MethodKind;
+
+    /// A worker answering the wrong jobs is refused: nothing reaches the
+    /// run, the batch is requeued, the worker is lost.
+    #[test]
+    fn byzantine_results_are_requeued_not_accepted() {
+        let db = tiny_profile().generate(3);
+        let gate = Gate::bind_on(
+            MemNet::new().listener(),
+            MemNet::new().listener(),
+            db,
+            GateConfig {
+                batch_size: 64,
+                ..GateConfig::default()
+            },
+        );
+        let shared = Arc::clone(&gate.shared);
+        let outbox = Outbox::new();
+        crate::submit_query(
+            &shared,
+            QuerySubmit {
+                tenant: "t".into(),
+                query_id: 1,
+                weight: 1,
+                methods: vec![MethodKind::TmAlign],
+                chain: tiny_profile().generate(4)[0].clone(),
+            },
+            &outbox,
+        );
+        let (batch_id, jobs, _chain) = next_query_batch(&shared, 0).expect("one batch staged");
+        let alien = rckalign::PairOutcome {
+            i: 1000,
+            j: 1001,
+            method: MethodKind::TmAlign,
+            similarity: 1.0,
+            rmsd: 0.0,
+            aligned_len: 1,
+            ops: 1,
+        };
+        let fate = accept_results(
+            &shared,
+            0,
+            ResultBatch {
+                batch_id,
+                outcomes: vec![alien; jobs.len()],
+            },
+        );
+        assert!(matches!(fate, BatchFate::Lost));
+        let state = shared.state.lock_recover();
+        let run = state.runs.values().next().expect("run survives");
+        assert!(run.outcomes.is_empty(), "alien outcomes must not land");
+        assert_eq!(run.pending.len(), 1, "batch requeued");
+        drop(state);
+        assert_eq!(shared.stats.jobs_requeued(), jobs.len() as u64);
+    }
+}

@@ -12,10 +12,14 @@
 //! second listener serves one-shot Prometheus text dumps of the serve
 //! counters plus the global (kernel/farm) registry — `curl` it at any
 //! point during the run.
+//!
+//! SIGINT/SIGTERM drains instead of killing: inflight batches finish,
+//! workers get an orderly Shutdown frame, and the final stats table and
+//! a last metrics dump are flushed before exit.
 
 use rck_obs::{spawn_dump_server, Registry};
 use rck_pdb::datasets;
-use rck_serve::{Master, MasterConfig};
+use rck_serve::{signal, Master, MasterConfig};
 use rckalign::JobOrdering;
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -129,6 +133,7 @@ fn serve(opts: Options) -> Result<(), String> {
         rckalign::pair_count(n),
         master.local_addr()
     );
+    let registry = master.stats().registry();
     if let Some(addr) = opts.metrics_addr {
         // Pre-register the kernel and farm families so every series the
         // process can emit is visible (at zero) from the first scrape.
@@ -136,11 +141,25 @@ fn serve(opts: Options) -> Result<(), String> {
         rck_skel::metrics::farm_metrics();
         // Serve counters plus whatever the global registry accumulates
         // (kernel stages once workers-in-process or reports run here).
-        let sources = vec![master.stats().registry(), Registry::global().clone()];
+        let sources = vec![registry.clone(), Registry::global().clone()];
         let (bound, _handle) = spawn_dump_server(addr, sources).map_err(|e| e.to_string())?;
         println!("rck_served: metrics on http://{bound}/metrics");
     }
+    // Ctrl-C / SIGTERM drains the run (inflight batches finish, workers
+    // get an orderly Shutdown) instead of dropping connections mid-stream.
+    signal::install_shutdown_handler();
+    let drain = master.abort_handle();
+    let watcher = std::thread::spawn(move || {
+        while !signal::shutdown_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        eprintln!("rck_served: shutdown requested — draining inflight batches");
+        drain.drain();
+    });
     let run = master.run().map_err(|e| e.to_string())?;
+    // The run is over either way; release the watcher so it can exit.
+    signal::request_shutdown();
+    let _ = watcher.join();
     println!();
     print!("{}", run.stats.render());
     println!();
@@ -150,6 +169,8 @@ fn serve(opts: Options) -> Result<(), String> {
         run.matrix.len(),
         run.matrix.coverage() * 100.0
     );
+    // Final metrics dump: the last word a scraper may have missed.
+    eprintln!("rck_served: final metrics\n{}", registry.render());
     Ok(())
 }
 

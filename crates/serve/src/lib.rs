@@ -22,7 +22,8 @@
 //! Quick tour:
 //!
 //! * [`proto`] — versioned, length-prefixed frames (Hello/Welcome,
-//!   JobBatch, ResultBatch, Heartbeat, Shutdown);
+//!   JobBatch, ResultBatch, Heartbeat, Shutdown, plus the serving
+//!   tier's QuerySubmit/QueryPartial/QueryDone/QueryReject);
 //! * [`master`] — the daemon: job generation, batch dispatch, requeue,
 //!   result assembly ([`Master`]);
 //! * [`worker`] — the client: decode batch, run the real kernel, stream
@@ -51,6 +52,7 @@
 pub mod chaos;
 pub mod master;
 pub mod proto;
+pub mod signal;
 pub mod stats;
 pub mod sync;
 pub mod transport;
@@ -58,7 +60,10 @@ pub mod worker;
 
 pub use chaos::{run_scenario, FaultPlan, FaultProfile, ScenarioPlan, ScenarioResult, Verdict};
 pub use master::{AbortHandle, Master, MasterConfig, ServeRun};
-pub use proto::{Frame, FrameCodec, FrameError, PROTOCOL_VERSION};
+pub use proto::{
+    Frame, FrameCodec, FrameError, QueryDone, QueryPartial, QueryReject, QuerySubmit,
+    PROTOCOL_VERSION,
+};
 pub use stats::{ServeStats, StatsSnapshot};
 pub use sync::MutexExt;
 pub use transport::{Conn, Listener, MemNet};

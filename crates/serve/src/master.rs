@@ -26,7 +26,7 @@
 //! dropped). The final [`SimilarityMatrix`] is therefore complete and
 //! exact no matter how many workers die mid-run.
 
-use crate::proto::{self, Frame, Hello, ResultBatch, Welcome, PROTOCOL_VERSION};
+use crate::proto::{self, answers_exactly, Frame, Hello, ResultBatch, Welcome, PROTOCOL_VERSION};
 use crate::stats::{ServeStats, StatsSnapshot};
 use crate::sync::MutexExt;
 use crate::transport::{Conn, Listener, TcpChannelListener};
@@ -153,6 +153,10 @@ struct Shared {
     /// Set by [`AbortHandle::abort`]: stop accepting, stop dispatching,
     /// fail the run instead of assembling a partial matrix.
     aborted: AtomicBool,
+    /// Set by [`AbortHandle::drain`]: stop dispatching *new* batches but
+    /// let inflight ones finish, then return the partial matrix — the
+    /// graceful-shutdown path (SIGINT in `rck_served`).
+    draining: AtomicBool,
 }
 
 /// A bound, not-yet-running service master.
@@ -181,6 +185,18 @@ impl AbortHandle {
             conn.shutdown();
         }
         drop(work);
+        self.shared.available.notify_all();
+    }
+
+    /// Drain the run instead of killing it: no new batches are
+    /// dispatched, inflight batches are allowed to finish (still under
+    /// their deadlines), workers then receive an orderly Shutdown, and
+    /// [`Master::run`] returns the *partial* matrix assembled so far
+    /// rather than an error. Idempotent; safe from any thread. This is
+    /// the SIGINT path of the serving bins — connections are never
+    /// dropped mid-stream.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
     }
 }
@@ -226,6 +242,7 @@ impl Master {
                 cfg,
                 next_worker_id: AtomicU32::new(0),
                 aborted: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
             }),
         }
     }
@@ -266,6 +283,7 @@ impl Master {
         loop {
             if self.shared.work.lock_recover().finished
                 || self.shared.aborted.load(Ordering::SeqCst)
+                || self.shared.draining.load(Ordering::SeqCst)
             {
                 break;
             }
@@ -289,7 +307,7 @@ impl Master {
         }
 
         let mut work = self.shared.work.lock_recover();
-        if !work.finished {
+        if !work.finished && !self.shared.draining.load(Ordering::SeqCst) {
             return Err(io::Error::new(
                 io::ErrorKind::Interrupted,
                 "service run aborted before completion",
@@ -315,8 +333,8 @@ fn monitor_deadlines(shared: &Shared) {
     loop {
         {
             let mut work = shared.work.lock_recover();
-            if (work.finished && work.inflight.is_empty()) || shared.aborted.load(Ordering::SeqCst)
-            {
+            let settled = work.finished || shared.draining.load(Ordering::SeqCst);
+            if (settled && work.inflight.is_empty()) || shared.aborted.load(Ordering::SeqCst) {
                 break;
             }
             let now = Instant::now();
@@ -451,7 +469,10 @@ fn handshake(shared: &Shared, conn: &mut Box<dyn Conn>) -> Option<u32> {
 fn next_batch(shared: &Shared, worker_id: u32) -> Option<(u64, Vec<PairJob>)> {
     let mut work = shared.work.lock_recover();
     let jobs = loop {
-        if work.finished || shared.aborted.load(Ordering::SeqCst) {
+        if work.finished
+            || shared.aborted.load(Ordering::SeqCst)
+            || shared.draining.load(Ordering::SeqCst)
+        {
             return None;
         }
         let barrier_met = shared.stats.workers_connected() >= shared.cfg.min_workers as u64;
@@ -607,25 +628,6 @@ fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) -> BatchFate
     BatchFate::Continue
 }
 
-/// Whether `outcomes` answers exactly the dispatched `jobs` — same
-/// multiset of `(i, j, method)`, nothing missing, nothing extra. Guards
-/// both the matrix (an alien `(i, j)` would corrupt or panic
-/// [`SimilarityMatrix::from_outcomes`]) and termination (an unanswered
-/// job silently removed from flight would never complete).
-fn answers_exactly(jobs: &[PairJob], outcomes: &[PairOutcome]) -> bool {
-    if jobs.len() != outcomes.len() {
-        return false;
-    }
-    let mut want: Vec<(u32, u32, u8)> = jobs.iter().map(|j| (j.i, j.j, j.method.code())).collect();
-    let mut got: Vec<(u32, u32, u8)> = outcomes
-        .iter()
-        .map(|o| (o.i, o.j, o.method.code()))
-        .collect();
-    want.sort_unstable();
-    got.sort_unstable();
-    want == got
-}
-
 /// Declare a worker dead: requeue its in-flight batches and wake anyone
 /// waiting for queue work. Counted as lost only when it actually held
 /// work — the monitor and the handler can both observe the same death,
@@ -687,6 +689,23 @@ mod tests {
     }
 
     #[test]
+    fn drain_returns_a_partial_run_instead_of_an_error() {
+        let chains = tiny_profile().generate(2);
+        let n = chains.len();
+        let master = Master::bind(chains, MasterConfig::default()).unwrap();
+        let handle = master.abort_handle();
+        let t = std::thread::spawn(move || master.run());
+        std::thread::sleep(Duration::from_millis(30));
+        handle.drain();
+        let run = t
+            .join()
+            .unwrap()
+            .expect("drained run yields partial results");
+        assert!(run.outcomes.is_empty(), "no workers ever connected");
+        assert_eq!(run.matrix.len(), n);
+    }
+
+    #[test]
     fn abort_fails_a_run_with_no_workers() {
         let chains = tiny_profile().generate(2);
         let master = Master::bind(chains, MasterConfig::default()).unwrap();
@@ -699,34 +718,5 @@ mod tests {
             .unwrap()
             .expect_err("aborted run must not return a matrix");
         assert_eq!(err.kind(), io::ErrorKind::Interrupted);
-    }
-
-    #[test]
-    fn answers_exactly_rejects_alien_missing_and_extra_outcomes() {
-        let method = MethodKind::TmAlign;
-        let jobs = vec![
-            PairJob { i: 0, j: 1, method },
-            PairJob { i: 0, j: 2, method },
-        ];
-        let outcome = |i: u32, j: u32| PairOutcome {
-            i,
-            j,
-            method,
-            similarity: 0.5,
-            rmsd: 1.0,
-            aligned_len: 5,
-            ops: 10,
-        };
-        // Exact answer, any order: accepted.
-        assert!(answers_exactly(&jobs, &[outcome(0, 2), outcome(0, 1)]));
-        // Alien pair swapped in: rejected.
-        assert!(!answers_exactly(&jobs, &[outcome(0, 1), outcome(5, 6)]));
-        // Short answer: rejected.
-        assert!(!answers_exactly(&jobs, &[outcome(0, 1)]));
-        // Padded answer: rejected.
-        assert!(!answers_exactly(
-            &jobs,
-            &[outcome(0, 1), outcome(0, 2), outcome(0, 2)]
-        ));
     }
 }

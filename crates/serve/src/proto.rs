@@ -97,6 +97,58 @@ pub struct Heartbeat {
     pub completed: u64,
 }
 
+/// Client → gate: submit one query chain for comparison against the
+/// gate's resident database (the serving tier's unit of work).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySubmit {
+    /// Tenant this query bills to — the unit of fairness and admission.
+    pub tenant: String,
+    /// Client-chosen id, echoed in every reply frame for this query.
+    pub query_id: u64,
+    /// Tenant scheduling weight (≥ 1); higher weights earn a larger
+    /// share of the worker pool under contention.
+    pub weight: u32,
+    /// Comparison methods to run the query under.
+    pub methods: Vec<MethodKind>,
+    /// The query structure itself (exact f64 coordinates — the gate
+    /// promises rankings bit-identical to an in-process run).
+    pub chain: CaChain,
+}
+
+/// Gate → client: a slice of finished pair outcomes for one query,
+/// streamed as worker batches complete.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPartial {
+    /// The query these outcomes belong to.
+    pub query_id: u64,
+    /// Jobs finished so far (monotonic, cumulative).
+    pub done: u32,
+    /// Total jobs this query expands to.
+    pub total: u32,
+    /// Newly finished outcomes since the previous partial.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+/// Gate → client: terminal frame of a successful query — the final
+/// consensus ranking over the database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryDone {
+    /// The query this ranking answers.
+    pub query_id: u64,
+    /// `(database index, score)` rows, best first (exact f64 scores).
+    pub ranking: Vec<(u32, f64)>,
+}
+
+/// Gate → client: terminal frame of a refused query (admission control,
+/// bad request, or shutdown drain).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryReject {
+    /// The query being refused.
+    pub query_id: u64,
+    /// Human-readable refusal reason.
+    pub reason: String,
+}
+
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Frame {
@@ -112,6 +164,14 @@ pub enum Frame {
     Heartbeat(Heartbeat),
     /// Orderly end of session (master → worker).
     Shutdown,
+    /// Query submission (client → gate).
+    QuerySubmit(QuerySubmit),
+    /// Streamed partial results (gate → client).
+    QueryPartial(QueryPartial),
+    /// Final ranking (gate → client).
+    QueryDone(QueryDone),
+    /// Query refusal (gate → client).
+    QueryReject(QueryReject),
 }
 
 impl Frame {
@@ -123,6 +183,10 @@ impl Frame {
             Frame::ResultBatch(_) => 4,
             Frame::Heartbeat(_) => 5,
             Frame::Shutdown => 6,
+            Frame::QuerySubmit(_) => 7,
+            Frame::QueryPartial(_) => 8,
+            Frame::QueryDone(_) => 9,
+            Frame::QueryReject(_) => 10,
         }
     }
 }
@@ -308,6 +372,35 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_u32(h.worker_id).put_u64(h.completed);
         }
         Frame::Shutdown => {}
+        Frame::QuerySubmit(q) => {
+            w.put_str(&q.tenant);
+            w.put_u64(q.query_id);
+            w.put_u32(q.weight);
+            w.put_u32(q.methods.len() as u32);
+            for m in &q.methods {
+                w.put_u8(m.code());
+            }
+            put_chain(&mut w, &q.chain);
+        }
+        Frame::QueryPartial(p) => {
+            w.put_u64(p.query_id);
+            w.put_u32(p.done).put_u32(p.total);
+            w.put_u32(p.outcomes.len() as u32);
+            for o in &p.outcomes {
+                put_outcome(&mut w, o);
+            }
+        }
+        Frame::QueryDone(d) => {
+            w.put_u64(d.query_id);
+            w.put_u32(d.ranking.len() as u32);
+            for (ix, score) in &d.ranking {
+                w.put_u32(*ix).put_f64(*score);
+            }
+        }
+        Frame::QueryReject(rj) => {
+            w.put_u64(rj.query_id);
+            w.put_str(&rj.reason);
+        }
     }
     w.finish()
 }
@@ -373,6 +466,77 @@ fn decode_payload(kind: u8, payload: Vec<u8>) -> Result<Frame, FrameError> {
             completed: r.get_u64()?,
         }),
         6 => Frame::Shutdown,
+        7 => {
+            let tenant = r.get_str()?;
+            let query_id = r.get_u64()?;
+            let weight = r.get_u32()?;
+            let n_methods = r.get_u32()? as usize;
+            // Count sanity: one byte per method code.
+            if n_methods > r.remaining() {
+                return Err(DecodeError {
+                    what: "method count",
+                }
+                .into());
+            }
+            let mut methods = Vec::with_capacity(n_methods);
+            for _ in 0..n_methods {
+                methods.push(MethodKind::from_code(r.get_u8()?).ok_or(DecodeError {
+                    what: "method code",
+                })?);
+            }
+            let chain = get_chain(&mut r)?;
+            Frame::QuerySubmit(QuerySubmit {
+                tenant,
+                query_id,
+                weight,
+                methods,
+                chain,
+            })
+        }
+        8 => {
+            let query_id = r.get_u64()?;
+            let done = r.get_u32()?;
+            let total = r.get_u32()?;
+            let n = r.get_u32()? as usize;
+            if n.saturating_mul(37) > r.remaining() {
+                return Err(DecodeError {
+                    what: "outcome count",
+                }
+                .into());
+            }
+            let mut outcomes = Vec::with_capacity(n);
+            for _ in 0..n {
+                outcomes.push(get_outcome(&mut r)?);
+            }
+            Frame::QueryPartial(QueryPartial {
+                query_id,
+                done,
+                total,
+                outcomes,
+            })
+        }
+        9 => {
+            let query_id = r.get_u64()?;
+            let n = r.get_u32()? as usize;
+            // Each ranking row is 12 payload bytes (u32 index + f64 score).
+            if n.saturating_mul(12) > r.remaining() {
+                return Err(DecodeError {
+                    what: "ranking count",
+                }
+                .into());
+            }
+            let mut ranking = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ix = r.get_u32()?;
+                let score = r.get_f64()?;
+                ranking.push((ix, score));
+            }
+            Frame::QueryDone(QueryDone { query_id, ranking })
+        }
+        10 => Frame::QueryReject(QueryReject {
+            query_id: r.get_u64()?,
+            reason: r.get_str()?,
+        }),
         k => return Err(FrameError::BadKind(k)),
     };
     Ok(frame)
@@ -419,7 +583,7 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
         return Err(FrameError::BadVersion(version));
     }
     let kind = header[6];
-    if !(1..=6).contains(&kind) {
+    if !(1..=10).contains(&kind) {
         return Err(FrameError::BadKind(kind));
     }
     // rck-lint: allow(panic) — infallible: constant-width slice
@@ -594,6 +758,27 @@ impl FrameCodec {
     }
 }
 
+/// Whether `outcomes` answers exactly the dispatched `jobs` — same
+/// multiset of `(i, j, method)`, nothing missing, nothing extra. Guards
+/// both result assembly (an alien `(i, j)` would corrupt or panic
+/// [`rckalign::SimilarityMatrix::from_outcomes`]) and termination (an
+/// unanswered job silently removed from flight would never complete).
+/// Shared by the batch master and the gate's worker pool, which face the
+/// same byzantine-result hazard.
+pub fn answers_exactly(jobs: &[PairJob], outcomes: &[PairOutcome]) -> bool {
+    if jobs.len() != outcomes.len() {
+        return false;
+    }
+    let mut want: Vec<(u32, u32, u8)> = jobs.iter().map(|j| (j.i, j.j, j.method.code())).collect();
+    let mut got: Vec<(u32, u32, u8)> = outcomes
+        .iter()
+        .map(|o| (o.i, o.j, o.method.code()))
+        .collect();
+    want.sort_unstable();
+    got.sort_unstable();
+    want == got
+}
+
 /// Build the [`JobBatch`] for a set of jobs: collect the referenced
 /// chains from the dataset into the batch's chain table.
 pub fn build_job_batch(batch_id: u64, jobs: Vec<PairJob>, dataset: &[CaChain]) -> JobBatch {
@@ -666,6 +851,123 @@ mod tests {
             assert_eq!(used, bytes.len());
             assert_eq!(back, f);
         }
+    }
+
+    #[test]
+    fn query_frames_roundtrip() {
+        let chains = tiny_profile().generate(7);
+        let frames = vec![
+            Frame::QuerySubmit(QuerySubmit {
+                tenant: "lab-a".into(),
+                query_id: 42,
+                weight: 3,
+                methods: vec![MethodKind::TmAlign, MethodKind::KabschRmsd],
+                chain: chains[0].clone(),
+            }),
+            Frame::QueryPartial(QueryPartial {
+                query_id: 42,
+                done: 2,
+                total: 7,
+                outcomes: vec![PairOutcome {
+                    i: 1,
+                    j: 7,
+                    method: MethodKind::TmAlign,
+                    similarity: 0.625,
+                    rmsd: 3.5,
+                    aligned_len: 18,
+                    ops: 1234,
+                }],
+            }),
+            Frame::QueryDone(QueryDone {
+                query_id: 42,
+                ranking: vec![(3, 0.875), (0, 0.25)],
+            }),
+            Frame::QueryReject(QueryReject {
+                query_id: 43,
+                reason: "tenant lab-a over inflight cap".into(),
+            }),
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            let (back, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn query_done_scores_roundtrip_bit_exactly() {
+        // The gate's fidelity claim rides on exact f64 scores: the ranking
+        // a client reassembles must equal the in-process one to the bit.
+        let scores = [0.1f64 + 0.2, f64::MIN_POSITIVE, 1.0 / 3.0, -0.0];
+        let frame = Frame::QueryDone(QueryDone {
+            query_id: 9,
+            ranking: scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i as u32, s))
+                .collect(),
+        });
+        let (back, _) = decode_frame(&encode_frame(&frame)).unwrap();
+        let Frame::QueryDone(back) = back else {
+            panic!("wrong frame kind");
+        };
+        for (&sent, (_, got)) in scores.iter().zip(&back.ranking) {
+            assert_eq!(sent.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn query_frame_count_lies_are_rejected_before_allocation() {
+        // Inflate the declared method/outcome/ranking counts far past
+        // what the payload holds: the count-sanity guards must fire (and
+        // the checksum needs recomputing for the lie to even be reached).
+        let submit = encode_frame(&Frame::QuerySubmit(QuerySubmit {
+            tenant: "t".into(),
+            query_id: 1,
+            weight: 1,
+            methods: vec![MethodKind::TmAlign],
+            chain: tiny_profile().generate(7)[0].clone(),
+        }));
+        // tenant "t" = 4(len)+1(byte), query_id 8, weight 4 → count at 17.
+        let count_off = HEADER_LEN + 4 + 1 + 8 + 4;
+        let mut lied = submit.clone();
+        lied[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let payload = lied[HEADER_LEN..].to_vec();
+        lied[11..19].copy_from_slice(&frame_checksum(7, &payload).to_le_bytes());
+        match decode_frame(&lied) {
+            Err(FrameError::Payload(e)) => assert_eq!(e.what, "method count"),
+            other => panic!("count lie decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn answers_exactly_rejects_alien_missing_and_extra_outcomes() {
+        let method = MethodKind::TmAlign;
+        let jobs = vec![
+            PairJob { i: 0, j: 1, method },
+            PairJob { i: 0, j: 2, method },
+        ];
+        let outcome = |i: u32, j: u32| PairOutcome {
+            i,
+            j,
+            method,
+            similarity: 0.5,
+            rmsd: 1.0,
+            aligned_len: 5,
+            ops: 10,
+        };
+        // Exact answer, any order: accepted.
+        assert!(answers_exactly(&jobs, &[outcome(0, 2), outcome(0, 1)]));
+        // Alien pair swapped in: rejected.
+        assert!(!answers_exactly(&jobs, &[outcome(0, 1), outcome(5, 6)]));
+        // Short answer: rejected.
+        assert!(!answers_exactly(&jobs, &[outcome(0, 1)]));
+        // Padded answer: rejected.
+        assert!(!answers_exactly(
+            &jobs,
+            &[outcome(0, 1), outcome(0, 2), outcome(0, 2)]
+        ));
     }
 
     #[test]

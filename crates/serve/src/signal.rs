@@ -1,0 +1,74 @@
+//! Minimal SIGINT/SIGTERM hook for graceful daemon drains.
+//!
+//! The long-running bins (`rck_served`, `rck_gate`) must not drop worker
+//! and client connections mid-stream when the operator hits Ctrl-C: they
+//! drain inflight work and flush a final metrics dump instead. This
+//! module gives them the one primitive that needs: an [`AtomicBool`]
+//! flipped by the signal handler, installed through the raw C `signal`
+//! entry point so the workspace stays dependency-free.
+//!
+//! The handler itself does the only thing that is async-signal-safe
+//! here — a relaxed atomic store. Everything else (drain, flush, exit)
+//! happens on normal threads that poll [`shutdown_requested`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// POSIX signal number for Ctrl-C.
+const SIGINT: i32 = 2;
+/// POSIX signal number for a polite kill.
+const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Install the SIGINT/SIGTERM handler. Idempotent; call once at daemon
+/// startup, before serving. On platforms where installation fails the
+/// process simply keeps the default die-on-signal behaviour.
+pub fn install_shutdown_handler() {
+    // SAFETY: `on_signal` only performs an atomic store, which is
+    // async-signal-safe; the handler address stays valid for the life
+    // of the process because it is a plain fn item.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has been received (or requested in-process
+/// via [`request_shutdown`]).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Trip the shutdown flag from code — lets tests (and orderly Shutdown
+/// frames) drive the same drain path as a real signal.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clear the flag — test isolation only; daemons never un-shutdown.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_roundtrip() {
+        reset_for_tests();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_tests();
+        assert!(!shutdown_requested());
+    }
+}

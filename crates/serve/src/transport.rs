@@ -394,6 +394,32 @@ impl MemNet {
         state.pending.push_back(server);
         Ok(Box::new(client))
     }
+
+    /// A connected endpoint pair that bypasses the listener queue:
+    /// `(client, server)`, both fault-free. The gate tests use this to
+    /// hand the server half straight to a session handler without an
+    /// accept loop in between.
+    pub fn pair() -> (Box<dyn Conn>, Box<dyn Conn>) {
+        let c2s = Arc::new(Pipe::default());
+        let s2c = Arc::new(Pipe::default());
+        let client = MemConn {
+            ep: Arc::new(Endpoint {
+                tx: Arc::clone(&c2s),
+                rx: Arc::clone(&s2c),
+                read_timeout: Mutex::new(None),
+                chaos: None,
+            }),
+        };
+        let server = MemConn {
+            ep: Arc::new(Endpoint {
+                tx: s2c,
+                rx: c2s,
+                read_timeout: Mutex::new(None),
+                chaos: None,
+            }),
+        };
+        (Box::new(client), Box::new(server))
+    }
 }
 
 struct MemListener {
@@ -473,6 +499,20 @@ mod tests {
         let mut buf = [0u8; 8];
         let err = server.read(&mut buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn pair_is_a_connected_duplex_stream() {
+        let (mut client, mut server) = MemNet::pair();
+        client.write_all(b"ping").unwrap();
+        server.write_all(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+        drop(client);
+        assert_eq!(server.read(&mut buf).unwrap(), 0, "EOF after peer drop");
     }
 
     #[test]

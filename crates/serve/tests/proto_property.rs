@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use rck_pdb::geometry::Vec3;
 use rck_pdb::model::{AminoAcid, CaChain};
 use rck_serve::proto::{
-    decode_frame, encode_frame, JobBatch, ResultBatch, HEADER_LEN, MAX_PAYLOAD,
+    decode_frame, encode_frame, JobBatch, QueryDone, QueryPartial, QueryReject, QuerySubmit,
+    ResultBatch, HEADER_LEN, MAX_PAYLOAD,
 };
 use rck_serve::{Frame, FrameCodec, FrameError};
 use rck_tmalign::MethodKind;
@@ -90,6 +91,50 @@ fn result_batch_strategy() -> impl Strategy<Value = ResultBatch> {
         })
 }
 
+/// Arbitrary serving-tier frames (protocol kinds 7–10), exercising every
+/// variable-length field: tenant names, method lists, chains, outcome
+/// slices, ranking rows and refusal reasons.
+fn query_frame_strategy() -> impl Strategy<Value = Frame> {
+    let submit = (
+        name_strategy(),
+        any::<u64>(),
+        any::<u32>(),
+        prop::collection::vec(method_strategy(), 0..4),
+        chain_strategy(),
+    )
+        .prop_map(|(tenant, query_id, weight, methods, chain)| {
+            Frame::QuerySubmit(QuerySubmit {
+                tenant,
+                query_id,
+                weight,
+                methods,
+                chain,
+            })
+        });
+    let partial = (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        result_batch_strategy(),
+    )
+        .prop_map(|(query_id, done, total, rb)| {
+            Frame::QueryPartial(QueryPartial {
+                query_id,
+                done,
+                total,
+                outcomes: rb.outcomes,
+            })
+        });
+    let done = (
+        any::<u64>(),
+        prop::collection::vec((any::<u32>(), -10.0f64..10.0), 0..40),
+    )
+        .prop_map(|(query_id, ranking)| Frame::QueryDone(QueryDone { query_id, ranking }));
+    let reject = (any::<u64>(), name_strategy())
+        .prop_map(|(query_id, reason)| Frame::QueryReject(QueryReject { query_id, reason }));
+    prop_oneof![submit, partial, done, reject]
+}
+
 proptest! {
     #[test]
     fn job_batch_roundtrips(batch in job_batch_strategy()) {
@@ -107,6 +152,71 @@ proptest! {
         let (back, used) = decode_frame(&bytes).expect("well-formed frame decodes");
         prop_assert_eq!(used, bytes.len());
         prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn query_frames_roundtrip(frame in query_frame_strategy()) {
+        let bytes = encode_frame(&frame);
+        let (back, used) = decode_frame(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn garbled_query_frames_error_without_panicking(
+        frame in query_frame_strategy(),
+        flip_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&frame);
+        let pos = (flip_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= xor;
+        prop_assert!(decode_frame(&bytes).is_err(), "flip at {pos} decoded");
+    }
+
+    #[test]
+    fn query_frames_decode_identically_at_any_split_points(
+        frames in prop::collection::vec(query_frame_strategy(), 1..5),
+        splits in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        // The serving tier streams query frames incrementally over
+        // chatty connections; whole-buffer and arbitrarily-chunked
+        // decoding must agree exactly.
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+
+        let drain = |codec: &mut FrameCodec| {
+            let mut out = Vec::new();
+            while let Some(f) = codec.next_frame().expect("valid stream") {
+                out.push(f);
+            }
+            out
+        };
+
+        let mut whole = FrameCodec::new();
+        whole.feed(&wire);
+        let whole_frames = drain(&mut whole);
+        prop_assert_eq!(&whole_frames, &frames);
+        prop_assert_eq!(whole.pending(), 0);
+
+        let mut cuts: Vec<usize> = splits
+            .iter()
+            .map(|s| (s % (wire.len() as u64 + 1)) as usize)
+            .collect();
+        cuts.push(0);
+        cuts.push(wire.len());
+        cuts.sort_unstable();
+        let mut chunked = FrameCodec::new();
+        let mut chunked_frames = Vec::new();
+        for w in cuts.windows(2) {
+            chunked.feed(&wire[w[0]..w[1]]);
+            chunked_frames.extend(drain(&mut chunked));
+        }
+        prop_assert_eq!(&chunked_frames, &frames);
+        prop_assert_eq!(chunked.pending(), 0);
+        prop_assert_eq!(chunked.consumed(), wire.len() as u64);
     }
 
     #[test]
