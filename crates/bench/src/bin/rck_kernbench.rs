@@ -1,0 +1,466 @@
+//! `rck_kernbench` — per-pair TM-align kernel benchmark: scalar oracle
+//! vs banded f32 fast path vs fast path with pruning.
+//!
+//! Sweeps all-to-all pairs of a seeded dataset through the three kernel
+//! configurations, timing each sweep and cross-checking the fast scores
+//! against the oracle as it goes. Prints a human summary and, with
+//! `--out`, writes the hand-rolled-JSON baseline (`BENCH_kernel.json`)
+//! that `docs/kernel-tuning.md` explains how to read. `--smoke` shrinks
+//! the run for CI (TINY8, a handful of pairs) while exercising every
+//! code path and emitting the same JSON shape.
+
+use rck_tmalign::{tm_align_with, KernelPath, PrefilterConfig, TmAlignParams};
+use std::fmt::Write as FmtWrite;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+rck_kernbench — per-pair TM-align kernel benchmark (scalar vs fast vs fast+prune)
+
+USAGE:
+  rck_kernbench [--dataset CK34|RS119|TINY8] [--seed S] [--pairs N]
+                [--out PATH] [--smoke]
+
+Defaults: --dataset CK34, --seed 2013, all unordered pairs. --pairs caps
+the sweep to the first N pairs of the deterministic order. --smoke is a
+CI preset (TINY8, 12 pairs) that still writes the full JSON shape.
+--out writes the baseline (e.g. BENCH_kernel.json).
+";
+
+#[derive(Debug, PartialEq)]
+struct ParseError(String);
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    dataset: String,
+    seed: u64,
+    pairs: Option<usize>,
+    out: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            dataset: "CK34".to_string(),
+            seed: 2013,
+            pairs: None,
+            out: None,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    let mut dataset_given = false;
+    while let Some(a) = it.next() {
+        let name = a
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("unexpected argument {a}")))?;
+        match name {
+            "help" => return Err(ParseError(String::new())),
+            "smoke" => {
+                opts.smoke = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
+        match name {
+            "dataset" => {
+                opts.dataset = value.clone();
+                dataset_given = true;
+            }
+            "seed" => {
+                opts.seed = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed {value}")))?;
+            }
+            "pairs" => {
+                opts.pairs = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| ParseError(format!("bad pair count {value}")))?,
+                );
+            }
+            "out" => opts.out = Some(value.clone()),
+            other => return Err(ParseError(format!("unknown flag --{other}"))),
+        }
+    }
+    if opts.smoke {
+        if !dataset_given {
+            opts.dataset = "TINY8".to_string();
+        }
+        opts.pairs = Some(opts.pairs.unwrap_or(12));
+    }
+    Ok(opts)
+}
+
+/// One kernel configuration's sweep totals.
+struct SweepResult {
+    label: &'static str,
+    wall_secs: f64,
+    ops: u64,
+    /// Shorter-chain-normalised TM per pair, for identity checks.
+    tms: Vec<f64>,
+}
+
+impl SweepResult {
+    fn pairs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.tms.len() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn mean_pair_us(&self) -> f64 {
+        if self.tms.is_empty() {
+            0.0
+        } else {
+            self.wall_secs * 1e6 / self.tms.len() as f64
+        }
+    }
+}
+
+fn sweep(
+    label: &'static str,
+    chains: &[rck_pdb::model::CaChain],
+    pairs: &[(usize, usize)],
+    params: &TmAlignParams,
+) -> SweepResult {
+    let mut tms = Vec::with_capacity(pairs.len());
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for &(i, j) in pairs {
+        let r = tm_align_with(&chains[i], &chains[j], params);
+        ops += r.ops;
+        tms.push(r.tm_max_norm());
+    }
+    SweepResult {
+        label,
+        wall_secs: start.elapsed().as_secs_f64(),
+        ops,
+        tms,
+    }
+}
+
+/// Stage-counter deltas attributable to this process's sweeps.
+struct CounterDeltas {
+    fastpath_alignments: u64,
+    fastpath_dp_rounds: u64,
+    band_widenings: u64,
+    fallbacks: u64,
+    pruned_pairs: u64,
+    pruned_demotions: u64,
+    pruned_rounds: u64,
+}
+
+fn counter_snapshot() -> [u64; 7] {
+    let s = rck_tmalign::stages::stage_counters();
+    [
+        s.fastpath_alignments.get(),
+        s.fastpath_dp_rounds.get(),
+        s.fastpath_band_widenings.get(),
+        s.fastpath_fallbacks.get(),
+        s.pruned_pairs.get(),
+        s.pruned_demotions.get(),
+        s.pruned_rounds.get(),
+    ]
+}
+
+fn deltas(before: [u64; 7], after: [u64; 7]) -> CounterDeltas {
+    CounterDeltas {
+        fastpath_alignments: after[0] - before[0],
+        fastpath_dp_rounds: after[1] - before[1],
+        band_widenings: after[2] - before[2],
+        fallbacks: after[3] - before[3],
+        pruned_pairs: after[4] - before[4],
+        pruned_demotions: after[5] - before[5],
+        pruned_rounds: after[6] - before[6],
+    }
+}
+
+struct Report {
+    scalar: SweepResult,
+    fast: SweepResult,
+    pruned: SweepResult,
+    counters: CounterDeltas,
+    max_abs_tm_delta_fast: f64,
+    /// Fast-vs-scalar divergence restricted to pairs the oracle ranks as
+    /// hits (TM ≥ 0.5), the region where ranking fidelity matters.
+    max_abs_tm_delta_fast_hits: f64,
+    max_abs_tm_delta_pruned_hits: f64,
+    hits: usize,
+}
+
+fn speedup(base: &SweepResult, other: &SweepResult) -> f64 {
+    if other.wall_secs > 0.0 {
+        base.wall_secs / other.wall_secs
+    } else {
+        0.0
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): stable key order,
+/// newline-terminated.
+fn render_json(opts: &Options, pairs: usize, r: &Report) -> String {
+    let mut js = String::new();
+    js.push_str("{\n");
+    let _ = writeln!(js, "  \"bench\": \"rck_kernbench\",");
+    let _ = writeln!(js, "  \"dataset\": \"{}\",", opts.dataset);
+    let _ = writeln!(js, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(js, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(js, "  \"pairs\": {pairs},");
+    for sr in [&r.scalar, &r.fast, &r.pruned] {
+        let _ = writeln!(
+            js,
+            "  \"{}\": {{ \"wall_secs\": {:.6}, \"pairs_per_sec\": {:.3}, \"mean_pair_us\": {:.1}, \"ops\": {} }},",
+            sr.label,
+            sr.wall_secs,
+            sr.pairs_per_sec(),
+            sr.mean_pair_us(),
+            sr.ops,
+        );
+    }
+    let _ = writeln!(
+        js,
+        "  \"speedup_fast\": {:.3},",
+        speedup(&r.scalar, &r.fast)
+    );
+    let _ = writeln!(
+        js,
+        "  \"speedup_fast_pruned\": {:.3},",
+        speedup(&r.scalar, &r.pruned)
+    );
+    let _ = writeln!(
+        js,
+        "  \"max_abs_tm_delta_fast\": {:.5},",
+        r.max_abs_tm_delta_fast
+    );
+    let _ = writeln!(
+        js,
+        "  \"max_abs_tm_delta_fast_hits\": {:.5},",
+        r.max_abs_tm_delta_fast_hits
+    );
+    let _ = writeln!(
+        js,
+        "  \"max_abs_tm_delta_pruned_hits\": {:.5},",
+        r.max_abs_tm_delta_pruned_hits
+    );
+    let _ = writeln!(js, "  \"hits\": {},", r.hits);
+    let c = &r.counters;
+    let _ = writeln!(
+        js,
+        "  \"counters\": {{ \"fastpath_alignments\": {}, \"fastpath_dp_rounds\": {}, \"band_widenings\": {}, \"fallbacks\": {}, \"pruned_pairs\": {}, \"pruned_demotions\": {}, \"pruned_rounds\": {} }}",
+        c.fastpath_alignments,
+        c.fastpath_dp_rounds,
+        c.band_widenings,
+        c.fallbacks,
+        c.pruned_pairs,
+        c.pruned_demotions,
+        c.pruned_rounds,
+    );
+    js.push_str("}\n");
+    js
+}
+
+fn run(opts: &Options) -> Result<Report, String> {
+    let profile = rck_pdb::datasets::by_name(&opts.dataset)
+        .ok_or_else(|| format!("unknown dataset {} (try CK34, RS119, TINY8)", opts.dataset))?;
+    let chains = profile.generate(opts.seed);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..chains.len() {
+        for j in (i + 1)..chains.len() {
+            pairs.push((i, j));
+        }
+    }
+    if let Some(cap) = opts.pairs {
+        pairs.truncate(cap);
+    }
+    eprintln!(
+        "rck_kernbench: {} chains, {} pairs, seed {}",
+        chains.len(),
+        pairs.len(),
+        opts.seed
+    );
+
+    let scalar_params = TmAlignParams::default();
+    let fast_params = TmAlignParams {
+        kernel: KernelPath::Fast,
+        prefilter: PrefilterConfig::disabled(),
+        ..TmAlignParams::default()
+    };
+    let pruned_params = TmAlignParams::fast();
+
+    let scalar = sweep("scalar", &chains, &pairs, &scalar_params);
+    let before = counter_snapshot();
+    let fast = sweep("fast", &chains, &pairs, &fast_params);
+    let pruned = sweep("fast_pruned", &chains, &pairs, &pruned_params);
+    let counters = deltas(before, counter_snapshot());
+
+    let mut max_fast = 0.0f64;
+    let mut max_fast_hits = 0.0f64;
+    let mut max_pruned_hits = 0.0f64;
+    let mut hits = 0usize;
+    for k in 0..pairs.len() {
+        let d = (scalar.tms[k] - fast.tms[k]).abs();
+        max_fast = max_fast.max(d);
+        if scalar.tms[k] >= 0.5 {
+            hits += 1;
+            max_fast_hits = max_fast_hits.max(d);
+            max_pruned_hits = max_pruned_hits.max((scalar.tms[k] - pruned.tms[k]).abs());
+        }
+    }
+
+    Ok(Report {
+        scalar,
+        fast,
+        pruned,
+        counters,
+        max_abs_tm_delta_fast: max_fast,
+        max_abs_tm_delta_fast_hits: max_fast_hits,
+        max_abs_tm_delta_pruned_hits: max_pruned_hits,
+        hits,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(ParseError(msg)) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rck_kernbench: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("rck_kernbench: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for sr in [&report.scalar, &report.fast, &report.pruned] {
+        println!(
+            "{:<12} {:>8.3} s  {:>8.1} pairs/s  {:>9.1} us/pair  {:>14} ops",
+            sr.label,
+            sr.wall_secs,
+            sr.pairs_per_sec(),
+            sr.mean_pair_us(),
+            sr.ops,
+        );
+    }
+    println!(
+        "speedup: fast {:.2}x, fast+prune {:.2}x  (max |dTM| fast {:.4}, fast-hits {:.4}, pruned-hits {:.4}, {} hits)",
+        speedup(&report.scalar, &report.fast),
+        speedup(&report.scalar, &report.pruned),
+        report.max_abs_tm_delta_fast,
+        report.max_abs_tm_delta_fast_hits,
+        report.max_abs_tm_delta_pruned_hits,
+        report.hits,
+    );
+    println!(
+        "counters: {} fast alignments, {} fast DP rounds, {} widenings, {} fallbacks, {} rejects, {} demotions, {} early exits",
+        report.counters.fastpath_alignments,
+        report.counters.fastpath_dp_rounds,
+        report.counters.band_widenings,
+        report.counters.fallbacks,
+        report.counters.pruned_pairs,
+        report.counters.pruned_demotions,
+        report.counters.pruned_rounds,
+    );
+
+    if let Some(path) = &opts.out {
+        let js = render_json(&opts, report.scalar.tms.len(), &report);
+        if let Err(e) = std::fs::write(path, &js) {
+            eprintln!("rck_kernbench: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rck_kernbench: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, ParseError> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn smoke_preset() {
+        let o = parse(&["--smoke"]).unwrap();
+        assert!(o.smoke);
+        assert_eq!(o.dataset, "TINY8");
+        assert_eq!(o.pairs, Some(12));
+        // Explicit flags beat the preset.
+        let o = parse(&["--smoke", "--dataset", "CK34", "--pairs", "3"]).unwrap();
+        assert_eq!(o.dataset, "CK34");
+        assert_eq!(o.pairs, Some(3));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse(&["--bogus", "1"]).is_err());
+        assert!(parse(&["--pairs", "0"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let opts = Options::default();
+        let mk = |label| SweepResult {
+            label,
+            wall_secs: 1.0,
+            ops: 10,
+            tms: vec![0.6, 0.2],
+        };
+        let r = Report {
+            scalar: mk("scalar"),
+            fast: mk("fast"),
+            pruned: mk("fast_pruned"),
+            counters: deltas([0; 7], [1, 2, 3, 4, 5, 6, 7]),
+            max_abs_tm_delta_fast: 0.01,
+            max_abs_tm_delta_fast_hits: 0.008,
+            max_abs_tm_delta_pruned_hits: 0.005,
+            hits: 1,
+        };
+        let js = render_json(&opts, 2, &r);
+        for field in [
+            "\"bench\": \"rck_kernbench\"",
+            "\"scalar\":",
+            "\"fast\":",
+            "\"fast_pruned\":",
+            "\"speedup_fast\":",
+            "\"speedup_fast_pruned\":",
+            "\"max_abs_tm_delta_fast\":",
+            "\"counters\":",
+            "\"pruned_pairs\": 5",
+        ] {
+            assert!(js.contains(field), "missing {field} in {js}");
+        }
+        assert!(js.ends_with("}\n"));
+    }
+}

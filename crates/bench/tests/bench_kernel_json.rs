@@ -1,0 +1,84 @@
+//! Guards the committed kernel baseline (`BENCH_kernel.json` at the repo
+//! root): it must stay parseable-by-eye and carry every field the CI
+//! smoke step and the kernel handbook (docs/kernel-tuning.md) reference.
+//! Regenerate with `cargo run --release -p rckalign-bench --bin
+//! rck_kernbench -- --out BENCH_kernel.json` after kernel changes.
+
+use std::fs;
+use std::path::Path;
+
+fn baseline() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_kernel.json");
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Pull the numeric value following `"key":` — enough of a parser for the
+/// flat hand-rolled JSON the bench emits (no serde_json in the workspace).
+fn field(js: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = js
+        .find(&needle)
+        .unwrap_or_else(|| panic!("field {key} missing"));
+    let rest = &js[at + needle.len()..];
+    let token: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    token
+        .parse()
+        .unwrap_or_else(|e| panic!("field {key} not numeric ({token:?}): {e}"))
+}
+
+#[test]
+fn committed_baseline_has_required_fields() {
+    let js = baseline();
+    for key in [
+        "\"bench\": \"rck_kernbench\"",
+        "\"dataset\":",
+        "\"seed\":",
+        "\"scalar\":",
+        "\"fast\":",
+        "\"fast_pruned\":",
+        "\"counters\":",
+    ] {
+        assert!(js.contains(key), "baseline missing {key}");
+    }
+    for key in [
+        "pairs",
+        "speedup_fast",
+        "speedup_fast_pruned",
+        "max_abs_tm_delta_fast",
+        "max_abs_tm_delta_fast_hits",
+        "max_abs_tm_delta_pruned_hits",
+        "hits",
+    ] {
+        field(&js, key);
+    }
+}
+
+#[test]
+fn committed_baseline_meets_documented_bounds() {
+    let js = baseline();
+    let speedup = field(&js, "speedup_fast_pruned");
+    assert!(
+        speedup >= 2.0,
+        "fast+prune speedup regressed below the documented 2x: {speedup}"
+    );
+    let hit_delta = field(&js, "max_abs_tm_delta_pruned_hits");
+    assert!(
+        hit_delta < 0.02,
+        "pruned hit-region divergence exceeds the 0.02 epsilon: {hit_delta}"
+    );
+    let fast_delta = field(&js, "max_abs_tm_delta_fast");
+    assert!(
+        fast_delta < 0.12,
+        "fast-path divergence exceeds the documented twilight-zone bound: {fast_delta}"
+    );
+    assert!(
+        field(&js, "hits") >= 1.0,
+        "baseline corpus produced no hits"
+    );
+}

@@ -8,10 +8,13 @@
 //! distance-score matrix, under two gap penalties; the best alignment by
 //! TM-score wins and is re-scored with the full search depth.
 
-use crate::dp::{needleman_wunsch, Alignment, ScoreMatrix};
-use crate::initial::{gapless_threading, hybrid_alignment, ss_alignment};
+use crate::dp::{needleman_wunsch, Alignment, DistScorer, FastDp, ScoreMatrix, SoaPoints};
+use crate::initial::{
+    gapless_threading, hybrid_alignment, hybrid_alignment_fast, ss_alignment, ss_alignment_fast,
+};
 use crate::kabsch::superpose;
 use crate::meter::WorkMeter;
+use crate::prefilter::{decide, PrefilterConfig, PrefilterDecision, SsComposition};
 use crate::secstruct::{assign, SecStruct};
 use crate::tmscore::{d0, search, SearchDepth, SearchResult};
 use rck_pdb::geometry::{Transform, Vec3};
@@ -65,6 +68,20 @@ impl Normalization {
     }
 }
 
+/// Which DP engine answers the alignment rounds (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KernelPath {
+    /// The f64 full-slab Needleman–Wunsch oracle — exact, and the
+    /// kernel the simulator's cycles-per-op constant is calibrated
+    /// against, so it stays the default.
+    #[default]
+    Scalar,
+    /// The banded f32 fast path ([`FastDp`]): band-limited DP around a
+    /// guide path with adaptive widening. Scores may differ from the
+    /// oracle by the documented epsilon (DESIGN.md §13.4).
+    Fast,
+}
+
 /// Tunable parameters of the algorithm. The defaults follow the original
 /// TM-align; they are exposed for the ablation benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,6 +94,13 @@ pub struct TmAlignParams {
     pub fast_refinement: bool,
     /// Normalisation of the optimised score.
     pub normalization: Normalization,
+    /// DP engine: the scalar f64 oracle (default) or the banded f32
+    /// fast path.
+    #[serde(default)]
+    pub kernel: KernelPath,
+    /// Pruning prefilters and early termination (disabled by default).
+    #[serde(default)]
+    pub prefilter: PrefilterConfig,
 }
 
 impl Default for TmAlignParams {
@@ -86,6 +110,23 @@ impl Default for TmAlignParams {
             max_iterations: 10,
             fast_refinement: true,
             normalization: Normalization::Shorter,
+            kernel: KernelPath::Scalar,
+            prefilter: PrefilterConfig::disabled(),
+        }
+    }
+}
+
+impl TmAlignParams {
+    /// The fast-path configuration: banded f32 DP plus the pruning
+    /// prefilters at their [`PrefilterConfig::fast`] defaults. Scores
+    /// track the scalar oracle within the epsilon documented in
+    /// DESIGN.md §13.4 (golden-set gated); the oracle remains available
+    /// as `TmAlignParams::default()`.
+    pub fn fast() -> TmAlignParams {
+        TmAlignParams {
+            kernel: KernelPath::Fast,
+            prefilter: PrefilterConfig::fast(),
+            ..TmAlignParams::default()
         }
     }
 }
@@ -170,38 +211,110 @@ pub fn tm_align_with(a: &CaChain, b: &CaChain, params: &TmAlignParams) -> TmAlig
     let ss_a = assign(x, &mut meter);
     let ss_b = assign(y, &mut meter);
 
-    // --- Initial alignments -------------------------------------------
-    let init_gapless = gapless_threading(x, y, d0_opt, norm_len, &mut meter);
-    let init_ss = ss_alignment(&ss_a, &ss_b, &mut meter);
-    let hybrid_seed = init_gapless.transform.unwrap_or(Transform::IDENTITY);
-    let init_hybrid = hybrid_alignment(x, y, &ss_a, &ss_b, &hybrid_seed, d0_opt, &mut meter);
-    crate::stages::stage_counters().initial_alignments.add(3);
+    // --- Pruning prefilters (DESIGN.md §13.5) -------------------------
+    let stages = crate::stages::stage_counters();
+    let decision = decide(
+        a.len(),
+        b.len(),
+        norm_len,
+        &SsComposition::of(&ss_a),
+        &SsComposition::of(&ss_b),
+        &params.prefilter,
+    );
 
-    // --- Refinement ----------------------------------------------------
-    let depth = if params.fast_refinement {
-        SearchDepth::Fast
-    } else {
-        SearchDepth::Full
-    };
-    let mut best_tm = -1.0;
-    let mut best_alignment: Alignment = Vec::new();
-    for init in [&init_gapless, &init_ss, &init_hybrid] {
-        if init.alignment.len() < 3 {
-            continue;
+    // The fast path reuses one workspace for every DP round of this pair.
+    let mut engine = match params.kernel {
+        KernelPath::Scalar => None,
+        KernelPath::Fast => {
+            stages.fastpath_alignments.inc();
+            Some(FastEngine::new(y))
         }
-        let (tm, alignment, _transform) = refine(
-            x,
-            y,
-            &init.alignment,
-            d0_opt,
-            norm_len,
-            params,
-            depth,
-            &mut meter,
-        );
-        if tm > best_tm {
-            best_tm = tm;
-            best_alignment = alignment;
+    };
+
+    // Demoted pairs run the reduced refinement schedule.
+    let effective = match decision {
+        PrefilterDecision::Demote => {
+            stages.pruned_demotions.inc();
+            TmAlignParams {
+                max_iterations: params
+                    .max_iterations
+                    .min(params.prefilter.min_refine_iters.max(1)),
+                ..*params
+            }
+        }
+        _ => *params,
+    };
+
+    let mut best_alignment: Alignment;
+    if let PrefilterDecision::Reject { .. } = decision {
+        // Provably hopeless under the requested normalisation: skip the
+        // DP initials and the whole refinement ladder. The gapless
+        // screen alone still yields a valid (low-scoring) alignment,
+        // and final scoring below reports it honestly.
+        stages.pruned_pairs.inc();
+        let init_gapless = gapless_threading(x, y, d0_opt, norm_len, &mut meter);
+        stages.initial_alignments.inc();
+        best_alignment = init_gapless.alignment;
+    } else {
+        // --- Initial alignments ---------------------------------------
+        let init_gapless = gapless_threading(x, y, d0_opt, norm_len, &mut meter);
+        let hybrid_seed = init_gapless.transform.unwrap_or(Transform::IDENTITY);
+        let (init_ss, init_hybrid) = match engine.as_mut() {
+            None => (
+                ss_alignment(&ss_a, &ss_b, &mut meter),
+                hybrid_alignment(x, y, &ss_a, &ss_b, &hybrid_seed, d0_opt, &mut meter),
+            ),
+            Some(eng) => {
+                // Band the initial DPs around the best rigid-offset
+                // diagonal the gapless screen just found — a far better
+                // prior than the rescaled diagonal.
+                let guide = (!init_gapless.alignment.is_empty()).then_some(&init_gapless.alignment);
+                eng.mobile.load_transformed(x, &hybrid_seed);
+                (
+                    ss_alignment_fast(&ss_a, &ss_b, guide, &mut eng.dp, &mut meter),
+                    hybrid_alignment_fast(
+                        &eng.mobile,
+                        &eng.target,
+                        &ss_a,
+                        &ss_b,
+                        guide,
+                        &hybrid_seed,
+                        d0_opt,
+                        &mut eng.dp,
+                        &mut meter,
+                    ),
+                )
+            }
+        };
+        stages.initial_alignments.add(3);
+
+        // --- Refinement -----------------------------------------------
+        let depth = if effective.fast_refinement {
+            SearchDepth::Fast
+        } else {
+            SearchDepth::Full
+        };
+        let mut best_tm = -1.0;
+        best_alignment = Vec::new();
+        for init in [&init_gapless, &init_ss, &init_hybrid] {
+            if init.alignment.len() < 3 {
+                continue;
+            }
+            let (tm, alignment, _transform) = refine(
+                x,
+                y,
+                &init.alignment,
+                d0_opt,
+                norm_len,
+                &effective,
+                depth,
+                engine.as_mut(),
+                &mut meter,
+            );
+            if tm > best_tm {
+                best_tm = tm;
+                best_alignment = alignment;
+            }
         }
     }
 
@@ -264,8 +377,35 @@ pub fn tm_align_with(a: &CaChain, b: &CaChain, params: &TmAlignParams) -> TmAlig
     }
 }
 
+/// Reusable fast-path workspace for one `tm_align` call: the banded DP
+/// buffers plus SoA coordinate lanes (target loaded once, mobile
+/// reloaded under each refinement transform).
+struct FastEngine {
+    dp: FastDp,
+    mobile: SoaPoints,
+    target: SoaPoints,
+}
+
+impl FastEngine {
+    fn new(y: &[Vec3]) -> FastEngine {
+        let mut target = SoaPoints::new();
+        target.load(y);
+        FastEngine {
+            dp: FastDp::new(),
+            mobile: SoaPoints::new(),
+            target,
+        }
+    }
+}
+
 /// One DP-refinement run from an initial alignment. Returns the best
 /// `(tm, alignment, transform)` encountered.
+///
+/// With a [`FastEngine`] the re-alignment rounds run on the banded f32
+/// DP guided by the current alignment; without one they run on the
+/// scalar f64 oracle. When the prefilters are enabled, a plateau below
+/// the score threshold abandons the remaining iterations
+/// (`rck_kernel_pruned_rounds_total`).
 #[allow(clippy::too_many_arguments)]
 fn refine(
     x: &[Vec3],
@@ -275,6 +415,7 @@ fn refine(
     norm_len: usize,
     params: &TmAlignParams,
     depth: SearchDepth,
+    mut engine: Option<&mut FastEngine>,
     meter: &mut WorkMeter,
 ) -> (f64, Alignment, Transform) {
     let mut best_tm = -1.0;
@@ -282,9 +423,11 @@ fn refine(
     let mut best_transform = Transform::IDENTITY;
 
     let d0sq = d0_opt * d0_opt;
+    let prune = &params.prefilter;
     for &gap in &params.gap_penalties {
         let mut current = initial.clone();
-        for _iter in 0..params.max_iterations {
+        let mut prev_best = best_tm;
+        for iter in 0..params.max_iterations {
             if current.len() < 3 {
                 break;
             }
@@ -295,13 +438,41 @@ fn refine(
                 best_alignment = current.clone();
                 best_transform = sr.transform;
             }
+            // Score-bound early termination: a sub-threshold score that
+            // has stopped improving will not climb back over the
+            // threshold in the remaining rounds (corpus-validated
+            // heuristic, DESIGN.md §13.5).
+            if prune.enabled
+                && iter + 1 >= prune.min_refine_iters
+                && best_tm < prune.tm_threshold
+                && best_tm - prev_best < prune.min_gain
+            {
+                crate::stages::stage_counters().pruned_rounds.inc();
+                break;
+            }
+            prev_best = best_tm;
             // Re-align under the found transform.
-            let moved: Vec<Vec3> = x.iter().map(|&p| sr.transform.apply(p)).collect();
-            let score = ScoreMatrix::from_fn(x.len(), y.len(), |i, j| {
-                1.0 / (1.0 + moved[i].dist_sq(y[j]) / d0sq)
-            });
-            meter.charge((x.len() * y.len()) as u64);
-            let (next, _) = needleman_wunsch(&score, gap, meter);
+            let next = match engine.as_deref_mut() {
+                Some(eng) => {
+                    eng.mobile.load_transformed(x, &sr.transform);
+                    let mut scorer = DistScorer {
+                        mobile: &eng.mobile,
+                        target: &eng.target,
+                        inv_d0sq: (1.0 / d0sq) as f32,
+                    };
+                    let (next, _) = eng.dp.align(&mut scorer, gap as f32, Some(&current), meter);
+                    next
+                }
+                None => {
+                    let moved: Vec<Vec3> = x.iter().map(|&p| sr.transform.apply(p)).collect();
+                    let score = ScoreMatrix::from_fn(x.len(), y.len(), |i, j| {
+                        1.0 / (1.0 + moved[i].dist_sq(y[j]) / d0sq)
+                    });
+                    meter.charge((x.len() * y.len()) as u64);
+                    let (next, _) = needleman_wunsch(&score, gap, meter);
+                    next
+                }
+            };
             if next == current {
                 break;
             }
@@ -618,5 +789,95 @@ mod tests {
     fn tiny_chain_panics() {
         let c = CaChain::from_coords("tiny", vec![Vec3::ZERO; 3]);
         let _ = tm_align(&c, &c);
+    }
+
+    #[test]
+    fn fast_params_flip_kernel_and_prefilter() {
+        let p = TmAlignParams::fast();
+        assert_eq!(p.kernel, KernelPath::Fast);
+        assert!(p.prefilter.enabled);
+        let d = TmAlignParams::default();
+        assert_eq!(d.kernel, KernelPath::Scalar);
+        assert!(!d.prefilter.enabled);
+    }
+
+    #[test]
+    fn fast_kernel_tracks_scalar_scores() {
+        for seed in [21u64, 22, 23] {
+            let a = member(seed, 0);
+            let b = member(seed, 1);
+            let scalar = tm_align(&a, &b);
+            let fast = tm_align_with(&a, &b, &TmAlignParams::fast());
+            assert!(
+                (scalar.tm_max_norm() - fast.tm_max_norm()).abs() < 0.02,
+                "seed {seed}: scalar {} vs fast {}",
+                scalar.tm_max_norm(),
+                fast.tm_max_norm()
+            );
+            assert!(crate::dp::is_valid_alignment(
+                &fast.alignment,
+                a.len(),
+                b.len()
+            ));
+        }
+    }
+
+    #[test]
+    fn fast_kernel_on_self_alignment_is_perfect() {
+        let c = member(24, 0);
+        let r = tm_align_with(&c, &c, &TmAlignParams::fast());
+        assert!(r.tm_norm_a > 0.999, "tm = {}", r.tm_norm_a);
+        assert_eq!(r.aligned_len, c.len());
+    }
+
+    #[test]
+    fn fast_kernel_bumps_fastpath_counters() {
+        let s = crate::stages::stage_counters();
+        let (before_align, before_dp) = (s.fastpath_alignments.get(), s.fastpath_dp_rounds.get());
+        let a = member(25, 0);
+        let b = member(25, 1);
+        let _ = tm_align_with(&a, &b, &TmAlignParams::fast());
+        assert!(s.fastpath_alignments.get() > before_align);
+        assert!(s.fastpath_dp_rounds.get() > before_dp);
+    }
+
+    #[test]
+    fn scalar_kernel_leaves_fastpath_counters_alone() {
+        let a = member(26, 0);
+        let b = member(26, 1);
+        let s = crate::stages::stage_counters();
+        let before = s.fastpath_alignments.get();
+        let _ = tm_align(&a, &b);
+        assert_eq!(s.fastpath_alignments.get(), before);
+    }
+
+    #[test]
+    fn hopeless_pair_is_rejected_under_longer_normalization() {
+        // A 12-residue fragment vs a 50-residue chain: the sound bound
+        // 12/50 = 0.24 sits below the 0.3 threshold, so the pair skips
+        // refinement — and the reported longer-normalised score must
+        // indeed come out below the bound.
+        let a = member(27, 0);
+        let frag = CaChain {
+            name: "frag".into(),
+            seq: a.seq[..12].to_vec(),
+            coords: a.coords[..12].to_vec(),
+        };
+        let params = TmAlignParams {
+            normalization: Normalization::Longer,
+            ..TmAlignParams::fast()
+        };
+        let s = crate::stages::stage_counters();
+        let before = s.pruned_pairs.get();
+        let r = tm_align_with(&frag, &a, &params);
+        assert!(s.pruned_pairs.get() > before, "pair was not pruned");
+        assert!(
+            r.tm_min_norm() <= 12.0 / 50.0 + 1e-9,
+            "longer-norm tm {} exceeds the bound",
+            r.tm_min_norm()
+        );
+        // The rejected pair still spends far less work than a full run.
+        let full = tm_align_with(&frag, &a, &TmAlignParams::fast());
+        assert!(r.ops < full.ops, "reject {} vs full {}", r.ops, full.ops);
     }
 }

@@ -8,7 +8,10 @@
 //!    secondary-structure match matrix and the distance-score matrix
 //!    induced by the best superposition found so far.
 
-use crate::dp::{needleman_wunsch, Alignment, ScoreMatrix};
+use crate::dp::{
+    needleman_wunsch, Alignment, BlendScorer, DistScorer, FastDp, ScoreMatrix, SoaPoints,
+    SsMatchScorer,
+};
 use crate::kabsch::superpose;
 use crate::meter::WorkMeter;
 use crate::secstruct::SecStruct;
@@ -142,6 +145,64 @@ pub fn hybrid_alignment(
     m.blend(0.5, 0.5, &ss);
     meter.charge(2 * (x.len() * y.len()) as u64);
     let (alignment, _) = needleman_wunsch(&m, SS_GAP, meter);
+    InitialAlignment {
+        source: "hybrid",
+        alignment,
+        transform: Some(*t),
+    }
+}
+
+/// Fast-path twin of [`ss_alignment`]: the same match/mismatch objective
+/// run on the banded f32 DP. `guide` (typically the gapless-threading
+/// alignment) centres the band on the best rigid-offset diagonal; without
+/// it the band follows the rescaled diagonal. Either way the band widens
+/// adaptively until the verdict is trustworthy.
+pub fn ss_alignment_fast(
+    ss_x: &[SecStruct],
+    ss_y: &[SecStruct],
+    guide: Option<&Alignment>,
+    dp: &mut FastDp,
+    meter: &mut WorkMeter,
+) -> InitialAlignment {
+    let cx: Vec<u8> = ss_x.iter().map(|s| s.code()).collect();
+    let cy: Vec<u8> = ss_y.iter().map(|s| s.code()).collect();
+    let mut scorer = SsMatchScorer { x: &cx, y: &cy };
+    let (alignment, _) = dp.align(&mut scorer, SS_GAP as f32, guide, meter);
+    InitialAlignment {
+        source: "ss-dp",
+        alignment,
+        transform: None,
+    }
+}
+
+/// Fast-path twin of [`hybrid_alignment`]: the 50/50 SS/distance blend
+/// scored on the fly per band stripe. `mobile` must already hold the
+/// first chain transformed by `t` (see [`SoaPoints::load_transformed`]);
+/// `target` holds the second chain; `guide` plays the same role as in
+/// [`ss_alignment_fast`].
+#[allow(clippy::too_many_arguments)]
+pub fn hybrid_alignment_fast(
+    mobile: &SoaPoints,
+    target: &SoaPoints,
+    ss_x: &[SecStruct],
+    ss_y: &[SecStruct],
+    guide: Option<&Alignment>,
+    t: &Transform,
+    d0: f64,
+    dp: &mut FastDp,
+    meter: &mut WorkMeter,
+) -> InitialAlignment {
+    let cx: Vec<u8> = ss_x.iter().map(|s| s.code()).collect();
+    let cy: Vec<u8> = ss_y.iter().map(|s| s.code()).collect();
+    let mut scorer = BlendScorer {
+        dist: DistScorer {
+            mobile,
+            target,
+            inv_d0sq: (1.0 / (d0 * d0)) as f32,
+        },
+        ss: SsMatchScorer { x: &cx, y: &cy },
+    };
+    let (alignment, _) = dp.align(&mut scorer, SS_GAP as f32, guide, meter);
     InitialAlignment {
         source: "hybrid",
         alignment,

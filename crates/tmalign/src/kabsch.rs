@@ -90,12 +90,20 @@ pub fn superpose(mobile: &[Vec3], reference: &[Vec3], meter: &mut WorkMeter) -> 
     }
 }
 
-/// RMSD between two paired point sets *after* optimal superposition.
+/// RMSD (Å) between two paired point sets *after* optimal superposition.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty (see
+/// [`superpose`]).
 pub fn rmsd(mobile: &[Vec3], reference: &[Vec3], meter: &mut WorkMeter) -> f64 {
     superpose(mobile, reference, meter).rmsd
 }
 
-/// RMSD between paired point sets *without* superposition.
+/// RMSD (Å) between paired point sets *without* superposition (zero for
+/// empty inputs).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
 pub fn raw_rmsd(a: &[Vec3], b: &[Vec3]) -> f64 {
     assert_eq!(a.len(), b.len());
     if a.is_empty() {

@@ -8,7 +8,11 @@
 //!
 //! * [`kabsch`] — optimal rigid superposition (quaternion/Jacobi);
 //! * [`tmscore`] — TM-score and the iterative rotation search;
-//! * [`dp`] — the Needleman–Wunsch kernel with free end gaps;
+//! * [`dp`] — the Needleman–Wunsch kernel with free end gaps, in two
+//!   engines: the scalar f64 oracle and the banded f32 fast path
+//!   ([`dp::FastDp`], DESIGN.md §13);
+//! * [`prefilter`] — pruning prefilters for all-to-all workloads
+//!   (length-ratio bound, SS-composition screen, early termination);
 //! * [`secstruct`] — CA-geometry secondary-structure assignment;
 //! * [`initial`] — the three initial alignments of the paper;
 //! * [`align`] — the full algorithm and its result type;
@@ -37,11 +41,13 @@ pub mod dp;
 pub mod initial;
 pub mod kabsch;
 pub mod meter;
+pub mod prefilter;
 pub mod secstruct;
 pub mod stages;
 pub mod tmscore;
 
-pub use align::{tm_align, tm_align_with, Normalization, TmAlignParams, TmAlignResult};
+pub use align::{tm_align, tm_align_with, KernelPath, Normalization, TmAlignParams, TmAlignResult};
 pub use comparators::{MethodKind, PscMethod, PscScore};
 pub use meter::WorkMeter;
+pub use prefilter::{PrefilterConfig, PrefilterDecision};
 pub use tmscore::tm_score_fixed;

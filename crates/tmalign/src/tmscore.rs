@@ -112,6 +112,11 @@ pub fn search(
     let mut prev_selected: Vec<usize> = Vec::with_capacity(n);
     let mut xs: Vec<Vec3> = Vec::with_capacity(n);
     let mut ys: Vec<Vec3> = Vec::with_capacity(n);
+    // One transform application per residue per iteration: the moved
+    // points feed both the cutoff selection (which may rescan under a
+    // growing cutoff) and the scoring pass. Reused across iterations to
+    // avoid per-iteration allocation.
+    let mut moved: Vec<Vec3> = Vec::with_capacity(n);
 
     for &l_ini in &seed_lens {
         let step = (l_ini / 2).max(4);
@@ -132,6 +137,8 @@ pub fn search(
                 meter.charge(n as u64);
                 // Score the whole alignment under `t` and select pairs
                 // inside the cutoff.
+                moved.clear();
+                moved.extend(x.iter().map(|&p| t.apply(p)));
                 let mut tm = 0.0;
                 selected.clear();
                 let d0sq_score = d0_score * d0_score;
@@ -140,7 +147,7 @@ pub fn search(
                     let cutsq = d_cut * d_cut;
                     selected.clear();
                     for i in 0..n {
-                        if t.apply(x[i]).dist_sq(y[i]) < cutsq {
+                        if moved[i].dist_sq(y[i]) < cutsq {
                             selected.push(i);
                         }
                     }
@@ -150,7 +157,7 @@ pub fn search(
                     d_cut += 0.5;
                 }
                 for i in 0..n {
-                    tm += 1.0 / (1.0 + t.apply(x[i]).dist_sq(y[i]) / d0sq_score);
+                    tm += 1.0 / (1.0 + moved[i].dist_sq(y[i]) / d0sq_score);
                 }
                 let tm = tm / norm_len as f64;
                 if tm > best.tm {

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use rck_pdb::geometry::{Mat3, Vec3};
-use rck_tmalign::dp::{brute_force_best_score, is_valid_alignment, needleman_wunsch, ScoreMatrix};
+use rck_tmalign::dp::{
+    brute_force_best_score, is_valid_alignment, needleman_wunsch, FastDp, MatrixScorer,
+    ScoreMatrix, INITIAL_BAND,
+};
 use rck_tmalign::kabsch::{raw_rmsd, superpose};
 use rck_tmalign::secstruct;
 use rck_tmalign::tmscore::{d0, search, tm_score_of_pairs, SearchDepth};
@@ -140,5 +143,49 @@ proptest! {
         let (lo, hi) = if l1 < l2 { (l1, l2) } else { (l2, l1) };
         prop_assert!(d0(lo) <= d0(hi) + 1e-12);
         prop_assert!(d0(lo) >= 0.5);
+    }
+
+    /// When the matrix is narrow enough that the initial band already
+    /// covers every column, the banded f32 fast path degenerates to a
+    /// full-width DP with the oracle's tie-breaking — alignments must be
+    /// identical and scores equal to f32 tolerance.
+    #[test]
+    fn fast_dp_matches_scalar_under_full_cover(
+        rows in 1usize..12,
+        cols in 1usize..20,
+        cells in prop::collection::vec(-2.0f64..2.0, 240),
+        gap in -1.5f64..0.0,
+    ) {
+        prop_assume!(cols <= INITIAL_BAND);
+        let m = ScoreMatrix::from_fn(rows, cols, |i, j| cells[i * 20 + j]);
+        let (sa, ss) = needleman_wunsch(&m, gap, &mut WorkMeter::new());
+        let (fa, fs) =
+            FastDp::new().align(&mut MatrixScorer(&m), gap as f32, None, &mut WorkMeter::new());
+        prop_assert_eq!(&fa, &sa, "alignments diverge");
+        prop_assert!((fs - ss).abs() < 1e-4, "fast {fs} vs scalar {ss}");
+    }
+
+    /// The prefilter's length-ratio bound is a true upper bound on the
+    /// TM-score under the longer-chain normalisation, for *any* geometry
+    /// — so a `Reject` can never discard a pair whose real score clears
+    /// the threshold.
+    #[test]
+    fn prune_length_bound_is_sound(a in arb_points(5, 30), b in arb_points(30, 55)) {
+        use rck_pdb::model::CaChain;
+        use rck_tmalign::prefilter::tm_upper_bound;
+        use rck_tmalign::{tm_align_with, Normalization, TmAlignParams};
+        let ca = CaChain::from_coords("a", a);
+        let cb = CaChain::from_coords("b", b);
+        let norm = ca.len().max(cb.len());
+        let bound = tm_upper_bound(ca.len(), cb.len(), norm);
+        let params = TmAlignParams {
+            normalization: Normalization::Longer,
+            ..TmAlignParams::default()
+        };
+        let r = tm_align_with(&ca, &cb, &params);
+        prop_assert!(
+            r.tm_min_norm() <= bound + 1e-9,
+            "tm {} exceeds bound {}", r.tm_min_norm(), bound
+        );
     }
 }
