@@ -28,6 +28,7 @@
 use rck_gate::chaos::{run_gate_scenario, GateScenarioPlan, GateScenarioResult};
 use rck_serve::chaos::{run_scenario, ScenarioResult};
 use rck_serve::ScenarioPlan;
+use rck_store::fault::{run_store_scenario, StoreScenarioReport};
 use std::fmt::Write as FmtWrite;
 use std::process::ExitCode;
 use std::sync::mpsc;
@@ -38,11 +39,12 @@ rck_chaos — seeded fault-injection scenarios for the rck-serve layer
 
 USAGE:
   rck_chaos [--seeds N] [--base-seed S] [--repeat K] [--gate-seeds N]
-            [--out PATH]
+            [--store-seeds N] [--out PATH]
 
 Defaults: --seeds 32, --base-seed 0, --repeat 1 (set 2+ to assert
 byte-identical reports per seed), --gate-seeds 4 (multi-tenant serving
--tier scenarios; 0 disables), no --out (stdout only).
+-tier scenarios; 0 disables), --store-seeds 8 (persistent-store
+crash-recovery scenarios; 0 disables), no --out (stdout only).
 ";
 
 /// A scenario that neither completes nor aborts within this window is a
@@ -55,6 +57,7 @@ struct Options {
     base_seed: u64,
     repeat: u64,
     gate_seeds: u64,
+    store_seeds: u64,
     out: Option<String>,
 }
 
@@ -64,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         base_seed: 0,
         repeat: 1,
         gate_seeds: 4,
+        store_seeds: 8,
         out: None,
     };
     let mut it = args.iter();
@@ -97,6 +101,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad gate seed count {value}"))?;
             }
+            "store-seeds" => {
+                opts.store_seeds = value
+                    .parse()
+                    .map_err(|_| format!("bad store seed count {value}"))?;
+            }
             "out" => opts.out = Some(value.clone()),
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -115,6 +124,21 @@ fn run_guarded(seed: u64) -> ScenarioResult {
         Ok(result) => result,
         Err(_) => {
             eprintln!("seed {seed:06}: DEADLOCK — scenario still running after {WATCHDOG:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run one persistent-store crash-recovery scenario under the watchdog.
+fn run_store_guarded(seed: u64) -> StoreScenarioReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_store_scenario(seed));
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(result) => result,
+        Err(_) => {
+            eprintln!("store seed {seed:06}: DEADLOCK — scenario still running after {WATCHDOG:?}");
             std::process::exit(2);
         }
     }
@@ -219,10 +243,48 @@ fn main() -> ExitCode {
         );
     }
 
+    // Persistent-store scenarios: torn appends, bit flips and killed
+    // compactions against a real on-disk log, asserting every reopen
+    // recovers exactly the surviving prefix. Same exit-code and summary
+    // contract as above.
+    let mut store_passed = 0u64;
+    for seed in opts.base_seed..opts.base_seed + opts.store_seeds {
+        let first = run_store_guarded(seed);
+        for rerun in 1..opts.repeat {
+            let again = run_store_guarded(seed);
+            if again.report_line() != first.report_line() {
+                eprintln!(
+                    "store seed {seed:06}: NONDETERMINISTIC report (rerun {rerun})\n  first: {}\n  again: {}",
+                    first.report_line(),
+                    again.report_line()
+                );
+                failures += 1;
+            }
+        }
+        let pass = first.failures == 0;
+        if pass {
+            store_passed += 1;
+        } else {
+            failures += 1;
+        }
+        println!(
+            "{} {}",
+            if pass { "ok  " } else { "FAIL" },
+            first.report_line()
+        );
+        let _ = writeln!(report, "{}", first.report_line());
+    }
+    if opts.store_seeds > 0 {
+        println!(
+            "store: {store_passed}/{} crash-recovery scenarios recovered the surviving prefix",
+            opts.store_seeds
+        );
+    }
+
     let summary = format!(
         "{} scenarios: {} completed bit-identical, {aborted} aborted cleanly, {failures} failures",
-        opts.seeds + opts.gate_seeds,
-        completed + gate_passed,
+        opts.seeds + opts.gate_seeds + opts.store_seeds,
+        completed + gate_passed + store_passed,
     );
     println!("{summary}");
     if let Some(path) = &opts.out {

@@ -1,0 +1,428 @@
+//! `rck_storebench` — persistent result-store benchmark: cold compute
+//! vs warm replay vs incremental dataset growth.
+//!
+//! Runs the same all-to-all workload three ways against an
+//! [`rck_store::Store`] in a scratch directory:
+//!
+//! * **cold** — empty store; every pair is computed and appended;
+//! * **warm** — the store is reopened and the identical run is replayed;
+//!   every pair must be served from disk, bit-identical, with zero
+//!   appends;
+//! * **incremental** — a second store is seeded with the first N−1
+//!   chains, then the full N-chain dataset runs against it; exactly N−1
+//!   new pairs may be computed.
+//!
+//! Prints a human summary and, with `--out`, writes the hand-rolled-JSON
+//! baseline (`BENCH_store.json`) that `tests/bench_store_json.rs`
+//! guards. `--smoke` shrinks the run for CI (TINY8) while exercising
+//! every code path and emitting the same JSON shape.
+
+use rck_obs::Registry;
+use rck_pdb::model::CaChain;
+use rckalign::{run_all_vs_all, PairCache, PairOutcome, RckAlignOptions, StoreBinding};
+use std::fmt::Write as FmtWrite;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USAGE: &str = "\
+rck_storebench — persistent result-store benchmark (cold vs warm vs incremental)
+
+USAGE:
+  rck_storebench [--dataset CK34|RS119|TINY8] [--seed S] [--slaves N]
+                 [--out PATH] [--smoke]
+
+Defaults: --dataset CK34, --seed 2013, --slaves 4. --smoke is a CI
+preset (TINY8) that still writes the full JSON shape. --out writes the
+baseline (e.g. BENCH_store.json).
+";
+
+#[derive(Debug, PartialEq)]
+struct ParseError(String);
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    dataset: String,
+    seed: u64,
+    slaves: usize,
+    out: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            dataset: "CK34".to_string(),
+            seed: 2013,
+            slaves: 4,
+            out: None,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    let mut dataset_given = false;
+    while let Some(a) = it.next() {
+        let name = a
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("unexpected argument {a}")))?;
+        match name {
+            "help" => return Err(ParseError(String::new())),
+            "smoke" => {
+                opts.smoke = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
+        match name {
+            "dataset" => {
+                opts.dataset = value.clone();
+                dataset_given = true;
+            }
+            "seed" => {
+                opts.seed = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed {value}")))?;
+            }
+            "slaves" => {
+                opts.slaves = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad slave count {value}")))?;
+            }
+            "out" => opts.out = Some(value.clone()),
+            other => return Err(ParseError(format!("unknown flag --{other}"))),
+        }
+    }
+    if opts.smoke && !dataset_given {
+        opts.dataset = "TINY8".to_string();
+    }
+    Ok(opts)
+}
+
+/// One store session's totals.
+struct Session {
+    label: &'static str,
+    wall_secs: f64,
+    pairs: usize,
+    hits: u64,
+    appends: u64,
+}
+
+impl Session {
+    fn pairs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.pairs as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+struct Report {
+    chains: usize,
+    cold: Session,
+    warm: Session,
+    incremental: Session,
+    incremental_new_pairs: u64,
+    bit_identical: bool,
+}
+
+fn speedup(base: &Session, other: &Session) -> f64 {
+    if other.wall_secs > 0.0 {
+        base.wall_secs / other.wall_secs
+    } else {
+        0.0
+    }
+}
+
+fn open_binding(path: &Path, chains: &[CaChain]) -> Arc<StoreBinding> {
+    let cfg = rck_store::StoreConfig::on_registry(Registry::new());
+    let store = rck_store::Store::open(path, cfg)
+        .unwrap_or_else(|e| panic!("open store {}: {e}", path.display()));
+    Arc::new(StoreBinding::new(store, chains))
+}
+
+/// Run one all-vs-all session against the store at `path`, timing it and
+/// snapshotting the session's own counter deltas (each open gets a fresh
+/// registry, so absolute values are deltas).
+fn session(
+    label: &'static str,
+    path: &Path,
+    chains: &[CaChain],
+    opts: &RckAlignOptions,
+) -> (Session, Vec<PairOutcome>) {
+    let binding = open_binding(path, chains);
+    let cache = PairCache::new(chains.to_vec()).with_store(Arc::clone(&binding));
+    let start = Instant::now();
+    let run = run_all_vs_all(&cache, opts);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let (hits, appends) = binding.with_store(|s| {
+        s.flush().unwrap();
+        (s.counters().hits.get(), s.counters().appends.get())
+    });
+    (
+        Session {
+            label,
+            wall_secs,
+            pairs: run.outcomes.len(),
+            hits,
+            appends,
+        },
+        run.outcomes,
+    )
+}
+
+fn bit_identical(a: &[PairOutcome], b: &[PairOutcome]) -> bool {
+    let sorted = |v: &[PairOutcome]| {
+        let mut v: Vec<PairOutcome> = v.to_vec();
+        v.sort_by_key(|o| (o.i, o.j, o.method.code()));
+        v
+    };
+    let (a, b) = (sorted(a), sorted(b));
+    a.len() == b.len()
+        && a.iter().zip(&b).all(|(x, y)| {
+            (x.i, x.j, x.method) == (y.i, y.j, y.method)
+                && x.similarity.to_bits() == y.similarity.to_bits()
+                && x.rmsd.to_bits() == y.rmsd.to_bits()
+                && x.aligned_len == y.aligned_len
+                && x.ops == y.ops
+        })
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): stable key order,
+/// newline-terminated.
+fn render_json(opts: &Options, r: &Report) -> String {
+    let mut js = String::new();
+    js.push_str("{\n");
+    let _ = writeln!(js, "  \"bench\": \"rck_storebench\",");
+    let _ = writeln!(js, "  \"dataset\": \"{}\",", opts.dataset);
+    let _ = writeln!(js, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(js, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(js, "  \"chains\": {},", r.chains);
+    let _ = writeln!(js, "  \"pairs\": {},", r.cold.pairs);
+    for s in [&r.cold, &r.warm, &r.incremental] {
+        let _ = writeln!(
+            js,
+            "  \"{}\": {{ \"wall_secs\": {:.6}, \"pairs_per_sec\": {:.3}, \"hits\": {}, \"appends\": {} }},",
+            s.label,
+            s.wall_secs,
+            s.pairs_per_sec(),
+            s.hits,
+            s.appends,
+        );
+    }
+    let _ = writeln!(js, "  \"warm_speedup\": {:.3},", speedup(&r.cold, &r.warm));
+    let _ = writeln!(
+        js,
+        "  \"incremental_new_pairs\": {},",
+        r.incremental_new_pairs
+    );
+    let _ = writeln!(js, "  \"bit_identical\": {}", r.bit_identical as u8);
+    js.push_str("}\n");
+    js
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rck-storebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    dir
+}
+
+fn run(opts: &Options) -> Result<Report, String> {
+    let profile = rck_pdb::datasets::by_name(&opts.dataset)
+        .ok_or_else(|| format!("unknown dataset {} (try CK34, RS119, TINY8)", opts.dataset))?;
+    let chains = profile.generate(opts.seed);
+    if chains.len() < 3 {
+        return Err(format!("dataset too small ({} chains)", chains.len()));
+    }
+    let align = RckAlignOptions::paper(opts.slaves);
+    let dir = scratch_dir();
+    eprintln!(
+        "rck_storebench: {} chains, {} pairs, seed {}, scratch {}",
+        chains.len(),
+        chains.len() * (chains.len() - 1) / 2,
+        opts.seed,
+        dir.display()
+    );
+
+    // Cold, then warm replay of the same store.
+    let store_path = dir.join("store.rckstore");
+    let (cold, cold_outcomes) = session("cold", &store_path, &chains, &align);
+    let (warm, warm_outcomes) = session("warm", &store_path, &chains, &align);
+
+    // Incremental: seed a second store with the first N-1 chains, then
+    // run the full dataset against it.
+    let incr_path = dir.join("incremental.rckstore");
+    let resident: Vec<CaChain> = chains[..chains.len() - 1].to_vec();
+    session("seed", &incr_path, &resident, &align);
+    let (incremental, incr_outcomes) = session("incremental", &incr_path, &chains, &align);
+    let incremental_new_pairs = incremental.appends;
+
+    let bit = bit_identical(&cold_outcomes, &warm_outcomes)
+        && bit_identical(&cold_outcomes, &incr_outcomes);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(Report {
+        chains: chains.len(),
+        cold,
+        warm,
+        incremental,
+        incremental_new_pairs,
+        bit_identical: bit,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(ParseError(msg)) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rck_storebench: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("rck_storebench: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for s in [&report.cold, &report.warm, &report.incremental] {
+        println!(
+            "{:<12} {:>8.3} s  {:>10.1} pairs/s  {:>6} hits  {:>6} appends",
+            s.label,
+            s.wall_secs,
+            s.pairs_per_sec(),
+            s.hits,
+            s.appends,
+        );
+    }
+    println!(
+        "warm replay {:.1}x faster than cold; N->N+1 growth cost {} new pairs; bit-identical: {}",
+        speedup(&report.cold, &report.warm),
+        report.incremental_new_pairs,
+        report.bit_identical,
+    );
+    if !report.bit_identical {
+        eprintln!("rck_storebench: store-served outcomes diverged from cold compute");
+        return ExitCode::FAILURE;
+    }
+    if report.warm.appends != 0 {
+        eprintln!(
+            "rck_storebench: warm replay appended {} records (expected 0)",
+            report.warm.appends
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &opts.out {
+        let js = render_json(&opts, &report);
+        if let Err(e) = std::fs::write(path, &js) {
+            eprintln!("rck_storebench: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rck_storebench: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, ParseError> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn smoke_preset() {
+        let o = parse(&["--smoke"]).unwrap();
+        assert!(o.smoke);
+        assert_eq!(o.dataset, "TINY8");
+        // Explicit flags beat the preset.
+        let o = parse(&["--smoke", "--dataset", "CK34"]).unwrap();
+        assert_eq!(o.dataset, "CK34");
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse(&["--bogus", "1"]).is_err());
+        assert!(parse(&["--slaves", "0"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let opts = Options::default();
+        let mk = |label, hits, appends| Session {
+            label,
+            wall_secs: 1.0,
+            pairs: 28,
+            hits,
+            appends,
+        };
+        let r = Report {
+            chains: 8,
+            cold: mk("cold", 0, 28),
+            warm: mk("warm", 28, 0),
+            incremental: mk("incremental", 21, 7),
+            incremental_new_pairs: 7,
+            bit_identical: true,
+        };
+        let js = render_json(&opts, &r);
+        for field in [
+            "\"bench\": \"rck_storebench\"",
+            "\"chains\": 8",
+            "\"pairs\": 28",
+            "\"cold\":",
+            "\"warm\":",
+            "\"incremental\":",
+            "\"warm_speedup\":",
+            "\"incremental_new_pairs\": 7",
+            "\"bit_identical\": 1",
+        ] {
+            assert!(js.contains(field), "missing {field} in {js}");
+        }
+        assert!(js.ends_with("}\n"));
+    }
+
+    #[test]
+    fn smoke_run_holds_store_invariants() {
+        let opts = Options {
+            dataset: "TINY8".to_string(),
+            smoke: true,
+            ..Options::default()
+        };
+        let r = run(&opts).unwrap();
+        assert_eq!(r.cold.pairs, r.chains * (r.chains - 1) / 2);
+        assert_eq!(r.cold.appends as usize, r.cold.pairs);
+        assert_eq!(r.warm.appends, 0);
+        assert_eq!(r.warm.hits as usize, r.warm.pairs);
+        assert_eq!(r.incremental_new_pairs as usize, r.chains - 1);
+        assert!(r.bit_identical);
+    }
+}

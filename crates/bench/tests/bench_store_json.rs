@@ -1,0 +1,86 @@
+//! Guards the committed store baseline (`BENCH_store.json` at the repo
+//! root): it must stay parseable-by-eye and carry every field the CI
+//! smoke step and the store chapter (DESIGN.md §14) reference.
+//! Regenerate with `cargo run --release -p rckalign-bench --bin
+//! rck_storebench -- --out BENCH_store.json` after store or kernel
+//! changes.
+
+use std::fs;
+use std::path::Path;
+
+fn baseline() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_store.json");
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Pull the numeric value following `"key":` — enough of a parser for the
+/// flat hand-rolled JSON the bench emits (no serde_json in the workspace).
+fn field(js: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = js
+        .find(&needle)
+        .unwrap_or_else(|| panic!("field {key} missing"));
+    let rest = &js[at + needle.len()..];
+    let token: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    token
+        .parse()
+        .unwrap_or_else(|e| panic!("field {key} not numeric ({token:?}): {e}"))
+}
+
+#[test]
+fn committed_baseline_has_required_fields() {
+    let js = baseline();
+    for key in [
+        "\"bench\": \"rck_storebench\"",
+        "\"dataset\":",
+        "\"seed\":",
+        "\"cold\":",
+        "\"warm\":",
+        "\"incremental\":",
+    ] {
+        assert!(js.contains(key), "baseline missing {key}");
+    }
+    for key in [
+        "chains",
+        "pairs",
+        "warm_speedup",
+        "incremental_new_pairs",
+        "bit_identical",
+    ] {
+        field(&js, key);
+    }
+}
+
+#[test]
+fn committed_baseline_meets_documented_bounds() {
+    let js = baseline();
+    assert_eq!(
+        field(&js, "bit_identical"),
+        1.0,
+        "store-served outcomes must be bit-identical to cold compute"
+    );
+    let speedup = field(&js, "warm_speedup");
+    assert!(
+        speedup >= 2.0,
+        "warm replay regressed below the documented 2x over cold compute: {speedup}"
+    );
+    let chains = field(&js, "chains");
+    let new_pairs = field(&js, "incremental_new_pairs");
+    assert_eq!(
+        new_pairs,
+        chains - 1.0,
+        "growing N -> N+1 chains must cost exactly N new pairs"
+    );
+    let pairs = field(&js, "pairs");
+    assert_eq!(
+        pairs,
+        chains * (chains - 1.0) / 2.0,
+        "pair count must match the all-to-all closure of the dataset"
+    );
+}

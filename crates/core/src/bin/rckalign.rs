@@ -5,7 +5,7 @@
 //! rckalign align    <dataset> <chain_a> <chain_b> [--seed S]
 //! rckalign rank     <dataset> <chain> [--top K] [--slaves N] [--seed S]
 //! rckalign allvsall <dataset> [--slaves N] [--method M] [--ordering O]
-//!                   [--waves] [--seed S]
+//!                   [--waves] [--seed S] [--store PATH]
 //! rckalign experiment <1|2|3|5> [--points 1,11,23,47] [--seed S]
 //! ```
 
@@ -30,6 +30,12 @@ USAGE:
   rckalign rank     <dataset> <chain> [--top K] [--slaves N] [--seed S]
   rckalign allvsall <dataset> [--slaves N] [--method tm-align|kabsch-rmsd|contact-map]
                     [--ordering fifo|lpt|shuffle] [--waves] [--cores] [--seed S]
+                    [--store PATH]
+
+--store PATH opens (or creates) a persistent content-addressed result
+store: pairs already present are looked up instead of recomputed, new
+pairs are appended, so growing a dataset by one chain costs one chain's
+worth of comparisons.
   rckalign experiment <1|2|3|5> [--points 1,11,23,47] [--seed S]
   rckalign export   <dataset> <dir> [--seed S]
 
@@ -63,6 +69,7 @@ enum Command {
         waves: bool,
         cores: bool,
         seed: u64,
+        store: Option<String>,
     },
     Experiment {
         which: u8,
@@ -90,7 +97,7 @@ fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 "waves" | "cores" => {
                     bools.insert(name.to_string());
                 }
-                "seed" | "top" | "slaves" | "method" | "ordering" | "points" => {
+                "seed" | "top" | "slaves" | "method" | "ordering" | "points" | "store" => {
                     let v = it
                         .next()
                         .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
@@ -176,6 +183,7 @@ fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 waves: bools.contains("waves"),
                 cores: bools.contains("cores"),
                 seed,
+                store: flags.get("store").cloned(),
             })
         }
         Some("experiment") => {
@@ -321,9 +329,21 @@ fn run(cmd: Command) -> Result<(), ParseError> {
             waves,
             cores,
             seed,
+            store,
         } => {
             let chains = load_dataset(&dataset, seed)?;
-            let cache = PairCache::new(chains);
+            let binding = match &store {
+                Some(path) => {
+                    let s = rck_store::Store::open(path, rck_store::StoreConfig::default())
+                        .map_err(|e| ParseError(format!("cannot open store {path}: {e}")))?;
+                    Some(std::sync::Arc::new(rckalign::StoreBinding::new(s, &chains)))
+                }
+                None => None,
+            };
+            let mut cache = PairCache::new(chains);
+            if let Some(binding) = &binding {
+                cache = cache.with_store(std::sync::Arc::clone(binding));
+            }
             let opts = RckAlignOptions {
                 n_slaves: slaves,
                 method,
@@ -348,6 +368,21 @@ fn run(cmd: Command) -> Result<(), ParseError> {
                 run.report.total_bytes() as f64 / 1e6,
                 run.report.mean_utilization(1..=slaves) * 100.0
             );
+            if let Some(binding) = &binding {
+                binding.with_store(|s| {
+                    if let Err(e) = s.flush() {
+                        eprintln!("warning: store flush failed: {e}");
+                    }
+                    let c = s.counters();
+                    println!(
+                        "store: {} records ({} hits, {} misses, {} appended this run)",
+                        s.len(),
+                        c.hits.get(),
+                        c.misses.get(),
+                        c.appends.get()
+                    );
+                });
+            }
             if cores {
                 println!();
                 print!("{}", rckalign::report::per_core_table(&run.report).render());
@@ -504,6 +539,21 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_allvsall_store_flag() {
+        match parse("allvsall TINY8 --store /tmp/results.rckstore").unwrap() {
+            Command::AllVsAll { store, .. } => {
+                assert_eq!(store.as_deref(), Some("/tmp/results.rckstore"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse("allvsall TINY8").unwrap() {
+            Command::AllVsAll { store, .. } => assert_eq!(store, None),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse("allvsall TINY8 --store").is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! Simulated timing is unaffected: slaves charge the cached `ops`.
 
 use crate::jobs::{PairJob, PairOutcome};
+use crate::store::StoreBinding;
 use parking_lot::Mutex;
 use rck_pdb::model::CaChain;
 use std::collections::HashMap;
@@ -28,6 +29,7 @@ type MemoTable = HashMap<(u32, u32, u8), PairOutcome>;
 pub struct PairCache {
     chains: Arc<Vec<CaChain>>,
     results: Arc<Mutex<MemoTable>>,
+    store: Option<Arc<StoreBinding>>,
 }
 
 impl Clone for PairCache {
@@ -35,6 +37,7 @@ impl Clone for PairCache {
         PairCache {
             chains: Arc::clone(&self.chains),
             results: Arc::clone(&self.results),
+            store: self.store.clone(),
         }
     }
 }
@@ -45,7 +48,22 @@ impl PairCache {
         PairCache {
             chains: Arc::new(chains),
             results: Arc::new(Mutex::new(HashMap::new())),
+            store: None,
         }
+    }
+
+    /// Back the cache with a persistent result store. Lookups consult
+    /// memo → store → compute; computed outcomes are appended to the
+    /// store, so a later run over the same dataset (or a superset — keys
+    /// are content-addressed) starts warm.
+    pub fn with_store(mut self, binding: Arc<StoreBinding>) -> PairCache {
+        self.store = Some(binding);
+        self
+    }
+
+    /// The persistent store backing this cache, if one is attached.
+    pub fn store(&self) -> Option<&Arc<StoreBinding>> {
+        self.store.as_ref()
     }
 
     /// The dataset this cache serves.
@@ -68,14 +86,24 @@ impl PairCache {
         self.results.lock().len()
     }
 
-    /// Look up or compute the outcome of one job.
+    /// Look up or compute the outcome of one job: memo table first, then
+    /// the persistent store (a hit is memoised so the store is consulted
+    /// at most once per key), then the kernel — and a fresh computation
+    /// is appended to the store for the next run.
     pub fn get_or_compute(&self, job: &PairJob) -> PairOutcome {
         let key = (job.i, job.j, job.method.code());
         if let Some(hit) = self.results.lock().get(&key) {
             return *hit;
         }
+        if let Some(stored) = self.store.as_ref().and_then(|s| s.lookup(job)) {
+            self.results.lock().entry(key).or_insert(stored);
+            return stored;
+        }
         let outcome = self.compute(job);
         self.results.lock().insert(key, outcome);
+        if let Some(store) = &self.store {
+            store.record(&outcome);
+        }
         outcome
     }
 
@@ -103,13 +131,29 @@ impl PairCache {
             return;
         }
         // Skip already-cached jobs, then split the rest.
-        let todo: Vec<PairJob> = {
+        let mut todo: Vec<PairJob> = {
             let seen = self.results.lock();
             jobs.iter()
                 .filter(|j| !seen.contains_key(&(j.i, j.j, j.method.code())))
                 .copied()
                 .collect()
         };
+        // Satisfy what the persistent store already holds (serially —
+        // the store is one log file behind one lock), leaving only the
+        // genuinely new pairs for the parallel compute below.
+        if let Some(store) = &self.store {
+            let mut hits = Vec::new();
+            todo.retain(|job| match store.lookup(job) {
+                Some(outcome) => {
+                    hits.push(((job.i, job.j, job.method.code()), outcome));
+                    false
+                }
+                None => true,
+            });
+            if !hits.is_empty() {
+                self.results.lock().extend(hits);
+            }
+        }
         if todo.is_empty() {
             return;
         }
@@ -120,6 +164,11 @@ impl PairCache {
                     let mut local = Vec::with_capacity(piece.len());
                     for job in piece {
                         local.push(((job.i, job.j, job.method.code()), self.compute(job)));
+                    }
+                    if let Some(store) = &self.store {
+                        for (_, outcome) in &local {
+                            store.record(outcome);
+                        }
                     }
                     self.results.lock().extend(local);
                 });
@@ -241,6 +290,123 @@ mod tests {
         assert_eq!(a.computed(), 1);
         // And both views address the same dataset.
         assert_eq!(a.chains()[0], b.chains()[0]);
+    }
+
+    fn scratch_store(name: &str) -> rck_store::Store {
+        let dir =
+            std::env::temp_dir().join(format!("rck-cache-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        rck_store::Store::open(
+            dir.join("store.rckstore"),
+            rck_store::StoreConfig::on_registry(rck_obs::Registry::new()),
+        )
+        .unwrap()
+    }
+
+    fn stored_cache(name: &str) -> PairCache {
+        let chains = tiny_profile().generate(5);
+        let binding = StoreBinding::new(scratch_store(name), &chains);
+        PairCache::new(chains).with_store(std::sync::Arc::new(binding))
+    }
+
+    #[test]
+    fn computed_outcomes_land_in_the_store() {
+        let c = stored_cache("lands");
+        let job = PairJob {
+            i: 0,
+            j: 1,
+            method: MethodKind::TmAlign,
+        };
+        let outcome = c.get_or_compute(&job);
+        let store = c.store().unwrap();
+        let hit = store.lookup(&job).expect("computed outcome persisted");
+        assert_eq!(hit, outcome);
+        assert_eq!(store.with_store(|s| s.counters().appends.get()), 1);
+    }
+
+    #[test]
+    fn store_hit_memoises_once_and_never_double_inserts() {
+        let c = stored_cache("memo-once");
+        let job = PairJob {
+            i: 1,
+            j: 3,
+            method: MethodKind::KabschRmsd,
+        };
+        let first = c.get_or_compute(&job);
+        // A fresh cache over the same dataset and store: the first lookup
+        // is a store hit (memoised), the second a pure memo hit.
+        let warm = PairCache::new(c.chains().to_vec())
+            .with_store(std::sync::Arc::clone(c.store().unwrap()));
+        assert_eq!(warm.computed(), 0);
+        let via_store = warm.get_or_compute(&job);
+        assert_eq!(warm.computed(), 1);
+        assert_eq!(via_store.similarity.to_bits(), first.similarity.to_bits());
+        let hits_after_first = warm
+            .store()
+            .unwrap()
+            .with_store(|s| s.counters().hits.get());
+        let again = warm.get_or_compute(&job);
+        assert_eq!(warm.computed(), 1, "store hit memoised exactly once");
+        assert_eq!(
+            warm.store()
+                .unwrap()
+                .with_store(|s| s.counters().hits.get()),
+            hits_after_first,
+            "second lookup never reaches the store"
+        );
+        assert_eq!(again, via_store);
+        // The store-satisfied result is not re-appended.
+        assert_eq!(
+            warm.store()
+                .unwrap()
+                .with_store(|s| s.counters().appends.get()),
+            1
+        );
+    }
+
+    #[test]
+    fn prefill_skips_store_resident_pairs() {
+        let cold = stored_cache("prefill-skip");
+        let jobs = all_vs_all(cold.len(), MethodKind::KabschRmsd);
+        let half = &jobs[..jobs.len() / 2];
+        cold.prefill(half, 2);
+        let store = std::sync::Arc::clone(cold.store().unwrap());
+        let appended = store.with_store(|s| s.counters().appends.get());
+        assert_eq!(appended as usize, half.len());
+        // Warm cache over the same store: prefilling everything computes
+        // (and appends) only the second half.
+        let warm = PairCache::new(cold.chains().to_vec()).with_store(store);
+        warm.prefill(&jobs, 2);
+        assert_eq!(warm.computed(), jobs.len());
+        assert_eq!(
+            warm.store()
+                .unwrap()
+                .with_store(|s| s.counters().appends.get()) as usize,
+            jobs.len(),
+            "only the missing half was appended"
+        );
+        for j in &jobs {
+            assert_eq!(warm.get_or_compute(j), cold.get_or_compute(j));
+        }
+    }
+
+    #[test]
+    fn clones_share_the_store_binding() {
+        let a = stored_cache("clone-share");
+        let b = a.clone();
+        let job = PairJob {
+            i: 2,
+            j: 4,
+            method: MethodKind::TmAlign,
+        };
+        let via_a = a.get_or_compute(&job);
+        // The clone's store handle sees the append made through `a`.
+        assert_eq!(b.store().unwrap().lookup(&job), Some(via_a));
+        assert!(std::sync::Arc::ptr_eq(
+            a.store().unwrap(),
+            b.store().unwrap()
+        ));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod mcpsc;
 pub mod onevsall;
 pub mod report;
 pub mod serial;
+pub mod store;
 
 pub use analysis::{utilization, utilization_sweep, UtilizationPoint};
 pub use app::{run_all_vs_all, RckAlignOptions, RckAlignRun, Scheduling};
@@ -55,3 +56,4 @@ pub use jobs::{
 pub use loadbalance::JobOrdering;
 pub use mcpsc::{run_mcpsc, McPscOptions, McPscRun, PartitionStrategy};
 pub use onevsall::{run_one_vs_all, OneVsAllOptions, OneVsAllRun};
+pub use store::{chain_content_hash, StoreBinding};

@@ -1,0 +1,206 @@
+//! The store's headline acceptance test: growing a dataset from N to
+//! N+1 chains against a persistent store computes exactly the N new
+//! pairs, and the assembled results are bit-identical to a cold run —
+//! even when the previous session's log lost its tail to a crash.
+
+use rck_obs::Registry;
+use rck_pdb::datasets::tiny_profile;
+use rck_pdb::model::CaChain;
+use rck_store::{Store, StoreConfig};
+use rck_tmalign::MethodKind;
+use rckalign::{all_vs_all, run_all_vs_all, PairCache, PairOutcome, RckAlignOptions, StoreBinding};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rck-store-incremental-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("store.rckstore")
+}
+
+fn open(path: &PathBuf) -> Store {
+    Store::open(path, StoreConfig::on_registry(Registry::new())).unwrap()
+}
+
+fn binding(path: &PathBuf, chains: &[CaChain]) -> Arc<StoreBinding> {
+    Arc::new(StoreBinding::new(open(path), chains))
+}
+
+fn opts() -> RckAlignOptions {
+    RckAlignOptions::paper(4)
+}
+
+fn assert_bit_identical(got: &[PairOutcome], want: &[PairOutcome]) {
+    assert_eq!(got.len(), want.len());
+    let sorted = |v: &[PairOutcome]| {
+        let mut v: Vec<PairOutcome> = v.to_vec();
+        v.sort_by_key(|o| (o.i, o.j, o.method.code()));
+        v
+    };
+    for (g, w) in sorted(got).iter().zip(&sorted(want)) {
+        assert_eq!((g.i, g.j, g.method), (w.i, w.j, w.method));
+        assert_eq!(g.similarity.to_bits(), w.similarity.to_bits());
+        assert_eq!(g.rmsd.to_bits(), w.rmsd.to_bits());
+        assert_eq!(g.aligned_len, w.aligned_len);
+        assert_eq!(g.ops, w.ops);
+    }
+}
+
+/// N → N+1: the warm run pays for exactly N new pairs and reproduces the
+/// cold run bit for bit.
+#[test]
+fn incremental_growth_costs_exactly_n_new_pairs() {
+    let all = tiny_profile().generate(2013);
+    let n = all.len() - 1; // 7 resident chains, 1 newcomer
+    let path = scratch("grow");
+
+    // Session 1: all-vs-all over the first N chains, persisting results.
+    let first: Vec<CaChain> = all[..n].to_vec();
+    let b1 = binding(&path, &first);
+    let cache1 = PairCache::new(first).with_store(Arc::clone(&b1));
+    let run1 = run_all_vs_all(&cache1, &opts());
+    let pairs_n = n * (n - 1) / 2;
+    assert_eq!(run1.outcomes.len(), pairs_n);
+    b1.with_store(|s| {
+        s.flush().unwrap();
+        assert_eq!(s.len(), pairs_n);
+        assert_eq!(s.counters().appends.get() as usize, pairs_n);
+    });
+
+    // Session 2: one more chain, fresh process (fresh registry, reopened
+    // store). Every old pair hits; exactly N new pairs are computed.
+    let b2 = binding(&path, &all);
+    let cache2 = PairCache::new(all.clone()).with_store(Arc::clone(&b2));
+    let run2 = run_all_vs_all(&cache2, &opts());
+    let pairs_n1 = all.len() * (all.len() - 1) / 2;
+    assert_eq!(run2.outcomes.len(), pairs_n1);
+    b2.with_store(|s| {
+        assert_eq!(
+            s.counters().appends.get() as usize,
+            pairs_n1 - pairs_n,
+            "exactly N new pairs were computed and appended"
+        );
+        assert_eq!(s.counters().hits.get() as usize, pairs_n);
+        assert_eq!(s.len(), pairs_n1);
+    });
+
+    // Bit-identical to a cold run over the full dataset.
+    let cold = run_all_vs_all(&PairCache::new(all), &opts());
+    assert_bit_identical(&run2.outcomes, &cold.outcomes);
+}
+
+/// A crash that tears the last appended record costs one recomputation,
+/// nothing else: the next session recovers the intact prefix, recomputes
+/// the lost pair and still converges bit-identically.
+#[test]
+fn torn_session_then_incremental_run_converges() {
+    let all = tiny_profile().generate(97);
+    let n = all.len() - 1;
+    let path = scratch("torn");
+
+    let first: Vec<CaChain> = all[..n].to_vec();
+    let b1 = binding(&path, &first);
+    let cache1 = PairCache::new(first).with_store(Arc::clone(&b1));
+    run_all_vs_all(&cache1, &opts());
+    b1.with_store(|s| s.flush().unwrap());
+    drop(cache1);
+    drop(b1);
+
+    // Crash mid-append: the file loses the tail half of its last record.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(
+        &path,
+        &bytes[..bytes.len() - rck_store::log::PAIR_RECORD_LEN / 2],
+    )
+    .unwrap();
+
+    let pairs_n = n * (n - 1) / 2;
+    let b2 = binding(&path, &all);
+    b2.with_store(|s| {
+        assert_eq!(s.counters().torn_tail_truncations.get(), 1);
+        assert_eq!(s.counters().recovered_records.get() as usize, pairs_n - 1);
+        assert_eq!(s.len(), pairs_n - 1, "exactly one record lost");
+    });
+    let cache2 = PairCache::new(all.clone()).with_store(Arc::clone(&b2));
+    let run2 = run_all_vs_all(&cache2, &opts());
+    let pairs_n1 = all.len() * (all.len() - 1) / 2;
+    b2.with_store(|s| {
+        assert_eq!(s.len(), pairs_n1, "store converged to the full pair set");
+        assert_eq!(
+            s.counters().appends.get() as usize,
+            pairs_n1 - (pairs_n - 1),
+            "the torn pair was recomputed alongside the N new ones"
+        );
+    });
+    let cold = run_all_vs_all(&PairCache::new(all), &opts());
+    assert_bit_identical(&run2.outcomes, &cold.outcomes);
+}
+
+/// Replaying the same dataset against a warm store computes nothing.
+#[test]
+fn warm_replay_computes_nothing() {
+    let chains = tiny_profile().generate(5);
+    let path = scratch("replay");
+    let b1 = binding(&path, &chains);
+    let cache1 = PairCache::new(chains.clone()).with_store(Arc::clone(&b1));
+    let run1 = run_all_vs_all(&cache1, &opts());
+    b1.with_store(|s| s.flush().unwrap());
+
+    let b2 = binding(&path, &chains);
+    let cache2 = PairCache::new(chains).with_store(Arc::clone(&b2));
+    let run2 = run_all_vs_all(&cache2, &opts());
+    b2.with_store(|s| {
+        assert_eq!(s.counters().appends.get(), 0, "nothing recomputed");
+        assert_eq!(
+            s.counters().hits.get() as usize,
+            run2.outcomes.len(),
+            "every pair served from the store"
+        );
+    });
+    assert_bit_identical(&run2.outcomes, &run1.outcomes);
+    // Prefilters and kernels see identical inputs → identical op counts →
+    // identical simulated makespan.
+    assert_eq!(run1.makespan_secs.to_bits(), run2.makespan_secs.to_bits());
+}
+
+/// The kernel version is part of the address: a store written by kernel
+/// v matches nothing once the binding speaks v+1 (here simulated by
+/// writing under shifted keys through the raw store API).
+#[test]
+fn kernel_version_changes_invalidate_by_miss() {
+    let chains = tiny_profile().generate(31);
+    let path = scratch("kernelv");
+    let b1 = binding(&path, &chains);
+    let jobs = all_vs_all(chains.len(), MethodKind::KabschRmsd);
+    let cache1 = PairCache::new(chains.clone()).with_store(Arc::clone(&b1));
+    cache1.prefill(&jobs, 2);
+    b1.with_store(|s| s.flush().unwrap());
+
+    // Rewrite every record under kernel_version+1 into a second store,
+    // then look the *current* kernel's keys up: all misses.
+    let shifted = scratch("kernelv-shifted");
+    let mut dst = open(&shifted);
+    b1.with_store(|s| {
+        for (key, pair) in s.iter().map(|(k, p)| (*k, *p)).collect::<Vec<_>>() {
+            let mut key = key;
+            key.kernel_version += 1;
+            dst.append(key, pair).unwrap();
+        }
+    });
+    drop(dst);
+    let b2 = binding(&shifted, &chains);
+    for job in &jobs {
+        assert!(
+            b2.lookup(job).is_none(),
+            "old-kernel record must never satisfy a new-kernel lookup"
+        );
+    }
+    b2.with_store(|s| {
+        assert_eq!(s.counters().misses.get() as usize, jobs.len());
+        assert_eq!(s.counters().hits.get(), 0);
+    });
+}

@@ -76,7 +76,7 @@ use rck_serve::MutexExt;
 use rck_tmalign::MethodKind;
 use rckalign::consensus::{Combiner, Consensus};
 use rckalign::onevsall::one_vs_all_jobs;
-use rckalign::{batch_jobs, PairJob, PairOutcome};
+use rckalign::{batch_jobs, chain_content_hash, PairJob, PairOutcome, StoreBinding};
 use sched::StrideSched;
 use session::{Outbox, Subscriber};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -108,6 +108,10 @@ pub struct GateConfig {
     pub batch_timeout: Option<Duration>,
     /// How per-method scores fold into the final ranking.
     pub combiner: Combiner,
+    /// Version of the comparison kernels, folded into query fingerprints
+    /// (coalescing must never join queries across a kernel change) and
+    /// into every persistent-store key the gate reads or writes.
+    pub kernel_version: u32,
 }
 
 impl Default for GateConfig {
@@ -120,6 +124,7 @@ impl Default for GateConfig {
             heartbeat_timeout: Duration::from_millis(1000),
             batch_timeout: None,
             combiner: Combiner::MeanRank,
+            kernel_version: rck_tmalign::KERNEL_VERSION,
         }
     }
 }
@@ -136,6 +141,9 @@ pub struct GateReport {
 pub(crate) struct QueryRun {
     pub(crate) tenant: String,
     pub(crate) query_hash: u64,
+    /// Content hash of the query chain alone (no methods, no versions) —
+    /// one half of every persistent-store key this run reads or writes.
+    pub(crate) content_hash: u64,
     pub(crate) chain: CaChain,
     pub(crate) methods: Vec<MethodKind>,
     pub(crate) pending: VecDeque<Vec<PairJob>>,
@@ -188,6 +196,10 @@ pub(crate) struct GateShared {
     pub(crate) draining: AtomicBool,
     /// Hard stop: dispatch nothing further, wind every thread down.
     pub(crate) stopped: AtomicBool,
+    /// Persistent result store attached by [`Gate::with_store`]:
+    /// consulted at submission (stored pairs never reach the scheduler)
+    /// and appended to when a run completes.
+    pub(crate) store: Mutex<Option<Arc<StoreBinding>>>,
 }
 
 impl GateShared {
@@ -290,8 +302,20 @@ impl Gate {
                 next_session_id: AtomicU32::new(0),
                 draining: AtomicBool::new(false),
                 stopped: AtomicBool::new(false),
+                store: Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach a persistent result store (bound over this gate's resident
+    /// database). Submissions then warm-start: every `(db chain, query)`
+    /// pair the store already holds under the binding's kernel version
+    /// is accepted up front and only the misses are scheduled; an
+    /// entirely-stored query is answered without touching a worker.
+    /// Completed runs append their outcomes back.
+    pub fn with_store(self, binding: Arc<StoreBinding>) -> Gate {
+        *self.shared.store.lock_recover() = Some(binding);
+        self
     }
 
     /// The worker plane's bound address.
@@ -389,10 +413,17 @@ impl Gate {
 }
 
 /// Fingerprint of a submission for coalescing: FNV-1a 64 over the exact
-/// chain bytes (name, sequence, f64 coordinate bits), the method codes
-/// and the database version. Bit-exact coordinates feed bit-exact
-/// hashes, matching the service's fidelity contract.
-pub fn query_fingerprint(chain: &CaChain, methods: &[MethodKind], db_version: u64) -> u64 {
+/// chain bytes (name, sequence, f64 coordinate bits), the method codes,
+/// the database version and the kernel version. Bit-exact coordinates
+/// feed bit-exact hashes, matching the service's fidelity contract; the
+/// kernel version keeps coalescing (and the warm-start path through the
+/// persistent store) from ever joining results across a kernel change.
+pub fn query_fingerprint(
+    chain: &CaChain,
+    methods: &[MethodKind],
+    db_version: u64,
+    kernel_version: u32,
+) -> u64 {
     let mut h = fnv1a64(0, chain.name.as_bytes());
     for aa in &chain.seq {
         h = fnv1a64(h, &[aa.index()]);
@@ -405,7 +436,8 @@ pub fn query_fingerprint(chain: &CaChain, methods: &[MethodKind], db_version: u6
     for m in methods {
         h = fnv1a64(h, &[m.code()]);
     }
-    fnv1a64(h, &db_version.to_le_bytes())
+    h = fnv1a64(h, &db_version.to_le_bytes());
+    fnv1a64(h, &kernel_version.to_le_bytes())
 }
 
 /// The reference ranking the gate must reproduce bit-identically: run
@@ -512,7 +544,12 @@ pub(crate) fn submit_query(shared: &GateShared, q: QuerySubmit, outbox: &Arc<Out
         reject("empty query chain");
         return;
     }
-    let hash = query_fingerprint(&q.chain, &q.methods, shared.cfg.db_version);
+    let hash = query_fingerprint(
+        &q.chain,
+        &q.methods,
+        shared.cfg.db_version,
+        shared.cfg.kernel_version,
+    );
     let n = shared.db.len();
     let mut state = shared.state.lock_recover();
 
@@ -565,7 +602,54 @@ pub(crate) fn submit_query(shared: &GateShared, q: QuerySubmit, outbox: &Arc<Out
         }));
         return;
     }
-    let batches: VecDeque<Vec<PairJob>> = batch_jobs(&jobs, shared.cfg.batch_size.max(1)).into();
+    // Warm start: satisfy whatever the persistent store already holds
+    // for this (db chain, query, method, kernel) key set; only genuine
+    // misses are expanded into scheduled batches.
+    let store = shared.store.lock_recover().clone();
+    let content_hash = chain_content_hash(&q.chain);
+    let mut done: HashSet<(u32, u32, u8)> = HashSet::new();
+    let mut outcomes: Vec<PairOutcome> = Vec::with_capacity(jobs.len());
+    let mut misses: Vec<PairJob> = Vec::new();
+    if let Some(binding) = &store {
+        for job in &jobs {
+            let key = binding.key_for(binding.hash_of(job.i as usize), content_hash, job.method);
+            match binding.lookup_key(&key, job.i, job.j, job.method) {
+                Some(o) => {
+                    done.insert((o.i, o.j, job.method.code()));
+                    outcomes.push(o);
+                }
+                None => misses.push(*job),
+            }
+        }
+    } else {
+        misses.clone_from(&jobs);
+    }
+
+    if misses.is_empty() {
+        // Every pair was store-resident: the query never touches a
+        // worker. Answer with the final ranking right away.
+        drop(state);
+        let ranking = ranking_from_outcomes(n, &outcomes, &q.methods, shared.cfg.combiner);
+        shared.stats.on_query_completed(0.0);
+        outbox.push(Frame::QueryDone(QueryDone {
+            query_id: q.query_id,
+            ranking,
+        }));
+        return;
+    }
+    if !outcomes.is_empty() {
+        // Stream the store-satisfied outcomes as a catch-up partial, the
+        // same shape a late coalesced subscriber receives.
+        shared.stats.on_partial();
+        outbox.push(Frame::QueryPartial(QueryPartial {
+            query_id: q.query_id,
+            done: done.len() as u32,
+            total: jobs.len() as u32,
+            outcomes: outcomes.clone(),
+        }));
+    }
+
+    let batches: VecDeque<Vec<PairJob>> = batch_jobs(&misses, shared.cfg.batch_size.max(1)).into();
     let run_id = state.next_run_id;
     state.next_run_id += 1;
     state.sched.set_weight(&q.tenant, q.weight);
@@ -581,12 +665,13 @@ pub(crate) fn submit_query(shared: &GateShared, q: QuerySubmit, outbox: &Arc<Out
         QueryRun {
             tenant: q.tenant,
             query_hash: hash,
+            content_hash,
             chain: q.chain,
             methods: q.methods,
             total_jobs: jobs.len(),
             pending: batches,
-            done: HashSet::new(),
-            outcomes: Vec::with_capacity(jobs.len()),
+            done,
+            outcomes,
             subscribers: vec![Subscriber {
                 query_id: q.query_id,
                 outbox: Arc::clone(outbox),
@@ -631,13 +716,14 @@ mod tests {
     fn fingerprint_separates_chains_methods_and_versions() {
         let chains = tiny_profile().generate(9);
         let m = [MethodKind::TmAlign];
-        let base = query_fingerprint(&chains[0], &m, 1);
-        assert_eq!(base, query_fingerprint(&chains[0], &m, 1));
-        assert_ne!(base, query_fingerprint(&chains[1], &m, 1));
-        assert_ne!(base, query_fingerprint(&chains[0], &m, 2));
+        let base = query_fingerprint(&chains[0], &m, 1, 1);
+        assert_eq!(base, query_fingerprint(&chains[0], &m, 1, 1));
+        assert_ne!(base, query_fingerprint(&chains[1], &m, 1, 1));
+        assert_ne!(base, query_fingerprint(&chains[0], &m, 2, 1));
+        assert_ne!(base, query_fingerprint(&chains[0], &m, 1, 2));
         assert_ne!(
             base,
-            query_fingerprint(&chains[0], &[MethodKind::KabschRmsd], 1)
+            query_fingerprint(&chains[0], &[MethodKind::KabschRmsd], 1, 1)
         );
     }
 
@@ -700,6 +786,100 @@ mod tests {
         assert_eq!(rejects.len(), 2);
         assert!(rejects[0].contains("inflight cap"));
         assert!(rejects[1].contains("draining"));
+    }
+
+    fn scratch_binding(name: &str, db: &[CaChain]) -> Arc<StoreBinding> {
+        let dir =
+            std::env::temp_dir().join(format!("rck-gate-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = rck_store::Store::open(
+            dir.join("store.rckstore"),
+            rck_store::StoreConfig::on_registry(rck_obs::Registry::new()),
+        )
+        .unwrap();
+        Arc::new(StoreBinding::new(store, db))
+    }
+
+    /// Compute `(db chain, query)` outcomes in-process and persist them
+    /// under the gate's store keys — a stand-in for a prior run.
+    fn prestore(binding: &StoreBinding, db: &[CaChain], query: &CaChain, jobs: &[PairJob]) {
+        let qhash = chain_content_hash(query);
+        for job in jobs {
+            let score = job.method.instantiate().compare(&db[job.i as usize], query);
+            let outcome = PairOutcome {
+                i: job.i,
+                j: job.j,
+                method: job.method,
+                similarity: score.similarity,
+                rmsd: score.rmsd.unwrap_or(f64::NAN),
+                aligned_len: score.aligned_len as u32,
+                ops: score.ops,
+            };
+            let key = binding.key_for(binding.hash_of(job.i as usize), qhash, job.method);
+            assert!(binding.record_key(key, &outcome));
+        }
+    }
+
+    #[test]
+    fn fully_stored_query_is_answered_without_a_run() {
+        let (gate, shared) = memnet_gate(GateConfig::default());
+        let db = shared.db.to_vec();
+        let query = tiny_profile().generate(6)[0].clone();
+        let methods = vec![MethodKind::TmAlign];
+        let jobs = one_vs_all_jobs(db.len(), db.len() + 1, &methods);
+        let binding = scratch_binding("full", &db);
+        prestore(&binding, &db, &query, &jobs);
+        let _gate = gate.with_store(Arc::clone(&binding));
+        let outbox = Outbox::new();
+        submit_query(&shared, submit("lab-a", 1, query.clone()), &outbox);
+        let state = shared.state.lock_recover();
+        assert!(state.runs.is_empty(), "no run scheduled");
+        assert_eq!(state.sched.total_backlog(), 0);
+        drop(state);
+        let frames = outbox.drain_for_tests();
+        let Some(Frame::QueryDone(done)) = frames.last() else {
+            panic!("expected terminal QueryDone, got {} frames", frames.len());
+        };
+        let want = reference_ranking(&db, &query, &methods, GateConfig::default().combiner);
+        assert_eq!(done.ranking.len(), want.len());
+        for ((gi, gs), (wi, ws)) in done.ranking.iter().zip(&want) {
+            assert_eq!(gi, wi);
+            assert_eq!(gs.to_bits(), ws.to_bits(), "ranking not bit-identical");
+        }
+    }
+
+    #[test]
+    fn partially_stored_query_schedules_only_the_misses() {
+        let (gate, shared) = memnet_gate(GateConfig {
+            batch_size: 1,
+            ..GateConfig::default()
+        });
+        let db = shared.db.to_vec();
+        let query = tiny_profile().generate(6)[1].clone();
+        let methods = vec![MethodKind::TmAlign];
+        let jobs = one_vs_all_jobs(db.len(), db.len() + 1, &methods);
+        let stored = &jobs[..3];
+        let binding = scratch_binding("partial", &db);
+        prestore(&binding, &db, &query, stored);
+        let _gate = gate.with_store(binding);
+        let outbox = Outbox::new();
+        submit_query(&shared, submit("lab-a", 1, query), &outbox);
+        let state = shared.state.lock_recover();
+        let run = state.runs.values().next().expect("run scheduled");
+        assert_eq!(run.done.len(), stored.len(), "stored pairs pre-accepted");
+        assert_eq!(run.outcomes.len(), stored.len());
+        assert_eq!(run.total_jobs, jobs.len());
+        let pending: usize = run.pending.iter().map(|b| b.len()).sum();
+        assert_eq!(pending, jobs.len() - stored.len(), "only misses staged");
+        drop(state);
+        // The subscriber got a catch-up partial carrying the store hits.
+        let frames = outbox.drain_for_tests();
+        let Some(Frame::QueryPartial(p)) = frames.first() else {
+            panic!("expected catch-up QueryPartial");
+        };
+        assert_eq!(p.outcomes.len(), stored.len());
+        assert_eq!(p.total as usize, jobs.len());
     }
 
     #[test]

@@ -295,6 +295,16 @@ fn complete_run(state: &mut crate::GateState, shared: &GateShared, run_id: u64) 
         return;
     };
     state.coalesce.remove(&run.query_hash);
+    if let Some(binding) = shared.store.lock_recover().as_ref() {
+        // Persist the run's outcomes under (db chain, query content)
+        // keys. `o.j` is the query's *virtual* index, so the key's second
+        // half comes from the run's content hash, not the binding; the
+        // store's idempotence skips the pairs it satisfied at submission.
+        for o in &run.outcomes {
+            let key = binding.key_for(binding.hash_of(o.i as usize), run.content_hash, o.method);
+            binding.record_key(key, o);
+        }
+    }
     let ranking = crate::ranking_from_outcomes(
         shared.db.len(),
         &run.outcomes,

@@ -33,7 +33,7 @@ use crate::transport::{Conn, Listener, TcpChannelListener};
 use rck_pdb::model::CaChain;
 use rck_tmalign::MethodKind;
 use rckalign::loadbalance::{order_jobs, JobOrdering};
-use rckalign::{all_vs_all, batch_jobs, PairJob, PairOutcome, SimilarityMatrix};
+use rckalign::{all_vs_all, batch_jobs, PairJob, PairOutcome, SimilarityMatrix, StoreBinding};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::SocketAddr;
@@ -157,6 +157,10 @@ struct Shared {
     /// let inflight ones finish, then return the partial matrix — the
     /// graceful-shutdown path (SIGINT in `rck_served`).
     draining: AtomicBool,
+    /// Persistent result store attached by [`Master::with_store`]:
+    /// consulted before dispatch (stored pairs never reach the queue)
+    /// and appended to after assembly.
+    store: Mutex<Option<Arc<StoreBinding>>>,
 }
 
 /// A bound, not-yet-running service master.
@@ -243,8 +247,42 @@ impl Master {
                 next_worker_id: AtomicU32::new(0),
                 aborted: AtomicBool::new(false),
                 draining: AtomicBool::new(false),
+                store: Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach a persistent result store before [`Master::run`]: every
+    /// staged job the store already holds is satisfied immediately (its
+    /// outcome accepted as if a worker had answered it, bit-identical to
+    /// the run that stored it) and the remaining misses are rebatched,
+    /// so a warm farm dispatches only the genuinely new pairs. Outcomes
+    /// computed by the run are appended back on completion.
+    pub fn with_store(self, binding: Arc<StoreBinding>) -> Master {
+        {
+            let mut work = self.shared.work.lock_recover();
+            let staged: Vec<PairJob> = std::mem::take(&mut work.queue)
+                .into_iter()
+                .flatten()
+                .collect();
+            let mut misses = Vec::with_capacity(staged.len());
+            for job in staged {
+                match binding.lookup(&job) {
+                    Some(outcome) => {
+                        if work.done.insert((job.i, job.j)) {
+                            work.outcomes.push(outcome);
+                        }
+                    }
+                    None => misses.push(job),
+                }
+            }
+            if !misses.is_empty() {
+                work.queue = batch_jobs(&misses, self.shared.cfg.batch_size.max(1)).into();
+            }
+            work.check_finished();
+        }
+        *self.shared.store.lock_recover() = Some(binding);
+        self
     }
 
     /// The bound address (with the real port when `addr` asked for 0).
@@ -314,7 +352,23 @@ impl Master {
             ));
         }
         let mut outcomes = std::mem::take(&mut work.outcomes);
+        drop(work);
         outcomes.sort_by_key(|o| (o.i, o.j));
+        let guard = self.shared.store.lock_recover();
+        let binding = guard.clone();
+        drop(guard);
+        if let Some(binding) = binding {
+            // Append what the farm computed; store-satisfied pairs are
+            // skipped by the store's own idempotence.
+            for o in &outcomes {
+                binding.record(o);
+            }
+            binding.with_store(|s| {
+                if let Err(e) = s.flush() {
+                    eprintln!("[rck-serve] store flush failed: {e}");
+                }
+            });
+        }
         let matrix = SimilarityMatrix::from_outcomes(self.shared.chains.len(), &outcomes);
         Ok(ServeRun {
             matrix,
@@ -703,6 +757,65 @@ mod tests {
             .expect("drained run yields partial results");
         assert!(run.outcomes.is_empty(), "no workers ever connected");
         assert_eq!(run.matrix.len(), n);
+    }
+
+    fn scratch_binding(name: &str, chains: &[CaChain]) -> Arc<StoreBinding> {
+        let dir =
+            std::env::temp_dir().join(format!("rck-serve-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = rck_store::Store::open(
+            dir.join("store.rckstore"),
+            rck_store::StoreConfig::on_registry(rck_obs::Registry::new()),
+        )
+        .unwrap();
+        Arc::new(StoreBinding::new(store, chains))
+    }
+
+    #[test]
+    fn with_store_preseeds_stored_pairs_and_rebatches_misses() {
+        let chains = tiny_profile().generate(4);
+        let binding = scratch_binding("preseed", &chains);
+        // Precompute a third of the workload into the store.
+        let cache = rckalign::PairCache::new(chains.clone()).with_store(Arc::clone(&binding));
+        let jobs = all_vs_all(chains.len(), MethodKind::TmAlign);
+        let stored = &jobs[..jobs.len() / 3];
+        cache.prefill(stored, 2);
+        let master = Master::bind(chains, MasterConfig::default())
+            .unwrap()
+            .with_store(Arc::clone(&binding));
+        let work = master.shared.work.lock().unwrap();
+        assert_eq!(
+            work.done.len(),
+            stored.len(),
+            "stored pairs accepted up front"
+        );
+        assert_eq!(work.outcomes.len(), stored.len());
+        let queued: usize = work.queue.iter().map(|b| b.len()).sum();
+        assert_eq!(queued, jobs.len() - stored.len(), "only misses staged");
+        assert!(!work.finished);
+    }
+
+    #[test]
+    fn fully_stored_workload_finishes_without_any_worker() {
+        let chains = tiny_profile().generate(5);
+        let binding = scratch_binding("full", &chains);
+        let cache = rckalign::PairCache::new(chains.clone()).with_store(Arc::clone(&binding));
+        let jobs = all_vs_all(chains.len(), MethodKind::TmAlign);
+        cache.prefill(&jobs, 4);
+        let expected: Vec<PairOutcome> = jobs.iter().map(|j| cache.get_or_compute(j)).collect();
+        let master = Master::bind(chains, MasterConfig::default())
+            .unwrap()
+            .with_store(binding);
+        // No worker ever connects; the store satisfies everything.
+        let run = master.run().unwrap();
+        assert_eq!(run.outcomes.len(), jobs.len());
+        for (got, want) in run.outcomes.iter().zip(&expected) {
+            assert_eq!((got.i, got.j), (want.i, want.j));
+            assert_eq!(got.similarity.to_bits(), want.similarity.to_bits());
+            assert_eq!(got.ops, want.ops);
+        }
+        assert_eq!(run.stats.jobs_dispatched, 0, "nothing hit the wire");
     }
 
     #[test]

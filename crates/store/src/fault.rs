@@ -1,0 +1,430 @@
+//! Deterministic storage chaos: seeded fault plans for the store, and
+//! end-to-end crash-recovery scenarios over an unmodified [`Store`].
+//!
+//! Modeled on the serve layer's chaos harness: everything is driven by
+//! a single `u64` seed through the workspace's deterministic RNG, so
+//! any red scenario replays from its seed alone. A scenario maintains a
+//! byte-exact *mirror* of what the log must contain, injects faults
+//! from the plan — torn appends, bit flips in the log body, compactions
+//! killed before their rename — and after every simulated crash reopens
+//! the store and checks the recovery invariants:
+//!
+//! * the rebuilt index equals the surviving log prefix, bit for bit;
+//! * a torn or corrupt tail is truncated (and counted) exactly once;
+//! * a killed compaction loses nothing — the original log is intact
+//!   and the stale temp file is gone after reopen.
+
+use crate::log::{PairKey, StoredPair, PAIR_RECORD_LEN, SUPERBLOCK_LEN};
+use crate::{fnv1a64, Store, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rck_obs::Registry;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One storage fault, scheduled for a specific store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// The process dies mid-append: only a prefix of the record
+    /// (`max(1, keep * len / 256)` bytes, clamped short of complete)
+    /// reaches the file.
+    TornAppend {
+        /// Kept-prefix numerator (1/256ths of the record).
+        keep: u8,
+    },
+    /// One byte somewhere in the log body is XORed with `mask` (media
+    /// corruption), then the process dies.
+    BitFlip {
+        /// Position numerator (offset = `log_bytes * at / 256`).
+        at: u8,
+        /// Non-zero XOR mask.
+        mask: u8,
+    },
+    /// The process dies mid-compaction: a prefix of the temp file is
+    /// written, the rename never happens.
+    KillMidCompaction {
+        /// Kept-prefix numerator for the temp file.
+        keep: u8,
+    },
+}
+
+/// Per-mille probabilities for each fault kind, realised into a
+/// concrete [`StoreFaultPlan`] by a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreFaultProfile {
+    /// Torn-append probability (‰).
+    pub torn_pm: u16,
+    /// Bit-flip probability (‰).
+    pub flip_pm: u16,
+    /// Kill-mid-compaction probability (‰).
+    pub kill_compaction_pm: u16,
+}
+
+impl StoreFaultProfile {
+    /// No faults at all.
+    pub const CLEAN: StoreFaultProfile = StoreFaultProfile {
+        torn_pm: 0,
+        flip_pm: 0,
+        kill_compaction_pm: 0,
+    };
+
+    /// The default chaos mix the smoke suites run: roughly one fault
+    /// per seven operations, split across all three kinds.
+    pub const CHAOS: StoreFaultProfile = StoreFaultProfile {
+        torn_pm: 60,
+        flip_pm: 40,
+        kill_compaction_pm: 40,
+    };
+}
+
+/// Number of store operations a plan covers; operations beyond it are
+/// clean.
+pub const PLAN_OPS: usize = 1024;
+
+/// A concrete schedule of faults, one slot per store operation.
+#[derive(Debug, Clone)]
+pub struct StoreFaultPlan {
+    ops: Vec<Option<StoreFault>>,
+}
+
+impl StoreFaultPlan {
+    /// Realise `profile` into a schedule. The RNG draw count per slot
+    /// is fixed regardless of outcome, so plans with the same seed stay
+    /// aligned across profile tweaks.
+    pub fn generate(seed: u64, profile: &StoreFaultProfile) -> StoreFaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(PLAN_OPS);
+        for _ in 0..PLAN_OPS {
+            let roll = (rng.next_u64() % 1000) as u16;
+            let keep = (rng.next_u64() % 256) as u8;
+            let at = (rng.next_u64() % 256) as u8;
+            let mask = ((rng.next_u64() % 255) + 1) as u8;
+            let torn_edge = profile.torn_pm;
+            let flip_edge = torn_edge + profile.flip_pm;
+            let kill_edge = flip_edge + profile.kill_compaction_pm;
+            ops.push(if roll < torn_edge {
+                Some(StoreFault::TornAppend { keep })
+            } else if roll < flip_edge {
+                Some(StoreFault::BitFlip { at, mask })
+            } else if roll < kill_edge {
+                Some(StoreFault::KillMidCompaction { keep })
+            } else {
+                None
+            });
+        }
+        StoreFaultPlan { ops }
+    }
+
+    /// The fault scheduled for operation `k` (clean past the plan).
+    pub fn op(&self, k: usize) -> Option<StoreFault> {
+        self.ops.get(k).copied().flatten()
+    }
+
+    /// Number of scheduled (non-clean) slots.
+    pub fn scheduled(&self) -> usize {
+        self.ops.iter().filter(|f| f.is_some()).count()
+    }
+}
+
+/// Deterministic result of one seeded crash-recovery scenario.
+#[derive(Debug, Clone)]
+pub struct StoreScenarioReport {
+    /// The driving seed.
+    pub seed: u64,
+    /// Store operations attempted.
+    pub ops: u32,
+    /// Torn appends injected.
+    pub torn_appends: u32,
+    /// Bit flips injected.
+    pub bit_flips: u32,
+    /// Compactions killed before their rename.
+    pub killed_compactions: u32,
+    /// Compactions that completed.
+    pub compactions: u32,
+    /// Crash-recovery reopens performed.
+    pub reopens: u32,
+    /// Live records at the end.
+    pub final_records: u64,
+    /// FNV-1a 64 over the sorted final contents — two runs of the same
+    /// seed must report the same value.
+    pub fingerprint: u64,
+    /// Recovery-invariant violations (0 for a healthy store).
+    pub failures: u32,
+}
+
+impl StoreScenarioReport {
+    /// One deterministic line for chaos logs (no paths, no timings).
+    pub fn report_line(&self) -> String {
+        format!(
+            "store seed={} ops={} torn={} flips={} killed_compactions={} compactions={} \
+             reopens={} final={} fp={:016x} failures={}",
+            self.seed,
+            self.ops,
+            self.torn_appends,
+            self.bit_flips,
+            self.killed_compactions,
+            self.compactions,
+            self.reopens,
+            self.final_records,
+            self.fingerprint,
+            self.failures
+        )
+    }
+}
+
+/// splitmix-style seed mixing, matching the serve chaos harness.
+fn subseed(seed: u64, tag: u64) -> u64 {
+    let mut z = seed ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Operations one scenario performs (compaction every `COMPACT_EVERY`).
+const SCENARIO_OPS: usize = 160;
+const COMPACT_EVERY: usize = 40;
+
+/// Distinct synthetic pair keys a scenario draws from; small enough
+/// that duplicate appends exercise the idempotent-skip path.
+const KEY_SPACE: u64 = 96;
+
+fn synth_record(rng: &mut StdRng) -> (PairKey, StoredPair) {
+    let id = rng.next_u64() % KEY_SPACE;
+    let key = PairKey {
+        hash_a: fnv1a64(0, &id.to_le_bytes()),
+        hash_b: fnv1a64(1, &id.to_le_bytes()),
+        method: (id % 3) as u8,
+        kernel_version: 1,
+    };
+    let v = rng.next_u64();
+    let pair = StoredPair {
+        similarity: (v % 1000) as f64 / 1000.0,
+        rmsd: if v.is_multiple_of(7) {
+            f64::NAN
+        } else {
+            (v % 100) as f64
+        },
+        aligned_len: (v % 512) as u32,
+        ops: v % 100_000,
+    };
+    (key, pair)
+}
+
+/// The scenario's ground truth: the exact record sequence the log must
+/// hold (unique keys, append order — normal appends skip duplicates, so
+/// the physical log never repeats a key).
+struct Mirror {
+    records: Vec<(PairKey, StoredPair)>,
+}
+
+impl Mirror {
+    fn contains(&self, key: &PairKey) -> bool {
+        self.records.iter().any(|(k, _)| k == key)
+    }
+
+    /// Drop every record from the first one overlapping byte offset
+    /// `rel` (relative to the log body) — what recovery keeps after a
+    /// flip at that offset.
+    fn truncate_at_byte(&mut self, rel: usize) {
+        self.records.truncate(rel / PAIR_RECORD_LEN);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut sorted = self.records.clone();
+        sorted.sort_unstable_by_key(|(k, _)| *k);
+        let mut h = 0u64;
+        for (k, p) in &sorted {
+            h = fnv1a64(h.max(1), &k.hash_a.to_le_bytes());
+            h = fnv1a64(h, &k.hash_b.to_le_bytes());
+            h = fnv1a64(h, &[k.method]);
+            h = fnv1a64(h, &k.kernel_version.to_le_bytes());
+            h = fnv1a64(h, &p.similarity.to_bits().to_le_bytes());
+            h = fnv1a64(h, &p.rmsd.to_bits().to_le_bytes());
+            h = fnv1a64(h, &p.aligned_len.to_le_bytes());
+            h = fnv1a64(h, &p.ops.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// Check the store against the mirror; returns violation descriptions.
+fn verify(store: &Store, mirror: &Mirror) -> Vec<String> {
+    let mut bad = Vec::new();
+    if store.len() != mirror.records.len() {
+        bad.push(format!(
+            "index has {} records, mirror has {}",
+            store.len(),
+            mirror.records.len()
+        ));
+    }
+    if store.log_records() != mirror.records.len() as u64 {
+        bad.push(format!(
+            "log has {} records, mirror has {}",
+            store.log_records(),
+            mirror.records.len()
+        ));
+    }
+    for (key, want) in &mirror.records {
+        match store.iter().find(|(k, _)| *k == key) {
+            Some((_, got)) if got.same_bits(want) => {}
+            Some(_) => bad.push(format!("record {key:?} differs from mirror")),
+            None => bad.push(format!("record {key:?} missing from index")),
+        }
+    }
+    bad
+}
+
+static SCENARIO_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Run one seeded crash-recovery scenario in a scratch directory under
+/// the system temp dir (cleaned up afterwards). The report — including
+/// its content fingerprint — is deterministic in `seed`.
+///
+/// # Panics
+/// Panics only on scratch-directory I/O failures, never on store
+/// corruption (that is counted in `failures`).
+pub fn run_store_scenario(seed: u64) -> StoreScenarioReport {
+    let nonce = SCENARIO_NONCE.fetch_add(1, Ordering::Relaxed);
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "rck-store-chaos-{}-{seed}-{nonce}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scenario scratch dir");
+    let path = dir.join("chaos.rckstore");
+
+    let plan = StoreFaultPlan::generate(subseed(seed, 1), &StoreFaultProfile::CHAOS);
+    let mut rng = StdRng::seed_from_u64(subseed(seed, 2));
+    let open = |path: &PathBuf| {
+        Store::open(path, StoreConfig::on_registry(Registry::new())).expect("open store")
+    };
+
+    let mut store = open(&path);
+    let mut mirror = Mirror {
+        records: Vec::new(),
+    };
+    let mut report = StoreScenarioReport {
+        seed,
+        ops: 0,
+        torn_appends: 0,
+        bit_flips: 0,
+        killed_compactions: 0,
+        compactions: 0,
+        reopens: 0,
+        final_records: 0,
+        fingerprint: 0,
+        failures: 0,
+    };
+    let mut violations: Vec<String> = Vec::new();
+
+    let crash_and_verify = |store: &mut Store,
+                            mirror: &Mirror,
+                            report: &mut StoreScenarioReport,
+                            violations: &mut Vec<String>,
+                            expect_truncation: bool| {
+        *store = open(&path);
+        report.reopens += 1;
+        violations.extend(verify(store, mirror));
+        let truncations = store.counters().torn_tail_truncations.get();
+        if expect_truncation != (truncations == 1) {
+            violations.push(format!(
+                "expected truncation={expect_truncation}, counted {truncations}"
+            ));
+        }
+        if store.counters().recovered_records.get() != mirror.records.len() as u64 {
+            violations.push(format!(
+                "recovered {} records, mirror has {}",
+                store.counters().recovered_records.get(),
+                mirror.records.len()
+            ));
+        }
+    };
+
+    for k in 0..SCENARIO_OPS {
+        report.ops += 1;
+        let (key, pair) = synth_record(&mut rng);
+        match plan.op(k) {
+            Some(StoreFault::TornAppend { keep }) => {
+                // The record is lost with the process; only its torn
+                // prefix reaches the file.
+                store.append_torn(key, pair, keep).expect("torn append");
+                report.torn_appends += 1;
+                crash_and_verify(&mut store, &mirror, &mut report, &mut violations, true);
+            }
+            Some(StoreFault::BitFlip { at, mask }) => {
+                if !mirror.contains(&key) {
+                    store.append(key, pair).expect("append");
+                    mirror.records.push((key, pair));
+                }
+                let body = mirror.records.len() * PAIR_RECORD_LEN;
+                if body > 0 {
+                    let rel = (body * at as usize) / 256;
+                    let mut bytes = fs::read(&path).expect("read log");
+                    bytes[SUPERBLOCK_LEN + rel] ^= mask;
+                    fs::write(&path, &bytes).expect("write flipped log");
+                    report.bit_flips += 1;
+                    mirror.truncate_at_byte(rel);
+                    crash_and_verify(&mut store, &mirror, &mut report, &mut violations, true);
+                }
+            }
+            Some(StoreFault::KillMidCompaction { keep }) => {
+                if !mirror.contains(&key) {
+                    store.append(key, pair).expect("append");
+                    mirror.records.push((key, pair));
+                }
+                if !mirror.records.is_empty() {
+                    store.compact_torn(keep).expect("torn compaction");
+                    report.killed_compactions += 1;
+                    crash_and_verify(&mut store, &mirror, &mut report, &mut violations, false);
+                }
+            }
+            None => {
+                if store.append(key, pair).expect("append") {
+                    mirror.records.push((key, pair));
+                }
+                if k % COMPACT_EVERY == COMPACT_EVERY - 1 {
+                    store.compact().expect("compact");
+                    report.compactions += 1;
+                    violations.extend(verify(&store, &mirror));
+                }
+            }
+        }
+    }
+
+    violations.extend(verify(&store, &mirror));
+    report.final_records = store.len() as u64;
+    report.fingerprint = mirror.fingerprint();
+    report.failures = violations.len() as u32;
+    for v in violations.iter().take(5) {
+        eprintln!("[rck-store chaos seed {seed}] {v}");
+    }
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_respect_clean() {
+        let a = StoreFaultPlan::generate(9, &StoreFaultProfile::CHAOS);
+        let b = StoreFaultPlan::generate(9, &StoreFaultProfile::CHAOS);
+        assert_eq!(a.ops, b.ops);
+        assert!(a.scheduled() > 0, "chaos profile schedules something");
+        let clean = StoreFaultPlan::generate(9, &StoreFaultProfile::CLEAN);
+        assert_eq!(clean.scheduled(), 0);
+        assert_eq!(clean.op(5000), None, "past the plan is clean");
+    }
+
+    #[test]
+    fn scenario_reports_are_deterministic() {
+        let a = run_store_scenario(7);
+        let b = run_store_scenario(7);
+        assert_eq!(a.report_line(), b.report_line());
+        assert_eq!(a.failures, 0, "healthy store under seed 7");
+        assert!(a.torn_appends + a.bit_flips + a.killed_compactions > 0);
+    }
+}

@@ -34,6 +34,13 @@
 
 #![warn(missing_docs)]
 
+/// Version of the comparison kernels, folded into every content-addressed
+/// result key of the persistent store (`rck-store`) and into the gate's
+/// query-coalescing fingerprints. Bump it whenever *any* kernel change
+/// can alter a score bit — stored results from older kernels then simply
+/// stop matching and are recomputed, never silently reused.
+pub const KERNEL_VERSION: u32 = 1;
+
 pub mod align;
 pub mod comparators;
 pub mod display;
