@@ -28,6 +28,7 @@
 use rck_gate::chaos::{run_gate_scenario, GateScenarioPlan, GateScenarioResult};
 use rck_serve::chaos::{run_scenario, ScenarioResult};
 use rck_serve::ScenarioPlan;
+use rck_shard::{run_shard_scenario, ShardScenarioPlan, ShardScenarioReport};
 use rck_store::fault::{run_store_scenario, StoreScenarioReport};
 use std::fmt::Write as FmtWrite;
 use std::process::ExitCode;
@@ -39,12 +40,13 @@ rck_chaos — seeded fault-injection scenarios for the rck-serve layer
 
 USAGE:
   rck_chaos [--seeds N] [--base-seed S] [--repeat K] [--gate-seeds N]
-            [--store-seeds N] [--out PATH]
+            [--store-seeds N] [--shard-seeds N] [--out PATH]
 
 Defaults: --seeds 32, --base-seed 0, --repeat 1 (set 2+ to assert
 byte-identical reports per seed), --gate-seeds 4 (multi-tenant serving
 -tier scenarios; 0 disables), --store-seeds 8 (persistent-store
-crash-recovery scenarios; 0 disables), no --out (stdout only).
+crash-recovery scenarios; 0 disables), --shard-seeds 4 (sharded-farm
+kill-a-master scenarios; 0 disables), no --out (stdout only).
 ";
 
 /// A scenario that neither completes nor aborts within this window is a
@@ -58,6 +60,7 @@ struct Options {
     repeat: u64,
     gate_seeds: u64,
     store_seeds: u64,
+    shard_seeds: u64,
     out: Option<String>,
 }
 
@@ -68,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         repeat: 1,
         gate_seeds: 4,
         store_seeds: 8,
+        shard_seeds: 4,
         out: None,
     };
     let mut it = args.iter();
@@ -106,6 +110,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad store seed count {value}"))?;
             }
+            "shard-seeds" => {
+                opts.shard_seeds = value
+                    .parse()
+                    .map_err(|_| format!("bad shard seed count {value}"))?;
+            }
             "out" => opts.out = Some(value.clone()),
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -139,6 +148,22 @@ fn run_store_guarded(seed: u64) -> StoreScenarioReport {
         Ok(result) => result,
         Err(_) => {
             eprintln!("store seed {seed:06}: DEADLOCK — scenario still running after {WATCHDOG:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run one sharded-farm kill-a-master scenario under the watchdog.
+fn run_shard_guarded(seed: u64) -> ShardScenarioReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let plan = ShardScenarioPlan::from_seed(seed);
+        let _ = tx.send(run_shard_scenario(&plan));
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(result) => result,
+        Err(_) => {
+            eprintln!("shard seed {seed:06}: DEADLOCK — scenario still running after {WATCHDOG:?}");
             std::process::exit(2);
         }
     }
@@ -281,10 +306,47 @@ fn main() -> ExitCode {
         );
     }
 
+    // Sharded-farm scenarios: whole masters killed mid-tile, the
+    // frontend requeueing their tiles onto the survivors. Every
+    // scenario must still merge a matrix bit-identical to the
+    // in-process ground truth.
+    let mut shard_passed = 0u64;
+    for seed in opts.base_seed..opts.base_seed + opts.shard_seeds {
+        let first = run_shard_guarded(seed);
+        for rerun in 1..opts.repeat {
+            let again = run_shard_guarded(seed);
+            if again.report_line != first.report_line {
+                eprintln!(
+                    "shard seed {seed:06}: NONDETERMINISTIC report (rerun {rerun})\n  first: {}\n  again: {}",
+                    first.report_line, again.report_line
+                );
+                failures += 1;
+            }
+        }
+        if first.pass {
+            shard_passed += 1;
+        } else {
+            failures += 1;
+        }
+        println!(
+            "{} {}",
+            if first.pass { "ok  " } else { "FAIL" },
+            first.report_line
+        );
+        eprintln!("shard seed {seed:06} observed: {}", first.observed);
+        let _ = writeln!(report, "{}", first.report_line);
+    }
+    if opts.shard_seeds > 0 {
+        println!(
+            "shard: {shard_passed}/{} sharded-farm scenarios requeued and merged bit-identical",
+            opts.shard_seeds
+        );
+    }
+
     let summary = format!(
         "{} scenarios: {} completed bit-identical, {aborted} aborted cleanly, {failures} failures",
-        opts.seeds + opts.gate_seeds + opts.store_seeds,
-        completed + gate_passed + store_passed,
+        opts.seeds + opts.gate_seeds + opts.store_seeds + opts.shard_seeds,
+        completed + gate_passed + store_passed + shard_passed,
     );
     println!("{summary}");
     if let Some(path) = &opts.out {

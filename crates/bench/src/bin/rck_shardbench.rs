@@ -1,0 +1,536 @@
+//! `rck_shardbench` — multi-master scaling benchmark for the sharded
+//! farm (`rck-shard`) over the in-memory network.
+//!
+//! Runs the same all-to-all workload through 1, 2 and 4 shard masters
+//! (one worker each, with an injected per-batch service delay so the
+//! measurement is dominated by worker service time, the regime the
+//! sharded tier exists for) and reports pairs/sec per configuration
+//! plus the 2- and 4-master speedups over the 1-master baseline. Every
+//! configuration's merged outcomes are checked bit-for-bit against the
+//! in-process `run_all_vs_all` ground truth, and one extra 2-master run
+//! kills a master mid-tile to prove the requeue path also merges
+//! bit-identically.
+//!
+//! Prints a human summary and, with `--out`, writes the hand-rolled-JSON
+//! baseline (`BENCH_shard.json`) that `tests/bench_shard_json.rs`
+//! guards. `--smoke` shrinks the run for CI (TINY8, shorter delays)
+//! while exercising every code path and emitting the same JSON shape.
+
+use rck_pdb::datasets::{DatasetProfile, FamilySpec};
+use rck_pdb::model::CaChain;
+use rck_pdb::synth::{MemberVariation, SegmentSpec, SsType};
+use rck_serve::chaos::outcomes_fingerprint;
+use rck_serve::{run_worker_conn, MasterConfig, MemNet, WorkerConfig};
+use rck_shard::{run_shard_master, ShardConfig, ShardFrontend, ShardMasterConfig};
+use rckalign::{run_all_vs_all, tile_partition, PairCache, RckAlignOptions};
+use std::fmt::Write as FmtWrite;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+rck_shardbench — sharded multi-master scaling benchmark (MemNet)
+
+USAGE:
+  rck_shardbench [--dataset SHARD32|CK34|RS119|TINY8] [--seed S]
+                 [--tile-size N] [--batch N] [--slow-ms MS] [--repeat K]
+                 [--out PATH] [--smoke]
+
+Defaults: --dataset SHARD32 (a bench-specific set of 32 short chains —
+cheap kernels, so the injected per-batch delay dominates and the
+measurement isolates dispatch scaling from raw compute), --seed 2013,
+--tile-size 4, --batch 2, --slow-ms 25, --repeat 3 (best wall time per
+configuration is kept). --smoke is a CI preset (TINY8, --slow-ms 3,
+--repeat 1) that still writes the full JSON shape. --out writes the
+baseline (e.g. BENCH_shard.json).
+";
+
+/// The default bench dataset: 32 short chains (TINY8-scale folds) in
+/// four families. Short chains keep the TM-align kernel cost per pair
+/// far below the injected per-batch service delay, so measured scaling
+/// reflects the sharded dispatch tier rather than single-core kernel
+/// throughput.
+fn shard32_profile() -> DatasetProfile {
+    let seg = SegmentSpec::new;
+    use SsType::*;
+    DatasetProfile {
+        name: "SHARD32".into(),
+        families: vec![
+            FamilySpec {
+                name: "shlx".into(),
+                members: 8,
+                segments: vec![seg(Helix, 7), seg(Coil, 2), seg(Helix, 6)],
+            },
+            FamilySpec {
+                name: "sstr".into(),
+                members: 8,
+                segments: vec![
+                    seg(Strand, 4),
+                    seg(Coil, 3),
+                    seg(Strand, 4),
+                    seg(Coil, 3),
+                    seg(Strand, 4),
+                ],
+            },
+            FamilySpec {
+                name: "smix".into(),
+                members: 8,
+                segments: vec![seg(Strand, 4), seg(Coil, 2), seg(Helix, 7), seg(Coil, 2)],
+            },
+            FamilySpec {
+                name: "scoi".into(),
+                members: 8,
+                segments: vec![seg(Coil, 3), seg(Helix, 6), seg(Coil, 3), seg(Strand, 4)],
+            },
+        ],
+        variation: MemberVariation::default(),
+    }
+}
+
+fn dataset_by_name(name: &str) -> Option<DatasetProfile> {
+    if name.eq_ignore_ascii_case("SHARD32") {
+        return Some(shard32_profile());
+    }
+    rck_pdb::datasets::by_name(name)
+}
+
+#[derive(Debug, PartialEq)]
+struct ParseError(String);
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    dataset: String,
+    seed: u64,
+    tile_size: usize,
+    batch: usize,
+    slow_ms: u64,
+    repeat: usize,
+    out: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            dataset: "SHARD32".to_string(),
+            seed: 2013,
+            tile_size: 4,
+            batch: 2,
+            slow_ms: 25,
+            repeat: 3,
+            out: None,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    let mut opts = Options::default();
+    let mut dataset_given = false;
+    let mut slow_given = false;
+    let mut repeat_given = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let name = a
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("unexpected argument {a}")))?;
+        match name {
+            "help" => return Err(ParseError(String::new())),
+            "smoke" => {
+                opts.smoke = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
+        match name {
+            "dataset" => {
+                opts.dataset = value.clone();
+                dataset_given = true;
+            }
+            "seed" => {
+                opts.seed = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed {value}")))?;
+            }
+            "tile-size" => {
+                opts.tile_size = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad tile size {value}")))?;
+            }
+            "batch" => {
+                opts.batch = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad batch size {value}")))?;
+            }
+            "slow-ms" => {
+                opts.slow_ms = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad delay {value}")))?;
+                slow_given = true;
+            }
+            "repeat" => {
+                opts.repeat = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad repeat count {value}")))?;
+                repeat_given = true;
+            }
+            "out" => opts.out = Some(value.clone()),
+            other => return Err(ParseError(format!("unknown flag --{other}"))),
+        }
+    }
+    if opts.smoke {
+        if !dataset_given {
+            opts.dataset = "TINY8".to_string();
+            opts.tile_size = 2;
+        }
+        if !slow_given {
+            opts.slow_ms = 3;
+        }
+        if !repeat_given {
+            opts.repeat = 1;
+        }
+    }
+    Ok(opts)
+}
+
+/// One timed run of the sharded farm: `masters` shard masters on their
+/// own in-memory networks, one delay-injected worker each. Returns the
+/// wall time and the merged-outcomes fingerprint.
+fn run_config(
+    chains: &[CaChain],
+    opts: &Options,
+    masters: usize,
+    crash: Option<(usize, u32)>,
+) -> (f64, u64) {
+    let cfg = ShardConfig {
+        tile_size: opts.tile_size,
+        masters,
+        heartbeat_timeout: if crash.is_some() {
+            Duration::from_millis(300)
+        } else {
+            Duration::from_millis(2000)
+        },
+        tile_timeout: crash.is_some().then(|| Duration::from_millis(1500)),
+        ..ShardConfig::default()
+    };
+    let net = MemNet::new();
+    let frontend = ShardFrontend::bind_on(net.listener(), chains.to_vec(), cfg);
+    let start = Instant::now();
+    let frontend_thread = std::thread::spawn(move || frontend.run());
+
+    let mut threads = Vec::new();
+    for m in 0..masters {
+        let worker_net = MemNet::new();
+        let conn = net.connect().expect("frontend accepting");
+        let mcfg = ShardMasterConfig {
+            name: format!("m{m}"),
+            serve: MasterConfig {
+                batch_size: opts.batch,
+                heartbeat_timeout: Duration::from_millis(2000),
+                ..MasterConfig::default()
+            },
+            heartbeat_interval: Duration::from_millis(100),
+            crash_after_tiles: crash.and_then(|(victim, after)| (victim == m).then_some(after)),
+            ..ShardMasterConfig::default()
+        };
+        let slow = opts.slow_ms;
+        {
+            let worker_net = worker_net.clone();
+            threads.push(std::thread::spawn(move || {
+                if let Ok(conn) = worker_net.connect() {
+                    let mut wcfg = WorkerConfig::connect_to(SocketAddr::from(([127, 0, 0, 1], 0)));
+                    wcfg.name = format!("m{m}w0");
+                    wcfg.heartbeat_interval = Duration::from_millis(100);
+                    wcfg.slow_per_batch = (slow > 0).then(|| Duration::from_millis(slow));
+                    let _ = run_worker_conn(conn, &wcfg);
+                }
+            }));
+        }
+        threads.push(std::thread::spawn(move || {
+            let _ = run_shard_master(conn, worker_net.listener(), &mcfg);
+        }));
+    }
+    // The frontend returns the instant the merge completes; join it first
+    // so farm teardown (heartbeat naps, forwarder poll timeouts) stays out
+    // of the measured wall.
+    let run = frontend_thread
+        .join()
+        .expect("frontend thread")
+        .expect("sharded run completes");
+    let wall = start.elapsed().as_secs_f64();
+    for t in threads {
+        t.join().expect("farm thread");
+    }
+    (wall, outcomes_fingerprint(&run.outcomes))
+}
+
+struct Config {
+    masters: usize,
+    wall_secs: f64,
+    pairs_per_sec: f64,
+    bit_identical: bool,
+}
+
+struct Report {
+    chains: usize,
+    pairs: usize,
+    tiles: usize,
+    m: Vec<Config>,
+    speedup_2x: f64,
+    speedup_4x: f64,
+    bit_identical: bool,
+    bit_identical_after_kill: bool,
+}
+
+fn run(opts: &Options) -> Result<Report, String> {
+    let profile = dataset_by_name(&opts.dataset).ok_or_else(|| {
+        format!(
+            "unknown dataset {} (try SHARD32, CK34, RS119, TINY8)",
+            opts.dataset
+        )
+    })?;
+    let chains = profile.generate(opts.seed);
+    let pairs = chains.len() * (chains.len() - 1) / 2;
+    let tiles = tile_partition(chains.len(), opts.tile_size).len();
+    let want_fnv = {
+        let cache = PairCache::new(chains.clone());
+        outcomes_fingerprint(&run_all_vs_all(&cache, &RckAlignOptions::paper(4)).outcomes)
+    };
+    eprintln!(
+        "rck_shardbench: {} chains, {pairs} pairs, {tiles} tiles ({}-wide), {}ms/batch delay, best of {}",
+        chains.len(),
+        opts.tile_size,
+        opts.slow_ms,
+        opts.repeat,
+    );
+
+    let mut m = Vec::new();
+    for masters in [1usize, 2, 4] {
+        let mut best_wall = f64::INFINITY;
+        let mut all_identical = true;
+        for _ in 0..opts.repeat {
+            let (wall, fnv) = run_config(&chains, opts, masters, None);
+            best_wall = best_wall.min(wall);
+            all_identical &= fnv == want_fnv;
+        }
+        m.push(Config {
+            masters,
+            wall_secs: best_wall,
+            pairs_per_sec: pairs as f64 / best_wall,
+            bit_identical: all_identical,
+        });
+    }
+    let base = m[0].wall_secs;
+    let speedup_2x = base / m[1].wall_secs;
+    let speedup_4x = base / m[2].wall_secs;
+    let bit_identical = m.iter().all(|c| c.bit_identical);
+
+    // The fault run: kill master 0 after its first delivered tile; the
+    // survivor must absorb the requeued tiles and the merge must still
+    // be bit-identical.
+    let (_, kill_fnv) = run_config(&chains, opts, 2, Some((0, 1)));
+    let bit_identical_after_kill = kill_fnv == want_fnv;
+
+    Ok(Report {
+        chains: chains.len(),
+        pairs,
+        tiles,
+        m,
+        speedup_2x,
+        speedup_4x,
+        bit_identical,
+        bit_identical_after_kill,
+    })
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): stable key order,
+/// newline-terminated.
+fn render_json(opts: &Options, r: &Report) -> String {
+    let mut js = String::new();
+    js.push_str("{\n");
+    let _ = writeln!(js, "  \"bench\": \"rck_shardbench\",");
+    let _ = writeln!(js, "  \"dataset\": \"{}\",", opts.dataset);
+    let _ = writeln!(js, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(js, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(js, "  \"chains\": {},", r.chains);
+    let _ = writeln!(js, "  \"pairs\": {},", r.pairs);
+    let _ = writeln!(js, "  \"tile_size\": {},", opts.tile_size);
+    let _ = writeln!(js, "  \"tiles\": {},", r.tiles);
+    let _ = writeln!(js, "  \"slow_ms\": {},", opts.slow_ms);
+    let _ = writeln!(js, "  \"repeat\": {},", opts.repeat);
+    for c in &r.m {
+        let _ = writeln!(
+            js,
+            "  \"m{}\": {{ \"wall_secs\": {:.6}, \"pairs_per_sec\": {:.3} }},",
+            c.masters, c.wall_secs, c.pairs_per_sec,
+        );
+    }
+    let _ = writeln!(js, "  \"speedup_2x\": {:.3},", r.speedup_2x);
+    let _ = writeln!(js, "  \"speedup_4x\": {:.3},", r.speedup_4x);
+    let _ = writeln!(js, "  \"bit_identical\": {},", r.bit_identical as u8);
+    let _ = writeln!(
+        js,
+        "  \"bit_identical_after_kill\": {}",
+        r.bit_identical_after_kill as u8
+    );
+    js.push_str("}\n");
+    js
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(ParseError(msg)) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rck_shardbench: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("rck_shardbench: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for c in &report.m {
+        println!(
+            "{} master{}  {:>8.3} s  {:>10.1} pairs/s  bit-identical: {}",
+            c.masters,
+            if c.masters == 1 { " " } else { "s" },
+            c.wall_secs,
+            c.pairs_per_sec,
+            c.bit_identical,
+        );
+    }
+    println!(
+        "speedup: {:.2}x at 2 masters, {:.2}x at 4 masters; killed-master merge bit-identical: {}",
+        report.speedup_2x, report.speedup_4x, report.bit_identical_after_kill,
+    );
+    if !report.bit_identical || !report.bit_identical_after_kill {
+        eprintln!("rck_shardbench: merged outcomes diverged from the in-process ground truth");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &opts.out {
+        let js = render_json(&opts, &report);
+        if let Err(e) = std::fs::write(path, &js) {
+            eprintln!("rck_shardbench: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rck_shardbench: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, ParseError> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn smoke_preset() {
+        let o = parse(&["--smoke"]).unwrap();
+        assert!(o.smoke);
+        assert_eq!(o.dataset, "TINY8");
+        assert_eq!(o.tile_size, 2);
+        assert_eq!(o.slow_ms, 3);
+        assert_eq!(o.repeat, 1);
+        // Explicit flags beat the preset.
+        let o = parse(&[
+            "--smoke",
+            "--dataset",
+            "CK34",
+            "--slow-ms",
+            "9",
+            "--repeat",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(o.dataset, "CK34");
+        assert_eq!(o.slow_ms, 9);
+        assert_eq!(o.repeat, 2);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse(&["--bogus", "1"]).is_err());
+        assert!(parse(&["--tile-size", "0"]).is_err());
+        assert!(parse(&["--batch", "0"]).is_err());
+        assert!(parse(&["--repeat", "0"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let opts = Options::default();
+        let mk = |masters, wall| Config {
+            masters,
+            wall_secs: wall,
+            pairs_per_sec: 561.0 / wall,
+            bit_identical: true,
+        };
+        let r = Report {
+            chains: 34,
+            pairs: 561,
+            tiles: 21,
+            m: vec![mk(1, 1.0), mk(2, 0.52), mk(4, 0.28)],
+            speedup_2x: 1.0 / 0.52,
+            speedup_4x: 1.0 / 0.28,
+            bit_identical: true,
+            bit_identical_after_kill: true,
+        };
+        let js = render_json(&opts, &r);
+        for field in [
+            "\"bench\": \"rck_shardbench\"",
+            "\"chains\": 34",
+            "\"pairs\": 561",
+            "\"tiles\": 21",
+            "\"m1\":",
+            "\"m2\":",
+            "\"m4\":",
+            "\"speedup_2x\":",
+            "\"speedup_4x\":",
+            "\"bit_identical\": 1",
+            "\"bit_identical_after_kill\": 1",
+        ] {
+            assert!(js.contains(field), "missing {field} in {js}");
+        }
+        assert!(js.ends_with("}\n"));
+    }
+
+    #[test]
+    fn smoke_run_merges_bit_identical_in_every_configuration() {
+        let opts = parse(&["--smoke"]).unwrap();
+        let r = run(&opts).unwrap();
+        assert_eq!(r.pairs, r.chains * (r.chains - 1) / 2);
+        assert!(r.bit_identical, "a configuration diverged");
+        assert!(r.bit_identical_after_kill, "killed-master merge diverged");
+        assert!(r.speedup_2x > 0.0 && r.speedup_4x > 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Guards the committed sharded-farm baseline (`BENCH_shard.json` at
+//! the repo root): it must carry every field the CI smoke step and the
+//! sharded-farm chapter (DESIGN.md §15) reference, and its scaling
+//! numbers must stay above the documented floors. Regenerate with
+//! `cargo run --release -p rckalign-bench --bin rck_shardbench --
+//! --out BENCH_shard.json` after shard or serve changes.
+
+use std::fs;
+use std::path::Path;
+
+fn baseline() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_shard.json");
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Pull the numeric value following `"key":` — enough of a parser for the
+/// flat hand-rolled JSON the bench emits (no serde_json in the workspace).
+fn field(js: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = js
+        .find(&needle)
+        .unwrap_or_else(|| panic!("field {key} missing"));
+    let rest = &js[at + needle.len()..];
+    let token: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    token
+        .parse()
+        .unwrap_or_else(|e| panic!("field {key} not numeric ({token:?}): {e}"))
+}
+
+#[test]
+fn committed_baseline_has_required_fields() {
+    let js = baseline();
+    for key in [
+        "\"bench\": \"rck_shardbench\"",
+        "\"dataset\":",
+        "\"seed\":",
+        "\"m1\":",
+        "\"m2\":",
+        "\"m4\":",
+    ] {
+        assert!(js.contains(key), "baseline missing {key}");
+    }
+    for key in [
+        "chains",
+        "pairs",
+        "tiles",
+        "speedup_2x",
+        "speedup_4x",
+        "bit_identical",
+        "bit_identical_after_kill",
+    ] {
+        field(&js, key);
+    }
+}
+
+#[test]
+fn committed_baseline_meets_documented_bounds() {
+    let js = baseline();
+    assert_eq!(
+        field(&js, "bit_identical"),
+        1.0,
+        "every multi-master merge must be bit-identical to the in-process run"
+    );
+    assert_eq!(
+        field(&js, "bit_identical_after_kill"),
+        1.0,
+        "a chaos-killed master's requeued tiles must still merge bit-identical"
+    );
+    let s2 = field(&js, "speedup_2x");
+    assert!(
+        s2 >= 1.7,
+        "2-master scaling regressed below the documented 1.7x floor: {s2}"
+    );
+    let s4 = field(&js, "speedup_4x");
+    assert!(
+        s4 >= 3.0,
+        "4-master scaling regressed below the documented 3x floor: {s4}"
+    );
+    let chains = field(&js, "chains");
+    let pairs = field(&js, "pairs");
+    assert_eq!(
+        pairs,
+        chains * (chains - 1.0) / 2.0,
+        "pair count must match the all-to-all closure of the dataset"
+    );
+}

@@ -42,6 +42,7 @@ pub mod onevsall;
 pub mod report;
 pub mod serial;
 pub mod store;
+pub mod tiles;
 
 pub use analysis::{utilization, utilization_sweep, UtilizationPoint};
 pub use app::{run_all_vs_all, RckAlignOptions, RckAlignRun, Scheduling};
@@ -57,3 +58,4 @@ pub use loadbalance::JobOrdering;
 pub use mcpsc::{run_mcpsc, McPscOptions, McPscRun, PartitionStrategy};
 pub use onevsall::{run_one_vs_all, OneVsAllOptions, OneVsAllRun};
 pub use store::{chain_content_hash, StoreBinding};
+pub use tiles::{assign_tiles, merge_matrix, merge_outcomes, tile_partition, Tile};

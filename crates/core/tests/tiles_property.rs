@@ -1,0 +1,110 @@
+//! Property tests for the sharded farm's tile geometry (satellite of
+//! the multi-master issue): any `(n, tile_size, masters)` partition must
+//! cover every unordered pair exactly once, ownership assignment must be
+//! a permutation of the tiles, and merge-on-read must reassemble a
+//! bit-identical, arrival-order-independent outcome list.
+
+use proptest::prelude::*;
+use rck_tmalign::MethodKind;
+use rckalign::tiles::{assign_tiles, merge_outcomes, tile_partition};
+use rckalign::{pair_count, PairOutcome};
+use std::collections::HashSet;
+
+/// Deterministic synthetic outcome for a pair — similarity carries a
+/// pair-unique bit pattern so an exact (`to_bits`) comparison detects
+/// any reordering or substitution the merge might commit.
+fn outcome_for(i: u32, j: u32) -> PairOutcome {
+    let h = ((i as u64) << 32 | j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    PairOutcome {
+        i,
+        j,
+        method: MethodKind::TmAlign,
+        similarity: (h as f64) / (u64::MAX as f64),
+        rmsd: (i + j) as f64 * 0.25,
+        aligned_len: i + j,
+        ops: h,
+    }
+}
+
+proptest! {
+    #[test]
+    fn partition_covers_every_pair_exactly_once(
+        n in 0usize..60,
+        tile_size in 1usize..12,
+    ) {
+        let tiles = tile_partition(n, tile_size);
+        let mut seen = HashSet::new();
+        for t in &tiles {
+            let jobs = t.jobs(MethodKind::TmAlign);
+            prop_assert_eq!(jobs.len(), t.job_count());
+            prop_assert!(!jobs.is_empty(), "partition emitted an empty tile");
+            for job in jobs {
+                prop_assert!(job.i < job.j);
+                prop_assert!((job.j as usize) < n);
+                prop_assert!(seen.insert((job.i, job.j)), "pair covered twice");
+            }
+        }
+        prop_assert_eq!(seen.len(), pair_count(n));
+    }
+
+    #[test]
+    fn assignment_partitions_tiles_across_masters(
+        n in 1usize..60,
+        tile_size in 1usize..12,
+        masters in 1usize..6,
+    ) {
+        let tiles = tile_partition(n, tile_size);
+        let owned = assign_tiles(&tiles, masters);
+        prop_assert_eq!(owned.len(), masters);
+        let mut all: Vec<u32> = owned.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let want: Vec<u32> = (0..tiles.len() as u32).collect();
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn merge_is_permutation_independent_and_bit_identical(
+        n in 0usize..40,
+        tile_size in 1usize..10,
+        rotation in 0usize..32,
+        duplicate_stride in 1usize..5,
+    ) {
+        let tiles = tile_partition(n, tile_size);
+        let results: Vec<Vec<PairOutcome>> = tiles
+            .iter()
+            .map(|t| {
+                t.jobs(MethodKind::TmAlign)
+                    .iter()
+                    .map(|job| outcome_for(job.i, job.j))
+                    .collect()
+            })
+            .collect();
+
+        // Reference: natural tile order.
+        let reference = merge_outcomes(results.clone());
+
+        // Arrival order rotated, with every `duplicate_stride`-th tile
+        // delivered twice (a steal race completing on both holders).
+        let mut shuffled: Vec<Vec<PairOutcome>> = Vec::new();
+        let len = results.len().max(1);
+        for k in 0..results.len() {
+            let tile = results[(k + rotation) % len].clone();
+            if k % duplicate_stride == 0 {
+                shuffled.push(tile.clone());
+            }
+            shuffled.push(tile);
+        }
+        let merged = merge_outcomes(shuffled);
+
+        prop_assert_eq!(merged.len(), reference.len());
+        for (a, b) in merged.iter().zip(&reference) {
+            prop_assert_eq!((a.i, a.j), (b.i, b.j));
+            prop_assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+            prop_assert_eq!(a.rmsd.to_bits(), b.rmsd.to_bits());
+            prop_assert_eq!(a.aligned_len, b.aligned_len);
+            prop_assert_eq!(a.ops, b.ops);
+        }
+        // The merged list answers exactly the all-vs-all closure.
+        prop_assert_eq!(merged.len(), pair_count(n));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fan a query out across several gates, each holding a slice of the
+//! database, and merge their answers into one global ranking.
+//!
+//! In the sharded deployment (`rck_shardd` + several masters) the
+//! resident database may be split across gate instances the same way
+//! the offline pair matrix is tiled across masters. A ranking combiner
+//! like [`Combiner::MeanRank`] is **not** decomposable — the mean of
+//! per-shard ranks is not the rank in the union — so the fanout client
+//! does not merge rankings at all: it collects the raw per-pair
+//! outcomes each shard streamed, relabels their chain indices into the
+//! global index space, and folds the union through the *same*
+//! [`ranking_from_outcomes`] the single-gate path uses. That keeps the
+//! merged ranking bit-identical to a single gate holding the whole
+//! database, for every combiner.
+
+use crate::client::{GateClient, QueryEvent, QueryOutcome};
+use crate::ranking_from_outcomes;
+use rck_serve::proto::QuerySubmit;
+use rckalign::consensus::Combiner;
+use rckalign::PairOutcome;
+use std::io;
+
+/// A client multiplexed over the query planes of several gates, each
+/// holding one contiguous slice of the global database. Shard `s` owns
+/// global chains `offset(s) .. offset(s) + n_chains(s)`, in order.
+pub struct FanoutClient {
+    shards: Vec<GateClient>,
+    offsets: Vec<u32>,
+    total: u32,
+}
+
+impl FanoutClient {
+    /// Wrap connected shard clients. Shard order defines the global
+    /// index space: shard 0's chains come first, then shard 1's, …
+    pub fn new(shards: Vec<GateClient>) -> FanoutClient {
+        let mut offsets = Vec::with_capacity(shards.len());
+        let mut total = 0u32;
+        for shard in &shards {
+            offsets.push(total);
+            total += shard.n_chains();
+        }
+        FanoutClient {
+            shards,
+            offsets,
+            total,
+        }
+    }
+
+    /// Number of shards fanned out to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Size of the union database (the length of a full merged ranking).
+    pub fn n_chains(&self) -> u32 {
+        self.total
+    }
+
+    /// Submit `submit` to every shard, wait for every terminal frame,
+    /// and merge: outcomes relabelled into global indices, ranking
+    /// recomputed over the union with `combiner`.
+    ///
+    /// All shards are submitted before any is awaited, so they compute
+    /// concurrently. If any shard refuses the query the merged outcome
+    /// is a rejection (first refusal wins) and carries no ranking.
+    pub fn run_query(
+        &mut self,
+        submit: QuerySubmit,
+        combiner: Combiner,
+    ) -> io::Result<QueryOutcome> {
+        let query_id = submit.query_id;
+        let methods = submit.methods.clone();
+        for shard in &mut self.shards {
+            shard.submit(submit.clone())?;
+        }
+        let mut merged: Vec<PairOutcome> = Vec::new();
+        let mut rejected: Option<String> = None;
+        let mut partials = 0usize;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let local_n = shard.n_chains();
+            let offset = self.offsets[s];
+            let shard_out = collect_terminal(shard, query_id)?;
+            partials += shard_out.partials;
+            if let Some(reason) = shard_out.rejected {
+                rejected.get_or_insert(format!("shard {s}: {reason}"));
+                continue;
+            }
+            merged.extend(
+                shard_out
+                    .outcomes
+                    .into_iter()
+                    .map(|o| relabel(o, local_n, offset, self.total)),
+            );
+        }
+        // Deterministic merge order regardless of shard interleaving.
+        merged.sort_by_key(|o| (o.method.code(), o.i, o.j));
+        let ranking = if rejected.is_none() {
+            Some(ranking_from_outcomes(
+                self.total as usize,
+                &merged,
+                &methods,
+                combiner,
+            ))
+        } else {
+            None
+        };
+        Ok(QueryOutcome {
+            outcomes: merged,
+            ranking,
+            rejected,
+            partials,
+        })
+    }
+
+    /// Orderly goodbye to every shard.
+    pub fn finish(self) -> io::Result<()> {
+        for shard in self.shards {
+            shard.finish()?;
+        }
+        Ok(())
+    }
+}
+
+/// Map one shard-local outcome into the global index space: database
+/// indices shift by the shard's offset, the query's virtual index
+/// (`local_n` on the shard) becomes the union's virtual index `total`.
+fn relabel(mut o: PairOutcome, local_n: u32, offset: u32, total: u32) -> PairOutcome {
+    o.i = if o.i == local_n { total } else { o.i + offset };
+    o.j = if o.j == local_n { total } else { o.j + offset };
+    o
+}
+
+/// Drain one shard's stream until the terminal frame for `query_id`,
+/// accumulating partials — the collection half of
+/// [`GateClient::run_query`], for a submission already sent.
+fn collect_terminal(shard: &mut GateClient, query_id: u64) -> io::Result<QueryOutcome> {
+    let mut out = QueryOutcome {
+        outcomes: Vec::new(),
+        ranking: None,
+        rejected: None,
+        partials: 0,
+    };
+    loop {
+        match shard.next_event()? {
+            QueryEvent::Partial(p) if p.query_id == query_id => {
+                out.partials += 1;
+                out.outcomes.extend(p.outcomes);
+            }
+            QueryEvent::Done(d) if d.query_id == query_id => {
+                out.ranking = Some(d.ranking);
+                return Ok(out);
+            }
+            QueryEvent::Reject(r) if r.query_id == query_id => {
+                out.rejected = Some(r.reason);
+                return Ok(out);
+            }
+            QueryEvent::Ended => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "shard session ended before the query's terminal frame",
+                ));
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "interleaved reply for a different query",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rck_tmalign::MethodKind;
+
+    fn outcome(i: u32, j: u32) -> PairOutcome {
+        PairOutcome {
+            i,
+            j,
+            method: MethodKind::TmAlign,
+            similarity: 0.5,
+            rmsd: 1.0,
+            aligned_len: 10,
+            ops: 1,
+        }
+    }
+
+    #[test]
+    fn relabel_shifts_db_indices_and_lifts_the_virtual_query() {
+        // Shard of 4 chains at offset 3 inside a union of 9.
+        let o = relabel(outcome(2, 4), 4, 3, 9);
+        assert_eq!((o.i, o.j), (5, 9));
+        // The virtual index can sit on either side of the pair.
+        let o = relabel(outcome(4, 0), 4, 3, 9);
+        assert_eq!((o.i, o.j), (9, 3));
+    }
+
+    #[test]
+    fn relabel_first_shard_is_offset_free() {
+        let o = relabel(outcome(1, 4), 4, 0, 9);
+        assert_eq!((o.i, o.j), (1, 9));
+    }
+}

@@ -61,12 +61,14 @@
 
 pub mod chaos;
 pub mod client;
+pub mod fanout;
 pub mod pool;
 pub mod sched;
 pub mod session;
 pub mod stats;
 
 pub use client::{GateClient, QueryEvent, QueryOutcome};
+pub use fanout::FanoutClient;
 pub use stats::{GateSnapshot, GateStats};
 
 use rck_pdb::model::CaChain;

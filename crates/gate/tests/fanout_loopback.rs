@@ -1,0 +1,172 @@
+//! Fanout tests: one query spread across several gates each holding a
+//! slice of the database, merged ranking checked bit-for-bit against
+//! (a) the in-process reference over the union and (b) a single gate
+//! holding the whole database.
+
+use rck_gate::{reference_ranking, FanoutClient, Gate, GateClient, GateConfig};
+use rck_pdb::datasets::tiny_profile;
+use rck_pdb::model::CaChain;
+use rck_serve::proto::QuerySubmit;
+use rck_serve::transport::MemNet;
+use rck_serve::{run_worker_conn, WorkerConfig};
+use rck_tmalign::MethodKind;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Shard {
+    handle: rck_gate::GateHandle,
+    gate_thread: std::thread::JoinHandle<rck_gate::GateReport>,
+    worker_thread: std::thread::JoinHandle<()>,
+    client_net: Arc<MemNet>,
+}
+
+fn boot_shard(db: Vec<CaChain>, cfg: GateConfig) -> Shard {
+    let worker_net = Arc::new(MemNet::new());
+    let client_net = Arc::new(MemNet::new());
+    let gate = Gate::bind_on(worker_net.listener(), client_net.listener(), db, cfg);
+    let handle = gate.handle();
+    let gate_thread = std::thread::spawn(move || gate.run());
+    let conn = worker_net.connect().expect("worker connect");
+    let worker_thread = std::thread::spawn(move || {
+        let mut cfg = WorkerConfig::connect_to(SocketAddr::from(([127, 0, 0, 1], 0)));
+        cfg.name = "shard-worker".to_string();
+        cfg.heartbeat_interval = Duration::from_millis(50);
+        let _ = run_worker_conn(conn, &cfg);
+    });
+    Shard {
+        handle,
+        gate_thread,
+        worker_thread,
+        client_net,
+    }
+}
+
+impl Shard {
+    fn client(&self, name: &str) -> GateClient {
+        GateClient::connect(self.client_net.connect().expect("client connect"), name)
+            .expect("client handshake")
+    }
+
+    fn finish(self) {
+        self.handle.drain();
+        self.gate_thread.join().expect("gate thread");
+        self.worker_thread.join().expect("worker thread");
+    }
+}
+
+fn submit(query_id: u64, chain: CaChain) -> QuerySubmit {
+    QuerySubmit {
+        tenant: "lab-a".to_string(),
+        query_id,
+        weight: 1,
+        methods: vec![MethodKind::TmAlign],
+        chain,
+    }
+}
+
+fn assert_bit_identical(got: &[(u32, f64)], want: &[(u32, f64)], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: ranking length differs");
+    for (k, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.0, w.0, "{what}: neighbour {k} index differs");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{what}: neighbour {k} score differs in bits"
+        );
+    }
+}
+
+/// The acceptance bar: a query fanned across two half-database gates
+/// merges to exactly the ranking of (a) the in-process reference over
+/// the union and (b) one gate holding the whole database.
+#[test]
+fn fanned_out_ranking_matches_reference_and_single_gate() {
+    let db = tiny_profile().generate(90);
+    let split = db.len() / 2;
+    let cfg = GateConfig {
+        batch_size: 3,
+        ..GateConfig::default()
+    };
+    let combiner = cfg.combiner;
+    let shard_a = boot_shard(db[..split].to_vec(), cfg.clone());
+    let shard_b = boot_shard(db[split..].to_vec(), cfg.clone());
+    let whole = boot_shard(db.clone(), cfg);
+
+    let query = tiny_profile().generate(91)[0].clone();
+    let mut fan = FanoutClient::new(vec![shard_a.client("fan-a"), shard_b.client("fan-b")]);
+    assert_eq!(fan.shard_count(), 2);
+    assert_eq!(fan.n_chains() as usize, db.len());
+    let fanned = fan
+        .run_query(submit(1, query.clone()), combiner)
+        .expect("fanned query");
+    let fanned_ranking = fanned.ranking.as_deref().expect("fanned query completed");
+
+    let want = reference_ranking(&db, &query, &[MethodKind::TmAlign], combiner);
+    assert_bit_identical(fanned_ranking, &want, "fanout vs in-process reference");
+
+    let mut single = whole.client("single");
+    let single_out = single
+        .run_query(submit(2, query.clone()))
+        .expect("single-gate query");
+    assert_bit_identical(
+        fanned_ranking,
+        single_out.ranking.as_deref().expect("single completed"),
+        "fanout vs whole-database gate",
+    );
+
+    // Merge exactness: one outcome per union chain, every global index
+    // seen exactly once after relabelling.
+    assert_eq!(fanned.outcomes.len(), db.len());
+    let mut seen: Vec<u32> = fanned.outcomes.iter().map(|o| o.i.min(o.j)).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..db.len() as u32).collect::<Vec<_>>());
+    for o in &fanned.outcomes {
+        assert_eq!(
+            o.i.max(o.j),
+            db.len() as u32,
+            "query relabelled to the union's virtual index"
+        );
+    }
+
+    single.finish().expect("goodbye");
+    fan.finish().expect("goodbye");
+    shard_a.finish();
+    shard_b.finish();
+    whole.finish();
+}
+
+/// A refusal on any shard makes the merged answer a refusal: partial
+/// fan-in must never masquerade as a full-database ranking.
+#[test]
+fn a_refusing_shard_rejects_the_whole_fanout() {
+    let db = tiny_profile().generate(92);
+    let split = db.len() / 2;
+    let cfg = GateConfig::default();
+    let combiner = cfg.combiner;
+    let healthy = boot_shard(db[..split].to_vec(), cfg.clone());
+    // Admission cap of zero: this shard refuses every submission.
+    let refusing = boot_shard(
+        db[split..].to_vec(),
+        GateConfig {
+            max_inflight_per_tenant: 0,
+            ..cfg
+        },
+    );
+
+    let query = tiny_profile().generate(93)[1].clone();
+    let mut fan = FanoutClient::new(vec![healthy.client("fan-a"), refusing.client("fan-b")]);
+    let out = fan
+        .run_query(submit(1, query), combiner)
+        .expect("fanned query");
+    assert!(!out.completed(), "partial fan-in must not complete");
+    let reason = out.rejected.expect("carries the shard's refusal");
+    assert!(
+        reason.contains("shard 1") && reason.contains("inflight cap"),
+        "refusal names the shard and the cause: {reason}"
+    );
+
+    fan.finish().expect("goodbye");
+    healthy.finish();
+    refusing.finish();
+}

@@ -59,12 +59,15 @@ pub mod transport;
 pub mod worker;
 
 pub use chaos::{run_scenario, FaultPlan, FaultProfile, ScenarioPlan, ScenarioResult, Verdict};
-pub use master::{AbortHandle, Master, MasterConfig, ServeRun};
+pub use master::{AbortHandle, FeedHandle, Master, MasterConfig, ServeRun, TileDone};
 pub use proto::{
-    Frame, FrameCodec, FrameError, QueryDone, QueryPartial, QueryReject, QuerySubmit,
-    PROTOCOL_VERSION,
+    Frame, FrameCodec, FrameError, QueryDone, QueryPartial, QueryReject, QuerySubmit, StealRequest,
+    TileGrant, TileResult, PROTOCOL_VERSION,
 };
 pub use stats::{ServeStats, StatsSnapshot};
 pub use sync::MutexExt;
 pub use transport::{Conn, Listener, MemNet};
-pub use worker::{run_worker, run_worker_conn, WorkerConfig, WorkerReport};
+pub use worker::{
+    connect_with_backoff, run_worker, run_worker_conn, run_worker_with_backoff, BackoffPolicy,
+    WorkerConfig, WorkerReport,
+};

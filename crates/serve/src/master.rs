@@ -38,7 +38,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Master configuration.
@@ -92,6 +92,40 @@ pub struct ServeRun {
     pub stats: StatsSnapshot,
 }
 
+/// A completed tile streamed out of a feed-mode master
+/// ([`Master::bind_feed_on`]) as soon as its last pair is accepted.
+#[derive(Debug, Clone)]
+pub struct TileDone {
+    /// The tile id the work was submitted under.
+    pub tile_id: u32,
+    /// Every outcome of the tile, sorted by `(i, j)`.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+/// Progress of one submitted tile in a feed-mode master.
+struct TileProgress {
+    remaining: usize,
+    outcomes: Vec<PairOutcome>,
+}
+
+/// Where a master's chains come from: the classic staged dataset, or a
+/// table grown dynamically as tile grants arrive (feed mode). Tile
+/// grants ship *sparse* chain tables — a shard master may only ever see
+/// a corner of the dataset — so dense `Vec` indexing cannot work there.
+enum ChainSet {
+    Static(Arc<Vec<CaChain>>),
+    Dynamic(Mutex<HashMap<u32, CaChain>>),
+}
+
+impl ChainSet {
+    fn n_chains(&self) -> u32 {
+        match self {
+            ChainSet::Static(all) => all.len() as u32,
+            ChainSet::Dynamic(map) => map.lock_recover().len() as u32,
+        }
+    }
+}
+
 /// One batch currently out on a worker.
 struct Inflight {
     jobs: Vec<PairJob>,
@@ -113,11 +147,19 @@ struct Work {
     next_batch_id: u64,
     total_pairs: usize,
     finished: bool,
+    /// Feed mode only: more tiles may still arrive, so running out of
+    /// accepted pairs does not finish the run. Classic mode stages the
+    /// whole workload at bind and keeps this `false` forever.
+    accepting: bool,
+    /// Feed mode: which submitted tile each pending pair belongs to.
+    tile_of: HashMap<(u32, u32), u32>,
+    /// Feed mode: per-tile completion progress.
+    tiles: HashMap<u32, TileProgress>,
 }
 
 impl Work {
     fn check_finished(&mut self) {
-        if self.done.len() == self.total_pairs {
+        if !self.accepting && self.done.len() == self.total_pairs {
             self.finished = true;
         }
     }
@@ -146,7 +188,7 @@ impl Work {
 struct Shared {
     work: Mutex<Work>,
     available: Condvar,
-    chains: Arc<Vec<CaChain>>,
+    chains: ChainSet,
     stats: Arc<ServeStats>,
     cfg: MasterConfig,
     next_worker_id: AtomicU32,
@@ -161,6 +203,35 @@ struct Shared {
     /// consulted before dispatch (stored pairs never reach the queue)
     /// and appended to after assembly.
     store: Mutex<Option<Arc<StoreBinding>>>,
+    /// Feed mode: completed tiles are streamed here as soon as their
+    /// last pair is accepted. `None` in classic mode.
+    tile_tx: Option<mpsc::Sender<TileDone>>,
+}
+
+impl Shared {
+    /// Build the wire batch for `jobs`, sourcing the chain table from
+    /// whichever chain set this master runs on.
+    fn job_batch(&self, batch_id: u64, jobs: Vec<PairJob>) -> proto::JobBatch {
+        match &self.chains {
+            ChainSet::Static(all) => proto::build_job_batch(batch_id, jobs, all),
+            ChainSet::Dynamic(map) => {
+                let map = map.lock_recover();
+                // A referenced chain missing from the table cannot happen
+                // (submit_tile inserts every chain a tile references
+                // before queueing its jobs); if it ever did, the worker's
+                // own job/chain cross-check fails the session cleanly.
+                let chains = rckalign::chain_indices(&jobs)
+                    .into_iter()
+                    .filter_map(|ix| map.get(&ix).map(|c| (ix, c.clone())))
+                    .collect();
+                proto::JobBatch {
+                    batch_id,
+                    chains,
+                    jobs,
+                }
+            }
+        }
+    }
 }
 
 /// A bound, not-yet-running service master.
@@ -205,6 +276,92 @@ impl AbortHandle {
     }
 }
 
+/// Feeds tiles of work into a running feed-mode master
+/// ([`Master::bind_feed_on`]) from another thread. Clone freely.
+#[derive(Clone)]
+pub struct FeedHandle {
+    shared: Arc<Shared>,
+}
+
+impl FeedHandle {
+    /// Submit one tile: the (sparse) chain table it references and the
+    /// pair jobs it owns. Jobs are batched onto the dispatch queue
+    /// immediately; once the last of the tile's pairs is accepted, a
+    /// [`TileDone`] carrying the tile's `(i, j)`-sorted outcomes is
+    /// emitted on the receiver `bind_feed_on` returned. A pair already
+    /// completed by an earlier tile is answered from the accepted
+    /// outcome instead of being recomputed, so a duplicate grant after a
+    /// steal race costs nothing.
+    pub fn submit_tile(&self, tile_id: u32, chains: Vec<(u32, CaChain)>, jobs: Vec<PairJob>) {
+        if let ChainSet::Dynamic(map) = &self.shared.chains {
+            let mut map = map.lock_recover();
+            for (ix, chain) in chains {
+                map.entry(ix).or_insert(chain);
+            }
+        }
+        let mut work = self.shared.work.lock_recover();
+        let mut progress = TileProgress {
+            remaining: 0,
+            outcomes: Vec::new(),
+        };
+        let mut fresh = Vec::new();
+        for job in jobs {
+            let pair = (job.i, job.j);
+            if work.done.contains(&pair) {
+                if let Some(o) = work.outcomes.iter().find(|o| (o.i, o.j) == pair) {
+                    progress.outcomes.push(*o);
+                }
+            } else if let std::collections::hash_map::Entry::Vacant(slot) = work.tile_of.entry(pair)
+            {
+                slot.insert(tile_id);
+                progress.remaining += 1;
+                fresh.push(job);
+            }
+            // A pair pending under *another* tile is skipped: tiles of
+            // one partition are disjoint, and the frontend never grants
+            // the same tile to one master twice, so this arm is
+            // unreachable in practice and harmless if a caller misuses
+            // the feed (the other tile's completion still covers the pair).
+        }
+        work.total_pairs += progress.remaining;
+        let done_now = if progress.remaining == 0 {
+            // Fully answered from already-accepted outcomes: complete now
+            // (the send happens after the guard drops).
+            progress.outcomes.sort_by_key(|o| (o.i, o.j));
+            Some(progress.outcomes)
+        } else {
+            for batch in batch_jobs(&fresh, self.shared.cfg.batch_size.max(1)) {
+                work.queue.push_back(batch);
+            }
+            work.tiles.insert(tile_id, progress);
+            None
+        };
+        drop(work);
+        if let Some(outcomes) = done_now {
+            if let Some(tx) = &self.shared.tile_tx {
+                let _ = tx.send(TileDone { tile_id, outcomes });
+            }
+        }
+        self.shared.available.notify_all();
+    }
+
+    /// Close the feed: no more tiles will arrive, so the master finishes
+    /// (and [`Master::run`] returns) once every submitted pair has an
+    /// accepted outcome. Idempotent.
+    pub fn close(&self) {
+        let mut work = self.shared.work.lock_recover();
+        work.accepting = false;
+        work.check_finished();
+        drop(work);
+        self.shared.available.notify_all();
+    }
+
+    /// Live counters of the master this handle feeds.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
+    }
+}
+
 impl Master {
     /// Bind the service TCP socket and stage the all-vs-all workload over
     /// `chains`. No jobs are dispatched until [`Master::run`].
@@ -235,21 +392,75 @@ impl Master {
             next_batch_id: 0,
             total_pairs,
             finished: total_pairs == 0,
+            accepting: false,
+            tile_of: HashMap::new(),
+            tiles: HashMap::new(),
         };
         Master {
             listener,
             shared: Arc::new(Shared {
                 work: Mutex::new(work),
                 available: Condvar::new(),
-                chains: Arc::new(chains),
+                chains: ChainSet::Static(Arc::new(chains)),
                 stats: Arc::new(ServeStats::new()),
                 cfg,
                 next_worker_id: AtomicU32::new(0),
                 aborted: AtomicBool::new(false),
                 draining: AtomicBool::new(false),
                 store: Mutex::new(None),
+                tile_tx: None,
             }),
         }
+    }
+
+    /// Bind a **feed-mode** master on an already-bound listener: nothing
+    /// is staged up front. Tiles of jobs arrive incrementally through the
+    /// returned [`FeedHandle`] while the worker pool stays connected
+    /// across tiles, and each completed tile is streamed out on the
+    /// [`TileDone`] receiver the moment its last pair is accepted — the
+    /// engine a `rck-shard` master runs its granted tiles on. The run
+    /// finishes once the feed is closed ([`FeedHandle::close`]) *and*
+    /// every submitted pair has an accepted outcome; [`Master::run`] then
+    /// returns the [`ServeRun`] merged over everything fed. Chains are
+    /// kept in a sparse table grown from tile submissions (a shard master
+    /// may only ever see a corner of the dataset), so
+    /// [`Master::with_store`] — which pre-resolves a staged workload — is
+    /// a no-op here; the shard frontend owns store integration instead.
+    pub fn bind_feed_on(
+        listener: Box<dyn Listener>,
+        cfg: MasterConfig,
+    ) -> (Master, FeedHandle, mpsc::Receiver<TileDone>) {
+        let work = Work {
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            done: HashSet::new(),
+            outcomes: Vec::new(),
+            streams: HashMap::new(),
+            last_signal: HashMap::new(),
+            next_batch_id: 0,
+            total_pairs: 0,
+            finished: false,
+            accepting: true,
+            tile_of: HashMap::new(),
+            tiles: HashMap::new(),
+        };
+        let (tile_tx, tile_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            work: Mutex::new(work),
+            available: Condvar::new(),
+            chains: ChainSet::Dynamic(Mutex::new(HashMap::new())),
+            stats: Arc::new(ServeStats::new()),
+            cfg,
+            next_worker_id: AtomicU32::new(0),
+            aborted: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            store: Mutex::new(None),
+            tile_tx: Some(tile_tx),
+        });
+        let feed = FeedHandle {
+            shared: Arc::clone(&shared),
+        };
+        (Master { listener, shared }, feed, tile_rx)
     }
 
     /// Attach a persistent result store before [`Master::run`]: every
@@ -369,7 +580,13 @@ impl Master {
                 }
             });
         }
-        let matrix = SimilarityMatrix::from_outcomes(self.shared.chains.len(), &outcomes);
+        let n = match &self.shared.chains {
+            ChainSet::Static(all) => all.len(),
+            // Feed mode never saw the full dataset; size the matrix to
+            // the highest chain index any outcome references.
+            ChainSet::Dynamic(_) => outcomes.iter().map(|o| o.j as usize + 1).max().unwrap_or(0),
+        };
+        let matrix = SimilarityMatrix::from_outcomes(n, &outcomes);
         Ok(ServeRun {
             matrix,
             outcomes,
@@ -451,11 +668,7 @@ fn serve_worker(shared: &Shared, mut conn: Box<dyn Conn>) {
             }
             break;
         };
-        let frame = Frame::JobBatch(proto::build_job_batch(
-            batch_id,
-            jobs.clone(),
-            &shared.chains,
-        ));
+        let frame = Frame::JobBatch(shared.job_batch(batch_id, jobs.clone()));
         shared.stats.on_batch_dispatched(jobs.len());
         match proto::write_frame(&mut conn, &frame) {
             Ok(n) => shared.stats.add_tx(n),
@@ -507,7 +720,7 @@ fn handshake(shared: &Shared, conn: &mut Box<dyn Conn>) -> Option<u32> {
     let worker_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
     let welcome = Frame::Welcome(Welcome {
         worker_id,
-        n_chains: shared.chains.len() as u32,
+        n_chains: shared.chains.n_chains(),
     });
     let n = proto::write_frame(conn, &welcome).ok()?;
     shared.stats.add_tx(n);
@@ -662,8 +875,27 @@ fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) -> BatchFate
         .observe_batch_rtt(batch.dispatched_at.elapsed().as_secs_f64());
     let mut fresh = 0usize;
     let mut duplicates = 0usize;
+    let mut completed_tiles: Vec<(u32, Vec<PairOutcome>)> = Vec::new();
     for o in rb.outcomes {
         if work.done.insert((o.i, o.j)) {
+            // Feed mode: credit the pair to its tile; a finished tile is
+            // collected for emission once the lock drops.
+            if let Some(&tile_id) = work.tile_of.get(&(o.i, o.j)) {
+                let tile_finished = match work.tiles.get_mut(&tile_id) {
+                    Some(p) => {
+                        p.outcomes.push(o);
+                        p.remaining -= 1;
+                        p.remaining == 0
+                    }
+                    None => false,
+                };
+                if tile_finished {
+                    if let Some(mut p) = work.tiles.remove(&tile_id) {
+                        p.outcomes.sort_by_key(|x| (x.i, x.j));
+                        completed_tiles.push((tile_id, p.outcomes));
+                    }
+                }
+            }
             work.outcomes.push(o);
             fresh += 1;
         } else {
@@ -675,8 +907,14 @@ fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) -> BatchFate
         shared.stats.on_duplicate_results(duplicates);
     }
     work.check_finished();
-    if work.finished {
-        drop(work);
+    let finished = work.finished;
+    drop(work);
+    if let Some(tx) = &shared.tile_tx {
+        for (tile_id, outcomes) in completed_tiles {
+            let _ = tx.send(TileDone { tile_id, outcomes });
+        }
+    }
+    if finished {
         shared.available.notify_all();
     }
     BatchFate::Continue
@@ -816,6 +1054,126 @@ mod tests {
             assert_eq!(got.ops, want.ops);
         }
         assert_eq!(run.stats.jobs_dispatched, 0, "nothing hit the wire");
+    }
+
+    #[test]
+    fn feed_mode_completes_tiles_over_a_memnet_worker() {
+        use crate::transport::MemNet;
+        use crate::worker::{run_worker_conn, WorkerConfig};
+
+        let chains = tiny_profile().generate(6);
+        let n = chains.len();
+        let cfg = MasterConfig {
+            batch_size: 4,
+            ..MasterConfig::default()
+        };
+        let net = MemNet::new();
+        let (master, feed, tiles_rx) = Master::bind_feed_on(net.listener(), cfg);
+        let run_thread = std::thread::spawn(move || master.run());
+        let worker_conn = net.connect().unwrap();
+        let worker = std::thread::spawn(move || {
+            let mut wcfg = WorkerConfig::connect_to("127.0.0.1:0".parse().unwrap());
+            wcfg.heartbeat_interval = Duration::from_millis(40);
+            run_worker_conn(worker_conn, &wcfg)
+        });
+
+        let tiles = rckalign::tile_partition(n, 3);
+        assert!(tiles.len() >= 2, "want multiple tiles in the feed");
+        for t in &tiles {
+            let jobs = t.jobs(MethodKind::TmAlign);
+            let grant = proto::build_tile_grant(t.id, jobs, &chains);
+            feed.submit_tile(grant.tile_id, grant.chains, grant.jobs);
+        }
+
+        // Every tile completes, each exactly once, with sorted outcomes.
+        let mut seen = HashSet::new();
+        let mut tile_results = Vec::new();
+        for _ in 0..tiles.len() {
+            let done = tiles_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("tile completion");
+            assert!(seen.insert(done.tile_id), "tile completed twice");
+            assert!(done
+                .outcomes
+                .windows(2)
+                .all(|w| (w[0].i, w[0].j) < (w[1].i, w[1].j)));
+            tile_results.push(done.outcomes);
+        }
+        feed.close();
+        let run = run_thread.join().unwrap().expect("feed run completes");
+        let _ = worker.join();
+
+        // The fed master's merged result is bit-identical to the
+        // in-process reference over the same dataset.
+        let cache = rckalign::PairCache::new(chains.clone());
+        let expected =
+            rckalign::run_all_vs_all(&cache, &rckalign::RckAlignOptions::paper(2)).outcomes;
+        let want = crate::chaos::outcomes_fingerprint(&expected);
+        assert_eq!(run.matrix.len(), n);
+        assert_eq!(crate::chaos::outcomes_fingerprint(&run.outcomes), want);
+        assert_eq!(
+            run.matrix,
+            SimilarityMatrix::from_outcomes(n, &expected),
+            "fed matrix diverges from single-process reference"
+        );
+        // And so is merge-on-read over the streamed tiles.
+        let merged: Vec<PairOutcome> = rckalign::merge_outcomes(tile_results);
+        assert_eq!(crate::chaos::outcomes_fingerprint(&merged), want);
+    }
+
+    #[test]
+    fn feed_mode_answers_duplicate_tiles_from_accepted_outcomes() {
+        use crate::transport::MemNet;
+        use crate::worker::{run_worker_conn, WorkerConfig};
+
+        let chains = tiny_profile().generate(7);
+        let net = MemNet::new();
+        let (master, feed, tiles_rx) =
+            Master::bind_feed_on(net.listener(), MasterConfig::default());
+        let run_thread = std::thread::spawn(move || master.run());
+        let worker_conn = net.connect().unwrap();
+        let worker = std::thread::spawn(move || {
+            let wcfg = WorkerConfig::connect_to("127.0.0.1:0".parse().unwrap());
+            run_worker_conn(worker_conn, &wcfg)
+        });
+
+        let tile = &rckalign::tile_partition(chains.len(), 4)[0];
+        let grant = proto::build_tile_grant(tile.id, tile.jobs(MethodKind::TmAlign), &chains);
+        feed.submit_tile(grant.tile_id, grant.chains.clone(), grant.jobs.clone());
+        let first = tiles_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("first completion");
+
+        // Re-granting the same tile (a steal race) is answered from the
+        // accepted outcomes without dispatching anything new.
+        let dispatched_before = feed.stats().snapshot().jobs_dispatched;
+        feed.submit_tile(grant.tile_id, grant.chains, grant.jobs);
+        let second = tiles_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("duplicate completion");
+        assert_eq!(feed.stats().snapshot().jobs_dispatched, dispatched_before);
+        assert_eq!(first.outcomes.len(), second.outcomes.len());
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!((a.i, a.j), (b.i, b.j));
+            assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+        }
+
+        feed.close();
+        run_thread.join().unwrap().expect("feed run completes");
+        let _ = worker.join();
+    }
+
+    #[test]
+    fn feed_mode_with_empty_feed_finishes_on_close() {
+        use crate::transport::MemNet;
+        let net = MemNet::new();
+        let (master, feed, _tiles_rx) =
+            Master::bind_feed_on(net.listener(), MasterConfig::default());
+        let t = std::thread::spawn(move || master.run());
+        feed.close();
+        let run = t.join().unwrap().expect("empty feed finishes");
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.matrix.len(), 0);
     }
 
     #[test]

@@ -149,6 +149,42 @@ pub struct QueryReject {
     pub reason: String,
 }
 
+/// Frontend → shard master: ownership of one tile of the pair matrix.
+/// Like a [`JobBatch`], the grant is self-contained — it carries every
+/// chain its jobs reference, so a shard master never touches storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileGrant {
+    /// Tile id in the frontend's partition — echoed in [`TileResult`].
+    pub tile_id: u32,
+    /// Chain table: `(dataset index, chain)` for every index the jobs use.
+    pub chains: Vec<(u32, CaChain)>,
+    /// The tile's jobs; `i`/`j` are dataset indices present in `chains`.
+    pub jobs: Vec<PairJob>,
+}
+
+/// Shard master → frontend: the completed sub-matrix of one tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileResult {
+    /// The tile these outcomes answer.
+    pub tile_id: u32,
+    /// One outcome per job of the tile's grant, in any order.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+/// Shard master → frontend: a work-pull credit. Sent after the
+/// handshake (once per prefetch slot) and after every [`TileResult`];
+/// the frontend answers each credit with a [`TileGrant`] — from the
+/// master's own ownership queue, or *stolen* from the tail of the
+/// longest other queue once its own has drained — or an eventual
+/// `Shutdown` when the whole partition is accounted for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealRequest {
+    /// Sender's master id (assigned in the Welcome).
+    pub master_id: u32,
+    /// Tiles this master has completed so far (monotonic).
+    pub tiles_done: u32,
+}
+
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Frame {
@@ -172,6 +208,12 @@ pub enum Frame {
     QueryDone(QueryDone),
     /// Query refusal (gate → client).
     QueryReject(QueryReject),
+    /// Tile ownership (frontend → shard master).
+    TileGrant(TileGrant),
+    /// Tile sub-matrix (shard master → frontend).
+    TileResult(TileResult),
+    /// Work-pull credit (shard master → frontend).
+    StealRequest(StealRequest),
 }
 
 impl Frame {
@@ -187,6 +229,9 @@ impl Frame {
             Frame::QueryPartial(_) => 8,
             Frame::QueryDone(_) => 9,
             Frame::QueryReject(_) => 10,
+            Frame::TileGrant(_) => 11,
+            Frame::TileResult(_) => 12,
+            Frame::StealRequest(_) => 13,
         }
     }
 }
@@ -401,6 +446,28 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_u64(rj.query_id);
             w.put_str(&rj.reason);
         }
+        Frame::TileGrant(g) => {
+            w.put_u32(g.tile_id);
+            w.put_u32(g.chains.len() as u32);
+            for (ix, chain) in &g.chains {
+                w.put_u32(*ix);
+                put_chain(&mut w, chain);
+            }
+            w.put_u32(g.jobs.len() as u32);
+            for job in &g.jobs {
+                put_job(&mut w, job);
+            }
+        }
+        Frame::TileResult(t) => {
+            w.put_u32(t.tile_id);
+            w.put_u32(t.outcomes.len() as u32);
+            for o in &t.outcomes {
+                put_outcome(&mut w, o);
+            }
+        }
+        Frame::StealRequest(s) => {
+            w.put_u32(s.master_id).put_u32(s.tiles_done);
+        }
     }
     w.finish()
 }
@@ -537,6 +604,55 @@ fn decode_payload(kind: u8, payload: Vec<u8>) -> Result<Frame, FrameError> {
             query_id: r.get_u64()?,
             reason: r.get_str()?,
         }),
+        11 => {
+            let tile_id = r.get_u32()?;
+            let n_chains = r.get_u32()? as usize;
+            // Same count-sanity rule as JobBatch: an empty chain still
+            // takes 8 wire bytes.
+            if n_chains.saturating_mul(8) > r.remaining() {
+                return Err(DecodeError {
+                    what: "chain count",
+                }
+                .into());
+            }
+            let mut chains = Vec::with_capacity(n_chains);
+            for _ in 0..n_chains {
+                let ix = r.get_u32()?;
+                chains.push((ix, get_chain(&mut r)?));
+            }
+            let n_jobs = r.get_u32()? as usize;
+            if n_jobs.saturating_mul(9) > r.remaining() {
+                return Err(DecodeError { what: "job count" }.into());
+            }
+            let mut jobs = Vec::with_capacity(n_jobs);
+            for _ in 0..n_jobs {
+                jobs.push(get_job(&mut r)?);
+            }
+            Frame::TileGrant(TileGrant {
+                tile_id,
+                chains,
+                jobs,
+            })
+        }
+        12 => {
+            let tile_id = r.get_u32()?;
+            let n = r.get_u32()? as usize;
+            if n.saturating_mul(37) > r.remaining() {
+                return Err(DecodeError {
+                    what: "outcome count",
+                }
+                .into());
+            }
+            let mut outcomes = Vec::with_capacity(n);
+            for _ in 0..n {
+                outcomes.push(get_outcome(&mut r)?);
+            }
+            Frame::TileResult(TileResult { tile_id, outcomes })
+        }
+        13 => Frame::StealRequest(StealRequest {
+            master_id: r.get_u32()?,
+            tiles_done: r.get_u32()?,
+        }),
         k => return Err(FrameError::BadKind(k)),
     };
     Ok(frame)
@@ -583,7 +699,7 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
         return Err(FrameError::BadVersion(version));
     }
     let kind = header[6];
-    if !(1..=10).contains(&kind) {
+    if !(1..=13).contains(&kind) {
         return Err(FrameError::BadKind(kind));
     }
     // rck-lint: allow(panic) — infallible: constant-width slice
@@ -793,6 +909,21 @@ pub fn build_job_batch(batch_id: u64, jobs: Vec<PairJob>, dataset: &[CaChain]) -
     }
 }
 
+/// Build the [`TileGrant`] for a tile's job set: collect the referenced
+/// chains from the dataset into the grant's chain table (the shard
+/// frontend's analogue of [`build_job_batch`]).
+pub fn build_tile_grant(tile_id: u32, jobs: Vec<PairJob>, dataset: &[CaChain]) -> TileGrant {
+    let chains = rckalign::chain_indices(&jobs)
+        .into_iter()
+        .map(|ix| (ix, dataset[ix as usize].clone()))
+        .collect();
+    TileGrant {
+        tile_id,
+        chains,
+        jobs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,6 +1023,60 @@ mod tests {
             let (back, used) = decode_frame(&bytes).expect("decodes");
             assert_eq!(used, bytes.len());
             assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn tile_frames_roundtrip() {
+        let chains = tiny_profile().generate(7);
+        let jobs = rckalign::tile_partition(chains.len(), 3)[1].jobs(MethodKind::TmAlign);
+        let grant = build_tile_grant(5, jobs.clone(), &chains);
+        assert_eq!(
+            grant.chains.len(),
+            rckalign::chain_indices(&jobs).len(),
+            "grant carries exactly the chains its jobs reference"
+        );
+        let frames = vec![
+            Frame::TileGrant(grant),
+            Frame::TileResult(TileResult {
+                tile_id: 5,
+                outcomes: vec![PairOutcome {
+                    i: 0,
+                    j: 4,
+                    method: MethodKind::TmAlign,
+                    similarity: 0.375,
+                    rmsd: 1.25,
+                    aligned_len: 31,
+                    ops: 4242,
+                }],
+            }),
+            Frame::StealRequest(StealRequest {
+                master_id: 2,
+                tiles_done: 9,
+            }),
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            let (back, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn tile_grant_count_lies_are_rejected_before_allocation() {
+        let chains = tiny_profile().generate(7);
+        let grant = build_tile_grant(1, rckalign::all_vs_all(3, MethodKind::TmAlign), &chains);
+        let good = encode_frame(&Frame::TileGrant(grant));
+        // Chain count sits right after tile_id (u32).
+        let count_off = HEADER_LEN + 4;
+        let mut lied = good.clone();
+        lied[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let payload = lied[HEADER_LEN..].to_vec();
+        lied[11..19].copy_from_slice(&frame_checksum(11, &payload).to_le_bytes());
+        match decode_frame(&lied) {
+            Err(FrameError::Payload(e)) => assert_eq!(e.what, "chain count"),
+            other => panic!("count lie decoded: {other:?}"),
         }
     }
 

@@ -20,17 +20,19 @@
 use crate::proto::{self, Frame, FrameError, Heartbeat, Hello, JobBatch, PROTOCOL_VERSION};
 use crate::sync::MutexExt;
 use crate::transport::{Conn, TcpConn};
+use rand::{Rng, SeedableRng};
+use rck_obs::{Counter, Registry};
 use rck_pdb::model::CaChain;
-use rckalign::PairOutcome;
+use rckalign::{PairJob, PairOutcome};
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Worker configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct WorkerConfig {
     /// Master address to connect to.
     pub addr: SocketAddr,
@@ -38,6 +40,16 @@ pub struct WorkerConfig {
     pub name: String,
     /// How often the heartbeat thread pings the master.
     pub heartbeat_interval: Duration,
+    /// Kernel lanes: each received batch is split across this many
+    /// threads (contiguous chunks, so outcome order is preserved) and
+    /// computed in parallel over the single master connection. Per-lane
+    /// throughput shows up as `rck_worker_lane_jobs_total{lane=…}` on
+    /// [`WorkerConfig::registry`]. Clamped to at least 1.
+    pub threads: usize,
+    /// Metrics registry the worker's lane counters register on. Each
+    /// config gets its own by default; share one to aggregate several
+    /// in-process workers.
+    pub registry: Arc<Registry>,
     /// Fault injection: drop the connection without replying after
     /// receiving this many batches (`Some(0)` = die on the first batch).
     /// `None` (the default) never fails.
@@ -51,19 +63,117 @@ pub struct WorkerConfig {
     pub slow_per_batch: Option<Duration>,
 }
 
+impl std::fmt::Debug for WorkerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerConfig")
+            .field("addr", &self.addr)
+            .field("name", &self.name)
+            .field("heartbeat_interval", &self.heartbeat_interval)
+            .field("threads", &self.threads)
+            .field("fail_after_batches", &self.fail_after_batches)
+            .field("hang_after_batches", &self.hang_after_batches)
+            .field("slow_per_batch", &self.slow_per_batch)
+            .finish_non_exhaustive()
+    }
+}
+
 impl WorkerConfig {
     /// Defaults for a worker connecting to `addr`: named `"worker"`,
-    /// 100 ms heartbeats, no fault injection.
+    /// 100 ms heartbeats, one kernel lane, no fault injection.
     pub fn connect_to(addr: SocketAddr) -> WorkerConfig {
         WorkerConfig {
             addr,
             name: "worker".to_string(),
             heartbeat_interval: Duration::from_millis(100),
+            threads: 1,
+            registry: Registry::new(),
             fail_after_batches: None,
             hang_after_batches: None,
             slow_per_batch: None,
         }
     }
+}
+
+/// Backoff policy for dialing a master that may be down or not up yet.
+///
+/// The old behavior — fail the process on the first refused connect, or
+/// (worse) retry in a tight loop from a supervisor script — hammers a
+/// restarting master with synchronized connect storms. Instead each
+/// failed attempt doubles a base delay (capped at `max_delay`) and
+/// sleeps a uniformly jittered fraction of it, so a fleet of workers
+/// desynchronizes naturally; after `total` has elapsed the dial gives up
+/// with a clear error naming the address, the attempt count, and the
+/// last underlying failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First retry delay (doubles each failure). Default 50 ms.
+    pub initial: Duration,
+    /// Ceiling on the per-attempt delay. Default 2 s.
+    pub max_delay: Duration,
+    /// Total time budget across all attempts before giving up.
+    /// Default 30 s.
+    pub total: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy {
+            initial: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            total: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Dial `addr` over TCP with jittered exponential backoff per
+/// [`BackoffPolicy`]. Returns the connection, or a `TimedOut` error once
+/// the policy's total budget is exhausted.
+pub fn connect_with_backoff(addr: SocketAddr, policy: &BackoffPolicy) -> io::Result<Box<dyn Conn>> {
+    let started = Instant::now();
+    let mut delay = policy.initial.max(Duration::from_millis(1));
+    // Per-process jitter seed: wall clock ⊕ pid, so workers launched
+    // together still desynchronize.
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0)
+        ^ u64::from(std::process::id());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let last = match TcpConn::connect(addr) {
+            Ok(conn) => return Ok(Box::new(conn)),
+            Err(e) => e,
+        };
+        let elapsed = started.elapsed();
+        if elapsed >= policy.total {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "master {addr} unreachable: gave up after {attempts} attempts over \
+                     {:.1}s (last error: {last})",
+                    elapsed.as_secs_f64()
+                ),
+            ));
+        }
+        // Jitter in [0.5, 1.0)× so synchronized workers spread out, and
+        // never sleep past the remaining budget.
+        let jittered = delay.mul_f64(rng.gen_range(0.5..1.0));
+        let remaining = policy.total.saturating_sub(elapsed);
+        std::thread::sleep(jittered.min(remaining));
+        delay = (delay * 2).min(policy.max_delay);
+    }
+}
+
+/// [`run_worker`] with reconnect backoff on the initial dial: retries a
+/// down master per `policy` instead of failing on the first refused
+/// connect.
+pub fn run_worker_with_backoff(
+    cfg: &WorkerConfig,
+    policy: &BackoffPolicy,
+) -> io::Result<WorkerReport> {
+    run_worker_conn(connect_with_backoff(cfg.addr, policy)?, cfg)
 }
 
 /// What one worker did over its session.
@@ -98,20 +208,25 @@ fn frame_io_err(e: FrameError) -> io::Error {
 /// panicking the worker.
 fn compute_batch(batch: &JobBatch) -> io::Result<Vec<PairOutcome>> {
     let table: HashMap<u32, &CaChain> = batch.chains.iter().map(|(ix, c)| (*ix, c)).collect();
+    compute_jobs(batch.batch_id, &batch.jobs, &table)
+}
+
+/// The kernel inner loop over one slice of a batch's jobs, against the
+/// batch's chain table.
+fn compute_jobs(
+    batch_id: u64,
+    jobs: &[PairJob],
+    table: &HashMap<u32, &CaChain>,
+) -> io::Result<Vec<PairOutcome>> {
     let chain = |ix: u32| {
         table.get(&ix).copied().ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!(
-                    "batch {} references chain {ix} it does not carry",
-                    batch.batch_id
-                ),
+                format!("batch {batch_id} references chain {ix} it does not carry"),
             )
         })
     };
-    batch
-        .jobs
-        .iter()
+    jobs.iter()
         .map(|job| {
             let score = job
                 .method
@@ -128,6 +243,57 @@ fn compute_batch(batch: &JobBatch) -> io::Result<Vec<PairOutcome>> {
             })
         })
         .collect()
+}
+
+/// Split a batch across up to `threads` kernel lanes and compute the
+/// chunks in parallel. Chunks are contiguous and reassembled in order,
+/// so the outcome list is byte-for-byte what the single-lane path
+/// produces — lanes change wall-clock, never results. Each lane credits
+/// its `rck_worker_lane_jobs_total{lane=…}` counter.
+fn compute_batch_lanes(
+    batch: &JobBatch,
+    threads: usize,
+    lane_jobs: &[Arc<Counter>],
+) -> io::Result<Vec<PairOutcome>> {
+    let lanes = threads.max(1).min(batch.jobs.len().max(1));
+    if lanes <= 1 {
+        if let Some(c) = lane_jobs.first() {
+            c.add(batch.jobs.len() as u64);
+        }
+        return compute_batch(batch);
+    }
+    let table: HashMap<u32, &CaChain> = batch.chains.iter().map(|(ix, c)| (*ix, c)).collect();
+    let chunk = batch.jobs.len().div_ceil(lanes);
+    let results: Vec<io::Result<Vec<PairOutcome>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = batch
+            .jobs
+            .chunks(chunk)
+            .enumerate()
+            .map(|(lane, jobs)| {
+                let table = &table;
+                let counter = lane_jobs.get(lane).cloned();
+                s.spawn(move || {
+                    let out = compute_jobs(batch.batch_id, jobs, table)?;
+                    if let Some(c) = counter {
+                        c.add(out.len() as u64);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(io::Error::other("kernel lane panicked")))
+            })
+            .collect()
+    });
+    let mut all = Vec::with_capacity(batch.jobs.len());
+    for r in results {
+        all.extend(r?);
+    }
+    Ok(all)
 }
 
 /// Connect to the master over TCP and serve until it sends Shutdown (or
@@ -204,7 +370,24 @@ pub fn run_worker_conn(mut stream: Box<dyn Conn>, cfg: &WorkerConfig) -> io::Res
         bytes_rx,
         failed_by_injection: false,
     };
-    let outcome = serve_loop(cfg, &mut stream, &writer, &stop, &completed, &mut report);
+    let lane_jobs: Vec<Arc<Counter>> = (0..cfg.threads.max(1))
+        .map(|lane| {
+            cfg.registry.counter_with(
+                "rck_worker_lane_jobs_total",
+                "Jobs computed per worker kernel lane.",
+                &[("lane", &lane.to_string())],
+            )
+        })
+        .collect();
+    let outcome = serve_loop(
+        cfg,
+        &mut stream,
+        &writer,
+        &stop,
+        &completed,
+        &lane_jobs,
+        &mut report,
+    );
 
     stop.store(true, Ordering::Relaxed);
     let _ = heartbeat.join();
@@ -215,12 +398,14 @@ pub fn run_worker_conn(mut stream: Box<dyn Conn>, cfg: &WorkerConfig) -> io::Res
 
 /// The batch-serving loop; returns once the master says Shutdown, an
 /// injected fault fires (marked in `report`), or the connection errors.
+#[allow(clippy::too_many_arguments)]
 fn serve_loop(
     cfg: &WorkerConfig,
     stream: &mut Box<dyn Conn>,
     writer: &Mutex<Box<dyn Conn>>,
     stop: &AtomicBool,
     completed: &AtomicU64,
+    lane_jobs: &[Arc<Counter>],
     report: &mut WorkerReport,
 ) -> io::Result<()> {
     loop {
@@ -251,7 +436,7 @@ fn serve_loop(
                 if let Some(delay) = cfg.slow_per_batch {
                     std::thread::sleep(delay);
                 }
-                let outcomes = compute_batch(&batch)?;
+                let outcomes = compute_batch_lanes(&batch, cfg.threads, lane_jobs)?;
                 completed.fetch_add(outcomes.len() as u64, Ordering::Relaxed);
                 let reply = Frame::ResultBatch(proto::ResultBatch {
                     batch_id: batch.batch_id,
@@ -313,9 +498,91 @@ mod tests {
     fn connect_to_defaults() {
         let cfg = WorkerConfig::connect_to(SocketAddr::from(([127, 0, 0, 1], 9)));
         assert_eq!(cfg.name, "worker");
+        assert_eq!(cfg.threads, 1);
         assert!(cfg.fail_after_batches.is_none());
         assert!(cfg.hang_after_batches.is_none());
         assert!(cfg.slow_per_batch.is_none());
         assert!(cfg.heartbeat_interval < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn lanes_preserve_single_lane_results_bit_for_bit() {
+        let chains = tiny_profile().generate(11);
+        let jobs: Vec<PairJob> = rckalign::all_vs_all(chains.len(), MethodKind::TmAlign)
+            .into_iter()
+            .take(13)
+            .collect();
+        let batch = proto::build_job_batch(3, jobs.clone(), &chains);
+        let single = compute_batch(&batch).unwrap();
+        for threads in [2usize, 3, 5, 64] {
+            let registry = rck_obs::Registry::new();
+            let counters: Vec<Arc<Counter>> = (0..threads)
+                .map(|lane| {
+                    registry.counter_with(
+                        "test_lane_jobs_total",
+                        "test",
+                        &[("lane", &lane.to_string())],
+                    )
+                })
+                .collect();
+            let laned = compute_batch_lanes(&batch, threads, &counters).unwrap();
+            assert_eq!(laned.len(), single.len());
+            for (a, b) in laned.iter().zip(&single) {
+                assert_eq!(a, b, "lane split changed results at threads={threads}");
+            }
+            let counted: u64 = counters.iter().map(|c| c.get()).sum();
+            assert_eq!(counted, jobs.len() as u64, "lanes missed counting jobs");
+            if threads > 1 && jobs.len() >= threads {
+                let busy = counters.iter().filter(|c| c.get() > 0).count();
+                assert!(busy > 1, "expected multiple lanes to do work");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_gives_up_with_a_clear_timeout_error() {
+        // Grab a port nobody is listening on by binding and dropping.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = BackoffPolicy {
+            initial: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            total: Duration::from_millis(120),
+        };
+        let started = Instant::now();
+        let err = match connect_with_backoff(addr, &policy) {
+            Ok(_) => panic!("no master is listening, connect must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(msg.contains("unreachable"), "unhelpful error: {msg}");
+        assert!(msg.contains("attempts"), "unhelpful error: {msg}");
+        assert!(
+            started.elapsed() >= policy.total,
+            "gave up before the budget was spent"
+        );
+        // Exponential growth means far fewer attempts than a tight spin
+        // would make in the same window.
+        let attempts: u32 = msg
+            .split("after ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("attempt count in message");
+        assert!(
+            (2..50).contains(&attempts),
+            "attempt count {attempts} not consistent with jittered backoff"
+        );
+    }
+
+    #[test]
+    fn backoff_connects_when_the_master_is_up() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conn = connect_with_backoff(addr, &BackoffPolicy::default());
+        assert!(conn.is_ok());
     }
 }

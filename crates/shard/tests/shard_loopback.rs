@@ -1,0 +1,295 @@
+//! End-to-end sharded-farm tests: frontend + shard masters + workers
+//! over the in-memory network (and once over real TCP), always checked
+//! bit-for-bit against the in-process `run_all_vs_all` ground truth.
+
+use rck_pdb::datasets::tiny_profile;
+use rck_pdb::model::CaChain;
+use rck_serve::chaos::outcomes_fingerprint;
+use rck_serve::{run_worker_conn, MasterConfig, MemNet, WorkerConfig};
+use rck_shard::{run_shard_master, ShardConfig, ShardFrontend, ShardMasterConfig};
+use rck_tmalign::MethodKind;
+use rckalign::{
+    all_vs_all, run_all_vs_all, tile_partition, PairCache, PairOutcome, RckAlignOptions,
+    SimilarityMatrix, StoreBinding,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn reference(chains: &[CaChain]) -> (Vec<PairOutcome>, SimilarityMatrix) {
+    let cache = PairCache::new(chains.to_vec());
+    let outcomes = run_all_vs_all(&cache, &RckAlignOptions::paper(4)).outcomes;
+    let matrix = SimilarityMatrix::from_outcomes(chains.len(), &outcomes);
+    (outcomes, matrix)
+}
+
+fn worker_cfg(name: String) -> WorkerConfig {
+    let mut cfg = WorkerConfig::connect_to("127.0.0.1:0".parse().expect("addr"));
+    cfg.name = name;
+    cfg.heartbeat_interval = Duration::from_millis(40);
+    cfg
+}
+
+fn master_cfg(name: String) -> ShardMasterConfig {
+    ShardMasterConfig {
+        name,
+        serve: MasterConfig {
+            batch_size: 3,
+            heartbeat_timeout: Duration::from_millis(300),
+            ..MasterConfig::default()
+        },
+        heartbeat_interval: Duration::from_millis(50),
+        ..ShardMasterConfig::default()
+    }
+}
+
+/// Boot a full MemNet shard farm and return the frontend's run result.
+/// `crash` optionally kills one master (by index) after that many
+/// delivered tiles.
+fn run_memnet_farm(
+    chains: Vec<CaChain>,
+    cfg: ShardConfig,
+    masters: usize,
+    workers_per_master: usize,
+    crash: Option<(usize, u32)>,
+) -> (rck_shard::ShardRun, Arc<rck_shard::ShardStats>) {
+    let net = MemNet::new();
+    let frontend = ShardFrontend::bind_on(net.listener(), chains, cfg);
+    let stats = frontend.stats();
+    let frontend_thread = std::thread::spawn(move || frontend.run());
+
+    let mut threads = Vec::new();
+    for m in 0..masters {
+        let worker_net = MemNet::new();
+        let conn = net.connect().expect("frontend accepting");
+        let mut cfg = master_cfg(format!("m{m}"));
+        cfg.crash_after_tiles = crash.and_then(|(victim, after)| (victim == m).then_some(after));
+        for w in 0..workers_per_master {
+            let worker_net = worker_net.clone();
+            threads.push(std::thread::spawn(move || {
+                if let Ok(conn) = worker_net.connect() {
+                    let _ = run_worker_conn(conn, &worker_cfg(format!("m{m}w{w}")));
+                }
+            }));
+        }
+        threads.push(std::thread::spawn(move || {
+            let _ = run_shard_master(conn, worker_net.listener(), &cfg);
+        }));
+    }
+    for t in threads {
+        t.join().expect("farm thread");
+    }
+    let run = frontend_thread
+        .join()
+        .expect("frontend thread")
+        .expect("sharded run completes");
+    (run, stats)
+}
+
+fn assert_bit_identical(run: &rck_shard::ShardRun, chains: &[CaChain]) {
+    let (want_outcomes, want_matrix) = reference(chains);
+    assert_eq!(
+        run.outcomes.len(),
+        want_outcomes.len(),
+        "every pair answered exactly once"
+    );
+    assert_eq!(
+        outcomes_fingerprint(&run.outcomes),
+        outcomes_fingerprint(&want_outcomes),
+        "merged outcomes bit-identical to the single-process run"
+    );
+    assert_eq!(run.matrix, want_matrix, "merged matrix bit-identical");
+}
+
+#[test]
+fn two_masters_over_memnet_merge_bit_identical() {
+    let chains = tiny_profile().generate(11);
+    let cfg = ShardConfig {
+        tile_size: 3,
+        masters: 2,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..ShardConfig::default()
+    };
+    let tiles = tile_partition(chains.len(), 3).len() as u64;
+    let (run, stats) = run_memnet_farm(chains.clone(), cfg, 2, 2, None);
+    assert_bit_identical(&run, &chains);
+    assert_eq!(run.stats.tiles_completed, tiles, "every tile accepted once");
+    assert_eq!(run.stats.masters_connected, 2);
+    assert_eq!(run.stats.masters_lost, 0);
+    assert_eq!(run.stats.mismatched_tiles, 0);
+    assert_eq!(stats.tiles_completed(), tiles);
+    // Per-master tallies account for every tile exactly once.
+    let credited: u64 = run.stats.masters.iter().map(|(_, _, t)| t).sum();
+    assert_eq!(credited, tiles);
+}
+
+#[test]
+fn a_killed_master_is_requeued_onto_the_survivor() {
+    let chains = tiny_profile().generate(12);
+    let cfg = ShardConfig {
+        tile_size: 3,
+        masters: 2,
+        // Tight deadlines so the dead master is noticed quickly.
+        heartbeat_timeout: Duration::from_millis(300),
+        tile_timeout: Some(Duration::from_millis(1500)),
+        ..ShardConfig::default()
+    };
+    let (run, _stats) = run_memnet_farm(chains.clone(), cfg, 2, 1, Some((0, 1)));
+    assert_bit_identical(&run, &chains);
+    assert_eq!(run.stats.masters_lost, 1, "exactly the injected death");
+    assert!(
+        run.stats.tiles_requeued >= 1,
+        "the dead master's granted tiles were requeued: {:?}",
+        run.stats
+    );
+    // The survivor finished everything the victim didn't deliver.
+    let survivor = run
+        .stats
+        .masters
+        .iter()
+        .find(|(_, name, _)| name == "m1")
+        .expect("survivor in the table");
+    assert!(survivor.2 > 0);
+}
+
+#[test]
+fn stealing_drains_an_unserved_slot() {
+    // Three ownership queues but only two masters ever connect: the
+    // third slot's tiles can only complete by being stolen.
+    let chains = tiny_profile().generate(13);
+    let cfg = ShardConfig {
+        tile_size: 2,
+        masters: 3,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..ShardConfig::default()
+    };
+    let (run, _stats) = run_memnet_farm(chains.clone(), cfg, 2, 1, None);
+    assert_bit_identical(&run, &chains);
+    assert!(
+        run.stats.tiles_stolen >= 1,
+        "slot 2's tiles must be stolen: {:?}",
+        run.stats
+    );
+}
+
+#[test]
+fn tcp_end_to_end_small() {
+    let chains: Vec<CaChain> = tiny_profile().generate(14).into_iter().take(6).collect();
+    let cfg = ShardConfig {
+        tile_size: 3,
+        masters: 2,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..ShardConfig::default()
+    };
+    let frontend = ShardFrontend::bind(chains.clone(), cfg).expect("bind frontend");
+    let fe_addr = frontend.local_addr();
+    let frontend_thread = std::thread::spawn(move || frontend.run());
+
+    let mut threads = Vec::new();
+    for m in 0..2 {
+        let listener =
+            rck_serve::transport::TcpChannelListener::bind("127.0.0.1:0".parse().expect("addr"))
+                .expect("bind master listener");
+        let farm_addr = rck_serve::Listener::local_addr(&listener).expect("tcp has an addr");
+        let conn =
+            Box::new(rck_serve::transport::TcpConn::connect(fe_addr).expect("dial frontend"));
+        let cfg = master_cfg(format!("tcp-m{m}"));
+        threads.push(std::thread::spawn(move || {
+            let _ = run_shard_master(conn, Box::new(listener), &cfg);
+        }));
+        threads.push(std::thread::spawn(move || {
+            let mut cfg = worker_cfg(format!("tcp-m{m}w0"));
+            cfg.addr = farm_addr;
+            let _ = rck_serve::run_worker(&cfg);
+        }));
+    }
+    for t in threads {
+        t.join().expect("farm thread");
+    }
+    let run = frontend_thread
+        .join()
+        .expect("frontend thread")
+        .expect("tcp sharded run completes");
+    assert_bit_identical(&run, &chains);
+    assert_eq!(run.stats.masters_connected, 2);
+}
+
+fn scratch_binding(name: &str, chains: &[CaChain]) -> Arc<StoreBinding> {
+    let dir = std::env::temp_dir().join(format!("rck-shard-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = rck_store::Store::open(
+        dir.join("store.rckstore"),
+        rck_store::StoreConfig::on_registry(rck_obs::Registry::new()),
+    )
+    .expect("open store");
+    Arc::new(StoreBinding::new(store, chains))
+}
+
+#[test]
+fn store_resident_pairs_are_answered_without_dispatch() {
+    let chains = tiny_profile().generate(15);
+    let binding = scratch_binding("partial", &chains);
+    // Precompute a third of the workload into the store.
+    let cache = PairCache::new(chains.clone()).with_store(Arc::clone(&binding));
+    let jobs = all_vs_all(chains.len(), MethodKind::TmAlign);
+    let stored = &jobs[..jobs.len() / 3];
+    cache.prefill(stored, 2);
+
+    let cfg = ShardConfig {
+        tile_size: 3,
+        masters: 2,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..ShardConfig::default()
+    };
+    let net = MemNet::new();
+    let frontend = ShardFrontend::bind_on(net.listener(), chains.clone(), cfg).with_store(binding);
+    let frontend_thread = std::thread::spawn(move || frontend.run());
+    let mut threads = Vec::new();
+    for m in 0..2 {
+        let worker_net = MemNet::new();
+        let conn = net.connect().expect("frontend accepting");
+        let cfg = master_cfg(format!("s{m}"));
+        {
+            let worker_net = worker_net.clone();
+            threads.push(std::thread::spawn(move || {
+                if let Ok(conn) = worker_net.connect() {
+                    let _ = run_worker_conn(conn, &worker_cfg(format!("s{m}w0")));
+                }
+            }));
+        }
+        threads.push(std::thread::spawn(move || {
+            let _ = run_shard_master(conn, worker_net.listener(), &cfg);
+        }));
+    }
+    for t in threads {
+        t.join().expect("farm thread");
+    }
+    let run = frontend_thread
+        .join()
+        .expect("frontend thread")
+        .expect("store-warmed run completes");
+    assert_bit_identical(&run, &chains);
+    assert_eq!(
+        run.stats.store_pairs,
+        stored.len() as u64,
+        "stored pairs answered from the store"
+    );
+}
+
+#[test]
+fn a_fully_stored_dataset_finishes_with_no_masters_at_all() {
+    let chains = tiny_profile().generate(16);
+    let binding = scratch_binding("full", &chains);
+    let cache = PairCache::new(chains.clone()).with_store(Arc::clone(&binding));
+    let jobs = all_vs_all(chains.len(), MethodKind::TmAlign);
+    cache.prefill(&jobs, 4);
+
+    let net = MemNet::new();
+    let frontend = ShardFrontend::bind_on(net.listener(), chains.clone(), ShardConfig::default())
+        .with_store(binding);
+    // No master ever connects; the store satisfies every tile.
+    let run = frontend.run().expect("fully stored run completes");
+    assert_bit_identical(&run, &chains);
+    assert_eq!(run.stats.tiles_granted, 0, "nothing was ever dispatched");
+    assert_eq!(run.stats.store_pairs, jobs.len() as u64);
+}
