@@ -34,7 +34,7 @@ use rck_pdb::model::CaChain;
 use rck_tmalign::MethodKind;
 use rckalign::loadbalance::{order_jobs, JobOrdering};
 use rckalign::{all_vs_all, batch_jobs, PairJob, PairOutcome, SimilarityMatrix, StoreBinding};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -106,6 +106,13 @@ pub struct TileDone {
 struct TileProgress {
     remaining: usize,
     outcomes: Vec<PairOutcome>,
+    /// How many grants of this tile are waiting on its completion. A
+    /// frontend deadline requeue can hand an orphaned tile back to the
+    /// master that still holds it pending; each such re-grant is merged
+    /// here and answered with its own [`TileDone`] when the tile lands,
+    /// so every grant gets a complete answer and the frontend's
+    /// credit-per-result loop stays self-clocking.
+    pending_grants: usize,
 }
 
 /// Where a master's chains come from: the classic staged dataset, or a
@@ -138,7 +145,10 @@ struct Inflight {
 struct Work {
     queue: VecDeque<Vec<PairJob>>,
     inflight: HashMap<u64, Inflight>,
-    done: HashSet<(u32, u32)>,
+    /// Accepted pairs, mapped to their index in `outcomes` so a
+    /// duplicate tile grant is answered in O(1) per pair instead of a
+    /// linear scan over everything accepted so far.
+    done: HashMap<(u32, u32), usize>,
     outcomes: Vec<PairOutcome>,
     streams: HashMap<u32, Box<dyn Conn>>,
     /// Last liveness signal (heartbeat or result) per worker, feeding
@@ -300,40 +310,56 @@ impl FeedHandle {
             }
         }
         let mut work = self.shared.work.lock_recover();
-        let mut progress = TileProgress {
-            remaining: 0,
-            outcomes: Vec::new(),
-        };
+        // A re-grant of a tile this master still holds pending (the
+        // frontend's deadline requeue serves orphaned tiles to any
+        // credit, including the original holder's) merges into the
+        // in-flight progress — answering early with only the
+        // already-accepted subset would hand the frontend a partial
+        // result and get a healthy master killed.
+        let resubmitted = work.tiles.contains_key(&tile_id);
+        let mut answered = Vec::new();
         let mut fresh = Vec::new();
         for job in jobs {
             let pair = (job.i, job.j);
-            if work.done.contains(&pair) {
-                if let Some(o) = work.outcomes.iter().find(|o| (o.i, o.j) == pair) {
-                    progress.outcomes.push(*o);
-                }
+            if let Some(&ix) = work.done.get(&pair) {
+                answered.push(work.outcomes[ix]);
             } else if let std::collections::hash_map::Entry::Vacant(slot) = work.tile_of.entry(pair)
             {
                 slot.insert(tile_id);
-                progress.remaining += 1;
                 fresh.push(job);
             }
-            // A pair pending under *another* tile is skipped: tiles of
-            // one partition are disjoint, and the frontend never grants
-            // the same tile to one master twice, so this arm is
-            // unreachable in practice and harmless if a caller misuses
-            // the feed (the other tile's completion still covers the pair).
+            // A pair pending under this same tile is already counted in
+            // the in-flight progress; a pair pending under *another*
+            // tile is covered by that tile's completion (tiles of one
+            // partition are disjoint, so only a misused feed hits that).
         }
-        work.total_pairs += progress.remaining;
-        let done_now = if progress.remaining == 0 {
+        work.total_pairs += fresh.len();
+        for batch in batch_jobs(&fresh, self.shared.cfg.batch_size.max(1)) {
+            work.queue.push_back(batch);
+        }
+        let done_now = if resubmitted {
+            // The in-flight progress already holds every accepted
+            // outcome of this tile; record one more grant to answer and
+            // fold in any genuinely new jobs.
+            if let Some(p) = work.tiles.get_mut(&tile_id) {
+                p.remaining += fresh.len();
+                p.pending_grants += 1;
+            }
+            None
+        } else if fresh.is_empty() {
             // Fully answered from already-accepted outcomes: complete now
             // (the send happens after the guard drops).
-            progress.outcomes.sort_by_key(|o| (o.i, o.j));
-            Some(progress.outcomes)
+            answered.sort_by_key(|o| (o.i, o.j));
+            Some(answered)
         } else {
-            for batch in batch_jobs(&fresh, self.shared.cfg.batch_size.max(1)) {
-                work.queue.push_back(batch);
-            }
-            work.tiles.insert(tile_id, progress);
+            work.tiles.insert(
+                tile_id,
+                TileProgress {
+                    remaining: fresh.len(),
+                    outcomes: answered,
+                    pending_grants: 1,
+                },
+            );
             None
         };
         drop(work);
@@ -385,7 +411,7 @@ impl Master {
         let work = Work {
             queue,
             inflight: HashMap::new(),
-            done: HashSet::new(),
+            done: HashMap::new(),
             outcomes: Vec::with_capacity(total_pairs),
             streams: HashMap::new(),
             last_signal: HashMap::new(),
@@ -433,7 +459,7 @@ impl Master {
         let work = Work {
             queue: VecDeque::new(),
             inflight: HashMap::new(),
-            done: HashSet::new(),
+            done: HashMap::new(),
             outcomes: Vec::new(),
             streams: HashMap::new(),
             last_signal: HashMap::new(),
@@ -480,7 +506,9 @@ impl Master {
             for job in staged {
                 match binding.lookup(&job) {
                     Some(outcome) => {
-                        if work.done.insert((job.i, job.j)) {
+                        if !work.done.contains_key(&(job.i, job.j)) {
+                            let ix = work.outcomes.len();
+                            work.done.insert((job.i, job.j), ix);
                             work.outcomes.push(outcome);
                         }
                     }
@@ -875,32 +903,34 @@ fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) -> BatchFate
         .observe_batch_rtt(batch.dispatched_at.elapsed().as_secs_f64());
     let mut fresh = 0usize;
     let mut duplicates = 0usize;
-    let mut completed_tiles: Vec<(u32, Vec<PairOutcome>)> = Vec::new();
+    let mut completed_tiles: Vec<(u32, Vec<PairOutcome>, usize)> = Vec::new();
     for o in rb.outcomes {
-        if work.done.insert((o.i, o.j)) {
-            // Feed mode: credit the pair to its tile; a finished tile is
-            // collected for emission once the lock drops.
-            if let Some(&tile_id) = work.tile_of.get(&(o.i, o.j)) {
-                let tile_finished = match work.tiles.get_mut(&tile_id) {
-                    Some(p) => {
-                        p.outcomes.push(o);
-                        p.remaining -= 1;
-                        p.remaining == 0
-                    }
-                    None => false,
-                };
-                if tile_finished {
-                    if let Some(mut p) = work.tiles.remove(&tile_id) {
-                        p.outcomes.sort_by_key(|x| (x.i, x.j));
-                        completed_tiles.push((tile_id, p.outcomes));
-                    }
+        if work.done.contains_key(&(o.i, o.j)) {
+            duplicates += 1;
+            continue;
+        }
+        let ix = work.outcomes.len();
+        work.done.insert((o.i, o.j), ix);
+        // Feed mode: credit the pair to its tile; a finished tile is
+        // collected for emission once the lock drops.
+        if let Some(&tile_id) = work.tile_of.get(&(o.i, o.j)) {
+            let tile_finished = match work.tiles.get_mut(&tile_id) {
+                Some(p) => {
+                    p.outcomes.push(o);
+                    p.remaining -= 1;
+                    p.remaining == 0
+                }
+                None => false,
+            };
+            if tile_finished {
+                if let Some(mut p) = work.tiles.remove(&tile_id) {
+                    p.outcomes.sort_by_key(|x| (x.i, x.j));
+                    completed_tiles.push((tile_id, p.outcomes, p.pending_grants));
                 }
             }
-            work.outcomes.push(o);
-            fresh += 1;
-        } else {
-            duplicates += 1;
         }
+        work.outcomes.push(o);
+        fresh += 1;
     }
     shared.stats.on_batch_completed(worker_id, fresh);
     if duplicates > 0 {
@@ -910,7 +940,16 @@ fn accept_results(shared: &Shared, worker_id: u32, rb: ResultBatch) -> BatchFate
     let finished = work.finished;
     drop(work);
     if let Some(tx) = &shared.tile_tx {
-        for (tile_id, outcomes) in completed_tiles {
+        for (tile_id, outcomes, grants) in completed_tiles {
+            // One TileDone per grant still waiting on this tile, each
+            // carrying the complete outcome set — a re-granted tile
+            // answers every grant (the frontend deduplicates).
+            for _ in 1..grants {
+                let _ = tx.send(TileDone {
+                    tile_id,
+                    outcomes: outcomes.clone(),
+                });
+            }
             let _ = tx.send(TileDone { tile_id, outcomes });
         }
     }
@@ -939,6 +978,7 @@ fn lose_worker(shared: &Shared, worker_id: u32) {
 mod tests {
     use super::*;
     use rck_pdb::datasets::tiny_profile;
+    use std::collections::HashSet;
 
     #[test]
     fn bind_stages_the_workload_without_dispatching() {
@@ -1161,6 +1201,61 @@ mod tests {
         feed.close();
         run_thread.join().unwrap().expect("feed run completes");
         let _ = worker.join();
+    }
+
+    #[test]
+    fn feed_mode_merges_a_regrant_of_a_still_pending_tile() {
+        use crate::transport::MemNet;
+        use crate::worker::{run_worker_conn, WorkerConfig};
+
+        let chains = tiny_profile().generate(8);
+        let net = MemNet::new();
+        let (master, feed, tiles_rx) =
+            Master::bind_feed_on(net.listener(), MasterConfig::default());
+        let run_thread = std::thread::spawn(move || master.run());
+
+        // Grant the same tile twice *before* any worker exists, so every
+        // pair is still pending when the re-grant (a frontend deadline
+        // requeue handing the orphan back to its original holder)
+        // arrives. The old behaviour answered the re-grant immediately
+        // with an empty outcome set — a partial TileResult that got the
+        // master killed upstream.
+        let tile = &rckalign::tile_partition(chains.len(), 4)[0];
+        let grant = proto::build_tile_grant(tile.id, tile.jobs(MethodKind::TmAlign), &chains);
+        let n_jobs = grant.jobs.len();
+        feed.submit_tile(grant.tile_id, grant.chains.clone(), grant.jobs.clone());
+        feed.submit_tile(grant.tile_id, grant.chains, grant.jobs);
+        assert!(
+            tiles_rx.try_recv().is_err(),
+            "no TileDone may fire while every pair is pending"
+        );
+
+        let worker_conn = net.connect().unwrap();
+        let worker = std::thread::spawn(move || {
+            let wcfg = WorkerConfig::connect_to("127.0.0.1:0".parse().unwrap());
+            run_worker_conn(worker_conn, &wcfg)
+        });
+
+        // Both grants are answered, each with the complete outcome set.
+        let first = tiles_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("first grant answered");
+        let second = tiles_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("re-grant answered too");
+        for done in [&first, &second] {
+            assert_eq!(done.tile_id, tile.id);
+            assert_eq!(done.outcomes.len(), n_jobs, "complete answer");
+        }
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!((a.i, a.j), (b.i, b.j));
+            assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+        }
+
+        feed.close();
+        let run = run_thread.join().unwrap().expect("feed run completes");
+        let _ = worker.join();
+        assert_eq!(run.outcomes.len(), n_jobs, "each pair computed once");
     }
 
     #[test]

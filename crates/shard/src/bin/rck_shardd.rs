@@ -3,7 +3,8 @@
 //! ```text
 //! rck_shardd [--addr HOST:PORT] [--dataset CK34|RS119|TINY8] [--seed S]
 //!            [--tile-size N] [--masters N] [--timeout-ms MS]
-//!            [--tile-timeout-ms MS] [--store PATH] [--metrics-addr HOST:PORT]
+//!            [--tile-timeout-ms MS] [--stall-timeout-ms MS] [--store PATH]
+//!            [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! Loads the dataset, prints the bound address, deals tile ownership
@@ -28,11 +29,14 @@ rck_shardd — shard frontend dealing pair-matrix tiles across masters
 USAGE:
   rck_shardd [--addr HOST:PORT] [--dataset CK34|RS119|TINY8] [--seed S]
              [--tile-size N] [--masters N] [--timeout-ms MS]
-             [--tile-timeout-ms MS] [--store PATH] [--metrics-addr HOST:PORT]
+             [--tile-timeout-ms MS] [--stall-timeout-ms MS] [--store PATH]
+             [--metrics-addr HOST:PORT]
 
 Defaults: --addr 127.0.0.1:0 (prints the picked port), --dataset TINY8,
 --seed 2013, --tile-size 4, --masters 2, --timeout-ms 1000, no tile
-deadline, no store, no metrics listener.
+deadline, stall bound 8x the heartbeat timeout (the run fails instead of
+waiting forever when no master is connected), no store, no metrics
+listener.
 ";
 
 #[derive(Debug, PartialEq)]
@@ -102,6 +106,14 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| ParseError(format!("bad tile timeout {value}")))?;
                 cfg.tile_timeout = Some(Duration::from_millis(ms));
+            }
+            "stall-timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| ParseError(format!("bad stall timeout {value}")))?;
+                cfg.stall_timeout = Some(Duration::from_millis(ms));
             }
             "store" => store = Some(value.clone()),
             "metrics-addr" => {
@@ -204,7 +216,8 @@ mod tests {
         let opts = parse(
             "--addr 0.0.0.0:7500 --dataset CK34 --seed 9 --tile-size 6 \
              --masters 4 --timeout-ms 250 --tile-timeout-ms 5000 \
-             --store /tmp/s.rckstore --metrics-addr 127.0.0.1:9101",
+             --stall-timeout-ms 60000 --store /tmp/s.rckstore \
+             --metrics-addr 127.0.0.1:9101",
         )
         .unwrap();
         assert_eq!(opts.dataset, "CK34");
@@ -213,6 +226,7 @@ mod tests {
         assert_eq!(opts.cfg.masters, 4);
         assert_eq!(opts.cfg.heartbeat_timeout.as_millis(), 250);
         assert_eq!(opts.cfg.tile_timeout.unwrap().as_millis(), 5000);
+        assert_eq!(opts.cfg.stall_timeout.unwrap().as_millis(), 60000);
         assert_eq!(opts.store.as_deref(), Some("/tmp/s.rckstore"));
         assert_eq!(opts.metrics_addr.unwrap().port(), 9101);
     }
@@ -225,6 +239,7 @@ mod tests {
         assert!(parse("--masters 0").is_err());
         assert!(parse("--timeout-ms 0").is_err());
         assert!(parse("--tile-timeout-ms x").is_err());
+        assert!(parse("--stall-timeout-ms 0").is_err());
         assert!(parse("--seed").is_err());
         assert!(parse("--frobnicate 1").is_err());
     }

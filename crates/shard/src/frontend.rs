@@ -65,6 +65,13 @@ pub struct ShardConfig {
     /// so a master whose results are lost while its heartbeats still
     /// flow gets its tiles re-granted instead of stalling the run.
     pub tile_timeout: Option<Duration>,
+    /// Liveness bound: if tiles remain while **no** master is connected
+    /// — every master died without a replacement, or none ever showed
+    /// up — for this long, [`ShardFrontend::run`] fails with
+    /// `ErrorKind::TimedOut` instead of polling forever. `None` (the
+    /// default) derives the bound as `8 × heartbeat_timeout`;
+    /// `Some(Duration::MAX)` waits forever.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for ShardConfig {
@@ -76,7 +83,17 @@ impl Default for ShardConfig {
             method: MethodKind::TmAlign,
             heartbeat_timeout: Duration::from_millis(1000),
             tile_timeout: None,
+            stall_timeout: None,
         }
+    }
+}
+
+impl ShardConfig {
+    /// The effective no-masters liveness bound (§15.3): explicit
+    /// `stall_timeout`, or `8 × heartbeat_timeout` when unset.
+    fn effective_stall_timeout(&self) -> Duration {
+        self.stall_timeout
+            .unwrap_or_else(|| self.heartbeat_timeout.saturating_mul(8))
     }
 }
 
@@ -137,6 +154,10 @@ struct Shared {
     next_master_id: AtomicU32,
     next_slot: AtomicU32,
     aborted: AtomicBool,
+    /// Set by the monitor when the no-masters liveness bound expired
+    /// with tiles outstanding — `run` reports `TimedOut`, not
+    /// `Interrupted`.
+    stalled: AtomicBool,
     /// Persistent result store attached by [`ShardFrontend::with_store`]:
     /// consulted per tile before any grant and appended to on completion.
     store: Mutex<Option<Arc<StoreBinding>>>,
@@ -218,6 +239,7 @@ impl ShardFrontend {
                 next_master_id: AtomicU32::new(0),
                 next_slot: AtomicU32::new(0),
                 aborted: AtomicBool::new(false),
+                stalled: AtomicBool::new(false),
                 store: Mutex::new(None),
             }),
         }
@@ -330,6 +352,17 @@ impl ShardFrontend {
 
         let mut state = self.shared.state.lock_recover();
         if !state.finished {
+            if self.shared.stalled.load(Ordering::SeqCst) {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "sharded run stalled: no master connected for {:?} \
+                         with {} tiles outstanding",
+                        self.shared.cfg.effective_stall_timeout(),
+                        state.remaining
+                    ),
+                ));
+            }
             return Err(io::Error::new(
                 io::ErrorKind::Interrupted,
                 "sharded run aborted before completion",
@@ -547,10 +580,16 @@ fn lose_master(shared: &Shared, master_id: u32) {
     serve_pending(shared);
 }
 
-/// Deadline monitor: declare silent masters dead and re-grant tiles
-/// whose deadline expired. Runs until the run finishes or aborts.
+/// Deadline monitor: declare silent masters dead, re-grant tiles whose
+/// deadline expired, and bound the run's liveness — a run with tiles
+/// outstanding and no master connected (none ever arrived, or every one
+/// died without a replacement) can make no progress, so past the stall
+/// bound it is failed rather than left polling forever. Runs until the
+/// run finishes, aborts, or stalls out.
 fn monitor_masters(shared: &Shared) {
     let tick = (shared.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
+    let stall_limit = shared.cfg.effective_stall_timeout();
+    let mut no_masters_since: Option<Instant> = None;
     loop {
         {
             let state = shared.state.lock_recover();
@@ -594,6 +633,20 @@ fn monitor_masters(shared: &Shared) {
         if !expired.is_empty() {
             shared.stats.on_tiles_requeued(expired.len());
             serve_pending(shared);
+        }
+        let any_alive = {
+            let state = shared.state.lock_recover();
+            state.finished || state.masters.values().any(|l| l.alive)
+        };
+        if any_alive {
+            no_masters_since = None;
+        } else {
+            let since = *no_masters_since.get_or_insert_with(Instant::now);
+            if since.elapsed() > stall_limit {
+                shared.stalled.store(true, Ordering::SeqCst);
+                shared.aborted.store(true, Ordering::SeqCst);
+                return;
+            }
         }
         // Sleep the tick in small slices: `run()` joins this thread once
         // the merge completes, so a whole-tick nap here would stretch
@@ -750,5 +803,39 @@ mod tests {
         let run = fe.run().expect("empty run completes with no masters");
         assert_eq!(run.outcomes.len(), 0);
         assert_eq!(run.matrix.len(), 0);
+    }
+
+    #[test]
+    fn stall_bound_defaults_to_eight_heartbeat_timeouts() {
+        let cfg = ShardConfig::default();
+        assert_eq!(
+            cfg.effective_stall_timeout(),
+            cfg.heartbeat_timeout.saturating_mul(8)
+        );
+        let explicit = ShardConfig {
+            stall_timeout: Some(Duration::from_secs(3)),
+            ..ShardConfig::default()
+        };
+        assert_eq!(explicit.effective_stall_timeout(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn a_run_no_master_ever_joins_fails_with_timed_out() {
+        let net = rck_serve::MemNet::new();
+        let chains = rck_pdb::datasets::tiny_profile().generate(17);
+        let cfg = ShardConfig {
+            heartbeat_timeout: Duration::from_millis(40),
+            stall_timeout: Some(Duration::from_millis(150)),
+            ..ShardConfig::default()
+        };
+        let fe = ShardFrontend::bind_on(net.listener(), chains, cfg);
+        let err = fe
+            .run()
+            .expect_err("a run with work but no masters must not hang");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            err.to_string().contains("tiles outstanding"),
+            "error names the outstanding work: {err}"
+        );
     }
 }
